@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Index ablations (Section 6):
+ *  1. one vs two hash functions — false-positive page volume seen by
+ *     probe tokens when a few tokens are very hot (Section 6.2);
+ *  2. naive linked list vs linked-list-of-trees — modeled query time
+ *     for the same page count (Section 6.1's latency argument).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "index/inverted_index.h"
+#include "storage/ssd_model.h"
+
+using namespace mithril;
+using namespace mithril::bench;
+
+int
+main()
+{
+    banner("Inverted index ablations", "Section 6.1 / 6.2");
+
+    // --- two-hash balancing --------------------------------------------
+    // Hot tokens (many pages each) land in a small table. With one
+    // hash, several hot tokens can pile onto one entry, and any query
+    // token sharing that entry pays for all of them; insert-to-lighter
+    // with two hashes bounds the pile-up (power of two choices,
+    // Section 6.2).
+    auto run = [](bool two_hash) {
+        storage::SsdModel ssd;
+        index::IndexConfig cfg;
+        cfg.hash_entries = 1u << 8;
+        cfg.two_hash = two_hash;
+        index::InvertedIndex idx(&ssd, cfg);
+
+        for (int hot = 0; hot < 160; ++hot) {
+            std::string tok = "hot-token-" + std::to_string(hot);
+            std::vector<std::string_view> tokens{tok};
+            for (storage::PageId p = 0; p < 256; ++p) {
+                idx.addPage(p, tokens, p);
+            }
+        }
+        auto loads = idx.entryLoads();
+        std::sort(loads.begin(), loads.end());
+        uint64_t max_load = loads.back();
+        uint64_t p99 = loads[loads.size() * 99 / 100];
+        return std::pair<uint64_t, uint64_t>(max_load, p99);
+    };
+    auto [max1, p99_1] = run(false);
+    auto [max2, p99_2] = run(true);
+    std::printf("entry load (pages) with 160 hot tokens x 256 pages in "
+                "a 256-entry table:\n");
+    std::printf("  %-18s max %8llu, p99 %8llu\n", "single hash",
+                static_cast<unsigned long long>(max1),
+                static_cast<unsigned long long>(p99_1));
+    std::printf("  %-18s max %8llu, p99 %8llu\n", "two-hash balanced",
+                static_cast<unsigned long long>(max2),
+                static_cast<unsigned long long>(p99_2));
+    std::printf("  a query token sharing the worst entry reads %.1fx "
+                "fewer false pages\n",
+                static_cast<double>(max1) / std::max<uint64_t>(max2, 1));
+
+    // --- list-of-trees vs naive list -------------------------------------
+    std::printf("\nmodeled time to fetch N data-page addresses "
+                "(100 us/hop, 16-ary nodes):\n");
+    storage::SsdModel ssd;
+    std::printf("  %-10s %14s %14s %10s\n", "pages", "naive list",
+                "tree of lists", "speedup");
+    for (uint64_t pages : {256ull, 4096ull, 65536ull}) {
+        // Naive: one dependent hop per 16-address node.
+        SimTime naive =
+            ssd.timeChainRead(pages / 16, 0, storage::Link::kExternal);
+        // Trees: one dependent hop per 256 addresses, leaves fanned out
+        // (16 leaf nodes -> at most 16 leaf pages per hop).
+        SimTime tree = ssd.timeChainRead(
+            std::max<uint64_t>(pages / 256, 1), 16,
+            storage::Link::kExternal);
+        std::printf("  %-10llu %11.2f ms %11.2f ms %9.1fx\n",
+                    static_cast<unsigned long long>(pages),
+                    naive.toSeconds() * 1e3, tree.toSeconds() * 1e3,
+                    static_cast<double>(naive.ps()) /
+                        std::max<uint64_t>(tree.ps(), 1));
+    }
+    std::printf("\nThe tree layout retrieves 256 addresses per "
+                "latency-bound hop, keeping\nthe 16-entry in-memory "
+                "write buffers (low footprint) without the naive\n"
+                "list's latency wall — Section 6.1's design argument.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: LZAH's newline realignment (Section 5, Figure 8).
+ *
+ * LZAH moves its 16-byte window in fixed word steps, which would lose
+ * most cross-line redundancy because log patterns repeat at intra-line
+ * offsets, not absolute file offsets. The newline special case
+ * realigns the window at each line start to recover that redundancy.
+ *
+ * This bench compares the match rate and modeled compressed size of
+ * the real (realigning) encoder against a no-realignment variant that
+ * slides the same window/table over the raw stream in blind 16-byte
+ * steps. The variant is a faithful size model of the ablated encoder
+ * (same hash, same table, same 2-byte match / 16-byte literal items).
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "compress/compressor.h"
+#include "compress/lzah.h"
+
+using namespace mithril;
+using namespace mithril::bench;
+
+namespace {
+
+/** Compressed-size model for LZAH without newline realignment. */
+size_t
+noRealignCompressedSize(const std::string &text, uint64_t *matches,
+                        uint64_t *words)
+{
+    std::vector<compress::Word> table(compress::kLzahTableEntries);
+    uint64_t match_items = 0, total_items = 0;
+    size_t payload = 0;
+    for (size_t pos = 0; pos < text.size();
+         pos += compress::kLzahWord) {
+        compress::Word w{};
+        size_t take = std::min(compress::kLzahWord, text.size() - pos);
+        std::memcpy(w.data(), text.data() + pos, take);
+        uint32_t idx = compress::lzahHash(w);
+        ++total_items;
+        if (table[idx] == w) {
+            ++match_items;
+            payload += 2;
+        } else {
+            table[idx] = w;
+            payload += compress::kLzahWord;
+        }
+    }
+    *matches = match_items;
+    *words = total_items;
+    // Headers: one bit per item, word-aligned per 128-item chunk.
+    size_t chunks =
+        (total_items + compress::kLzahChunkItems - 1) /
+        compress::kLzahChunkItems;
+    return payload + chunks * compress::kLzahWord;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("LZAH newline-realignment ablation", "Section 5 / Figure 8");
+    std::printf("%-12s %10s %12s %12s %12s\n", "dataset",
+                "realign", "no-realign", "match% re", "match% no");
+    compress::Lzah codec;
+    for (const auto &spec : loggen::hpc4Datasets()) {
+        loggen::LogGenerator gen(spec);
+        std::string text = gen.generate(4 << 20);
+
+        compress::Bytes real = codec.compress(compress::asBytes(text));
+        double real_ratio =
+            compress::compressionRatio(text.size(), real.size());
+
+        uint64_t matches = 0, words = 0;
+        size_t ablated = noRealignCompressedSize(text, &matches, &words);
+        double ablated_ratio =
+            compress::compressionRatio(text.size(), ablated);
+
+        // Match rate of the real encoder, recovered from its size:
+        // size ~ headers + 2m + 16(w - m).
+        compress::LzahPageEncoder enc;
+        size_t pos = 0;
+        while (pos < text.size()) {
+            size_t nl = text.find('\n', pos);
+            enc.addLine(
+                std::string_view(text).substr(pos, nl - pos));
+            pos = nl + 1;
+        }
+        enc.flush();
+        uint64_t real_words = 0;
+        compress::Bytes scratch;
+        for (const auto &page : enc.pages()) {
+            compress::lzahDecodePage(page, true, &scratch, &real_words);
+        }
+        double real_payload =
+            static_cast<double>(enc.pages().size() * 4096);
+        double real_match_frac =
+            (16.0 * real_words - real_payload) / (14.0 * real_words);
+        real_match_frac = std::min(std::max(real_match_frac, 0.0), 1.0);
+
+        std::printf("%-12s %9.2fx %11.2fx %11.1f%% %11.1f%%\n",
+                    spec.name.c_str(), real_ratio, ablated_ratio,
+                    real_match_frac * 100.0,
+                    100.0 * matches / std::max<uint64_t>(words, 1));
+    }
+    std::printf("\nWithout realignment the window drifts relative to "
+                "line structure, so\nrepeated line content stops "
+                "matching; the realigned encoder should hold a\n"
+                "large ratio advantage on every dataset.\n");
+    return 0;
+}

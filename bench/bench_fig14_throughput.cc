@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 14: total effective throughput of the four filtering-engine
+ * pipelines per dataset, against the PCIe bound — the paper's headline
+ * "near-storage + compression beats the external link by ~4x" result.
+ *
+ * The emulation runs a representative query over each compressed
+ * dataset; throughput is decompressed text bytes divided by the
+ * modeled pipeline time at 200 MHz, capped by the storage feed
+ * (internal bandwidth x compression ratio).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mithrilog.h"
+#include "sim/perf_model.h"
+
+using namespace mithril;
+using namespace mithril::bench;
+
+int
+main()
+{
+    banner("Filter engine effective throughput vs PCIe", "Figure 14");
+    std::printf("%-12s %10s %10s %12s %12s %12s\n", "dataset",
+                "LZAH", "useful%", "filter GB/s", "bound GB/s",
+                "paper GB/s");
+    double paper[] = {12.62, 11.8, 11.9, 11.9};
+
+    size_t d = 0;
+    for (const auto &spec : loggen::hpc4Datasets()) {
+        BenchDataset ds = makeDataset(spec, 12 << 20);
+        core::MithriLog system;
+        system.ingestText(ds.text);
+        system.flush();
+
+        std::vector<query::Query> q{ds.singles.empty()
+                                        ? query::Query::allOf(
+                                              std::vector<std::string>{
+                                                  "ERROR"})
+                                        : ds.singles[0]};
+        core::QueryResult r;
+        if (!system.runFullScan(q, &r).isOk()) {
+            std::printf("%-12s query failed\n", spec.name.c_str());
+            continue;
+        }
+        double eff = r.effectiveThroughput(system.rawBytes());
+
+        sim::PerfInputs in;
+        in.useful_ratio = r.useful_ratio;
+        in.compression_ratio = system.compressionRatio();
+        double bound = sim::modeledThroughput(in);
+
+        std::printf("%-12s %9.2fx %9.1f%% %12.2f %12.2f %12.2f\n",
+                    spec.name.c_str(), system.compressionRatio(),
+                    r.useful_ratio * 100.0, eff / 1e9, bound / 1e9,
+                    paper[d]);
+        ++d;
+    }
+    std::printf("\nPCIe bound: 3.1 GB/s. The filter engines exceed it "
+                "~4x; datasets with\nlow LZAH ratios (BGL2-like) are "
+                "storage-bound, the rest decompressor-bound.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 15: per-query effective-throughput histograms, ScanDb
+ * (MonetDB-like, measured) versus MithriLog (modeled), for 1-, 2- and
+ * 8-query combinations. The paper's x-axis is non-linear; the same
+ * bucket edges are used here.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "baseline/scan_db.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/mithrilog.h"
+
+using namespace mithril;
+using namespace mithril::bench;
+
+namespace {
+
+// Non-linear buckets in GB/s, mirroring the paper's axis.
+const std::vector<double> kEdges = {0.05, 0.1, 0.25, 0.5, 1.0, 2.0,
+                                    4.0, 8.0, 12.0};
+
+void
+runSet(const baseline::ScanDb &db, core::MithriLog *system,
+       const std::vector<query::Query> &queries, size_t limit,
+       const char *label)
+{
+    Histogram scan_h(kEdges), accel_h(kEdges);
+    size_t n = std::min(limit, queries.size());
+    for (size_t i = 0; i < n; ++i) {
+        baseline::ScanResult sr = db.runQuery(queries[i]);
+        scan_h.record(db.rawBytes() /
+                      std::max(sr.elapsed_seconds, 1e-9) / 1e9);
+        std::vector<query::Query> one{queries[i]};
+        core::QueryResult mr;
+        if (system->runFullScan(one, &mr).isOk()) {
+            accel_h.record(
+                mr.effectiveThroughput(system->rawBytes()) / 1e9);
+        }
+    }
+    std::printf("--- %s: ScanDb (measured GB/s) ---\n%s", label,
+                scan_h.render(30).c_str());
+    std::printf("--- %s: MithriLog (modeled GB/s) ---\n%s\n", label,
+                accel_h.render(30).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Per-query effective throughput histograms", "Figure 15");
+    // One representative dataset keeps runtime bounded; the remaining
+    // datasets show the same separation (see bench_table6).
+    BenchDataset ds = makeDataset(loggen::hpc4Datasets()[2], 8 << 20);
+    baseline::ScanDb db;
+    db.ingest(ds.text);
+    core::MithriLog system;
+    system.ingestText(ds.text);
+    system.flush();
+
+    std::printf("dataset %s, %zu template queries\n\n",
+                ds.spec.name.c_str(), ds.singles.size());
+    runSet(db, &system, ds.singles, 12, "single queries");
+    runSet(db, &system, ds.pairs, 8, "2-query combinations");
+    runSet(db, &system, ds.eights, 4, "8-query combinations");
+
+    std::printf("Shape target: ScanDb mass shifts left (slower) as "
+                "combinations grow;\nMithriLog mass stays pinned in "
+                "the top bucket regardless of complexity.\n");
+    return 0;
+}

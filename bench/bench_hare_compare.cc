@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Section 7.4.3: resource efficiency against a hypothetical
+ * regex-based accelerator (HARE + LZRW). Prints the KLUT-per-GB/s
+ * estimate and, as a software cross-check, measures this repository's
+ * own NFA/DFA regex engine against the token filter on the same
+ * workload — demonstrating the computational-cost gap that motivates
+ * token-based filtering.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/text.h"
+#include "common/wall_timer.h"
+#include "query/matcher.h"
+#include "query/parser.h"
+#include "regex/regex.h"
+#include "sim/resource_model.h"
+
+using namespace mithril;
+using namespace mithril::bench;
+
+int
+main()
+{
+    banner("Resource efficiency vs regex accelerators", "Section 7.4.3");
+    std::printf("%-24s %14s\n", "design", "KLUT per GB/s");
+    std::printf("%-24s %14.1f\n", "HARE + LZRW (est.)",
+                sim::ResourceModel::hareKlutPerGbps());
+    std::printf("%-24s %14.1f\n", "MithriLog + LZAH",
+                sim::ResourceModel::mithrilKlutPerGbps());
+    std::printf("advantage: %.1fx (paper: ~145 vs ~19 KLUT/GB/s)\n\n",
+                sim::ResourceModel::hareKlutPerGbps() /
+                    sim::ResourceModel::mithrilKlutPerGbps());
+
+    // Software cross-check on one dataset: regex search vs token
+    // matching for an equivalent query.
+    loggen::LogGenerator gen(loggen::hpc4Datasets()[0]);
+    std::string text = gen.generate(2 << 20);
+
+    regex::Regex re;
+    Status st = regex::Regex::compile(
+        "RAS [A-Z]+ (FATAL|FAILURE|SEVERE)", &re);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 1;
+    }
+    query::Query q;
+    if (!query::parseQuery("RAS & (FATAL | FAILURE | SEVERE)",
+                           &q).isOk()) {
+        return 1;
+    }
+    query::SoftwareMatcher matcher(q);
+
+    WallTimer timer;
+    uint64_t regex_hits = 0;
+    forEachLine(text, [&](std::string_view line) {
+        if (re.search(line)) {
+            ++regex_hits;
+        }
+    });
+    double regex_s = timer.seconds();
+
+    timer.reset();
+    uint64_t token_hits = 0;
+    forEachLine(text, [&](std::string_view line) {
+        if (matcher.matches(line)) {
+            ++token_hits;
+        }
+    });
+    double token_s = timer.seconds();
+
+    std::printf("software cross-check on %s of text:\n",
+                humanBytes(static_cast<double>(text.size())).c_str());
+    std::printf("  regex engine : %8llu hits, %s\n",
+                static_cast<unsigned long long>(regex_hits),
+                humanBandwidth(text.size() / std::max(regex_s, 1e-9))
+                    .c_str());
+    std::printf("  token matcher: %8llu hits, %s\n",
+                static_cast<unsigned long long>(token_hits),
+                humanBandwidth(text.size() / std::max(token_s, 1e-9))
+                    .c_str());
+    std::printf("  (regex accepts a superset: substring-anchored "
+                "match; %llu vs %llu)\n",
+                static_cast<unsigned long long>(regex_hits),
+                static_cast<unsigned long long>(token_hits));
+    return 0;
+}

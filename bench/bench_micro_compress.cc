@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Microbenchmarks: software compression/decompression throughput of
+ * all four codecs on synthetic log data (google-benchmark). These are
+ * host-CPU numbers; the hardware-relevant figures are in
+ * bench_table4_comp_resources.
+ */
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.h"
+#include "loggen/log_generator.h"
+
+using namespace mithril;
+
+namespace {
+
+const std::string &
+corpus()
+{
+    static const std::string text = [] {
+        loggen::LogGenerator gen(loggen::hpc4Datasets()[1]);
+        return gen.generate(2 << 20);
+    }();
+    return text;
+}
+
+void
+BM_Compress(benchmark::State &state)
+{
+    auto codecs = compress::allCompressors();
+    const compress::Compressor &codec = *codecs[state.range(0)];
+    const std::string &text = corpus();
+    size_t out_size = 0;
+    for (auto _ : state) {
+        compress::Bytes c = codec.compress(compress::asBytes(text));
+        out_size = c.size();
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+    state.SetLabel(codec.name() + " ratio=" +
+                   std::to_string(compress::compressionRatio(
+                       text.size(), out_size)));
+}
+
+void
+BM_Decompress(benchmark::State &state)
+{
+    auto codecs = compress::allCompressors();
+    const compress::Compressor &codec = *codecs[state.range(0)];
+    const std::string &text = corpus();
+    compress::Bytes compressed =
+        codec.compress(compress::asBytes(text));
+    for (auto _ : state) {
+        compress::Bytes out;
+        Status st = codec.decompress(compressed, &out);
+        if (!st.isOk()) {
+            state.SkipWithError(st.toString().c_str());
+            return;
+        }
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+    state.SetLabel(codec.name());
+}
+
+} // namespace
+
+BENCHMARK(BM_Compress)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

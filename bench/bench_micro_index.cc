@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Microbenchmarks for the inverted index: ingest rate (page
+ * registrations per second) and lookup latency at several stored
+ * depths, plus the end-to-end MithriLog ingest path.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/mithrilog.h"
+#include "index/inverted_index.h"
+#include "loggen/log_generator.h"
+#include "storage/ssd_model.h"
+
+using namespace mithril;
+
+namespace {
+
+void
+BM_IndexAddPage(benchmark::State &state)
+{
+    storage::SsdModel ssd;
+    index::InvertedIndex idx(&ssd);
+    std::vector<std::string> tokens;
+    for (int i = 0; i < 40; ++i) {
+        tokens.push_back("token" + std::to_string(i % 25));
+    }
+    std::vector<std::string_view> token_views(tokens.begin(),
+                                              tokens.end());
+    storage::PageId page = 0;
+    for (auto _ : state) {
+        idx.addPage(page, token_views, page);
+        ++page;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_IndexLookup(benchmark::State &state)
+{
+    storage::SsdModel ssd;
+    index::InvertedIndex idx(&ssd);
+    std::vector<std::string_view> tokens{"needle"};
+    for (storage::PageId p = 0;
+         p < static_cast<storage::PageId>(state.range(0)); ++p) {
+        idx.addPage(p, tokens, p);
+    }
+    idx.flush();
+    for (auto _ : state) {
+        auto pages = idx.lookup("needle");
+        benchmark::DoNotOptimize(pages);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * state.range(0)));
+}
+
+void
+BM_MithriLogIngest(benchmark::State &state)
+{
+    loggen::LogGenerator gen(loggen::hpc4Datasets()[0]);
+    std::string text = gen.generate(1 << 20);
+    for (auto _ : state) {
+        core::MithriLog system;
+        Status st = system.ingestText(text);
+        if (!st.isOk()) {
+            state.SkipWithError(st.toString().c_str());
+            return;
+        }
+        system.flush();
+        benchmark::DoNotOptimize(system.dataPageCount());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_IndexAddPage);
+BENCHMARK(BM_IndexLookup)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MithriLogIngest)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

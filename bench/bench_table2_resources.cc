@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 2 (chip resource utilization) and Table 3 (platform
+ * comparison): the resource ledger of the prototype's modules and the
+ * storage/compute parameters both platforms run with in this
+ * reproduction.
+ */
+#include <cstdio>
+#include <string>
+
+#include "sim/resource_model.h"
+#include "storage/ssd_model.h"
+
+using namespace mithril;
+
+int
+main()
+{
+    std::printf("Table 2: chip resource utilization on VC707\n");
+    std::printf("%-14s %10s %8s %8s %s\n", "module", "LUTs", "RAMB36",
+                "RAMB18", "per-pipeline");
+    sim::ResourceModel model;
+    sim::DeviceCapacity device = sim::ResourceModel::vc707();
+    for (const auto &m : model.modules()) {
+        std::string per = m.per_pipeline
+            ? std::to_string(m.per_pipeline) : std::string("-");
+        std::printf("%-14s %10u %8u %8u %s\n", m.name.c_str(), m.luts,
+                    m.ramb36, m.ramb18, per.c_str());
+    }
+    std::printf("device %-7s %10u %8u %8u\n", device.name.c_str(),
+                device.luts, device.ramb36, device.ramb18);
+    std::printf("total utilization: %.0f%% LUTs, %.0f%% RAMB36\n",
+                100.0 * model.totalCost().luts / device.luts,
+                100.0 * model.totalCost().ramb36 / device.ramb36);
+
+    sim::ModuleCost sum = model.pipelineComponentSum();
+    std::printf("component sum per pipeline (model cross-check): "
+                "%u LUTs vs %u synthesized\n",
+                sum.luts, model.pipelineCost().luts);
+
+    uint32_t infra =
+        model.totalCost().luts - 2 * model.pipelineCost().luts;
+    std::printf("pipelines fitting one VC707 after %u-LUT "
+                "infrastructure: %u (prototype built 2/board)\n\n",
+                infra, model.pipelinesFitting(device, infra));
+
+    std::printf("Table 3: computation and storage of compared "
+                "platforms\n");
+    storage::SsdConfig mithril_ssd;
+    storage::SsdConfig sw_ssd = storage::comparisonSsdConfig();
+    std::printf("%-22s %-22s %s\n", "", "MithriLog", "Comparison");
+    std::printf("%-22s %-22s %s\n", "Computation", "2x Virtex-7 (model)",
+                "host CPU (measured)");
+    std::printf("%-22s %.1f GB/s (PCIe)      %.1f GB/s\n",
+                "Storage Bandwidth", mithril_ssd.external_bw_bps / 1e9,
+                sw_ssd.external_bw_bps / 1e9);
+    std::printf("%-22s %.1f GB/s (Internal)\n", "",
+                mithril_ssd.internal_bw_bps / 1e9);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Table 6: average effective throughput (GB/s) of 1-, 2-, and 8-query
+ * batches on the MonetDB-like ScanDb (measured wall-clock on this
+ * host) versus MithriLog (modeled at the paper's platform parameters,
+ * index disabled — full scans, as in Section 7.4.2).
+ *
+ * Absolute software numbers depend on this machine; the reproduction
+ * targets are (a) MithriLog constant ~11-12 GB/s regardless of batch
+ * size, (b) software throughput decaying with query complexity, and
+ * (c) an order-of-magnitude average improvement.
+ */
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/scan_db.h"
+#include "bench_util.h"
+#include "core/mithrilog.h"
+
+using namespace mithril;
+using namespace mithril::bench;
+
+namespace {
+
+double
+scanDbAvgTput(const baseline::ScanDb &db,
+              const std::vector<query::Query> &queries, size_t limit)
+{
+    double total = 0;
+    size_t n = std::min(limit, queries.size());
+    for (size_t i = 0; i < n; ++i) {
+        baseline::ScanResult r = db.runQuery(queries[i]);
+        total += db.rawBytes() / std::max(r.elapsed_seconds, 1e-9);
+    }
+    return n ? total / n : 0;
+}
+
+double
+mithrilAvgTput(core::MithriLog *system,
+               const std::vector<query::Query> &queries, size_t limit)
+{
+    double total = 0;
+    size_t n = std::min(limit, queries.size());
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<query::Query> one{queries[i]};
+        core::QueryResult r;
+        Status st = system->runFullScan(one, &r);
+        if (!st.isOk()) {
+            continue;  // non-offloadable: excluded as in the paper
+        }
+        total += r.effectiveThroughput(system->rawBytes());
+    }
+    return n ? total / n : 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Average effective throughput of batched queries (GB/s)",
+           "Table 6");
+    std::printf("%-12s", "system");
+    for (const auto &spec : loggen::hpc4Datasets()) {
+        std::printf(" %12s", spec.name.c_str());
+    }
+    std::printf("\n");
+
+    std::vector<std::array<double, 3>> scan_rows(4), dict_rows(4),
+        accel_rows(4);
+    size_t d = 0;
+    double improvement_sum = 0;
+    int improvement_n = 0;
+    for (const auto &spec : loggen::hpc4Datasets()) {
+        BenchDataset ds = makeDataset(spec, 8 << 20);
+
+        baseline::ScanDb db(baseline::ScanDbMode::kCompressedText);
+        db.ingest(ds.text);
+        // A stronger software baseline: dictionary-encoded token
+        // columns (the columnar trick real MonetDB leans on).
+        baseline::ScanDb dict_db(baseline::ScanDbMode::kDictionary);
+        dict_db.ingest(ds.text);
+
+        core::MithriLog system;
+        system.ingestText(ds.text);
+        system.flush();
+
+        scan_rows[d] = {scanDbAvgTput(db, ds.singles, 10),
+                        scanDbAvgTput(db, ds.pairs, 6),
+                        scanDbAvgTput(db, ds.eights, 3)};
+        dict_rows[d] = {scanDbAvgTput(dict_db, ds.singles, 10),
+                        scanDbAvgTput(dict_db, ds.pairs, 6),
+                        scanDbAvgTput(dict_db, ds.eights, 3)};
+        accel_rows[d] = {mithrilAvgTput(&system, ds.singles, 10),
+                         mithrilAvgTput(&system, ds.pairs, 6),
+                         mithrilAvgTput(&system, ds.eights, 3)};
+        for (int k = 0; k < 3; ++k) {
+            // Credit software with its best mode.
+            double best_sw = std::max(scan_rows[d][k], dict_rows[d][k]);
+            if (best_sw > 0 && accel_rows[d][k] > 0) {
+                improvement_sum += accel_rows[d][k] / best_sw;
+                ++improvement_n;
+            }
+        }
+        ++d;
+    }
+
+    const char *labels[] = {"1", "2", "8"};
+    for (int k = 0; k < 3; ++k) {
+        std::printf("ScanDb%-6s", labels[k]);
+        for (size_t i = 0; i < 4; ++i) {
+            std::printf(" %12.3f", scan_rows[i][k] / 1e9);
+        }
+        std::printf("\nScanDbDict%-2s", labels[k]);
+        for (size_t i = 0; i < 4; ++i) {
+            std::printf(" %12.3f", dict_rows[i][k] / 1e9);
+        }
+        std::printf("\nMithriLog%-3s", labels[k]);
+        for (size_t i = 0; i < 4; ++i) {
+            std::printf(" %12.3f", accel_rows[i][k] / 1e9);
+        }
+        std::printf("\n");
+    }
+    std::printf("\naverage improvement (vs best software mode) across datasets and batch "
+                "sizes: %.1fx\n",
+                improvement_n ? improvement_sum / improvement_n : 0.0);
+    std::printf("(paper: 5.8x-84.8x depending on dataset; MonetDB rows "
+                "0.05-2.84 GB/s,\n MithriLog rows constant 11.2-11.8 "
+                "GB/s)\n");
+    return 0;
+}

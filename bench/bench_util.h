@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Every bench uses the same scaled synthetic datasets and the same
+ * FT-tree-derived query library construction the paper describes in
+ * Section 7.1: all machine-extracted template queries, plus random
+ * 2-query and 8-query OR-combinations (the same combinations for every
+ * system, from a fixed seed).
+ */
+#ifndef MITHRIL_BENCH_BENCH_UTIL_H
+#define MITHRIL_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "loggen/log_generator.h"
+#include "query/query.h"
+#include "templates/ft_tree.h"
+
+namespace mithril::bench {
+
+/** Scaled dataset size used by the heavier benches. */
+constexpr uint64_t kBenchBytes = 6ull << 20;
+
+/** A dataset plus its machine-extracted query library. */
+struct BenchDataset {
+    loggen::DatasetSpec spec;
+    std::string text;
+    std::vector<templates::ExtractedTemplate> templates;
+    std::vector<query::Query> singles;   ///< one per template
+    std::vector<query::Query> pairs;     ///< random 2-combinations
+    std::vector<query::Query> eights;    ///< random 8-combinations
+};
+
+/** Generates one dataset and its query library (deterministic). */
+inline BenchDataset
+makeDataset(const loggen::DatasetSpec &spec,
+            uint64_t bytes = kBenchBytes, size_t pair_count = 20,
+            size_t eight_count = 8)
+{
+    BenchDataset ds;
+    ds.spec = spec;
+    loggen::LogGenerator gen(spec);
+    ds.text = gen.generate(bytes);
+
+    templates::FtTreeConfig cfg;
+    cfg.max_depth = 8;
+    // Support threshold scales with corpus size so library sizes stay
+    // in the paper's range (tens to low hundreds of templates).
+    cfg.template_min_support =
+        std::max<uint64_t>(24, bytes / (128 << 10));
+    templates::FtTree tree = templates::FtTree::build(ds.text, cfg);
+    ds.templates = tree.extractTemplates();
+
+    for (const auto &tpl : ds.templates) {
+        ds.singles.push_back(templates::templateToQuery(tpl));
+    }
+
+    // Random OR-combinations, fixed seed per dataset (Section 7.1:
+    // "the same set of randomly generated combinations were used for
+    // all systems tested").
+    Rng rng(spec.seed ^ 0xc0417b0);
+    auto combine = [&](size_t k) {
+        std::vector<query::Query> picked;
+        for (size_t i = 0; i < k; ++i) {
+            picked.push_back(
+                ds.singles[rng.below(ds.singles.size())]);
+        }
+        return query::Query::unionOf(picked);
+    };
+    if (!ds.singles.empty()) {
+        for (size_t i = 0; i < pair_count; ++i) {
+            ds.pairs.push_back(combine(2));
+        }
+        for (size_t i = 0; i < eight_count; ++i) {
+            ds.eights.push_back(combine(8));
+        }
+    }
+    return ds;
+}
+
+/** Prints a bench banner naming the table/figure being reproduced. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n(reproduces %s of MithriLog, MICRO'21; synthetic "
+                "scaled datasets)\n", what, paper_ref);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+} // namespace mithril::bench
+
+#endif // MITHRIL_BENCH_BENCH_UTIL_H

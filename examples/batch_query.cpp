@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Concurrent batched queries: the paper's claim that multiple queries
+ * execute concurrently at no performance loss (Sections 4, 7.4.2).
+ *
+ * Runs 1, 2, 4, and 8 queries batched into single accelerator passes
+ * over a synthetic dataset and prints modeled effective throughput per
+ * batch size, alongside the per-query match counts — the programmatic
+ * version of Table 6's MithriLog rows.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common/text.h"
+#include "core/mithrilog.h"
+#include "loggen/log_generator.h"
+#include "query/parser.h"
+
+using namespace mithril;
+
+int
+main()
+{
+    loggen::LogGenerator gen(loggen::datasetByName("Liberty2"));
+    std::string text = gen.generate(8 << 20);
+
+    core::MithriLog system;
+    if (!system.ingestText(text).isOk()) {
+        return 1;
+    }
+    system.flush();
+    std::printf("ingested %s (%llu lines), LZAH ratio %.2fx\n",
+                humanBytes(static_cast<double>(system.rawBytes())).c_str(),
+                static_cast<unsigned long long>(system.lineCount()),
+                system.compressionRatio());
+
+    // Token vocabulary of the synthetic Liberty2-like syslog bodies.
+    const char *query_texts[] = {
+        "error | errors",
+        "failed & !timeout",
+        "\"pbs_mom:\" | \"kernel:\"",
+        "cache | memory",
+        "link & !down",
+        "panic | killed",
+        "connection & refused",
+        "exceeded | dropped",
+    };
+    std::vector<query::Query> all;
+    for (const char *qt : query_texts) {
+        query::Query q;
+        Status st = query::parseQuery(qt, &q);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "parse '%s': %s\n", qt,
+                         st.toString().c_str());
+            return 1;
+        }
+        all.push_back(std::move(q));
+    }
+
+    std::printf("\n%-8s %-14s %-14s %s\n", "batch", "modeled time",
+                "effective BW", "per-query matches");
+    for (size_t batch : {1u, 2u, 4u, 8u}) {
+        std::span<const query::Query> queries(all.data(), batch);
+        core::QueryResult result;
+        Status st = system.runFullScan(queries, &result);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "batch %zu: %s\n", batch,
+                         st.toString().c_str());
+            continue;
+        }
+        std::string counts;
+        for (uint64_t c : result.matched_per_query) {
+            counts += std::to_string(c) + " ";
+        }
+        std::printf("%-8zu %10.3f ms %-14s %s\n", batch,
+                    result.total_time.toSeconds() * 1e3,
+                    humanBandwidth(result.effectiveThroughput(
+                        system.rawBytes())).c_str(),
+                    counts.c_str());
+    }
+    std::printf("\nNote the constant time and bandwidth across batch "
+                "sizes: the filter\nevaluates all programmed queries "
+                "on every line in the same pass.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compression workbench: compare the four codecs on a file or on
+ * synthetic log data (the interactive version of Table 5).
+ *
+ * Usage: compression_tool [path-to-file]
+ * Without an argument, each synthetic dataset is compressed with every
+ * codec and a ratio/throughput table is printed. With a file, the same
+ * table is produced for that file's contents.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/text.h"
+#include "common/wall_timer.h"
+#include "compress/compressor.h"
+#include "loggen/log_generator.h"
+
+using namespace mithril;
+
+namespace {
+
+void
+reportOne(const std::string &label, const std::string &text)
+{
+    std::printf("%s (%s):\n", label.c_str(),
+                humanBytes(static_cast<double>(text.size())).c_str());
+    std::printf("  %-8s %-8s %-14s %-14s %s\n", "codec", "ratio",
+                "compress", "decompress", "verified");
+    for (const auto &codec : compress::allCompressors()) {
+        WallTimer timer;
+        compress::Bytes compressed =
+            codec->compress(compress::asBytes(text));
+        double c_secs = timer.seconds();
+
+        timer.reset();
+        compress::Bytes output;
+        Status st = codec->decompress(compressed, &output);
+        double d_secs = timer.seconds();
+
+        bool ok = st.isOk() && output.size() == text.size() &&
+                  std::equal(output.begin(), output.end(),
+                             reinterpret_cast<const uint8_t *>(
+                                 text.data()));
+        std::printf("  %-8s %6.2fx %14s %14s %s\n",
+                    codec->name().c_str(),
+                    compress::compressionRatio(text.size(),
+                                               compressed.size()),
+                    humanBandwidth(text.size() / std::max(c_secs, 1e-9))
+                        .c_str(),
+                    humanBandwidth(text.size() / std::max(d_secs, 1e-9))
+                        .c_str(),
+                    ok ? "yes" : "NO");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        reportOne(argv[1], ss.str());
+        return 0;
+    }
+    for (const auto &spec : loggen::hpc4Datasets()) {
+        loggen::LogGenerator gen(spec);
+        reportOne(spec.name, gen.generate(4 << 20));
+    }
+    std::printf("(software speeds; the FPGA LZAH decompressor is "
+                "deterministic at 3.2 GB/s per pipeline)\n");
+    return 0;
+}

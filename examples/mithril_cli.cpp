@@ -1,0 +1,220 @@
+/**
+ * @file
+ * mithril_cli — a small command-line front end over the full API.
+ *
+ * Subcommands:
+ *   generate <dataset> <MB> <out.log>    synthesize a dataset to a file
+ *   ingest   <in.log> <out.img>          build a device image from logs
+ *   query    <in.img> "<query>"          run one query over an image
+ *   templates <in.log> [N]               FT-tree library (top N shown)
+ *   stat     <in.img>                    image statistics
+ *
+ * Example session:
+ *   mithril_cli generate Spirit2 8 /tmp/spirit.log
+ *   mithril_cli ingest /tmp/spirit.log /tmp/spirit.img
+ *   mithril_cli query /tmp/spirit.img "error & !timeout"
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/text.h"
+#include "common/wall_timer.h"
+#include "core/mithrilog.h"
+#include "loggen/log_generator.h"
+#include "templates/ft_tree.h"
+
+using namespace mithril;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  mithril_cli generate <dataset> <MB> <out.log>\n"
+                 "  mithril_cli ingest <in.log> <out.img>\n"
+                 "  mithril_cli query <in.img> \"<query>\"\n"
+                 "  mithril_cli templates <in.log> [N]\n"
+                 "  mithril_cli stat <in.img>\n"
+                 "datasets: BGL2 Liberty2 Spirit2 Thunderbird\n");
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+int
+cmdGenerate(const std::string &dataset, const std::string &mb,
+            const std::string &path)
+{
+    loggen::LogGenerator gen(loggen::datasetByName(dataset));
+    uint64_t bytes = std::stoull(mb) << 20;
+    std::string text = gen.generate(bytes);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    out << text;
+    std::printf("wrote %s of %s-like logs to %s (%llu lines)\n",
+                humanBytes(static_cast<double>(text.size())).c_str(),
+                dataset.c_str(), path.c_str(),
+                static_cast<unsigned long long>(gen.linesEmitted()));
+    return 0;
+}
+
+int
+cmdIngest(const std::string &log_path, const std::string &img_path)
+{
+    std::string text;
+    if (!readFile(log_path, &text)) {
+        return 1;
+    }
+    core::MithriLog system;
+    WallTimer timer;
+    Status st = system.ingestText(text);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "ingest: %s\n", st.toString().c_str());
+        return 1;
+    }
+    st = system.saveImage(img_path);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "save: %s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("ingested %llu lines -> %llu pages (LZAH %.2fx) in "
+                "%.2fs; image at %s\n",
+                static_cast<unsigned long long>(system.lineCount()),
+                static_cast<unsigned long long>(system.dataPageCount()),
+                system.compressionRatio(), timer.seconds(),
+                img_path.c_str());
+    return 0;
+}
+
+int
+cmdQuery(const std::string &img_path, const std::string &query_text)
+{
+    core::MithriLog system;
+    Status st = system.loadImage(img_path);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "load: %s\n", st.toString().c_str());
+        return 1;
+    }
+    core::QueryResult r;
+    st = system.run(query_text, &r);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "query: %s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("%llu matches (%llu/%llu pages%s%s); modeled %.3f ms, "
+                "effective %s\n",
+                static_cast<unsigned long long>(r.matched_lines),
+                static_cast<unsigned long long>(r.pages_scanned),
+                static_cast<unsigned long long>(r.pages_total),
+                r.planned_full_scan ? ", planner: full scan" : "",
+                r.used_fallback ? ", software fallback" : "",
+                r.total_time.toSeconds() * 1e3,
+                humanBandwidth(r.effectiveThroughput(system.rawBytes()))
+                    .c_str());
+    for (size_t i = 0; i < r.lines.size() && i < 10; ++i) {
+        std::printf("%s\n", r.lines[i].text.c_str());
+    }
+    if (r.lines.size() > 10) {
+        std::printf("... and %zu more\n", r.lines.size() - 10);
+    }
+    return 0;
+}
+
+int
+cmdTemplates(const std::string &log_path, size_t show)
+{
+    std::string text;
+    if (!readFile(log_path, &text)) {
+        return 1;
+    }
+    templates::FtTree tree = templates::FtTree::build(text, {});
+    auto tpls = tree.extractTemplates();
+    std::printf("%zu templates (showing %zu):\n", tpls.size(),
+                std::min(show, tpls.size()));
+    for (size_t i = 0; i < tpls.size() && i < show; ++i) {
+        std::string joined;
+        for (const std::string &tok : tpls[i].tokens) {
+            joined += tok + " ";
+        }
+        std::printf("  %6llu  %s\n",
+                    static_cast<unsigned long long>(tpls[i].support),
+                    joined.c_str());
+    }
+    return 0;
+}
+
+int
+cmdStat(const std::string &img_path)
+{
+    core::MithriLog system;
+    Status st = system.loadImage(img_path);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "load: %s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("lines:            %llu\n",
+                static_cast<unsigned long long>(system.lineCount()));
+    std::printf("raw bytes:        %s\n",
+                humanBytes(static_cast<double>(system.rawBytes()))
+                    .c_str());
+    std::printf("data pages:       %llu\n",
+                static_cast<unsigned long long>(system.dataPageCount()));
+    std::printf("compression:      %.2fx\n", system.compressionRatio());
+    std::printf("device pages:     %llu\n",
+                static_cast<unsigned long long>(
+                    system.ssd().store().pageCount()));
+    std::printf("index memory:     %s\n",
+                humanBytes(static_cast<double>(
+                    system.index().memoryFootprint())).c_str());
+    std::printf("index snapshots:  %zu\n",
+                system.index().snapshots().size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    std::string cmd = argv[1];
+    if (cmd == "generate" && argc == 5) {
+        return cmdGenerate(argv[2], argv[3], argv[4]);
+    }
+    if (cmd == "ingest" && argc == 4) {
+        return cmdIngest(argv[2], argv[3]);
+    }
+    if (cmd == "query" && argc == 4) {
+        return cmdQuery(argv[2], argv[3]);
+    }
+    if (cmd == "templates" && (argc == 3 || argc == 4)) {
+        return cmdTemplates(argv[2],
+                            argc == 4 ? std::stoull(argv[3]) : 10);
+    }
+    if (cmd == "stat" && argc == 3) {
+        return cmdStat(argv[2]);
+    }
+    return usage();
+}

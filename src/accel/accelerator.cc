@@ -1,0 +1,118 @@
+#include "accel/accelerator.h"
+
+#include <algorithm>
+
+namespace mithril::accel {
+
+double
+AccelResult::usefulRatio() const
+{
+    if (tokenized_words == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(useful_token_bytes) /
+           static_cast<double>(tokenized_words * kDatapathBytes);
+}
+
+SimTime
+AccelResult::computeTime(double clock_hz) const
+{
+    return SimTime::cycles(cycles, clock_hz);
+}
+
+double
+AccelResult::filterThroughput(double clock_hz) const
+{
+    SimTime t = computeTime(clock_hz);
+    return throughputBps(decompressed_bytes, t);
+}
+
+Accelerator::Accelerator(AccelConfig config)
+    : config_(config), pipelines_(config.pipelines)
+{
+    MITHRIL_ASSERT(config.pipelines >= 1);
+}
+
+Status
+Accelerator::configure(std::span<const query::Query> queries)
+{
+    FilterProgram program;
+    MITHRIL_RETURN_IF_ERROR(compileQueries(queries, &program));
+    program_ = std::move(program);
+    query_count_ = queries.size();
+    programmed_ = true;
+    for (FilterPipeline &p : pipelines_) {
+        p.program(&program_);
+    }
+    return Status::ok();
+}
+
+Status
+Accelerator::configure(const query::Query &q)
+{
+    return configure(std::span(&q, 1));
+}
+
+void
+Accelerator::configureProgram(FilterProgram program)
+{
+    program_ = std::move(program);
+    query_count_ = 1;
+    // Owner ids in a prebuilt program may address several queries; use
+    // the largest owner index to size per-query accounting.
+    uint32_t max_owner = 0;
+    for (uint32_t s = 0; s < program_.active_sets; ++s) {
+        max_owner = std::max(max_owner, program_.set_owner[s]);
+    }
+    query_count_ = max_owner + 1;
+    programmed_ = true;
+    for (FilterPipeline &p : pipelines_) {
+        p.program(&program_);
+    }
+}
+
+Status
+Accelerator::process(std::span<const compress::ByteView> pages, Mode mode,
+                     AccelResult *out)
+{
+    *out = AccelResult{};
+    if (mode == Mode::kFilter && !programmed_) {
+        return Status::invalidArgument("accelerator not configured");
+    }
+
+    // Page-granular round-robin scatter across pipelines.
+    std::vector<std::vector<compress::ByteView>> shards(pipelines_.size());
+    for (size_t i = 0; i < pages.size(); ++i) {
+        shards[i % pipelines_.size()].push_back(pages[i]);
+    }
+
+    out->kept_per_query.assign(std::max<size_t>(query_count_, 1), 0);
+    for (size_t p = 0; p < pipelines_.size(); ++p) {
+        PipelineResult r;
+        MITHRIL_RETURN_IF_ERROR(pipelines_[p].process(
+            shards[p], mode, config_.keep_lines, config_.collect_masks,
+            &r));
+        out->line_masks.insert(out->line_masks.end(),
+                               r.line_masks.begin(),
+                               r.line_masks.end());
+        out->lines_in += r.lines_in;
+        out->lines_kept += r.lines_kept;
+        out->cycles = std::max(out->cycles, r.cycles);
+        out->decompressed_bytes += r.decompressed_bytes;
+        out->padded_bytes += r.padded_bytes;
+        out->tokenized_words += r.tokenized_words;
+        out->useful_token_bytes += r.useful_token_bytes;
+        for (size_t q = 0; q < out->kept_per_query.size() &&
+                           q < r.kept_per_query.size(); ++q) {
+            out->kept_per_query[q] += r.kept_per_query[q];
+        }
+        for (KeptLine &line : r.kept) {
+            out->kept.push_back(std::move(line));
+        }
+        out->text += r.text;
+        out->raw.insert(out->raw.end(), r.raw.begin(), r.raw.end());
+    }
+    return Status::ok();
+}
+
+} // namespace mithril::accel

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hardware datapath parameters of the MithriLog prototype.
+ *
+ * These constants pin down the structure the cycle-approximate emulation
+ * charges time against. They reproduce the paper's FPGA prototype
+ * (Sections 4, 7.2):
+ *
+ *  - 128-bit (16 B) datapath, chosen against the token-length statistics
+ *    of Figure 13;
+ *  - 8 tokenizers per pipeline, each ingesting 2 B/cycle (the
+ *    performance/resource sweet spot found in design-space exploration);
+ *  - 2 hash filter modules per pipeline, covering the ~2x padding
+ *    amplification of the tokenized stream;
+ *  - 256-row cuckoo tables with 8 flag pairs (8 concurrent intersection
+ *    sets);
+ *  - 4 pipelines at 200 MHz = 12.8 GB/s aggregate decompressed bound.
+ */
+#ifndef MITHRIL_ACCEL_DATAPATH_H
+#define MITHRIL_ACCEL_DATAPATH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mithril::accel {
+
+/** Datapath width in bytes (128-bit bus). */
+constexpr size_t kDatapathBytes = 16;
+
+/** Fabric clock of the prototype. */
+constexpr double kClockHz = 200e6;
+
+/** Tokenizers instantiated per filter pipeline. */
+constexpr size_t kTokenizersPerPipeline = 8;
+
+/** Bytes each tokenizer ingests per cycle. */
+constexpr size_t kTokenizerBytesPerCycle = 2;
+
+/** Hash filter modules per pipeline (padding-amplification headroom). */
+constexpr size_t kHashFiltersPerPipeline = 2;
+
+/** Cuckoo hash table rows (R); bitmaps are R bits wide. */
+constexpr size_t kTableRows = 256;
+
+/** Flag pairs per hash entry = concurrent intersection sets (N). */
+constexpr size_t kFlagPairs = 8;
+
+/** Overflow table capacity in 16-byte words (long-token storage). */
+constexpr size_t kOverflowWords = 128;
+
+/** Filter pipelines in the prototype (two per Virtex-7 board). */
+constexpr size_t kDefaultPipelines = 4;
+
+/** Words in an R-bit bitmap. */
+constexpr size_t kBitmapWords = kTableRows / 64;
+
+/** Number of words a token of @p len bytes occupies on the datapath. */
+constexpr uint64_t
+tokenWords(size_t len)
+{
+    return (len + kDatapathBytes - 1) / kDatapathBytes;
+}
+
+} // namespace mithril::accel
+
+#endif // MITHRIL_ACCEL_DATAPATH_H

@@ -1,0 +1,154 @@
+#include "accel/filter_pipeline.h"
+
+#include <algorithm>
+
+namespace mithril::accel {
+
+namespace {
+
+/**
+ * Splits the padded (line-aligned-word) decompressor output back into
+ * lines. The decompressor guarantees a word's bytes past a newline are
+ * padding, so a '\n' always terminates both a line and a word.
+ */
+void
+splitPaddedLines(std::span<const uint8_t> padded,
+                 std::vector<std::string> *lines)
+{
+    std::string current;
+    for (size_t off = 0; off + kDatapathBytes <= padded.size();
+         off += kDatapathBytes) {
+        const uint8_t *w = padded.data() + off;
+        size_t nl = kDatapathBytes;
+        for (size_t b = 0; b < kDatapathBytes; ++b) {
+            if (w[b] == '\n') {
+                nl = b;
+                break;
+            }
+        }
+        if (nl == kDatapathBytes) {
+            current.append(reinterpret_cast<const char *>(w),
+                           kDatapathBytes);
+        } else {
+            current.append(reinterpret_cast<const char *>(w), nl);
+            lines->push_back(std::move(current));
+            current.clear();
+        }
+    }
+    // Well-formed LZAH pages end every line; anything left over would
+    // indicate corruption, which lzahDecodePage already rejects.
+}
+
+} // namespace
+
+FilterPipeline::FilterPipeline()
+    : tokenizers_(kTokenizersPerPipeline)
+{
+    filters_.reserve(kHashFiltersPerPipeline);
+    for (size_t i = 0; i < kHashFiltersPerPipeline; ++i) {
+        filters_.emplace_back(nullptr);
+    }
+}
+
+void
+FilterPipeline::program(const FilterProgram *program)
+{
+    program_ = program;
+    filters_.clear();
+    for (size_t i = 0; i < kHashFiltersPerPipeline; ++i) {
+        filters_.emplace_back(program);
+    }
+}
+
+Status
+FilterPipeline::process(std::span<const compress::ByteView> pages,
+                        Mode mode, bool keep_lines, bool collect_masks,
+                        PipelineResult *out)
+{
+    *out = PipelineResult{};
+
+    if (mode == Mode::kRaw) {
+        // Raw forwarding: the page crosses the datapath one word per
+        // cycle with no processing.
+        for (const auto &page : pages) {
+            out->raw.insert(out->raw.end(), page.begin(), page.end());
+            out->cycles += (page.size() + kDatapathBytes - 1) /
+                           kDatapathBytes;
+        }
+        return Status::ok();
+    }
+
+    decompressor_.reset();
+    for (Tokenizer &t : tokenizers_) {
+        t.resetStats();
+    }
+    for (HashFilter &f : filters_) {
+        f.resetStats();
+    }
+
+    compress::Bytes padded;
+    for (const auto &page : pages) {
+        MITHRIL_RETURN_IF_ERROR(decompressor_.decodePage(page, &padded));
+    }
+    out->padded_bytes = padded.size();
+
+    std::vector<std::string> lines;
+    splitPaddedLines(padded, &lines);
+    for (const std::string &line : lines) {
+        out->decompressed_bytes += line.size() + 1;
+    }
+    out->lines_in = lines.size();
+
+    if (mode == Mode::kDecompress) {
+        out->text.reserve(out->decompressed_bytes);
+        for (const std::string &line : lines) {
+            out->text += line;
+            out->text += '\n';
+        }
+        out->cycles = decompressor_.cycles();
+        return Status::ok();
+    }
+
+    MITHRIL_ASSERT(program_ != nullptr);
+
+    // Scatter lines round-robin over the tokenizers; each group of
+    // (kTokenizersPerPipeline / kHashFiltersPerPipeline) tokenizers
+    // feeds one hash filter (Section 7.4.1).
+    constexpr size_t kGroup = kTokenizersPerPipeline /
+                              kHashFiltersPerPipeline;
+    out->kept_per_query.assign(64, 0);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        size_t t = i % kTokenizersPerPipeline;
+        TokenizedLine tokenized = tokenizers_[t].run(lines[i]);
+        uint64_t mask = filters_[t / kGroup].evaluate(tokenized);
+        if (collect_masks) {
+            out->line_masks.push_back(mask);
+        }
+        if (mask != 0) {
+            ++out->lines_kept;
+            for (size_t q = 0; q < 64; ++q) {
+                if (mask & (1ull << q)) {
+                    ++out->kept_per_query[q];
+                }
+            }
+            if (keep_lines) {
+                out->kept.push_back({lines[i], mask});
+            }
+        }
+    }
+
+    uint64_t tok_stage = 0;
+    for (const Tokenizer &t : tokenizers_) {
+        tok_stage = std::max(tok_stage, t.busyCycles());
+        out->tokenized_words += t.wordsEmitted();
+        out->useful_token_bytes += t.usefulBytes();
+    }
+    uint64_t filt_stage = 0;
+    for (const HashFilter &f : filters_) {
+        filt_stage = std::max(filt_stage, f.busyCycles());
+    }
+    out->cycles = std::max({decompressor_.cycles(), tok_stage, filt_stage});
+    return Status::ok();
+}
+
+} // namespace mithril::accel

@@ -1,0 +1,66 @@
+#include "accel/hash_filter.h"
+
+namespace mithril::accel {
+
+uint64_t
+HashFilter::evaluate(const TokenizedLine &line)
+{
+    // Line start: clear the per-set bitmaps and violation flags.
+    for (uint32_t s = 0; s < program_->active_sets; ++s) {
+        bitmaps_[s] = Bitmap{};
+        violated_[s] = false;
+    }
+
+    for (const TokenOut &tok : line.tokens) {
+        // The filter consumes every word of the token (multi-word
+        // tokens stream over multiple cycles, Figure 4).
+        busy_cycles_ += tokenWords(tok.text.size());
+
+        auto row = program_->table.lookup(tok.text, tok.column);
+        if (!row) {
+            continue;  // token of no interest to any query
+        }
+        const CuckooEntry &e = program_->table.entry(*row);
+        for (uint32_t s = 0; s < program_->active_sets; ++s) {
+            uint8_t bit = static_cast<uint8_t>(1u << s);
+            if (!(e.valid_mask & bit)) {
+                continue;  // not a member of this intersection set
+            }
+            if (e.negative_mask & bit) {
+                violated_[s] = true;
+            } else {
+                bitmaps_[s][*row / 64] |= 1ull << (*row % 64);
+            }
+        }
+    }
+    if (line.tokens.empty()) {
+        busy_cycles_ += 1;  // the end-of-line marker word
+    }
+
+    // End of line: exact bitmap match per set, negatives veto.
+    uint64_t accepted_queries = 0;
+    for (uint32_t s = 0; s < program_->active_sets; ++s) {
+        if (violated_[s]) {
+            continue;
+        }
+        if (bitmaps_[s] == program_->query_bitmaps[s]) {
+            accepted_queries |= 1ull << program_->set_owner[s];
+        }
+    }
+
+    ++lines_in_;
+    if (accepted_queries != 0) {
+        ++lines_kept_;
+    }
+    return accepted_queries;
+}
+
+void
+HashFilter::resetStats()
+{
+    busy_cycles_ = 0;
+    lines_in_ = 0;
+    lines_kept_ = 0;
+}
+
+} // namespace mithril::accel

@@ -1,0 +1,66 @@
+#include "accel/query_compiler.h"
+
+#include "common/text.h"
+
+namespace mithril::accel {
+
+Status
+compileQueries(std::span<const query::Query> queries, FilterProgram *out)
+{
+    *out = FilterProgram();
+
+    // Count intersection sets first: they map 1:1 onto flag pairs.
+    size_t total_sets = 0;
+    for (const query::Query &q : queries) {
+        MITHRIL_RETURN_IF_ERROR(q.validate());
+        total_sets += q.sets().size();
+    }
+    if (total_sets == 0) {
+        return Status::invalidArgument("no intersection sets to compile");
+    }
+    if (total_sets > kFlagPairs) {
+        return Status::capacityExceeded(strprintf(
+            "%zu intersection sets exceed %zu flag pairs",
+            total_sets, kFlagPairs));
+    }
+    if (queries.size() > 64) {
+        return Status::capacityExceeded("more than 64 batched queries");
+    }
+
+    uint32_t set_index = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+        for (const query::IntersectionSet &s : queries[qi].sets()) {
+            for (const query::Term &t : s.terms) {
+                MITHRIL_RETURN_IF_ERROR(
+                    out->table.insert(t.token, set_index, t.negated));
+            }
+            out->set_owner[set_index] = static_cast<uint32_t>(qi);
+            ++set_index;
+        }
+    }
+    out->active_sets = set_index;
+
+    // Rows are only final once every insertion (and eviction) is done,
+    // so the query bitmaps are derived by scanning the finished table.
+    for (uint32_t row = 0; row < out->table.rows(); ++row) {
+        const CuckooEntry &e = out->table.entry(row);
+        if (!e.occupied) {
+            continue;
+        }
+        for (uint32_t s = 0; s < out->active_sets; ++s) {
+            uint8_t bit = static_cast<uint8_t>(1u << s);
+            if ((e.valid_mask & bit) && !(e.negative_mask & bit)) {
+                out->query_bitmaps[s][row / 64] |= 1ull << (row % 64);
+            }
+        }
+    }
+    return Status::ok();
+}
+
+Status
+compileQuery(const query::Query &q, FilterProgram *out)
+{
+    return compileQueries(std::span(&q, 1), out);
+}
+
+} // namespace mithril::accel

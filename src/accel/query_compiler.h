@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Compiles union-of-intersections queries into accelerator programs.
+ *
+ * This is the host-side step of Section 3's flow: before issuing page
+ * reads, software encodes the query terms into a cuckoo hash table and
+ * derives the per-set query bitmaps. Compilation can fail — too many
+ * intersection sets for the N flag pairs, a cuckoo eviction cycle, or a
+ * full overflow table — in which case the caller falls back to the
+ * software matcher (Section 4.2.1).
+ *
+ * Multiple queries are batched into one program by assigning their
+ * intersection sets to distinct flag pairs and recording ownership, so
+ * one pass over the data evaluates all of them concurrently.
+ */
+#ifndef MITHRIL_ACCEL_QUERY_COMPILER_H
+#define MITHRIL_ACCEL_QUERY_COMPILER_H
+
+#include <span>
+
+#include "accel/hash_filter.h"
+#include "query/query.h"
+
+namespace mithril::accel {
+
+/**
+ * Compiles a batch of queries into one FilterProgram.
+ *
+ * @retval kCapacityExceeded more intersection sets than flag pairs, a
+ *                           cuckoo insertion failure, or overflow-table
+ *                           exhaustion
+ * @retval kInvalidArgument  a query fails Query::validate()
+ */
+Status compileQueries(std::span<const query::Query> queries,
+                      FilterProgram *out);
+
+/** Convenience wrapper for a single query. */
+Status compileQuery(const query::Query &q, FilterProgram *out);
+
+} // namespace mithril::accel
+
+#endif // MITHRIL_ACCEL_QUERY_COMPILER_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tokenizer module emulation (Section 4.1, Figure 4).
+ *
+ * A hardware tokenizer ingests log text at 2 bytes/cycle and emits a
+ * stream of tokens aligned to the 16-byte datapath, each word tagged
+ * with last-of-token and last-of-line flags; short tokens are zero
+ * padded, which amplifies the tokenized stream relative to the raw text
+ * (the Figure 13 "useful bits" statistic).
+ *
+ * The emulation produces the same token stream functionally and charges
+ * cycles structurally:
+ *
+ *     cycles(line) = max( ceil(line_bytes / 2),   // ingest bound
+ *                         words_emitted )         // emit bound
+ *
+ * It also reports the padding statistics that drive the pipeline-level
+ * throughput model and the Figure 13 reproduction.
+ */
+#ifndef MITHRIL_ACCEL_TOKENIZER_H
+#define MITHRIL_ACCEL_TOKENIZER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "accel/datapath.h"
+
+namespace mithril::accel {
+
+/** One emitted token (datapath words are implied by its length). */
+struct TokenOut {
+    std::string_view text;   ///< token bytes (view into the line)
+    uint16_t column;         ///< token position in the line (prefix ext.)
+    bool last_of_line;       ///< set on the line's final token
+};
+
+/** Result of tokenizing one line. */
+struct TokenizedLine {
+    std::vector<TokenOut> tokens;
+    uint64_t ingest_cycles = 0;  ///< padded line bytes / 2
+    uint64_t emit_words = 0;     ///< datapath words emitted (padded)
+    uint64_t useful_bytes = 0;   ///< sum of token lengths (no padding)
+};
+
+/**
+ * Tokenizer emulation; stateless apart from accumulated statistics.
+ */
+class Tokenizer
+{
+  public:
+    /**
+     * Tokenizes @p line (without trailing newline).
+     * Views in the result point into @p line.
+     */
+    TokenizedLine run(std::string_view line);
+
+    /** Cycles this tokenizer has spent (max of ingest/emit per line). */
+    uint64_t busyCycles() const { return busy_cycles_; }
+
+    /** Total datapath words emitted. */
+    uint64_t wordsEmitted() const { return words_emitted_; }
+
+    /** Total useful (non-padding) bytes across emitted words. */
+    uint64_t usefulBytes() const { return useful_bytes_; }
+
+    /** Fraction of useful bits in the tokenized stream (Figure 13). */
+    double usefulRatio() const;
+
+    void resetStats();
+
+  private:
+    uint64_t busy_cycles_ = 0;
+    uint64_t words_emitted_ = 0;
+    uint64_t useful_bytes_ = 0;
+};
+
+} // namespace mithril::accel
+
+#endif // MITHRIL_ACCEL_TOKENIZER_H

@@ -1,0 +1,80 @@
+#include "baseline/grep_scan.h"
+
+#include <array>
+
+#include "common/text.h"
+#include "common/wall_timer.h"
+
+namespace mithril::baseline {
+
+namespace {
+
+/** Boyer–Moore–Horspool bad-character table. */
+std::array<size_t, 256>
+buildSkip(std::string_view pattern)
+{
+    std::array<size_t, 256> skip;
+    skip.fill(pattern.size());
+    for (size_t i = 0; i + 1 < pattern.size(); ++i) {
+        skip[static_cast<uint8_t>(pattern[i])] = pattern.size() - 1 - i;
+    }
+    return skip;
+}
+
+} // namespace
+
+GrepResult
+grepCount(std::string_view text, std::string_view pattern)
+{
+    WallTimer timer;
+    GrepResult result;
+    result.scanned_bytes = text.size();
+    if (pattern.empty()) {
+        result.elapsed_seconds = timer.seconds();
+        return result;
+    }
+
+    auto skip = buildSkip(pattern);
+    size_t m = pattern.size();
+    size_t pos = 0;
+    while (pos + m <= text.size()) {
+        if (text.compare(pos, m, pattern) == 0) {
+            ++result.matched_lines;
+            // Jump to the next line: grep counts a line once.
+            size_t nl = text.find('\n', pos);
+            if (nl == std::string_view::npos) {
+                break;
+            }
+            pos = nl + 1;
+        } else {
+            pos += skip[static_cast<uint8_t>(text[pos + m - 1])];
+        }
+    }
+    result.elapsed_seconds = timer.seconds();
+    return result;
+}
+
+GrepResult
+grepTokenCount(std::string_view text, std::string_view pattern)
+{
+    WallTimer timer;
+    GrepResult result;
+    result.scanned_bytes = text.size();
+    forEachLine(text, [&](std::string_view line) {
+        bool hit = false;
+        forEachToken(line, [&](std::string_view tok, uint32_t) {
+            if (tok == pattern) {
+                hit = true;
+                return false;
+            }
+            return true;
+        });
+        if (hit) {
+            ++result.matched_lines;
+        }
+    });
+    result.elapsed_seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mithril::baseline

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * GrepScan — the naive substring-scan baseline.
+ *
+ * The paper mentions experimenting with grep before settling on MonetDB
+ * as the strongest software scan baseline. GrepScan reproduces grep's
+ * essence: a line-wise substring search over the raw (uncompressed)
+ * text, with Boyer–Moore–Horspool skipping for single patterns. It
+ * anchors the slow end of the software comparison and doubles as a
+ * sanity oracle in tests (substring semantics differ from token
+ * semantics — tests exercise exactly that difference).
+ */
+#ifndef MITHRIL_BASELINE_GREP_SCAN_H
+#define MITHRIL_BASELINE_GREP_SCAN_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mithril::baseline {
+
+/** Result of a grep-style scan. */
+struct GrepResult {
+    uint64_t matched_lines = 0;
+    uint64_t scanned_bytes = 0;
+    double elapsed_seconds = 0;
+};
+
+/**
+ * Counts lines of @p text containing @p pattern as a substring
+ * (Boyer–Moore–Horspool).
+ */
+GrepResult grepCount(std::string_view text, std::string_view pattern);
+
+/** Lines of @p text containing @p pattern as a whole token. */
+GrepResult grepTokenCount(std::string_view text, std::string_view pattern);
+
+} // namespace mithril::baseline
+
+#endif // MITHRIL_BASELINE_GREP_SCAN_H

@@ -1,0 +1,317 @@
+#include "baseline/scan_db.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/text.h"
+#include "common/wall_timer.h"
+
+namespace mithril::baseline {
+
+namespace {
+
+/** LEB128-style varint append. */
+void
+putVarint(std::vector<uint8_t> &out, uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** Varint read; caller guarantees a terminated stream. */
+uint32_t
+getVarint(const uint8_t *data, size_t size, size_t *pos)
+{
+    uint32_t v = 0;
+    int shift = 0;
+    while (*pos < size) {
+        uint8_t b = data[(*pos)++];
+        v |= static_cast<uint32_t>(b & 0x7f) << shift;
+        if (!(b & 0x80)) {
+            break;
+        }
+        shift += 7;
+    }
+    return v;
+}
+
+/**
+ * Integer-domain matcher: the SoftwareMatcher semantics over token
+ * ids. One hash probe per line token is replaced by one flat-map
+ * probe on a 32-bit id.
+ */
+class IdMatcher
+{
+  public:
+    IdMatcher(const query::Query &q,
+              const std::unordered_map<std::string, uint32_t> &dict)
+    {
+        const auto &sets = q.sets();
+        set_offset_.resize(sets.size());
+        set_words_.resize(sets.size());
+        set_impossible_.assign(sets.size(), 0);
+        size_t total_words = 0;
+
+        for (size_t i = 0; i < sets.size(); ++i) {
+            uint32_t slot = 0;
+            std::unordered_map<uint32_t, bool> seen;  // id -> negated
+            for (const query::Term &t : sets[i].terms) {
+                auto it = dict.find(t.token);
+                if (it == dict.end()) {
+                    if (!t.negated) {
+                        // Required token never occurs anywhere: the
+                        // set is unsatisfiable; negated-absent terms
+                        // are trivially satisfied.
+                        set_impossible_[i] = true;
+                    }
+                    continue;
+                }
+                // Duplicate terms within a set map to one slot.
+                if (!seen.emplace(it->second, t.negated).second) {
+                    continue;
+                }
+                Occurrence occ;
+                occ.set = static_cast<uint32_t>(i);
+                occ.negated = t.negated;
+                occ.slot = t.negated ? 0 : slot;
+                if (!t.negated) {
+                    ++slot;
+                }
+                by_id_[it->second].push_back(occ);
+            }
+            set_words_[i] = (slot + 63) / 64;
+            set_offset_[i] = total_words;
+            total_words += set_words_[i];
+            needed_counts_.push_back(slot);
+        }
+        needed_.assign(total_words, 0);
+        for (size_t i = 0; i < sets.size(); ++i) {
+            for (uint32_t s = 0; s < needed_counts_[i]; ++s) {
+                needed_[set_offset_[i] + s / 64] |= 1ull << (s % 64);
+            }
+        }
+        found_.resize(total_words);
+        violated_.resize(sets.size());
+    }
+
+    /** Feeds one line's token ids (terminated externally). */
+    bool
+    matchesLine(const std::vector<uint32_t> &ids)
+    {
+        std::fill(found_.begin(), found_.end(), 0);
+        std::fill(violated_.begin(), violated_.end(), 0);
+        for (uint32_t id : ids) {
+            auto it = by_id_.find(id);
+            if (it == by_id_.end()) {
+                continue;
+            }
+            for (const Occurrence &occ : it->second) {
+                if (occ.negated) {
+                    violated_[occ.set] = 1;
+                } else {
+                    found_[set_offset_[occ.set] + occ.slot / 64] |=
+                        1ull << (occ.slot % 64);
+                }
+            }
+        }
+        for (size_t i = 0; i < violated_.size(); ++i) {
+            if (violated_[i] || set_impossible_[i]) {
+                continue;
+            }
+            bool all = true;
+            for (size_t w = 0; w < set_words_[i]; ++w) {
+                if (found_[set_offset_[i] + w] !=
+                    needed_[set_offset_[i] + w]) {
+                    all = false;
+                    break;
+                }
+            }
+            if (all) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    struct Occurrence {
+        uint32_t set;
+        uint32_t slot;
+        bool negated;
+    };
+
+    std::unordered_map<uint32_t, std::vector<Occurrence>> by_id_;
+    std::vector<size_t> set_offset_;
+    std::vector<size_t> set_words_;
+    std::vector<uint32_t> needed_counts_;
+    std::vector<uint64_t> needed_;
+    std::vector<uint8_t> set_impossible_;
+    std::vector<uint64_t> found_;
+    std::vector<uint8_t> violated_;
+};
+
+} // namespace
+
+void
+ScanDb::ingest(std::string_view text)
+{
+    if (mode_ == ScanDbMode::kCompressedText) {
+        std::string block_text;
+        uint32_t block_lines = 0;
+        auto seal = [&]() {
+            if (block_lines == 0) {
+                return;
+            }
+            Block b;
+            b.compressed = codec_.compress(compress::asBytes(block_text));
+            b.lines = block_lines;
+            b.raw_size = static_cast<uint32_t>(block_text.size());
+            compressed_bytes_ += b.compressed.size();
+            blocks_.push_back(std::move(b));
+            block_text.clear();
+            block_lines = 0;
+        };
+        forEachLine(text, [&](std::string_view line) {
+            block_text += line;
+            block_text += '\n';
+            ++block_lines;
+            ++line_count_;
+            raw_bytes_ += line.size() + 1;
+            if (block_lines >= kBlockLines) {
+                seal();
+            }
+        });
+        seal();
+        return;
+    }
+
+    // Dictionary mode: one global dictionary, blocks of varint ids.
+    std::vector<uint8_t> ids;
+    uint32_t block_lines = 0;
+    uint32_t block_raw = 0;
+    auto seal = [&]() {
+        if (block_lines == 0) {
+            return;
+        }
+        Block b;
+        b.compressed = std::move(ids);
+        b.lines = block_lines;
+        b.raw_size = block_raw;
+        compressed_bytes_ += b.compressed.size();
+        blocks_.push_back(std::move(b));
+        ids = {};
+        block_lines = 0;
+        block_raw = 0;
+    };
+    forEachLine(text, [&](std::string_view line) {
+        forEachToken(line, [&](std::string_view tok, uint32_t) {
+            auto [it, inserted] = dictionary_.try_emplace(
+                std::string(tok),
+                static_cast<uint32_t>(dictionary_.size() + 1));
+            putVarint(ids, it->second);
+            return true;
+        });
+        putVarint(ids, 0);  // end-of-line marker
+        ++block_lines;
+        ++line_count_;
+        raw_bytes_ += line.size() + 1;
+        block_raw += static_cast<uint32_t>(line.size() + 1);
+        if (block_lines >= kBlockLines) {
+            seal();
+        }
+    });
+    seal();
+}
+
+ScanResult
+ScanDb::runQuery(const query::Query &q) const
+{
+    return runBatch(std::span(&q, 1));
+}
+
+ScanResult
+ScanDb::runBatch(std::span<const query::Query> queries) const
+{
+    return mode_ == ScanDbMode::kCompressedText
+        ? runTextBatch(queries)
+        : runDictionaryBatch(queries);
+}
+
+ScanResult
+ScanDb::runTextBatch(std::span<const query::Query> queries) const
+{
+    WallTimer timer;
+    ScanResult result;
+
+    std::vector<query::SoftwareMatcher> matchers;
+    matchers.reserve(queries.size());
+    for (const query::Query &q : queries) {
+        matchers.emplace_back(q);
+    }
+
+    compress::Bytes scratch;
+    for (const Block &block : blocks_) {
+        scratch.clear();
+        Status st = codec_.decompress(block.compressed, &scratch);
+        MITHRIL_ASSERT(st.isOk());
+        std::string_view text(
+            reinterpret_cast<const char *>(scratch.data()),
+            scratch.size());
+        forEachLine(text, [&](std::string_view line) {
+            ++result.scanned_lines;
+            for (const query::SoftwareMatcher &m : matchers) {
+                if (m.matches(line)) {
+                    ++result.matched_lines;
+                }
+            }
+        });
+        result.scanned_bytes += block.raw_size;
+    }
+
+    result.elapsed_seconds = timer.seconds();
+    return result;
+}
+
+ScanResult
+ScanDb::runDictionaryBatch(std::span<const query::Query> queries) const
+{
+    WallTimer timer;
+    ScanResult result;
+
+    std::vector<IdMatcher> matchers;
+    matchers.reserve(queries.size());
+    for (const query::Query &q : queries) {
+        matchers.emplace_back(q, dictionary_);
+    }
+
+    std::vector<uint32_t> line_ids;
+    for (const Block &block : blocks_) {
+        size_t pos = 0;
+        const uint8_t *data = block.compressed.data();
+        size_t size = block.compressed.size();
+        line_ids.clear();
+        while (pos < size) {
+            uint32_t id = getVarint(data, size, &pos);
+            if (id != 0) {
+                line_ids.push_back(id);
+                continue;
+            }
+            ++result.scanned_lines;
+            for (IdMatcher &m : matchers) {
+                if (m.matchesLine(line_ids)) {
+                    ++result.matched_lines;
+                }
+            }
+            line_ids.clear();
+        }
+        result.scanned_bytes += block.raw_size;
+    }
+
+    result.elapsed_seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mithril::baseline

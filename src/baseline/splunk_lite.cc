@@ -1,0 +1,139 @@
+#include "baseline/splunk_lite.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/status.h"
+#include "common/text.h"
+#include "common/wall_timer.h"
+#include "query/matcher.h"
+
+namespace mithril::baseline {
+
+void
+SplunkLite::ingest(std::string_view text)
+{
+    std::string bucket_text;
+    uint32_t bucket_lines = 0;
+    std::set<std::string, std::less<>> bucket_tokens;
+
+    auto seal = [&]() {
+        if (bucket_lines == 0) {
+            return;
+        }
+        uint32_t id = static_cast<uint32_t>(buckets_.size());
+        Bucket b;
+        b.compressed = codec_.compress(compress::asBytes(bucket_text));
+        b.raw_size = static_cast<uint32_t>(bucket_text.size());
+        buckets_.push_back(std::move(b));
+        for (const std::string &tok : bucket_tokens) {
+            postings_[tok].push_back(id);
+        }
+        bucket_text.clear();
+        bucket_lines = 0;
+        bucket_tokens.clear();
+    };
+
+    forEachLine(text, [&](std::string_view line) {
+        bucket_text += line;
+        bucket_text += '\n';
+        ++bucket_lines;
+        ++line_count_;
+        raw_bytes_ += line.size() + 1;
+        forEachToken(line, [&](std::string_view tok, uint32_t) {
+            if (!bucket_tokens.count(tok)) {
+                bucket_tokens.emplace(tok);
+            }
+            return true;
+        });
+        if (bucket_lines >= kBucketLines) {
+            seal();
+        }
+    });
+    seal();
+}
+
+uint64_t
+SplunkLite::indexBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[tok, list] : postings_) {
+        total += tok.size() + list.size() * sizeof(uint32_t);
+    }
+    return total;
+}
+
+std::vector<uint32_t>
+SplunkLite::candidateBuckets(const query::IntersectionSet &set) const
+{
+    std::vector<uint32_t> result;
+    bool first = true;
+    for (const query::Term &t : set.terms) {
+        if (t.negated) {
+            continue;  // the index cannot prune on absence
+        }
+        auto it = postings_.find(t.token);
+        if (it == postings_.end()) {
+            return {};  // a required token never occurs
+        }
+        if (first) {
+            result = it->second;
+            first = false;
+        } else {
+            std::vector<uint32_t> merged;
+            std::set_intersection(result.begin(), result.end(),
+                                  it->second.begin(), it->second.end(),
+                                  std::back_inserter(merged));
+            result = std::move(merged);
+        }
+        if (result.empty()) {
+            return {};
+        }
+    }
+    if (first) {
+        // Pure-negative set: every bucket is a candidate.
+        result.resize(buckets_.size());
+        std::iota(result.begin(), result.end(), 0);
+    }
+    return result;
+}
+
+IndexedResult
+SplunkLite::runQuery(const query::Query &q) const
+{
+    WallTimer timer;
+    IndexedResult result;
+    result.buckets_total = buckets_.size();
+
+    // Plan: union of per-set candidate bucket lists.
+    std::set<uint32_t> candidates;
+    for (const query::IntersectionSet &set : q.sets()) {
+        for (uint32_t b : candidateBuckets(set)) {
+            candidates.insert(b);
+        }
+    }
+
+    query::SoftwareMatcher matcher(q);
+    compress::Bytes scratch;
+    for (uint32_t b : candidates) {
+        scratch.clear();
+        Status st = codec_.decompress(buckets_[b].compressed, &scratch);
+        MITHRIL_ASSERT(st.isOk());
+        std::string_view text(
+            reinterpret_cast<const char *>(scratch.data()),
+            scratch.size());
+        forEachLine(text, [&](std::string_view line) {
+            if (matcher.matches(line)) {
+                ++result.matched_lines;
+            }
+        });
+        ++result.buckets_scanned;
+        result.scanned_bytes += buckets_[b].raw_size;
+    }
+
+    result.elapsed_seconds = timer.seconds();
+    return result;
+}
+
+} // namespace mithril::baseline

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SplunkLite — the Splunk-like indexed comparison system (Section 7.5).
+ *
+ * Reproduces the structure of the paper's end-to-end software baseline:
+ * raw events stored in compressed buckets, an inverted index from token
+ * to bucket posting lists, and single-threaded query execution (the
+ * paper notes each Splunk search runs on one thread and divides
+ * measured times by the hyper-thread count to be generous — benches do
+ * that division, not this class).
+ *
+ * Query planning mirrors what inverted indices can and cannot do:
+ * positive terms intersect posting lists to prune buckets; negative
+ * terms prune nothing, so negative-heavy queries degrade to large scans
+ * — the cluster of slow Splunk points on the left edge of Figure 16.
+ */
+#ifndef MITHRIL_BASELINE_SPLUNK_LITE_H
+#define MITHRIL_BASELINE_SPLUNK_LITE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/lzrw1.h"
+#include "query/query.h"
+
+namespace mithril::baseline {
+
+/** Result of one indexed query. */
+struct IndexedResult {
+    uint64_t matched_lines = 0;
+    uint64_t buckets_scanned = 0;
+    uint64_t buckets_total = 0;
+    uint64_t scanned_bytes = 0;
+    double elapsed_seconds = 0;  ///< single-thread wall time
+};
+
+/** Indexed, single-thread-per-query log search engine. */
+class SplunkLite
+{
+  public:
+    /** Lines per storage bucket. */
+    static constexpr size_t kBucketLines = 1024;
+
+    SplunkLite() = default;
+
+    /** Ingests newline-separated text: buckets + inverted index. */
+    void ingest(std::string_view text);
+
+    uint64_t lineCount() const { return line_count_; }
+    uint64_t rawBytes() const { return raw_bytes_; }
+    uint64_t indexBytes() const;
+
+    /** Runs one query through index planning + residual scan. */
+    IndexedResult runQuery(const query::Query &q) const;
+
+  private:
+    struct Bucket {
+        std::vector<uint8_t> compressed;
+        uint32_t raw_size;
+    };
+
+    /** Buckets possibly containing a line of @p set. */
+    std::vector<uint32_t>
+    candidateBuckets(const query::IntersectionSet &set) const;
+
+    compress::Lzrw1 codec_;
+    std::vector<Bucket> buckets_;
+    std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+    uint64_t line_count_ = 0;
+    uint64_t raw_bytes_ = 0;
+};
+
+} // namespace mithril::baseline
+
+#endif // MITHRIL_BASELINE_SPLUNK_LITE_H

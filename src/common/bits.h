@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Bit- and byte-level utilities shared by the compression codecs and the
+ * accelerator emulation: alignment helpers, little-endian scalar I/O, and
+ * LSB-first bit stream reader/writer (used by MiniDeflate and by LZAH's
+ * chunk headers).
+ */
+#ifndef MITHRIL_COMMON_BITS_H
+#define MITHRIL_COMMON_BITS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mithril {
+
+/** Rounds @p v up to the next multiple of @p align (power of two). */
+constexpr size_t
+alignUp(size_t v, size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True when @p v is a multiple of @p align (power of two). */
+constexpr bool
+isAligned(size_t v, size_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Appends a little-endian scalar to a byte vector. */
+template <typename T>
+inline void
+putLe(std::vector<uint8_t> &out, T value)
+{
+    size_t pos = out.size();
+    out.resize(pos + sizeof(T));
+    std::memcpy(out.data() + pos, &value, sizeof(T));
+}
+
+/** Reads a little-endian scalar; caller guarantees bounds. */
+template <typename T>
+inline T
+getLe(const uint8_t *p)
+{
+    T value;
+    std::memcpy(&value, p, sizeof(T));
+    return value;
+}
+
+/**
+ * LSB-first bit writer appending to an owned byte buffer.
+ *
+ * Matches DEFLATE's bit order: the first bit written occupies the least
+ * significant bit of the first byte.
+ */
+class BitWriter
+{
+  public:
+    BitWriter() = default;
+
+    /** Writes the low @p nbits bits of @p value (nbits <= 57). */
+    void
+    write(uint64_t value, int nbits)
+    {
+        MITHRIL_ASSERT(nbits >= 0 && nbits <= 57);
+        acc_ |= (value & ((nbits == 64 ? ~0ull : (1ull << nbits) - 1)))
+                << accBits_;
+        accBits_ += nbits;
+        while (accBits_ >= 8) {
+            bytes_.push_back(static_cast<uint8_t>(acc_));
+            acc_ >>= 8;
+            accBits_ -= 8;
+        }
+    }
+
+    /** Pads with zero bits to the next byte boundary. */
+    void
+    alignByte()
+    {
+        if (accBits_ > 0) {
+            bytes_.push_back(static_cast<uint8_t>(acc_));
+            acc_ = 0;
+            accBits_ = 0;
+        }
+    }
+
+    /** Total bits written so far. */
+    size_t bitCount() const { return bytes_.size() * 8 + accBits_; }
+
+    /** Flushes and returns the byte buffer (writer becomes empty). */
+    std::vector<uint8_t>
+    take()
+    {
+        alignByte();
+        std::vector<uint8_t> out;
+        out.swap(bytes_);
+        return out;
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t acc_ = 0;
+    int accBits_ = 0;
+};
+
+/** LSB-first bit reader over a borrowed byte buffer. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    /** Reads @p nbits bits (nbits <= 57); returns false past the end. */
+    bool
+    read(int nbits, uint64_t *value)
+    {
+        MITHRIL_ASSERT(nbits >= 0 && nbits <= 57);
+        while (accBits_ < nbits) {
+            if (pos_ >= len_) {
+                return false;
+            }
+            acc_ |= static_cast<uint64_t>(data_[pos_++]) << accBits_;
+            accBits_ += 8;
+        }
+        *value = acc_ & ((nbits == 64 ? ~0ull : (1ull << nbits) - 1));
+        acc_ >>= nbits;
+        accBits_ -= nbits;
+        return true;
+    }
+
+    /** Discards buffered bits so the next read starts byte-aligned. */
+    void
+    alignByte()
+    {
+        acc_ = 0;
+        accBits_ = 0;
+    }
+
+    /** Byte offset of the next unbuffered byte. */
+    size_t bytePos() const { return pos_; }
+
+    /** True when all bytes are consumed and no bits remain buffered. */
+    bool exhausted() const { return pos_ >= len_ && accBits_ == 0; }
+
+  private:
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+    uint64_t acc_ = 0;
+    int accBits_ = 0;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_BITS_H

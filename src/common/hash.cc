@@ -1,0 +1,49 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace mithril {
+
+namespace {
+
+/** Loads up to 8 little-endian bytes without reading past the buffer. */
+uint64_t
+loadTail(const uint8_t *p, size_t len)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < len; ++i) {
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    return v;
+}
+
+} // namespace
+
+uint64_t
+hash64(const void *data, size_t len, uint64_t seed)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = mix64(seed ^ (0x51afb3c1903ce4d7ull + len));
+
+    while (len >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        h = mix64(h ^ w) * 0x9ddfea08eb382d69ull;
+        p += 8;
+        len -= 8;
+    }
+    if (len > 0) {
+        h = mix64(h ^ loadTail(p, len)) * 0xc6a4a7935bd1e995ull;
+    }
+    return mix64(h);
+}
+
+HashPair::HashPair(uint32_t rows, uint64_t seed0, uint64_t seed1)
+    : rows_(rows), mask_(rows - 1), seed0_(seed0), seed1_(seed1)
+{
+    MITHRIL_ASSERT(rows >= 2 && (rows & (rows - 1)) == 0);
+}
+
+} // namespace mithril

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every randomized component in this repository (log synthesis, query
+ * combination sampling, property tests) draws from this generator with an
+ * explicit seed, so all benchmarks and tests are reproducible bit-for-bit.
+ * The generator is xoshiro256** (public-domain construction), implemented
+ * here directly.
+ */
+#ifndef MITHRIL_COMMON_RNG_H
+#define MITHRIL_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace mithril {
+
+/** xoshiro256** deterministic random number generator. */
+class Rng
+{
+  public:
+    /** Seeds the four state words via splitmix64 expansion of @p seed. */
+    explicit Rng(uint64_t seed = 0x12345678u)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x = mix64(x + 0x9e3779b97f4a7c15ull);
+            word = x;
+        }
+        // xoshiro requires a nonzero state; mix64 of distinct inputs makes
+        // all-zero astronomically unlikely, but guard anyway.
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+            state_[0] = 1;
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        MITHRIL_ASSERT(bound > 0);
+        // Multiply-shift rejection-free mapping (bias < 2^-64 per call,
+        // irrelevant at our sample counts).
+        __uint128_t wide = static_cast<__uint128_t>(next()) * bound;
+        return static_cast<uint64_t>(wide >> 64);
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        MITHRIL_ASSERT(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Power-law skewed pick in [0, n): favors small indices.
+     *  Larger @p bias concentrates more mass near zero. */
+    uint64_t
+    skewedBelow(uint64_t n, double bias = 2.0)
+    {
+        MITHRIL_ASSERT(n > 0);
+        double v = std::pow(uniform(), bias);
+        auto idx = static_cast<uint64_t>(v * static_cast<double>(n));
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_RNG_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Modeled-time bookkeeping for the hardware and storage models.
+ *
+ * MithriLog's accelerator numbers are *modeled*: the software emulation
+ * counts datapath cycles and storage byte/command traffic, and this header
+ * converts those counts into seconds at the platform parameters the paper
+ * reports (200 MHz fabric clock, GB/s-class links). Picosecond integer
+ * resolution keeps arithmetic exact for any realistic run length.
+ */
+#ifndef MITHRIL_COMMON_SIMTIME_H
+#define MITHRIL_COMMON_SIMTIME_H
+
+#include <cstdint>
+
+namespace mithril {
+
+/** Modeled time in integer picoseconds. */
+class SimTime
+{
+  public:
+    constexpr SimTime() : ps_(0) {}
+
+    static constexpr SimTime
+    picoseconds(uint64_t ps)
+    {
+        return SimTime(ps);
+    }
+
+    static constexpr SimTime
+    nanoseconds(double ns)
+    {
+        return SimTime(static_cast<uint64_t>(ns * 1e3));
+    }
+
+    static constexpr SimTime
+    microseconds(double us)
+    {
+        return SimTime(static_cast<uint64_t>(us * 1e6));
+    }
+
+    static constexpr SimTime
+    seconds(double s)
+    {
+        return SimTime(static_cast<uint64_t>(s * 1e12));
+    }
+
+    /** Time for @p cycles at @p hz clock frequency. */
+    static constexpr SimTime
+    cycles(uint64_t cycles, double hz)
+    {
+        return SimTime(static_cast<uint64_t>(
+            static_cast<double>(cycles) * 1e12 / hz));
+    }
+
+    /** Time to move @p bytes at @p bytes_per_second. */
+    static constexpr SimTime
+    transfer(uint64_t bytes, double bytes_per_second)
+    {
+        return SimTime(static_cast<uint64_t>(
+            static_cast<double>(bytes) * 1e12 / bytes_per_second));
+    }
+
+    constexpr uint64_t ps() const { return ps_; }
+    constexpr double toSeconds() const { return ps_ * 1e-12; }
+    constexpr double toMicroseconds() const { return ps_ * 1e-6; }
+
+    constexpr SimTime
+    operator+(SimTime other) const
+    {
+        return SimTime(ps_ + other.ps_);
+    }
+
+    SimTime &
+    operator+=(SimTime other)
+    {
+        ps_ += other.ps_;
+        return *this;
+    }
+
+    constexpr bool operator==(const SimTime &) const = default;
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    /** max(a, b): overlap of two pipelined activities. */
+    static constexpr SimTime
+    max(SimTime a, SimTime b)
+    {
+        return a.ps_ > b.ps_ ? a : b;
+    }
+
+  private:
+    explicit constexpr SimTime(uint64_t ps) : ps_(ps) {}
+
+    uint64_t ps_;
+};
+
+/** Effective throughput in bytes/second for @p bytes over @p elapsed. */
+inline double
+throughputBps(uint64_t bytes, SimTime elapsed)
+{
+    double s = elapsed.toSeconds();
+    return s > 0 ? static_cast<double>(bytes) / s : 0.0;
+}
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kGB = 1e9;
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_SIMTIME_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Statistics collection: named counters and simple distribution trackers
+ * used by the device models and the benchmark harness (e.g. the Figure 15
+ * effective-throughput histograms).
+ */
+#ifndef MITHRIL_COMMON_STATS_H
+#define MITHRIL_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mithril {
+
+/**
+ * Running summary of a scalar sample stream (count/min/max/mean).
+ */
+class Distribution
+{
+  public:
+    void record(double value);
+
+    uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over explicit bin edges.
+ *
+ * Mirrors the paper's Figure 15 presentation, whose x-axis is non-linear:
+ * callers provide the bucket boundaries directly.
+ */
+class Histogram
+{
+  public:
+    /** @param edges ascending bucket upper bounds; a final +inf bucket is
+     *  implied. */
+    explicit Histogram(std::vector<double> edges);
+
+    void record(double value);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+    uint64_t total() const { return total_; }
+
+    /** Label like "[lo, hi)" for bucket @p i. */
+    std::string bucketLabel(size_t i) const;
+
+    /** Renders an ASCII bar chart, one line per bucket. */
+    std::string render(size_t bar_width = 40) const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Registry of named monotonically increasing counters.
+ *
+ * Device models expose one of these so tests can assert on modeled
+ * behaviour (pages read, commands issued, stall cycles, ...).
+ */
+class StatSet
+{
+  public:
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    uint64_t get(const std::string &name) const;
+
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    void clear() { counters_.clear(); }
+
+    /** Multi-line "name value" dump, sorted by name. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_STATS_H

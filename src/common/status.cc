@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace mithril {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kCorruptData: return "CORRUPT_DATA";
+      case StatusCode::kUnsupported: return "UNSUPPORTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk()) {
+        return "OK";
+    }
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+namespace detail {
+
+void
+assertFail(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "MITHRIL_ASSERT failed: %s at %s:%d\n",
+                 expr, file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace mithril

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock timing for the measured (software baseline) side of the
+ * evaluation. MithriLog accelerator numbers are modeled (SimTime);
+ * baseline numbers are real elapsed time on the host, and the two are
+ * kept in clearly distinct types so a bench cannot mix them silently.
+ */
+#ifndef MITHRIL_COMMON_WALL_TIMER_H
+#define MITHRIL_COMMON_WALL_TIMER_H
+
+#include <chrono>
+
+namespace mithril {
+
+/** Monotonic stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    /** Seconds since construction or the last reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_WALL_TIMER_H

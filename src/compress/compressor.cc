@@ -1,0 +1,30 @@
+#include "compress/compressor.h"
+
+#include "compress/lz4like.h"
+#include "compress/lzah.h"
+#include "compress/lzrw1.h"
+#include "compress/minideflate.h"
+
+namespace mithril::compress {
+
+double
+compressionRatio(size_t original, size_t compressed)
+{
+    if (compressed == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(original) / static_cast<double>(compressed);
+}
+
+std::vector<std::unique_ptr<Compressor>>
+allCompressors()
+{
+    std::vector<std::unique_ptr<Compressor>> out;
+    out.push_back(std::make_unique<Lzah>());
+    out.push_back(std::make_unique<Lzrw1>());
+    out.push_back(std::make_unique<Lz4Like>());
+    out.push_back(std::make_unique<MiniDeflate>());
+    return out;
+}
+
+} // namespace mithril::compress

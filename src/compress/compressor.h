@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Common interface for the block compressors compared in Tables 4 and 5.
+ *
+ * Four codecs are implemented from scratch in this directory:
+ *   - Lzah        the paper's hardware-optimized log codec (Section 5);
+ *   - Lzrw1       Williams' LZRW1, the algorithm LZAH derives from;
+ *   - Lz4Like     an LZ4-format-style fast byte LZ, standing in for LZ4;
+ *   - MiniDeflate LZ77 + canonical Huffman, standing in for gzip/DEFLATE.
+ *
+ * All codecs implement whole-buffer compress/decompress for the ratio
+ * comparison (Table 5). Lzah additionally provides the page-aligned
+ * framing the storage pipeline uses (see lzah.h).
+ */
+#ifndef MITHRIL_COMPRESS_COMPRESSOR_H
+#define MITHRIL_COMPRESS_COMPRESSOR_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mithril::compress {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+
+/** Abstract block compressor. */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    /** Codec name as printed in benchmark tables ("LZAH", "LZ4", ...). */
+    virtual std::string name() const = 0;
+
+    /** Compresses @p input into a self-contained buffer. */
+    virtual Bytes compress(ByteView input) const = 0;
+
+    /**
+     * Decompresses a buffer produced by compress().
+     * Returns kCorruptData if the framing fails validation.
+     */
+    virtual Status decompress(ByteView input, Bytes *output) const = 0;
+};
+
+/** Compression ratio original/compressed (> 1 means it shrank). */
+double compressionRatio(size_t original, size_t compressed);
+
+/** Instantiates every codec for comparison benches, LZAH first. */
+std::vector<std::unique_ptr<Compressor>> allCompressors();
+
+/** Converts a string to a ByteView without copying. */
+inline ByteView
+asBytes(std::string_view s)
+{
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
+} // namespace mithril::compress
+
+#endif // MITHRIL_COMPRESS_COMPRESSOR_H

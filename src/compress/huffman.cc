@@ -1,0 +1,182 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace mithril::compress {
+
+namespace {
+
+/** Unlimited Huffman lengths via pairing heap of (weight, node). */
+std::vector<uint8_t>
+unlimitedLengths(const std::vector<uint64_t> &freqs)
+{
+    size_t n = freqs.size();
+    struct Node {
+        uint64_t weight;
+        int left = -1, right = -1;
+        int symbol = -1;
+    };
+    std::vector<Node> nodes;
+    using Entry = std::pair<uint64_t, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+    for (size_t s = 0; s < n; ++s) {
+        if (freqs[s] > 0) {
+            nodes.push_back({freqs[s], -1, -1, static_cast<int>(s)});
+            heap.emplace(freqs[s], static_cast<int>(nodes.size() - 1));
+        }
+    }
+    std::vector<uint8_t> lengths(n, 0);
+    if (heap.empty()) {
+        return lengths;
+    }
+    if (heap.size() == 1) {
+        // A single used symbol still needs one bit on the wire.
+        lengths[nodes[0].symbol] = 1;
+        return lengths;
+    }
+    while (heap.size() > 1) {
+        auto [wa, a] = heap.top();
+        heap.pop();
+        auto [wb, b] = heap.top();
+        heap.pop();
+        nodes.push_back({wa + wb, a, b, -1});
+        heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+    }
+    // Depth-first traversal assigning depths.
+    std::vector<std::pair<int, uint8_t>> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const Node &node = nodes[idx];
+        if (node.symbol >= 0) {
+            lengths[node.symbol] = std::max<uint8_t>(depth, 1);
+        } else {
+            stack.emplace_back(node.left, depth + 1);
+            stack.emplace_back(node.right, depth + 1);
+        }
+    }
+    return lengths;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+huffmanCodeLengths(const std::vector<uint64_t> &freqs)
+{
+    std::vector<uint64_t> scaled = freqs;
+    while (true) {
+        std::vector<uint8_t> lengths = unlimitedLengths(scaled);
+        uint8_t max_len = 0;
+        for (uint8_t l : lengths) {
+            max_len = std::max(max_len, l);
+        }
+        if (max_len <= kMaxCodeBits) {
+            return lengths;
+        }
+        // Flatten the distribution and retry; preserves the used-symbol
+        // set (nonzero stays nonzero).
+        for (uint64_t &f : scaled) {
+            if (f > 0) {
+                f = (f + 1) / 2;
+            }
+        }
+    }
+}
+
+std::vector<uint32_t>
+canonicalCodes(const std::vector<uint8_t> &lengths)
+{
+    uint16_t count[kMaxCodeBits + 2] = {};
+    for (uint8_t l : lengths) {
+        MITHRIL_ASSERT(l <= kMaxCodeBits);
+        if (l > 0) {
+            ++count[l];
+        }
+    }
+    uint32_t next[kMaxCodeBits + 2] = {};
+    uint32_t code = 0;
+    for (int l = 1; l <= kMaxCodeBits; ++l) {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    std::vector<uint32_t> codes(lengths.size(), 0);
+    for (size_t s = 0; s < lengths.size(); ++s) {
+        uint8_t l = lengths[s];
+        if (l == 0) {
+            continue;
+        }
+        uint32_t c = next[l]++;
+        // Bit-reverse for LSB-first emission.
+        uint32_t rev = 0;
+        for (int b = 0; b < l; ++b) {
+            rev = (rev << 1) | ((c >> b) & 1);
+        }
+        codes[s] = rev;
+    }
+    return codes;
+}
+
+Status
+HuffmanDecoder::init(const std::vector<uint8_t> &lengths)
+{
+    std::fill(std::begin(count_), std::end(count_), 0);
+    symbols_.clear();
+    for (uint8_t l : lengths) {
+        if (l > kMaxCodeBits) {
+            return Status::corruptData("Huffman length out of range");
+        }
+        if (l > 0) {
+            ++count_[l];
+        }
+    }
+    // Kraft check: sum 2^-l must not exceed 1 (equality for complete).
+    uint64_t kraft = 0;
+    for (int l = 1; l <= kMaxCodeBits; ++l) {
+        kraft += static_cast<uint64_t>(count_[l])
+                 << (kMaxCodeBits - l);
+    }
+    if (kraft > (1ull << kMaxCodeBits)) {
+        return Status::corruptData("Huffman lengths oversubscribed");
+    }
+
+    uint32_t code = 0;
+    uint32_t index = 0;
+    for (int l = 1; l <= kMaxCodeBits; ++l) {
+        code = (code + count_[l - 1]) << 1;
+        first_code_[l] = code;
+        first_index_[l] = index;
+        index += count_[l];
+    }
+    symbols_.resize(index);
+    uint32_t fill[kMaxCodeBits + 2];
+    std::copy(std::begin(first_index_), std::end(first_index_), fill);
+    for (size_t s = 0; s < lengths.size(); ++s) {
+        if (lengths[s] > 0) {
+            symbols_[fill[lengths[s]]++] = static_cast<uint32_t>(s);
+        }
+    }
+    return Status::ok();
+}
+
+Status
+HuffmanDecoder::decode(BitReader *reader, uint32_t *symbol) const
+{
+    uint32_t code = 0;
+    for (int l = 1; l <= kMaxCodeBits; ++l) {
+        uint64_t bit;
+        if (!reader->read(1, &bit)) {
+            return Status::corruptData("Huffman stream truncated");
+        }
+        code = (code << 1) | static_cast<uint32_t>(bit);
+        if (count_[l] > 0 && code < first_code_[l] + count_[l] &&
+            code >= first_code_[l]) {
+            *symbol = symbols_[first_index_[l] + (code - first_code_[l])];
+            return Status::ok();
+        }
+    }
+    return Status::corruptData("Huffman code not found");
+}
+
+} // namespace mithril::compress

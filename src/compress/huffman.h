@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Canonical Huffman coding, the entropy stage of MiniDeflate.
+ *
+ * Implements length-limited Huffman code construction (max 15 bits, as
+ * in DEFLATE), canonical code assignment in symbol order, and a
+ * bit-serial canonical decoder. Kept independent of the LZ77 stage so it
+ * can be unit- and property-tested on its own.
+ */
+#ifndef MITHRIL_COMPRESS_HUFFMAN_H
+#define MITHRIL_COMPRESS_HUFFMAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+
+namespace mithril::compress {
+
+/** Maximum code length (DEFLATE's limit). */
+constexpr int kMaxCodeBits = 15;
+
+/**
+ * Computes length-limited Huffman code lengths for @p freqs.
+ *
+ * Symbols with zero frequency get length 0. If the optimal tree exceeds
+ * kMaxCodeBits, frequencies are repeatedly halved (floor, min 1) until
+ * it fits — a standard simple limiting strategy whose loss is negligible
+ * at our alphabet sizes.
+ *
+ * @return per-symbol code lengths (same size as @p freqs).
+ */
+std::vector<uint8_t> huffmanCodeLengths(const std::vector<uint64_t> &freqs);
+
+/**
+ * Assigns canonical codes from lengths (shorter codes first; ties by
+ * symbol order), DEFLATE-compatible. Codes are returned bit-reversed
+ * ready for LSB-first emission.
+ *
+ * @return per-symbol codes; meaningful only where length > 0.
+ */
+std::vector<uint32_t> canonicalCodes(const std::vector<uint8_t> &lengths);
+
+/**
+ * Canonical Huffman decoder over an LSB-first bit stream.
+ */
+class HuffmanDecoder
+{
+  public:
+    /** Builds decoding state from canonical code lengths.
+     *  Returns kCorruptData if the lengths are not a prefix code. */
+    Status init(const std::vector<uint8_t> &lengths);
+
+    /** Decodes one symbol; kCorruptData on invalid stream. */
+    Status decode(BitReader *reader, uint32_t *symbol) const;
+
+  private:
+    // first_code_[l] / first_index_[l]: canonical decode tables.
+    uint32_t first_code_[kMaxCodeBits + 2] = {};
+    uint32_t first_index_[kMaxCodeBits + 2] = {};
+    uint16_t count_[kMaxCodeBits + 2] = {};
+    std::vector<uint32_t> symbols_;  // in canonical order
+};
+
+} // namespace mithril::compress
+
+#endif // MITHRIL_COMPRESS_HUFFMAN_H

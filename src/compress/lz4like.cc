@@ -1,0 +1,170 @@
+#include "compress/lz4like.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace mithril::compress {
+
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashEntries = 1u << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+
+inline uint32_t
+hash4(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** Emits a 255-saturating extended length (LZ4 style). */
+void
+putExtLength(Bytes &out, size_t extra)
+{
+    while (extra >= 255) {
+        out.push_back(255);
+        extra -= 255;
+    }
+    out.push_back(static_cast<uint8_t>(extra));
+}
+
+/** Reads a 255-saturating extended length; false on truncation. */
+bool
+getExtLength(ByteView in, size_t *pos, size_t *len)
+{
+    while (true) {
+        if (*pos >= in.size()) {
+            return false;
+        }
+        uint8_t b = in[(*pos)++];
+        *len += b;
+        if (b != 255) {
+            return true;
+        }
+    }
+}
+
+/** Emits one sequence: literals then (unless final) a match. */
+void
+emitSequence(Bytes &out, const uint8_t *lit, size_t lit_len,
+             size_t offset, size_t match_len)
+{
+    bool has_match = match_len > 0;
+    size_t ml_code = has_match ? match_len - kMinMatch : 0;
+    uint8_t token =
+        static_cast<uint8_t>(std::min<size_t>(lit_len, 15) << 4) |
+        static_cast<uint8_t>(std::min<size_t>(ml_code, 15));
+    out.push_back(token);
+    if (lit_len >= 15) {
+        putExtLength(out, lit_len - 15);
+    }
+    out.insert(out.end(), lit, lit + lit_len);
+    if (has_match) {
+        putLe<uint16_t>(out, static_cast<uint16_t>(offset));
+        if (ml_code >= 15) {
+            putExtLength(out, ml_code - 15);
+        }
+    }
+}
+
+} // namespace
+
+Bytes
+Lz4Like::compress(ByteView input) const
+{
+    Bytes out;
+    putLe<uint64_t>(out, input.size());
+
+    const uint8_t *base = input.data();
+    size_t n = input.size();
+    std::vector<size_t> table(kHashEntries, ~size_t{0});
+
+    size_t pos = 0;
+    size_t lit_start = 0;
+    while (pos + kMinMatch <= n) {
+        uint32_t h = hash4(base + pos);
+        size_t cand = table[h];
+        table[h] = pos;
+        if (cand != ~size_t{0} && pos - cand <= kMaxOffset &&
+            std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+            size_t len = kMinMatch;
+            while (pos + len < n && base[cand + len] == base[pos + len]) {
+                ++len;
+            }
+            emitSequence(out, base + lit_start, pos - lit_start,
+                         pos - cand, len);
+            // Insert a couple of positions inside the match so long runs
+            // stay discoverable (mirrors LZ4's skip-ahead behaviour).
+            if (pos + len + kMinMatch <= n) {
+                table[hash4(base + pos + len - 2)] = pos + len - 2;
+            }
+            pos += len;
+            lit_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+    // Final literals-only sequence.
+    emitSequence(out, base + lit_start, n - lit_start, 0, 0);
+    return out;
+}
+
+Status
+Lz4Like::decompress(ByteView input, Bytes *output) const
+{
+    if (input.size() < 8) {
+        return Status::corruptData("LZ4 frame truncated");
+    }
+    uint64_t original_size = getLe<uint64_t>(input.data());
+    size_t pos = 8;
+    Bytes out;
+    out.reserve(original_size);
+
+    while (true) {
+        if (pos >= input.size()) {
+            return Status::corruptData("LZ4 token truncated");
+        }
+        uint8_t token = input[pos++];
+        size_t lit_len = token >> 4;
+        if (lit_len == 15 && !getExtLength(input, &pos, &lit_len)) {
+            return Status::corruptData("LZ4 literal length truncated");
+        }
+        if (pos + lit_len > input.size()) {
+            return Status::corruptData("LZ4 literals truncated");
+        }
+        out.insert(out.end(), input.begin() + pos,
+                   input.begin() + pos + lit_len);
+        pos += lit_len;
+        if (out.size() >= original_size) {
+            break;  // final sequence has no match part
+        }
+        if (pos + 2 > input.size()) {
+            return Status::corruptData("LZ4 offset truncated");
+        }
+        size_t offset = getLe<uint16_t>(input.data() + pos);
+        pos += 2;
+        size_t match_len = token & 0x0f;
+        if (match_len == 15 && !getExtLength(input, &pos, &match_len)) {
+            return Status::corruptData("LZ4 match length truncated");
+        }
+        match_len += kMinMatch;
+        if (offset == 0 || offset > out.size()) {
+            return Status::corruptData("LZ4 offset out of range");
+        }
+        size_t from = out.size() - offset;
+        for (size_t i = 0; i < match_len; ++i) {
+            out.push_back(out[from + i]);
+        }
+    }
+    if (out.size() != original_size) {
+        return Status::corruptData("LZ4 decoded size mismatch");
+    }
+    output->insert(output->end(), out.begin(), out.end());
+    return Status::ok();
+}
+
+} // namespace mithril::compress

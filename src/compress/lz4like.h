@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Lz4Like — an LZ4-format-style fast byte LZ codec.
+ *
+ * Stands in for LZ4 in the Table 4/5 comparisons (no external LZ4
+ * dependency is allowed in this repository). The sequence format follows
+ * LZ4's block layout: a token byte with 4-bit literal/match length
+ * fields, 255-saturating length extension bytes, raw literals, and a
+ * 16-bit little-endian match offset; minimum match length 4, maximum
+ * offset 65535. Matching uses a single-probe hash table like LZ4's fast
+ * level, so both the ratio and the relative speed class are
+ * representative of the real codec.
+ */
+#ifndef MITHRIL_COMPRESS_LZ4LIKE_H
+#define MITHRIL_COMPRESS_LZ4LIKE_H
+
+#include "compress/compressor.h"
+
+namespace mithril::compress {
+
+/** LZ4-block-format-style codec. */
+class Lz4Like : public Compressor
+{
+  public:
+    std::string name() const override { return "LZ4"; }
+    Bytes compress(ByteView input) const override;
+    Status decompress(ByteView input, Bytes *output) const override;
+};
+
+} // namespace mithril::compress
+
+#endif // MITHRIL_COMPRESS_LZ4LIKE_H

@@ -1,0 +1,136 @@
+#include "compress/lzrw1.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace mithril::compress {
+
+namespace {
+
+constexpr size_t kHashBits = 12;
+constexpr size_t kHashEntries = 1u << kHashBits;   // 4096
+constexpr size_t kMaxOffset = 4095;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;
+constexpr size_t kGroupItems = 16;
+
+/** Hash of the 3 bytes at @p p (LZRW1's multiplicative hash family). */
+inline uint32_t
+hash3(const uint8_t *p)
+{
+    uint32_t v = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16);
+    return (v * 40543u) >> (24 - kHashBits) & (kHashEntries - 1);
+}
+
+} // namespace
+
+Bytes
+Lzrw1::compress(ByteView input) const
+{
+    Bytes out;
+    putLe<uint64_t>(out, input.size());
+
+    const uint8_t *base = input.data();
+    size_t n = input.size();
+    // Candidate positions; ~0 means empty. Offsets are validated on use,
+    // so stale entries are harmless.
+    std::vector<size_t> table(kHashEntries, ~size_t{0});
+
+    size_t pos = 0;
+    while (pos < n) {
+        // One group: control word placeholder, then up to 16 items.
+        size_t control_at = out.size();
+        putLe<uint16_t>(out, 0);
+        uint16_t control = 0;
+
+        for (size_t item = 0; item < kGroupItems && pos < n; ++item) {
+            size_t match_len = 0;
+            size_t match_pos = 0;
+            if (pos + kMinMatch <= n) {
+                uint32_t h = hash3(base + pos);
+                size_t cand = table[h];
+                table[h] = pos;
+                if (cand != ~size_t{0} && cand < pos &&
+                    pos - cand <= kMaxOffset) {
+                    size_t limit = std::min(kMaxMatch, n - pos);
+                    size_t len = 0;
+                    while (len < limit && base[cand + len] == base[pos + len]) {
+                        ++len;
+                    }
+                    if (len >= kMinMatch) {
+                        match_len = len;
+                        match_pos = cand;
+                    }
+                }
+            }
+            if (match_len > 0) {
+                control |= static_cast<uint16_t>(1u << item);
+                size_t offset = pos - match_pos;
+                // 16-bit item: llll oooo oooo oooo (length-3, offset).
+                uint16_t encoded = static_cast<uint16_t>(
+                    ((match_len - kMinMatch) << 12) | offset);
+                putLe<uint16_t>(out, encoded);
+                pos += match_len;
+            } else {
+                out.push_back(base[pos]);
+                ++pos;
+            }
+        }
+        std::memcpy(out.data() + control_at, &control, 2);
+    }
+    return out;
+}
+
+Status
+Lzrw1::decompress(ByteView input, Bytes *output) const
+{
+    if (input.size() < 8) {
+        return Status::corruptData("LZRW1 frame truncated");
+    }
+    uint64_t original_size = getLe<uint64_t>(input.data());
+    size_t pos = 8;
+    Bytes out;
+    out.reserve(original_size);
+
+    while (out.size() < original_size) {
+        if (pos + 2 > input.size()) {
+            return Status::corruptData("LZRW1 control word truncated");
+        }
+        uint16_t control = getLe<uint16_t>(input.data() + pos);
+        pos += 2;
+        for (size_t item = 0;
+             item < kGroupItems && out.size() < original_size; ++item) {
+            if (control & (1u << item)) {
+                if (pos + 2 > input.size()) {
+                    return Status::corruptData("LZRW1 copy item truncated");
+                }
+                uint16_t encoded = getLe<uint16_t>(input.data() + pos);
+                pos += 2;
+                size_t len = (encoded >> 12) + kMinMatch;
+                size_t offset = encoded & 0x0fff;
+                if (offset == 0 || offset > out.size()) {
+                    return Status::corruptData("LZRW1 offset out of range");
+                }
+                size_t from = out.size() - offset;
+                for (size_t i = 0; i < len; ++i) {
+                    out.push_back(out[from + i]);  // may self-overlap
+                }
+            } else {
+                if (pos >= input.size()) {
+                    return Status::corruptData("LZRW1 literal truncated");
+                }
+                out.push_back(input[pos++]);
+            }
+        }
+    }
+    if (out.size() != original_size) {
+        return Status::corruptData("LZRW1 decoded size mismatch");
+    }
+    output->insert(output->end(), out.begin(), out.end());
+    return Status::ok();
+}
+
+} // namespace mithril::compress

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * LZRW1 (Williams, DCC 1991) — the algorithm LZAH derives from.
+ *
+ * Byte-granular LZ77 variant tuned for speed: a 4096-entry hash table of
+ * 3-byte prefixes provides one match candidate per position; items are
+ * grouped 16 to a control word. A copy item encodes a 12-bit offset
+ * (1..4095) and a 4-bit length (3..18); a literal item is one byte.
+ *
+ * Implemented from scratch following the published algorithm. Used as a
+ * baseline in Tables 4 and 5, and as the reference point for what LZAH's
+ * word alignment trades away.
+ */
+#ifndef MITHRIL_COMPRESS_LZRW1_H
+#define MITHRIL_COMPRESS_LZRW1_H
+
+#include "compress/compressor.h"
+
+namespace mithril::compress {
+
+/** LZRW1 codec. */
+class Lzrw1 : public Compressor
+{
+  public:
+    std::string name() const override { return "LZRW1"; }
+    Bytes compress(ByteView input) const override;
+    Status decompress(ByteView input, Bytes *output) const override;
+};
+
+} // namespace mithril::compress
+
+#endif // MITHRIL_COMPRESS_LZRW1_H

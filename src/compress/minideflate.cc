@@ -1,0 +1,343 @@
+#include "compress/minideflate.h"
+
+#include <cstring>
+
+#include "compress/huffman.h"
+
+namespace mithril::compress {
+
+namespace {
+
+constexpr size_t kWindow = 32768;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 258;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashEntries = 1u << kHashBits;
+constexpr int kMaxChain = 48;
+constexpr size_t kBlockSymbols = 1u << 16;
+
+constexpr size_t kLitLenSymbols = 286;  // 0..255 lit, 256 EOB, 257..285
+constexpr size_t kDistSymbols = 30;
+constexpr uint32_t kEob = 256;
+
+// DEFLATE length code table: base length and extra bits for 257..285.
+constexpr uint16_t kLenBase[29] = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr uint8_t kLenExtra[29] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// DEFLATE distance code table: base distance and extra bits for 0..29.
+constexpr uint32_t kDistBase[30] = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+    8193, 12289, 16385, 24577};
+constexpr uint8_t kDistExtra[30] = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+/** Length (3..258) -> length code index (0..28). */
+int
+lengthCode(size_t len)
+{
+    for (int c = 28; c >= 0; --c) {
+        if (len >= kLenBase[c]) {
+            return c;
+        }
+    }
+    return 0;
+}
+
+/** Distance (1..32768) -> distance code (0..29). */
+int
+distanceCode(size_t dist)
+{
+    for (int c = 29; c >= 0; --c) {
+        if (dist >= kDistBase[c]) {
+            return c;
+        }
+    }
+    return 0;
+}
+
+inline uint32_t
+hash3(const uint8_t *p)
+{
+    uint32_t v = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** One LZ77 output item. */
+struct Item {
+    bool is_match;
+    uint8_t literal;
+    uint32_t length;
+    uint32_t distance;
+};
+
+/** Hash-chain match finder over the whole input. */
+class MatchFinder
+{
+  public:
+    explicit MatchFinder(ByteView input)
+        : base_(input.data()), n_(input.size()),
+          head_(kHashEntries, kNone), prev_(input.size(), kNone) {}
+
+    /** Best match at @p pos (length 0 when none of length >= 3). */
+    void
+    find(size_t pos, size_t *best_len, size_t *best_dist) const
+    {
+        *best_len = 0;
+        *best_dist = 0;
+        if (pos + kMinMatch > n_) {
+            return;
+        }
+        size_t limit = std::min(kMaxMatch, n_ - pos);
+        size_t cand = head_[hash3(base_ + pos)];
+        int chain = kMaxChain;
+        while (cand != kNone && chain-- > 0) {
+            if (pos - cand > kWindow) {
+                break;
+            }
+            // Quick reject on the byte one past the current best.
+            if (*best_len == 0 ||
+                base_[cand + *best_len] == base_[pos + *best_len]) {
+                size_t len = 0;
+                while (len < limit && base_[cand + len] == base_[pos + len]) {
+                    ++len;
+                }
+                if (len > *best_len) {
+                    *best_len = len;
+                    *best_dist = pos - cand;
+                    if (len == limit) {
+                        break;
+                    }
+                }
+            }
+            cand = prev_[cand];
+        }
+        if (*best_len < kMinMatch) {
+            *best_len = 0;
+            *best_dist = 0;
+        }
+    }
+
+    /** Registers position @p pos in the chains. */
+    void
+    insert(size_t pos)
+    {
+        if (pos + kMinMatch > n_) {
+            return;
+        }
+        uint32_t h = hash3(base_ + pos);
+        prev_[pos] = head_[h];
+        head_[h] = pos;
+    }
+
+  private:
+    static constexpr size_t kNone = ~size_t{0};
+
+    const uint8_t *base_;
+    size_t n_;
+    std::vector<size_t> head_;
+    std::vector<size_t> prev_;
+};
+
+/** Writes one Huffman-coded block of items. */
+void
+writeBlock(BitWriter *writer, const std::vector<Item> &items)
+{
+    std::vector<uint64_t> lit_freq(kLitLenSymbols, 0);
+    std::vector<uint64_t> dist_freq(kDistSymbols, 0);
+    lit_freq[kEob] = 1;
+    for (const Item &item : items) {
+        if (item.is_match) {
+            ++lit_freq[257 + lengthCode(item.length)];
+            ++dist_freq[distanceCode(item.distance)];
+        } else {
+            ++lit_freq[item.literal];
+        }
+    }
+    std::vector<uint8_t> lit_lens = huffmanCodeLengths(lit_freq);
+    std::vector<uint8_t> dist_lens = huffmanCodeLengths(dist_freq);
+    std::vector<uint32_t> lit_codes = canonicalCodes(lit_lens);
+    std::vector<uint32_t> dist_codes = canonicalCodes(dist_lens);
+
+    // Block header: symbol count, then raw 4-bit code lengths.
+    writer->write(items.size(), 32);
+    for (uint8_t l : lit_lens) {
+        writer->write(l, 4);
+    }
+    for (uint8_t l : dist_lens) {
+        writer->write(l, 4);
+    }
+
+    for (const Item &item : items) {
+        if (item.is_match) {
+            int lc = lengthCode(item.length);
+            writer->write(lit_codes[257 + lc], lit_lens[257 + lc]);
+            writer->write(item.length - kLenBase[lc], kLenExtra[lc]);
+            int dc = distanceCode(item.distance);
+            writer->write(dist_codes[dc], dist_lens[dc]);
+            writer->write(item.distance - kDistBase[dc], kDistExtra[dc]);
+        } else {
+            writer->write(lit_codes[item.literal], lit_lens[item.literal]);
+        }
+    }
+    writer->write(lit_codes[kEob], lit_lens[kEob]);
+}
+
+} // namespace
+
+Bytes
+MiniDeflate::compress(ByteView input) const
+{
+    // Code lengths of 4 bits in the raw header cap at 15 = kMaxCodeBits,
+    // which huffmanCodeLengths guarantees.
+    static_assert(kMaxCodeBits == 15);
+
+    MatchFinder finder(input);
+    BitWriter writer;
+    writer.write(input.size(), 48);  // original size (up to 256 TB)
+
+    std::vector<Item> items;
+    items.reserve(kBlockSymbols);
+
+    size_t pos = 0;
+    size_t n = input.size();
+    while (pos < n) {
+        size_t len, dist;
+        finder.find(pos, &len, &dist);
+        // One-step lazy matching: prefer a longer match at pos+1.
+        if (len > 0 && len < kMaxMatch && pos + 1 < n) {
+            size_t len1, dist1;
+            finder.insert(pos);
+            finder.find(pos + 1, &len1, &dist1);
+            if (len1 > len + 1) {
+                items.push_back({false, input[pos], 0, 0});
+                ++pos;
+                len = len1;
+                dist = dist1;
+            }
+            // pos already inserted either way.
+            if (len >= kMinMatch) {
+                items.push_back({true, 0, static_cast<uint32_t>(len),
+                                 static_cast<uint32_t>(dist)});
+                for (size_t i = 1; i < len; ++i) {
+                    finder.insert(pos + i);
+                }
+                pos += len;
+            } else {
+                items.push_back({false, input[pos], 0, 0});
+                ++pos;
+            }
+        } else if (len >= kMinMatch) {
+            items.push_back({true, 0, static_cast<uint32_t>(len),
+                             static_cast<uint32_t>(dist)});
+            for (size_t i = 0; i < len; ++i) {
+                finder.insert(pos + i);
+            }
+            pos += len;
+        } else {
+            items.push_back({false, input[pos], 0, 0});
+            finder.insert(pos);
+            ++pos;
+        }
+        if (items.size() >= kBlockSymbols) {
+            writeBlock(&writer, items);
+            items.clear();
+        }
+    }
+    if (!items.empty() || n == 0) {
+        writeBlock(&writer, items);
+    }
+    return writer.take();
+}
+
+Status
+MiniDeflate::decompress(ByteView input, Bytes *output) const
+{
+    BitReader reader(input.data(), input.size());
+    uint64_t original_size;
+    if (!reader.read(48, &original_size)) {
+        return Status::corruptData("deflate frame truncated");
+    }
+    Bytes out;
+    out.reserve(original_size);
+
+    while (out.size() < original_size) {
+        uint64_t symbol_count;
+        if (!reader.read(32, &symbol_count)) {
+            return Status::corruptData("deflate block header truncated");
+        }
+        std::vector<uint8_t> lit_lens(kLitLenSymbols);
+        std::vector<uint8_t> dist_lens(kDistSymbols);
+        for (auto &l : lit_lens) {
+            uint64_t v;
+            if (!reader.read(4, &v)) {
+                return Status::corruptData("deflate code lengths truncated");
+            }
+            l = static_cast<uint8_t>(v);
+        }
+        for (auto &l : dist_lens) {
+            uint64_t v;
+            if (!reader.read(4, &v)) {
+                return Status::corruptData("deflate code lengths truncated");
+            }
+            l = static_cast<uint8_t>(v);
+        }
+        HuffmanDecoder lit_dec, dist_dec;
+        MITHRIL_RETURN_IF_ERROR(lit_dec.init(lit_lens));
+        MITHRIL_RETURN_IF_ERROR(dist_dec.init(dist_lens));
+
+        while (true) {
+            uint32_t sym;
+            MITHRIL_RETURN_IF_ERROR(lit_dec.decode(&reader, &sym));
+            if (sym == kEob) {
+                break;
+            }
+            if (sym < 256) {
+                out.push_back(static_cast<uint8_t>(sym));
+                continue;
+            }
+            if (sym >= kLitLenSymbols) {
+                return Status::corruptData("deflate bad litlen symbol");
+            }
+            int lc = static_cast<int>(sym - 257);
+            uint64_t extra;
+            if (!reader.read(kLenExtra[lc], &extra)) {
+                return Status::corruptData("deflate length bits truncated");
+            }
+            size_t len = kLenBase[lc] + extra;
+            uint32_t dsym;
+            MITHRIL_RETURN_IF_ERROR(dist_dec.decode(&reader, &dsym));
+            if (dsym >= kDistSymbols) {
+                return Status::corruptData("deflate bad dist symbol");
+            }
+            if (!reader.read(kDistExtra[dsym], &extra)) {
+                return Status::corruptData("deflate dist bits truncated");
+            }
+            size_t dist = kDistBase[dsym] + extra;
+            if (dist > out.size()) {
+                return Status::corruptData("deflate distance out of range");
+            }
+            size_t from = out.size() - dist;
+            for (size_t i = 0; i < len; ++i) {
+                out.push_back(out[from + i]);
+            }
+        }
+        if (original_size == 0) {
+            break;  // the single empty block
+        }
+    }
+    if (out.size() != original_size) {
+        return Status::corruptData("deflate decoded size mismatch");
+    }
+    output->insert(output->end(), out.begin(), out.end());
+    return Status::ok();
+}
+
+} // namespace mithril::compress

@@ -1,0 +1,484 @@
+#include "core/mithrilog.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bits.h"
+#include "common/text.h"
+#include "query/matcher.h"
+#include "query/parser.h"
+
+namespace mithril::core {
+
+using storage::Link;
+using storage::PageId;
+
+MithriLog::MithriLog(MithriLogConfig config)
+    : config_(config), ssd_(config.ssd),
+      index_(std::make_unique<index::InvertedIndex>(&ssd_, config.index)),
+      accel_(config.accel)
+{
+}
+
+Status
+MithriLog::ingestLine(std::string_view line)
+{
+    if (line.size() > compress::LzahPageEncoder::kMaxLineBytes) {
+        if (!config_.truncate_long_lines) {
+            return Status::invalidArgument("line exceeds page limit");
+        }
+        line = line.substr(0, compress::LzahPageEncoder::kMaxLineBytes);
+        ++truncated_lines_;
+    }
+    compress::AddLineResult r = encoder_.addLine(line);
+    MITHRIL_ASSERT(r != compress::AddLineResult::kRejected);
+    if (r == compress::AddLineResult::kSealedAndAppended) {
+        // The sealed page holds the lines before this one; this line
+        // opened the next page and its tokens belong there.
+        sealPendingPage();
+    }
+    forEachToken(line, [&](std::string_view tok, uint32_t) {
+        if (!pending_tokens_.count(tok)) {
+            pending_tokens_.emplace(tok);
+        }
+        return true;
+    });
+    ++lines_;
+    raw_bytes_ += line.size() + 1;
+    return Status::ok();
+}
+
+Status
+MithriLog::ingestText(std::string_view text)
+{
+    Status status = Status::ok();
+    forEachLine(text, [&](std::string_view line) {
+        if (status.isOk()) {
+            status = ingestLine(line);
+        }
+    });
+    return status;
+}
+
+void
+MithriLog::sealPendingPage()
+{
+    MITHRIL_ASSERT(!encoder_.pages().empty());
+    compress::Bytes page = std::move(encoder_.pages().back());
+    encoder_.pages().pop_back();
+
+    PageId id = ssd_.allocate();
+    ssd_.writePage(id, page);
+    data_pages_.push_back(id);
+
+    std::vector<std::string_view> tokens;
+    tokens.reserve(pending_tokens_.size());
+    for (const std::string &tok : pending_tokens_) {
+        tokens.push_back(tok);
+    }
+    index_->addPage(id, tokens, lines_);
+    pending_tokens_.clear();
+}
+
+void
+MithriLog::flush()
+{
+    encoder_.flush();
+    if (!encoder_.pages().empty()) {
+        sealPendingPage();
+    }
+    index_->flush();
+}
+
+double
+MithriLog::compressionRatio() const
+{
+    uint64_t compressed = data_pages_.size() * storage::kPageSize;
+    if (compressed == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(raw_bytes_) /
+           static_cast<double>(compressed);
+}
+
+std::vector<PageId>
+MithriLog::candidatePages(std::span<const query::Query> queries,
+                          SimTime *index_time)
+{
+    // Different tokens' index chains are independent, so the device
+    // overlaps them across channels: the modeled index time is the
+    // slowest single chain plus the residual traffic at `overlap`-way
+    // parallelism, not the serial sum the meter records.
+    // The device overlaps ~256 outstanding commands; dozens of token
+    // chains progress concurrently, so residual traffic divides by a
+    // deep factor while the slowest single chain sets the floor.
+    constexpr uint64_t kOverlap = 32;
+    SimTime max_lookup;
+    uint64_t sum_ps = 0;
+
+    std::set<PageId> pages;
+    bool need_all = false;
+    for (const query::Query &q : queries) {
+        for (const query::IntersectionSet &set : q.sets()) {
+            std::vector<std::string> positives;
+            for (const query::Term &t : set.terms) {
+                if (!t.negated) {
+                    positives.push_back(t.token);
+                }
+            }
+            if (positives.empty()) {
+                // A pure-negative set can occur anywhere: the index
+                // cannot prune on absence (Section 7.5's slow cases).
+                need_all = true;
+                continue;
+            }
+            // Intersect per-token page lists (read order first,
+            // Section 6.3), timing each token's chain separately:
+            // chains for different tokens run concurrently on the
+            // device.
+            std::vector<PageId> found;
+            bool first = true;
+            for (const std::string &token : positives) {
+                ssd_.resetClock();
+                std::vector<PageId> token_pages =
+                    index_->lookup(token);
+                SimTime lookup = ssd_.elapsed();
+                max_lookup = SimTime::max(max_lookup, lookup);
+                sum_ps += lookup.ps();
+                if (first) {
+                    found = std::move(token_pages);
+                    first = false;
+                } else {
+                    std::vector<PageId> merged;
+                    std::set_intersection(found.begin(), found.end(),
+                                          token_pages.begin(),
+                                          token_pages.end(),
+                                          std::back_inserter(merged));
+                    found = std::move(merged);
+                }
+                if (found.empty()) {
+                    break;
+                }
+            }
+            if (!need_all) {
+                for (PageId p : found) {
+                    pages.insert(p);
+                }
+            }
+        }
+    }
+    *index_time = SimTime::max(
+        max_lookup, SimTime::picoseconds(sum_ps / kOverlap));
+    if (need_all) {
+        return data_pages_;
+    }
+    return {pages.begin(), pages.end()};
+}
+
+Status
+MithriLog::execute(std::span<const PageId> pages,
+                   std::span<const query::Query> queries, QueryResult *out)
+{
+    Status compiled = accel_.configure(queries);
+    if (compiled.code() == StatusCode::kCapacityExceeded ||
+        compiled.code() == StatusCode::kUnsupported) {
+        return softwareScan(queries, out);
+    }
+    MITHRIL_RETURN_IF_ERROR(compiled);
+
+    std::vector<compress::ByteView> views;
+    views.reserve(pages.size());
+    for (PageId id : pages) {
+        views.push_back(ssd_.store().read(id));
+    }
+
+    accel::AccelResult ar;
+    MITHRIL_RETURN_IF_ERROR(
+        accel_.process(views, accel::Mode::kFilter, &ar));
+
+    out->matched_lines = ar.lines_kept;
+    out->lines = std::move(ar.kept);
+    out->matched_per_query.assign(ar.kept_per_query.begin(),
+                                  ar.kept_per_query.begin() +
+                                      std::min<size_t>(
+                                          queries.size(),
+                                          ar.kept_per_query.size()));
+    out->pages_scanned = pages.size();
+    out->pages_total = data_pages_.size();
+    out->bytes_scanned = ar.decompressed_bytes;
+    out->useful_ratio = ar.usefulRatio();
+
+    // Index traversal, data-page streaming, and the filter pipelines
+    // all overlap: the index emits page addresses as it discovers them
+    // and the accelerator consumes pages as they arrive (Section 6's
+    // "fast enough to saturate the accelerator"). The slowest stage
+    // paces the query; one read latency covers the un-overlapped first
+    // hop.
+    out->storage_time = ssd_.timeBatchRead(pages.size(), Link::kInternal);
+    out->compute_time = ar.computeTime(config_.accel.clock_hz);
+    out->total_time =
+        SimTime::max(out->index_time,
+                     SimTime::max(out->storage_time, out->compute_time)) +
+        ssd_.config().read_latency;
+    return Status::ok();
+}
+
+Status
+MithriLog::softwareScan(std::span<const query::Query> queries,
+                        QueryResult *out)
+{
+    out->used_fallback = true;
+    out->matched_per_query.assign(queries.size(), 0);
+
+    std::vector<query::SoftwareMatcher> matchers;
+    matchers.reserve(queries.size());
+    for (const query::Query &q : queries) {
+        matchers.emplace_back(q);
+    }
+
+    compress::Bytes text;
+    for (PageId id : data_pages_) {
+        MITHRIL_RETURN_IF_ERROR(compress::lzahDecodePage(
+            ssd_.store().read(id), /*padded=*/false, &text));
+    }
+    std::string_view view(reinterpret_cast<const char *>(text.data()),
+                          text.size());
+    forEachLine(view, [&](std::string_view line) {
+        bool any = false;
+        for (size_t q = 0; q < matchers.size(); ++q) {
+            if (matchers[q].matches(line)) {
+                ++out->matched_per_query[q];
+                any = true;
+            }
+        }
+        if (any) {
+            ++out->matched_lines;
+        }
+    });
+
+    out->pages_scanned = data_pages_.size();
+    out->pages_total = data_pages_.size();
+    out->bytes_scanned = text.size();
+    // Fallback ships every page to the host over PCIe and burns CPU;
+    // the storage component alone is modeled here (the CPU side is a
+    // measured quantity, reported by the benches that exercise it).
+    out->storage_time =
+        ssd_.timeBatchRead(data_pages_.size(), Link::kExternal);
+    out->total_time = out->index_time + out->storage_time;
+    return Status::ok();
+}
+
+Status
+MithriLog::runBatch(std::span<const query::Query> queries, QueryResult *out)
+{
+    *out = QueryResult{};
+    if (queries.empty()) {
+        return Status::invalidArgument("empty query batch");
+    }
+
+    std::vector<PageId> pages;
+    if (config_.use_index && !plannerPrefersScan(queries)) {
+        pages = candidatePages(queries, &out->index_time);
+        ssd_.resetClock();
+    } else {
+        pages = data_pages_;
+        out->planned_full_scan = config_.use_index;
+    }
+    return execute(pages, queries, out);
+}
+
+bool
+MithriLog::plannerPrefersScan(std::span<const query::Query> queries) const
+{
+    if (config_.planner_scan_threshold >= 1.0 || data_pages_.empty()) {
+        return false;
+    }
+    // A batch needs the union of its sets' candidates; each set's
+    // candidate count is bounded by its most selective positive token.
+    // All estimates come from the O(1) in-memory entry counters.
+    uint64_t union_bound = 0;
+    for (const query::Query &q : queries) {
+        for (const query::IntersectionSet &set : q.sets()) {
+            uint64_t set_bound = ~0ull;
+            bool has_positive = false;
+            for (const query::Term &t : set.terms) {
+                if (t.negated) {
+                    continue;
+                }
+                has_positive = true;
+                set_bound = std::min(set_bound,
+                                     index_->estimatePages(t.token));
+            }
+            if (!has_positive) {
+                return true;  // pure-negative set: full scan anyway
+            }
+            union_bound += set_bound;
+            if (union_bound >= data_pages_.size()) {
+                break;
+            }
+        }
+    }
+    double fraction = static_cast<double>(
+                          std::min<uint64_t>(union_bound,
+                                             data_pages_.size())) /
+                      static_cast<double>(data_pages_.size());
+    return fraction >= config_.planner_scan_threshold;
+}
+
+Status
+MithriLog::run(const query::Query &q, QueryResult *out)
+{
+    return runBatch(std::span(&q, 1), out);
+}
+
+Status
+MithriLog::run(std::string_view query_text, QueryResult *out)
+{
+    query::Query q;
+    MITHRIL_RETURN_IF_ERROR(query::parseQuery(query_text, &q));
+    return run(q, out);
+}
+
+namespace {
+constexpr uint32_t kImageMagic = 0x474f4c4d;  // "MLOG"
+constexpr uint32_t kImageVersion = 1;
+} // namespace
+
+Status
+MithriLog::saveImage(const std::string &path)
+{
+    flush();
+
+    std::vector<uint8_t> blob;
+    putLe<uint32_t>(blob, kImageMagic);
+    putLe<uint32_t>(blob, kImageVersion);
+    putLe<uint64_t>(blob, lines_);
+    putLe<uint64_t>(blob, raw_bytes_);
+    putLe<uint64_t>(blob, truncated_lines_);
+    putLe<uint64_t>(blob, data_pages_.size());
+    for (PageId p : data_pages_) {
+        putLe<uint64_t>(blob, p);
+    }
+
+    std::vector<uint8_t> index_blob;
+    index_->serialize(&index_blob);
+    putLe<uint64_t>(blob, index_blob.size());
+    blob.insert(blob.end(), index_blob.begin(), index_blob.end());
+
+    uint64_t pages = ssd_.store().pageCount();
+    putLe<uint64_t>(blob, pages);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        return Status::invalidArgument("cannot open " + path);
+    }
+    bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    for (PageId p = 0; ok && p < pages; ++p) {
+        auto view = ssd_.store().read(p);
+        ok = std::fwrite(view.data(), 1, view.size(), f) == view.size();
+    }
+    if (std::fclose(f) != 0 || !ok) {
+        return Status::internal("short write to " + path);
+    }
+    return Status::ok();
+}
+
+Status
+MithriLog::loadImage(const std::string &path)
+{
+    if (lines_ != 0 || ssd_.store().pageCount() != 0) {
+        return Status::invalidArgument(
+            "loadImage requires a fresh system");
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        return Status::invalidArgument("cannot open " + path);
+    }
+    std::vector<uint8_t> blob;
+    uint8_t chunk[65536];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+        blob.insert(blob.end(), chunk, chunk + n);
+    }
+    std::fclose(f);
+
+    size_t pos = 0;
+    auto need = [&](size_t k) { return pos + k <= blob.size(); };
+    auto get64 = [&]() { uint64_t v = getLe<uint64_t>(blob.data() + pos);
+                         pos += 8; return v; };
+    if (!need(8) || getLe<uint32_t>(blob.data()) != kImageMagic ||
+        getLe<uint32_t>(blob.data() + 4) != kImageVersion) {
+        return Status::corruptData("bad image header");
+    }
+    pos = 8;
+    if (!need(4 * 8)) {
+        return Status::corruptData("image truncated");
+    }
+    lines_ = get64();
+    raw_bytes_ = get64();
+    truncated_lines_ = get64();
+    uint64_t n_data_pages = get64();
+    if (!need(n_data_pages * 8 + 8)) {
+        return Status::corruptData("image data-page list truncated");
+    }
+    data_pages_.clear();
+    for (uint64_t i = 0; i < n_data_pages; ++i) {
+        data_pages_.push_back(get64());
+    }
+    uint64_t index_size = get64();
+    if (!need(index_size + 8)) {
+        return Status::corruptData("image index blob truncated");
+    }
+    std::span<const uint8_t> index_blob(blob.data() + pos, index_size);
+    pos += index_size;
+    uint64_t pages = get64();
+    if (!need(pages * storage::kPageSize)) {
+        return Status::corruptData("image pages truncated");
+    }
+    for (uint64_t p = 0; p < pages; ++p) {
+        PageId id = ssd_.allocate();
+        ssd_.store().write(
+            id, std::span<const uint8_t>(
+                    blob.data() + pos + p * storage::kPageSize,
+                    storage::kPageSize));
+    }
+    MITHRIL_RETURN_IF_ERROR(index_->deserialize(index_blob));
+    ssd_.resetClock();
+    return Status::ok();
+}
+
+Status
+MithriLog::runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
+                        QueryResult *out)
+{
+    *out = QueryResult{};
+    std::span<const query::Query> queries(&q, 1);
+    std::vector<PageId> pages;
+    if (config_.use_index) {
+        pages = candidatePages(queries, &out->index_time);
+        ssd_.resetClock();
+    } else {
+        pages = data_pages_;
+    }
+    auto [lo, hi] = index_->pageRangeForTime(t0, t1);
+    std::vector<PageId> bounded;
+    for (PageId p : pages) {
+        if (p >= lo && p <= hi) {
+            bounded.push_back(p);
+        }
+    }
+    return execute(bounded, queries, out);
+}
+
+Status
+MithriLog::runFullScan(std::span<const query::Query> queries,
+                       QueryResult *out)
+{
+    *out = QueryResult{};
+    if (queries.empty()) {
+        return Status::invalidArgument("empty query batch");
+    }
+    return execute(data_pages_, queries, out);
+}
+
+} // namespace mithril::core

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * MithriLog — the end-to-end log analytics system (Section 3).
+ *
+ * Composition: a near-storage SSD model holding LZAH-compressed data
+ * pages and index pages, the in-storage inverted index, and the
+ * emulated four-pipeline token filter accelerator behind the device's
+ * internal link. The public API covers the paper's full flow:
+ *
+ *   ingest  — lines are packed into independently-decompressible LZAH
+ *             pages; each sealed page registers its distinct tokens
+ *             with the inverted index;
+ *   query   — host software compiles the query into a cuckoo program,
+ *             consults the index for candidate pages, streams those
+ *             pages through the accelerator over the internal link, and
+ *             receives only matching lines over PCIe. Queries the
+ *             cuckoo compiler cannot encode fall back to a software
+ *             scan (Section 4.2.1).
+ *
+ * Timing discipline: MithriLog-side numbers are *modeled* (SimTime at
+ * the paper's platform parameters); QueryResult separates index,
+ * storage, and compute time so benches can report the same breakdowns
+ * the paper discusses.
+ */
+#ifndef MITHRIL_CORE_MITHRILOG_H
+#define MITHRIL_CORE_MITHRILOG_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/simtime.h"
+#include "compress/lzah.h"
+#include "index/inverted_index.h"
+#include "query/query.h"
+#include "storage/ssd_model.h"
+
+namespace mithril::core {
+
+/** Top-level system configuration. */
+struct MithriLogConfig {
+    storage::SsdConfig ssd{};
+    index::IndexConfig index{};
+    accel::AccelConfig accel{};
+    /** Consult the inverted index during queries (false = full scan). */
+    bool use_index = true;
+    /**
+     * Query planner: skip index traversal when the O(1) entry-counter
+     * estimate says the query would touch at least this fraction of
+     * the data pages anyway (the paper's own example saw an index
+     * reduce reads by only 30% on a common-token query — traversal is
+     * then pure overhead). 1.0 disables the planner.
+     */
+    double planner_scan_threshold = 0.85;
+    /** Lines longer than LZAH's page limit are truncated (with a
+     *  counter) instead of rejected. */
+    bool truncate_long_lines = true;
+};
+
+/** End-to-end result of one query (or batch). */
+struct QueryResult {
+    uint64_t matched_lines = 0;
+    std::vector<accel::KeptLine> lines;       ///< when accel.keep_lines
+    std::vector<uint64_t> matched_per_query;  ///< batched execution
+
+    uint64_t pages_scanned = 0;
+    uint64_t pages_total = 0;
+    uint64_t bytes_scanned = 0;   ///< decompressed text streamed
+
+    SimTime index_time;    ///< index traversal (storage latency bound)
+    SimTime storage_time;  ///< data page reads over the internal link
+    SimTime compute_time;  ///< accelerator cycles
+    SimTime total_time;    ///< index + max(storage, compute)
+
+    bool used_fallback = false;  ///< software path (compile failure)
+    /** Planner skipped index traversal (poor predicted pruning). */
+    bool planned_full_scan = false;
+    double useful_ratio = 0.0;   ///< tokenized-datapath utilization
+
+    /** Effective throughput against the original dataset size. */
+    double effectiveThroughput(uint64_t dataset_bytes) const
+    {
+        return throughputBps(dataset_bytes, total_time);
+    }
+};
+
+/** The MithriLog system. */
+class MithriLog
+{
+  public:
+    explicit MithriLog(MithriLogConfig config = MithriLogConfig{});
+
+    // ---- ingest --------------------------------------------------------
+
+    /** Ingests one line (without trailing newline). */
+    Status ingestLine(std::string_view line);
+
+    /** Ingests newline-separated text. */
+    Status ingestText(std::string_view text);
+
+    /** Seals the open page and flushes the index (end of ingest). */
+    void flush();
+
+    // ---- dataset statistics -------------------------------------------
+
+    uint64_t lineCount() const { return lines_; }
+    uint64_t rawBytes() const { return raw_bytes_; }
+    uint64_t dataPageCount() const { return data_pages_.size(); }
+    uint64_t truncatedLines() const { return truncated_lines_; }
+
+    /** raw bytes / compressed data page bytes. */
+    double compressionRatio() const;
+
+    // ---- query ---------------------------------------------------------
+
+    /** Runs one query end to end. */
+    Status run(const query::Query &q, QueryResult *out);
+
+    /** Parses and runs a query text. */
+    Status run(std::string_view query_text, QueryResult *out);
+
+    /** Runs a batch concurrently on one accelerator pass (Section 4). */
+    Status runBatch(std::span<const query::Query> queries,
+                    QueryResult *out);
+
+    /**
+     * Runs a batch as a full scan, bypassing the index — the Section
+     * 7.4.2 configuration isolating filter-engine performance.
+     */
+    Status runFullScan(std::span<const query::Query> queries,
+                       QueryResult *out);
+
+    /**
+     * Time-bounded query (Section 6.3's snapshot mechanism): candidate
+     * pages are additionally restricted to the page range the index's
+     * snapshot log maps [t0, t1] to. Timestamps are the values passed
+     * to ingest — by default the ingest line sequence number — and the
+     * restriction is coarse (snapshot granularity), so the time window
+     * may over-approximate but never cuts matching lines inside it.
+     */
+    Status runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
+                        QueryResult *out);
+
+    // ---- persistence ----------------------------------------------------
+
+    /**
+     * Writes a device image (all pages, index state, counters) to
+     * @p path. Flushes first, so the image is self-contained.
+     */
+    Status saveImage(const std::string &path);
+
+    /**
+     * Restores a device image into this system. Must be called on a
+     * freshly constructed MithriLog whose configuration matches the
+     * saving one (the index validates its part).
+     * @retval kCorruptData unreadable, malformed, or mismatched image.
+     */
+    Status loadImage(const std::string &path);
+
+    // ---- component access (benches, tests, ablations) ------------------
+
+    storage::SsdModel &ssd() { return ssd_; }
+    index::InvertedIndex &index() { return *index_; }
+    accel::Accelerator &accelerator() { return accel_; }
+    const MithriLogConfig &config() const { return config_; }
+
+  private:
+    /** Candidate data pages for a batch via the inverted index.
+     *  @param index_time receives the modeled traversal time, with
+     *  independent token chains overlapped across channels. */
+    std::vector<storage::PageId>
+    candidatePages(std::span<const query::Query> queries,
+                   SimTime *index_time);
+
+    /** Streams @p pages through the accelerator and fills @p out. */
+    Status execute(std::span<const storage::PageId> pages,
+                   std::span<const query::Query> queries,
+                   QueryResult *out);
+
+    /** Software fallback for non-offloadable queries. */
+    Status softwareScan(std::span<const query::Query> queries,
+                        QueryResult *out);
+
+    /** True when the entry-counter estimate says index traversal
+     *  cannot prune enough to pay for itself. */
+    bool plannerPrefersScan(std::span<const query::Query> queries) const;
+
+    void sealPendingPage();
+
+    MithriLogConfig config_;
+    storage::SsdModel ssd_;
+    std::unique_ptr<index::InvertedIndex> index_;
+    accel::Accelerator accel_;
+
+    compress::LzahPageEncoder encoder_;
+    std::set<std::string, std::less<>> pending_tokens_;
+    uint64_t lines_ = 0;
+    uint64_t raw_bytes_ = 0;
+    uint64_t truncated_lines_ = 0;
+    std::vector<storage::PageId> data_pages_;
+};
+
+} // namespace mithril::core
+
+#endif // MITHRIL_CORE_MITHRILOG_H

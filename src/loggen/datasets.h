@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Descriptors for the four synthetic HPC4-like datasets.
+ *
+ * The paper evaluates on the HPC4 supercomputer logs (Oliner & Stearley,
+ * DSN'07): BGL2, Liberty2, Spirit2, and Thunderbird. Those multi-GB logs
+ * are not redistributable here, so each dataset is replaced by a
+ * deterministic synthetic twin that reproduces the three properties the
+ * evaluation actually depends on:
+ *
+ *  1. template structure — lines are instances of a fixed library of
+ *     message templates with Zipf-skewed popularity, so FT-tree
+ *     extraction recovers a library of the right order (Table 1);
+ *  2. token length distribution — drives the tokenized-datapath padding
+ *     ratio (Figure 13) and the 16-byte datapath design point;
+ *  3. cross-line repetition — headers and template bodies repeat at
+ *     similar intra-line offsets, which is what LZAH's newline
+ *     realignment exploits (Table 5's ratio ordering).
+ *
+ * Sizes are scaled (default tens of MB instead of tens of GB) so every
+ * benchmark runs in seconds on one core; paper-scale metadata rides
+ * along for reporting. Per-dataset `variability` tunes how much
+ * per-line entropy (timestamps, ids, numbers) dilutes the repetition,
+ * reproducing the relative compressibility ordering of the real logs.
+ */
+#ifndef MITHRIL_LOGGEN_DATASETS_H
+#define MITHRIL_LOGGEN_DATASETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mithril::loggen {
+
+/** Line header style of a dataset. */
+enum class HeaderStyle {
+    kBgl,      ///< BlueGene RAS: "- seq epoch date node ts node RAS ..."
+    kSyslog,   ///< Sandia syslog: "seq epoch date node month day time ..."
+};
+
+/** Everything needed to synthesize one dataset deterministically. */
+struct DatasetSpec {
+    std::string name;
+    uint64_t seed;
+    HeaderStyle header;
+    /** Size of the synthetic template library. */
+    size_t template_count;
+    /** Zipf skew of template popularity (larger = more skewed). */
+    double zipf_s;
+    /** Density of variable tokens in message bodies, 0..1. */
+    double variability;
+    /**
+     * Mean length of emission bursts: runs of lines sharing one
+     * (template, node, second). Real HPC logs are dominated by such
+     * bursts (a failing component repeats its message), which is the
+     * main source of the cross-line redundancy log compressors and
+     * Table 5's ratios depend on.
+     */
+    double mean_burst;
+    /** Distinct nodes in the cluster. */
+    size_t node_count;
+    /** Default synthetic size for benches (bytes). */
+    uint64_t default_bytes;
+
+    // Paper-scale metadata (Table 1), for reporting only.
+    double paper_lines_millions;
+    double paper_size_gb;
+    int paper_templates;
+};
+
+/** The four HPC4-like dataset descriptors (BGL2 first). */
+const std::vector<DatasetSpec> &hpc4Datasets();
+
+/** Finds a descriptor by name; aborts if unknown. */
+const DatasetSpec &datasetByName(const std::string &name);
+
+} // namespace mithril::loggen
+
+#endif // MITHRIL_LOGGEN_DATASETS_H

@@ -1,0 +1,340 @@
+#include "loggen/log_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/text.h"
+
+namespace mithril::loggen {
+
+namespace {
+
+// Vocabulary pools the template synthesizer draws from. Modeled on the
+// message content of the HPC4 logs (RAS kernel events, Lustre, MPI,
+// PBS, hardware errors, daemons).
+const char *kComponents[] = {
+    "KERNEL", "APP", "DISCOVERY", "MMCS", "LINKCARD", "MONITOR",
+    "HARDWARE", "CMCS", "BGLMASTER", "SERV_NET",
+};
+const char *kSeverities[] = {
+    "INFO", "WARNING", "ERROR", "FATAL", "FAILURE", "SEVERE",
+};
+const char *kSubjects[] = {
+    "instruction", "data", "ddr", "cache", "parity", "torus", "tree",
+    "ethernet", "ido", "node", "link", "fan", "power", "temperature",
+    "clock", "memory", "interrupt", "packet", "message", "lustre",
+    "filesystem", "directory", "socket", "session", "daemon", "job",
+    "process", "thread", "queue", "buffer", "register", "channel",
+    "connection", "module", "service", "client", "server", "mount",
+};
+const char *kDescriptors[] = {
+    "TLB", "prefetch", "storage", "receiver", "sender", "controller",
+    "coherency", "alignment", "wait", "floating", "point", "unit",
+    "virtual", "remote", "local", "external", "internal", "primary",
+    "secondary", "critical", "fatal", "unexpected", "invalid", "stale",
+    "broken", "corrected", "uncorrectable", "single", "double", "bit",
+};
+const char *kVerbs[] = {
+    "error", "errors", "detected", "corrected", "failed", "failure",
+    "exceeded", "completed", "started", "terminated", "dropped",
+    "rejected", "timeout", "interrupt", "enabled", "disabled",
+    "registered", "unavailable", "refused", "denied", "reset",
+    "restarted", "panic", "killed", "lost", "recovered", "retrying",
+    "aborted", "suspended", "resumed",
+};
+const char *kTails[] = {
+    "rts:", "kernel:", "pbs_mom:", "sshd[*]:", "ntpd[*]:", "syslogd:",
+    "mmfs:", "sendmail[*]:", "crond[*]:", "gmond:", "ib_sm:",
+    "dhcpd:", "xinetd[*]:", "portmap:", "lustre:", "snmpd[*]:",
+};
+const char *kUsers[] = {
+    "root", "admin", "operator", "jsmith", "achen", "mbrown",
+    "svcacct", "daemon",
+};
+const char *kMonths[] = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+};
+
+template <size_t N>
+const char *
+pick(Rng &rng, const char *(&pool)[N])
+{
+    return pool[rng.below(N)];
+}
+
+} // namespace
+
+LogGenerator::LogGenerator(const DatasetSpec &spec)
+    : spec_(spec), rng_(spec.seed), epoch_(1117838570ull + spec.seed % 997)
+{
+    buildVocabulary();
+    buildTemplates();
+
+    // Zipf CDF over the template library.
+    zipf_cdf_.resize(templates_.size());
+    double total = 0.0;
+    for (size_t k = 0; k < templates_.size(); ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), spec_.zipf_s);
+        zipf_cdf_[k] = total;
+    }
+    for (double &c : zipf_cdf_) {
+        c /= total;
+    }
+}
+
+std::string
+LogGenerator::nodeName(size_t index) const
+{
+    if (spec_.header == HeaderStyle::kBgl) {
+        // BlueGene rack-midplane-nodecard-compute naming.
+        return strprintf("R%02zu-M%zu-N%zu-C:J%02zu-U%02zu",
+                         index % 64, (index / 64) % 2, (index / 128) % 8,
+                         index % 18, (index / 18) % 12);
+    }
+    // Fixed-width node numbers, as in the Sandia clusters (dn228,
+    // sn0047, ...): fixed-width header fields keep message bodies at
+    // stable intra-line offsets, the property LZAH's newline
+    // realignment exploits.
+    return strprintf("%cn%04zu",
+                     spec_.name.empty() ? 's' : static_cast<char>(
+                         std::tolower(spec_.name[0])),
+                     index);
+}
+
+void
+LogGenerator::buildVocabulary()
+{
+    nodes_.reserve(spec_.node_count);
+    for (size_t i = 0; i < spec_.node_count; ++i) {
+        nodes_.push_back(nodeName(i));
+    }
+    for (const char *u : kUsers) {
+        users_.emplace_back(u);
+    }
+    for (const char *d : kTails) {
+        std::string daemon = d;
+        // Expand the "[*]" pid placeholder into a per-daemon fixed pid
+        // pool at instantiation time; store the pattern for now.
+        daemons_.push_back(std::move(daemon));
+    }
+}
+
+void
+LogGenerator::buildTemplates()
+{
+    // Templates are synthesized deterministically from the seed: a
+    // component/severity pair plus 3..9 body tokens, with variable
+    // slots inserted at `variability` density. Low-index (popular)
+    // templates get fewer variable slots, matching real logs where
+    // heartbeat-class messages are the most regular.
+    Rng rng(spec_.seed ^ 0x7e3a9);
+    templates_.reserve(spec_.template_count);
+    for (size_t t = 0; t < spec_.template_count; ++t) {
+        LogTemplate tpl;
+        tpl.component = pick(rng, kComponents);
+        tpl.severity = pick(rng, kSeverities);
+        size_t body_len = 3 + rng.below(7);
+        double var_density =
+            spec_.variability * (t < spec_.template_count / 4 ? 0.5 : 1.0);
+        for (size_t i = 0; i < body_len; ++i) {
+            TemplateToken tok;
+            if (rng.chance(var_density)) {
+                tok.is_variable = true;
+                static const VarKind kinds[] = {
+                    VarKind::kInt, VarKind::kHex, VarKind::kNode,
+                    VarKind::kPath, VarKind::kUser, VarKind::kIp,
+                    VarKind::kFloat,
+                };
+                tok.kind = kinds[rng.below(std::size(kinds))];
+                // Skewed cardinality: most slots draw from small pools.
+                tok.cardinality =
+                    static_cast<uint32_t>(1u << rng.below(14));
+            } else {
+                tok.is_variable = false;
+                switch (rng.below(3)) {
+                  case 0:
+                    tok.text = pick(rng, kSubjects);
+                    break;
+                  case 1:
+                    tok.text = pick(rng, kDescriptors);
+                    break;
+                  default:
+                    tok.text = pick(rng, kVerbs);
+                    break;
+                }
+            }
+            tpl.body.push_back(std::move(tok));
+        }
+        // Guarantee at least two fixed tokens so every template is
+        // identifiable by content.
+        bool has_fixed = false;
+        for (const TemplateToken &tok : tpl.body) {
+            if (!tok.is_variable) {
+                has_fixed = true;
+                break;
+            }
+        }
+        if (!has_fixed) {
+            tpl.body[0].is_variable = false;
+            tpl.body[0].text = pick(rng, kSubjects);
+        }
+        templates_.push_back(std::move(tpl));
+    }
+}
+
+std::string
+LogGenerator::instantiate(const TemplateToken &tok)
+{
+    uint64_t draw = rng_.below(tok.cardinality ? tok.cardinality : 1);
+    switch (tok.kind) {
+      case VarKind::kInt:
+        return std::to_string(draw * 7 + 1);
+      case VarKind::kHex:
+        return strprintf("0x%08llx",
+                         static_cast<unsigned long long>(
+                             mix64(draw) & 0xffffffffull));
+      case VarKind::kNode:
+        return nodes_[draw % nodes_.size()];
+      case VarKind::kPath:
+        return strprintf("/p/gb%llu/n%llu/file%llu",
+                         static_cast<unsigned long long>(draw % 7),
+                         static_cast<unsigned long long>(draw % 63),
+                         static_cast<unsigned long long>(draw));
+      case VarKind::kUser:
+        return users_[draw % users_.size()];
+      case VarKind::kIp:
+        return strprintf("10.%llu.%llu.%llu",
+                         static_cast<unsigned long long>(draw / 65536 % 256),
+                         static_cast<unsigned long long>(draw / 256 % 256),
+                         static_cast<unsigned long long>(draw % 256));
+      case VarKind::kFloat:
+        return strprintf("%llu.%02llu",
+                         static_cast<unsigned long long>(draw % 1000),
+                         static_cast<unsigned long long>(draw % 100));
+    }
+    return "?";
+}
+
+size_t
+LogGenerator::sampleTemplate()
+{
+    double u = rng_.uniform();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    size_t idx = static_cast<size_t>(it - zipf_cdf_.begin());
+    return std::min(idx, templates_.size() - 1);
+}
+
+std::string
+LogGenerator::line()
+{
+    // Burst model: a run of lines shares one (template, node, second),
+    // the dominant redundancy pattern of real HPC logs (a component in
+    // trouble repeats its message). Burst lengths are uniform in
+    // [1, 2*mean-1], giving the configured mean.
+    if (burst_left_ == 0) {
+        burst_template_ = sampleTemplate();
+        burst_node_ = rng_.skewedBelow(nodes_.size(), 2.0);
+        uint64_t span = std::max<uint64_t>(
+            1, static_cast<uint64_t>(2.0 * spec_.mean_burst) - 1);
+        burst_left_ = 1 + rng_.below(span);
+        burst_values_.clear();
+        if (rng_.chance(0.5)) {
+            epoch_ += 1 + rng_.below(30);
+        }
+    }
+    --burst_left_;
+
+    size_t t = burst_template_;
+    last_template_ = t;
+    const LogTemplate &tpl = templates_[t];
+
+    uint64_t day = epoch_ / 86400;
+    uint64_t tod = epoch_ % 86400;
+
+    std::string out;
+    out.reserve(160);
+    const std::string &node = nodes_[burst_node_];
+
+    if (spec_.header == HeaderStyle::kBgl) {
+        // "- SEQ 2005.06.03 NODE 2005-06-03-15.42.50.363779 NODE RAS
+        //  COMPONENT SEVERITY body"
+        out += strprintf("- %llu 2005.%02llu.%02llu %s "
+                         "2005-%02llu-%02llu-%02llu.%02llu.%02llu.%06llu "
+                         "%s RAS %s %s",
+                         static_cast<unsigned long long>(lines_ + 1),
+                         static_cast<unsigned long long>(day / 30 % 12 + 1),
+                         static_cast<unsigned long long>(day % 30 + 1),
+                         node.c_str(),
+                         static_cast<unsigned long long>(day / 30 % 12 + 1),
+                         static_cast<unsigned long long>(day % 30 + 1),
+                         static_cast<unsigned long long>(tod / 3600),
+                         static_cast<unsigned long long>(tod / 60 % 60),
+                         static_cast<unsigned long long>(tod % 60),
+                         static_cast<unsigned long long>(
+                             mix64(lines_) % 1000000),
+                         node.c_str(), tpl.component.c_str(),
+                         tpl.severity.c_str());
+    } else {
+        // "- EPOCH 2005.06.03 NODE Jun 03 15:42:50 NODE daemon: body"
+        // (the Sandia syslog shape; all header fields fixed-width).
+        const std::string &daemon =
+            daemons_[(spec_.seed + t) % daemons_.size()];
+        std::string daemon_inst = daemon;
+        size_t star = daemon_inst.find('*');
+        if (star != std::string::npos) {
+            daemon_inst = daemon_inst.substr(0, star) +
+                          std::to_string(1000 + rng_.below(64) * 13) +
+                          daemon_inst.substr(star + 1);
+        }
+        out += strprintf("- %llu 2005.%02llu.%02llu %s %s %02llu "
+                         "%02llu:%02llu:%02llu %s %s",
+                         static_cast<unsigned long long>(epoch_),
+                         static_cast<unsigned long long>(day / 30 % 12 + 1),
+                         static_cast<unsigned long long>(day % 30 + 1),
+                         node.c_str(),
+                         kMonths[day / 30 % 12],
+                         static_cast<unsigned long long>(day % 30 + 1),
+                         static_cast<unsigned long long>(tod / 3600),
+                         static_cast<unsigned long long>(tod / 60 % 60),
+                         static_cast<unsigned long long>(tod % 60),
+                         node.c_str(), daemon_inst.c_str());
+    }
+
+    // Repeated lines in a burst usually carry the *same* parameter
+    // values (the identical message re-emitted); occasionally a value
+    // churns. This is what makes real log bursts so compressible.
+    burst_values_.resize(tpl.body.size());
+    for (size_t i = 0; i < tpl.body.size(); ++i) {
+        const TemplateToken &tok = tpl.body[i];
+        out += ' ';
+        if (!tok.is_variable) {
+            out += tok.text;
+            continue;
+        }
+        if (burst_values_[i].empty() || rng_.chance(0.15)) {
+            burst_values_[i] = instantiate(tok);
+        }
+        out += burst_values_[i];
+    }
+    ++lines_;
+    return out;
+}
+
+std::string
+LogGenerator::generate(uint64_t bytes, std::vector<uint32_t> *template_trace)
+{
+    std::string out;
+    out.reserve(bytes + 256);
+    while (out.size() < bytes) {
+        out += line();
+        out += '\n';
+        if (template_trace != nullptr) {
+            template_trace->push_back(
+                static_cast<uint32_t>(last_template_));
+        }
+    }
+    return out;
+}
+
+} // namespace mithril::loggen

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic synthetic HPC log generator.
+ *
+ * A generator instance owns a synthesized template library (fixed-token
+ * skeletons with typed variable slots) and emits lines by sampling a
+ * template from a Zipf distribution, instantiating its variables, and
+ * prepending the dataset's header fields. All randomness is seeded from
+ * the DatasetSpec, so a given (spec, line index range) always produces
+ * identical text.
+ */
+#ifndef MITHRIL_LOGGEN_LOG_GENERATOR_H
+#define MITHRIL_LOGGEN_LOG_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "loggen/datasets.h"
+
+namespace mithril::loggen {
+
+/** Typed variable slot within a message template. */
+enum class VarKind {
+    kInt,       ///< decimal integer
+    kHex,       ///< 0x-prefixed hex word
+    kNode,      ///< node identifier from the cluster pool
+    kPath,      ///< filesystem-ish path
+    kUser,      ///< user name from a small pool
+    kIp,        ///< dotted-quad address
+    kFloat,     ///< fixed-point decimal
+};
+
+/** One token of a message template. */
+struct TemplateToken {
+    bool is_variable;
+    std::string text;   // fixed token text
+    VarKind kind;       // when is_variable
+    /** Distinct values this slot draws from (low = compressible). */
+    uint32_t cardinality;
+};
+
+/** A message template: component/severity plus body tokens. */
+struct LogTemplate {
+    std::string component;
+    std::string severity;
+    std::vector<TemplateToken> body;
+};
+
+/** Synthesizes lines for one dataset. */
+class LogGenerator
+{
+  public:
+    explicit LogGenerator(const DatasetSpec &spec);
+
+    /** The synthesized template library (inspection / ground truth). */
+    const std::vector<LogTemplate> &templates() const { return templates_; }
+
+    /** Emits one line (no trailing newline). Advances generator state. */
+    std::string line();
+
+    /** Index of the template the last line() call instantiated. */
+    size_t lastTemplate() const { return last_template_; }
+
+    /**
+     * Generates ~@p bytes of newline-terminated text.
+     * @param template_trace when non-null, receives the template index
+     *        of each generated line (ground truth for extraction tests).
+     */
+    std::string generate(uint64_t bytes,
+                         std::vector<uint32_t> *template_trace = nullptr);
+
+    /** Lines emitted so far. */
+    uint64_t linesEmitted() const { return lines_; }
+
+  private:
+    void buildVocabulary();
+    void buildTemplates();
+    std::string instantiate(const TemplateToken &tok);
+    std::string nodeName(size_t index) const;
+    size_t sampleTemplate();
+
+    const DatasetSpec spec_;
+    Rng rng_;
+    std::vector<LogTemplate> templates_;
+    std::vector<double> zipf_cdf_;
+    std::vector<std::string> nodes_;
+    std::vector<std::string> users_;
+    std::vector<std::string> daemons_;
+    uint64_t epoch_;
+    uint64_t lines_ = 0;
+    size_t last_template_ = 0;
+
+    // Burst state (see line() for the model).
+    uint64_t burst_left_ = 0;
+    size_t burst_template_ = 0;
+    size_t burst_node_ = 0;
+    std::vector<std::string> burst_values_;  ///< sticky variable values
+};
+
+} // namespace mithril::loggen
+
+#endif // MITHRIL_LOGGEN_LOG_GENERATOR_H

@@ -1,0 +1,360 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <memory>
+
+#include "common/text.h"
+
+namespace mithril::query {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+
+enum class TokKind { kWord, kAnd, kOr, kNot, kLParen, kRParen, kEnd };
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    size_t pos;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view input) : input_(input) {}
+
+    Status
+    lex(std::vector<Token> *out)
+    {
+        size_t i = 0;
+        while (i < input_.size()) {
+            char c = input_[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (c == '(') {
+                out->push_back({TokKind::kLParen, "(", i++});
+            } else if (c == ')') {
+                out->push_back({TokKind::kRParen, ")", i++});
+            } else if (c == '&') {
+                out->push_back({TokKind::kAnd, "&", i++});
+            } else if (c == '|') {
+                out->push_back({TokKind::kOr, "|", i++});
+            } else if (c == '!' || c == '~') {
+                out->push_back({TokKind::kNot, "!", i++});
+            } else if (c == '"') {
+                size_t end = input_.find('"', i + 1);
+                if (end == std::string_view::npos) {
+                    return Status::invalidArgument(strprintf(
+                        "unterminated quote at offset %zu", i));
+                }
+                out->push_back({TokKind::kWord,
+                                std::string(input_.substr(i + 1,
+                                                          end - i - 1)),
+                                i});
+                i = end + 1;
+            } else {
+                size_t start = i;
+                while (i < input_.size() && !std::isspace(
+                           static_cast<unsigned char>(input_[i])) &&
+                       input_[i] != '(' && input_[i] != ')' &&
+                       input_[i] != '&' && input_[i] != '|' &&
+                       input_[i] != '!' && input_[i] != '"') {
+                    ++i;
+                }
+                std::string word(input_.substr(start, i - start));
+                std::string upper = word;
+                for (char &ch : upper) {
+                    ch = static_cast<char>(
+                        std::toupper(static_cast<unsigned char>(ch)));
+                }
+                if (upper == "AND") {
+                    out->push_back({TokKind::kAnd, word, start});
+                } else if (upper == "OR") {
+                    out->push_back({TokKind::kOr, word, start});
+                } else if (upper == "NOT") {
+                    out->push_back({TokKind::kNot, word, start});
+                } else {
+                    out->push_back({TokKind::kWord, word, start});
+                }
+            }
+        }
+        out->push_back({TokKind::kEnd, "", input_.size()});
+        return Status::ok();
+    }
+
+  private:
+    std::string_view input_;
+};
+
+// ---------------------------------------------------------------------
+// Expression tree
+
+struct Expr {
+    enum Kind { kLeaf, kAnd, kOr, kNot } kind;
+    std::string token;  // kLeaf
+    std::vector<std::unique_ptr<Expr>> children;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr
+makeLeaf(std::string token)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::kLeaf;
+    e->token = std::move(token);
+    return e;
+}
+
+ExprPtr
+makeNode(Expr::Kind kind, std::vector<ExprPtr> children)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->children = std::move(children);
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// Recursive-descent parser
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Status
+    parse(ExprPtr *out)
+    {
+        MITHRIL_RETURN_IF_ERROR(parseOr(out));
+        if (peek().kind != TokKind::kEnd) {
+            return Status::invalidArgument(strprintf(
+                "unexpected '%s' at offset %zu", peek().text.c_str(),
+                peek().pos));
+        }
+        return Status::ok();
+    }
+
+  private:
+    const Token &peek() const { return tokens_[pos_]; }
+    const Token &advance() { return tokens_[pos_++]; }
+
+    Status
+    parseOr(ExprPtr *out)
+    {
+        std::vector<ExprPtr> children;
+        ExprPtr first;
+        MITHRIL_RETURN_IF_ERROR(parseAnd(&first));
+        children.push_back(std::move(first));
+        while (peek().kind == TokKind::kOr) {
+            advance();
+            ExprPtr next;
+            MITHRIL_RETURN_IF_ERROR(parseAnd(&next));
+            children.push_back(std::move(next));
+        }
+        *out = children.size() == 1 ? std::move(children[0])
+                                    : makeNode(Expr::kOr,
+                                               std::move(children));
+        return Status::ok();
+    }
+
+    Status
+    parseAnd(ExprPtr *out)
+    {
+        std::vector<ExprPtr> children;
+        ExprPtr first;
+        MITHRIL_RETURN_IF_ERROR(parseUnary(&first));
+        children.push_back(std::move(first));
+        // Both explicit AND and juxtaposition ("a b" means a AND b,
+        // matching the implicit-AND convention of log search UIs).
+        while (peek().kind == TokKind::kAnd ||
+               peek().kind == TokKind::kWord ||
+               peek().kind == TokKind::kNot ||
+               peek().kind == TokKind::kLParen) {
+            if (peek().kind == TokKind::kAnd) {
+                advance();
+            }
+            ExprPtr next;
+            MITHRIL_RETURN_IF_ERROR(parseUnary(&next));
+            children.push_back(std::move(next));
+        }
+        *out = children.size() == 1 ? std::move(children[0])
+                                    : makeNode(Expr::kAnd,
+                                               std::move(children));
+        return Status::ok();
+    }
+
+    Status
+    parseUnary(ExprPtr *out)
+    {
+        const Token &tok = peek();
+        switch (tok.kind) {
+          case TokKind::kNot: {
+            advance();
+            ExprPtr inner;
+            MITHRIL_RETURN_IF_ERROR(parseUnary(&inner));
+            std::vector<ExprPtr> children;
+            children.push_back(std::move(inner));
+            *out = makeNode(Expr::kNot, std::move(children));
+            return Status::ok();
+          }
+          case TokKind::kLParen: {
+            advance();
+            MITHRIL_RETURN_IF_ERROR(parseOr(out));
+            if (peek().kind != TokKind::kRParen) {
+                return Status::invalidArgument(strprintf(
+                    "expected ')' at offset %zu", peek().pos));
+            }
+            advance();
+            return Status::ok();
+          }
+          case TokKind::kWord: {
+            if (tok.text.empty()) {
+                return Status::invalidArgument(strprintf(
+                    "empty token at offset %zu", tok.pos));
+            }
+            *out = makeLeaf(advance().text);
+            return Status::ok();
+          }
+          default:
+            return Status::invalidArgument(strprintf(
+                "expected token at offset %zu, found '%s'", tok.pos,
+                tok.text.c_str()));
+        }
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// DNF conversion
+
+/**
+ * Converts an expression to DNF with negations at the leaves.
+ * @p negate carries a pending De Morgan inversion down the tree.
+ */
+Status
+toDnf(const Expr &e, bool negate, std::vector<IntersectionSet> *out)
+{
+    switch (e.kind) {
+      case Expr::kLeaf: {
+        IntersectionSet s;
+        s.terms.push_back({e.token, negate});
+        out->push_back(std::move(s));
+        return Status::ok();
+      }
+      case Expr::kNot:
+        return toDnf(*e.children[0], !negate, out);
+      case Expr::kOr:
+      case Expr::kAnd: {
+        bool is_or = (e.kind == Expr::kOr) != negate;  // De Morgan swap
+        if (is_or) {
+            for (const auto &child : e.children) {
+                MITHRIL_RETURN_IF_ERROR(toDnf(*child, negate, out));
+                if (out->size() > kMaxDnfSets) {
+                    return Status::capacityExceeded(
+                        "DNF expansion exceeds set limit");
+                }
+            }
+            return Status::ok();
+        }
+        // AND: cartesian product of children's DNF forms.
+        std::vector<IntersectionSet> acc{IntersectionSet{}};
+        for (const auto &child : e.children) {
+            std::vector<IntersectionSet> child_sets;
+            MITHRIL_RETURN_IF_ERROR(toDnf(*child, negate, &child_sets));
+            std::vector<IntersectionSet> next;
+            next.reserve(acc.size() * child_sets.size());
+            for (const IntersectionSet &a : acc) {
+                for (const IntersectionSet &b : child_sets) {
+                    IntersectionSet merged = a;
+                    merged.terms.insert(merged.terms.end(),
+                                        b.terms.begin(), b.terms.end());
+                    next.push_back(std::move(merged));
+                    if (next.size() > kMaxDnfSets) {
+                        return Status::capacityExceeded(
+                            "DNF expansion exceeds set limit");
+                    }
+                }
+            }
+            acc = std::move(next);
+        }
+        out->insert(out->end(), acc.begin(), acc.end());
+        return Status::ok();
+      }
+    }
+    return Status::internal("unreachable expression kind");
+}
+
+/** Drops duplicate terms within each set (A & A -> A). */
+void
+dedupeTerms(std::vector<IntersectionSet> *sets)
+{
+    for (IntersectionSet &s : *sets) {
+        std::vector<Term> unique;
+        for (Term &t : s.terms) {
+            bool seen = false;
+            for (const Term &u : unique) {
+                if (u == t) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen) {
+                unique.push_back(std::move(t));
+            }
+        }
+        s.terms = std::move(unique);
+    }
+}
+
+} // namespace
+
+Status
+parseQuery(std::string_view text, Query *out)
+{
+    std::vector<Token> tokens;
+    MITHRIL_RETURN_IF_ERROR(Lexer(text).lex(&tokens));
+    if (tokens.size() == 1) {
+        return Status::invalidArgument("empty query");
+    }
+    ExprPtr root;
+    MITHRIL_RETURN_IF_ERROR(Parser(std::move(tokens)).parse(&root));
+    std::vector<IntersectionSet> sets;
+    MITHRIL_RETURN_IF_ERROR(toDnf(*root, false, &sets));
+    dedupeTerms(&sets);
+
+    // Drop unsatisfiable sets (a token both required and forbidden can
+    // arise from DNF of contradictions like "a & !a"); dropping them
+    // preserves semantics.
+    std::vector<IntersectionSet> satisfiable;
+    for (IntersectionSet &s : sets) {
+        bool contradiction = false;
+        for (const Term &t : s.terms) {
+            for (const Term &u : s.terms) {
+                if (t.token == u.token && t.negated != u.negated) {
+                    contradiction = true;
+                    break;
+                }
+            }
+            if (contradiction) {
+                break;
+            }
+        }
+        if (!contradiction) {
+            satisfiable.push_back(std::move(s));
+        }
+    }
+    if (satisfiable.empty()) {
+        return Status::invalidArgument("query is unsatisfiable");
+    }
+    *out = Query(std::move(satisfiable));
+    return out->validate();
+}
+
+} // namespace mithril::query

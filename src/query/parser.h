@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Text syntax for queries, with full boolean normalization.
+ *
+ * Grammar (case-insensitive keywords; '&'/'|'/'!' are synonyms for
+ * AND/OR/NOT):
+ *
+ *     query  := or
+ *     or     := and ( ("OR"  | "|") and )*
+ *     and    := unary ( ("AND" | "&") unary )*
+ *     unary  := ("NOT" | "!") unary | "(" or ")" | token
+ *     token  := "quoted text" | bare-word
+ *
+ * Arbitrary nesting is accepted; the parser converts the expression to
+ * disjunctive normal form (NOT pushed to leaves via De Morgan, AND
+ * distributed over OR), which is the union-of-intersections class the
+ * engine executes. DNF expansion is capped to keep adversarial inputs
+ * from exploding; exceeding the cap returns kCapacityExceeded.
+ */
+#ifndef MITHRIL_QUERY_PARSER_H
+#define MITHRIL_QUERY_PARSER_H
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace mithril::query {
+
+/** Hard cap on intersection sets produced by DNF expansion. */
+constexpr size_t kMaxDnfSets = 256;
+
+/**
+ * Parses @p text into @p out.
+ *
+ * @retval kInvalidArgument   syntax error (message has position info)
+ * @retval kCapacityExceeded  DNF expansion exceeded kMaxDnfSets
+ */
+Status parseQuery(std::string_view text, Query *out);
+
+} // namespace mithril::query
+
+#endif // MITHRIL_QUERY_PARSER_H

@@ -1,0 +1,130 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mithril::query {
+
+size_t
+IntersectionSet::positiveCount() const
+{
+    size_t n = 0;
+    for (const Term &t : terms) {
+        if (!t.negated) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+Query
+Query::allOf(std::span<const std::string> tokens)
+{
+    IntersectionSet set;
+    for (const std::string &t : tokens) {
+        set.terms.push_back({t, false});
+    }
+    return Query({std::move(set)});
+}
+
+Query
+Query::anyOf(std::span<const std::string> tokens)
+{
+    std::vector<IntersectionSet> sets;
+    for (const std::string &t : tokens) {
+        sets.push_back({{{t, false}}});
+    }
+    return Query(std::move(sets));
+}
+
+Query
+Query::unionOf(std::span<const Query> queries)
+{
+    std::vector<IntersectionSet> sets;
+    for (const Query &q : queries) {
+        sets.insert(sets.end(), q.sets_.begin(), q.sets_.end());
+    }
+    return Query(std::move(sets));
+}
+
+size_t
+Query::termCount() const
+{
+    size_t n = 0;
+    for (const IntersectionSet &s : sets_) {
+        n += s.terms.size();
+    }
+    return n;
+}
+
+std::vector<std::string>
+Query::distinctTokens() const
+{
+    std::set<std::string> seen;
+    for (const IntersectionSet &s : sets_) {
+        for (const Term &t : s.terms) {
+            seen.insert(t.token);
+        }
+    }
+    return {seen.begin(), seen.end()};
+}
+
+Status
+Query::validate(bool allow_pure_negative) const
+{
+    if (sets_.empty()) {
+        return Status::invalidArgument("query has no intersection sets");
+    }
+    for (const IntersectionSet &s : sets_) {
+        if (s.terms.empty()) {
+            return Status::invalidArgument("empty intersection set");
+        }
+        std::set<std::string_view> positive, negative;
+        for (const Term &t : s.terms) {
+            if (t.token.empty()) {
+                return Status::invalidArgument("empty token in query");
+            }
+            (t.negated ? negative : positive).insert(t.token);
+        }
+        for (std::string_view t : positive) {
+            if (negative.count(t)) {
+                return Status::invalidArgument(
+                    "token '" + std::string(t) +
+                    "' both required and forbidden in one set");
+            }
+        }
+        if (!allow_pure_negative && positive.empty()) {
+            return Status::unsupported(
+                "intersection set with no positive terms");
+        }
+    }
+    return Status::ok();
+}
+
+std::string
+Query::toString() const
+{
+    std::string out;
+    for (size_t i = 0; i < sets_.size(); ++i) {
+        if (i > 0) {
+            out += " | ";
+        }
+        out += '(';
+        const IntersectionSet &s = sets_[i];
+        for (size_t j = 0; j < s.terms.size(); ++j) {
+            if (j > 0) {
+                out += " & ";
+            }
+            if (s.terms[j].negated) {
+                out += '!';
+            }
+            out += '"';
+            out += s.terms[j].token;
+            out += '"';
+        }
+        out += ')';
+    }
+    return out;
+}
+
+} // namespace mithril::query

@@ -1,0 +1,468 @@
+#include "regex/regex.h"
+
+#include <algorithm>
+
+namespace mithril::regex {
+
+namespace {
+
+/** A dangling out-edge: (state index, field) to patch later. */
+struct Dangle {
+    int state;
+    int field;  // 0 = next, 1 = eps0, 2 = eps1
+};
+
+/** NFA fragment under construction. */
+struct Frag {
+    int start;
+    std::vector<Dangle> out;
+};
+
+/** Fills a bitset from an escape character; returns false if @p c is a
+ *  plain escaped literal instead of a class shorthand. */
+bool
+classEscape(char c, std::bitset<256> *set)
+{
+    switch (c) {
+      case 'd':
+        for (int b = '0'; b <= '9'; ++b) set->set(b);
+        return true;
+      case 'w':
+        for (int b = '0'; b <= '9'; ++b) set->set(b);
+        for (int b = 'a'; b <= 'z'; ++b) set->set(b);
+        for (int b = 'A'; b <= 'Z'; ++b) set->set(b);
+        set->set('_');
+        return true;
+      case 's':
+        set->set(' ');
+        set->set('\t');
+        set->set('\r');
+        set->set('\n');
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Resolves simple escaped literals (\n, \t, \\, \., ...). */
+char
+literalEscape(char c)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      default: return c;  // \. \* \( etc: the character itself
+    }
+}
+
+} // namespace
+
+// -------------------------------------------------------------------------
+// Parser / NFA builder
+
+namespace {
+
+class Builder
+{
+  public:
+    explicit Builder(std::string_view pattern) : pattern_(pattern) {}
+
+    Status
+    run(std::vector<std::bitset<256>> *ons, std::vector<int> *nexts,
+        std::vector<int> *eps0s, std::vector<int> *eps1s,
+        std::vector<bool> *accepts, int *start)
+    {
+        Frag frag;
+        MITHRIL_RETURN_IF_ERROR(parseAlt(&frag));
+        if (pos_ != pattern_.size()) {
+            return Status::invalidArgument("unexpected ')' in pattern");
+        }
+        int accept = newState();
+        accept_[accept] = true;
+        patch(frag.out, accept);
+        *start = frag.start;
+
+        *ons = std::move(on_);
+        *nexts = std::move(next_);
+        *eps0s = std::move(eps0_);
+        *eps1s = std::move(eps1_);
+        *accepts = std::move(accept_);
+        return Status::ok();
+    }
+
+  private:
+    int
+    newState()
+    {
+        on_.emplace_back();
+        next_.push_back(-1);
+        eps0_.push_back(-1);
+        eps1_.push_back(-1);
+        accept_.push_back(false);
+        return static_cast<int>(on_.size() - 1);
+    }
+
+    void
+    patch(const std::vector<Dangle> &out, int target)
+    {
+        for (const Dangle &d : out) {
+            switch (d.field) {
+              case 0: next_[d.state] = target; break;
+              case 1: eps0_[d.state] = target; break;
+              default: eps1_[d.state] = target; break;
+            }
+        }
+    }
+
+    bool atEnd() const { return pos_ >= pattern_.size(); }
+    char peek() const { return pattern_[pos_]; }
+
+    Status
+    parseAlt(Frag *out)
+    {
+        Frag left;
+        MITHRIL_RETURN_IF_ERROR(parseConcat(&left));
+        while (!atEnd() && peek() == '|') {
+            ++pos_;
+            Frag right;
+            MITHRIL_RETURN_IF_ERROR(parseConcat(&right));
+            int split = newState();
+            eps0_[split] = left.start;
+            eps1_[split] = right.start;
+            Frag merged;
+            merged.start = split;
+            merged.out = left.out;
+            merged.out.insert(merged.out.end(), right.out.begin(),
+                              right.out.end());
+            left = std::move(merged);
+        }
+        *out = std::move(left);
+        return Status::ok();
+    }
+
+    Status
+    parseConcat(Frag *out)
+    {
+        Frag acc;
+        bool have = false;
+        while (!atEnd() && peek() != '|' && peek() != ')') {
+            Frag piece;
+            MITHRIL_RETURN_IF_ERROR(parseRepeat(&piece));
+            if (!have) {
+                acc = std::move(piece);
+                have = true;
+            } else {
+                patch(acc.out, piece.start);
+                acc.out = std::move(piece.out);
+            }
+        }
+        if (!have) {
+            // Empty alternative: a single epsilon pass-through state.
+            int s = newState();
+            acc.start = s;
+            acc.out = {{s, 1}};
+        }
+        *out = std::move(acc);
+        return Status::ok();
+    }
+
+    Status
+    parseRepeat(Frag *out)
+    {
+        Frag frag;
+        MITHRIL_RETURN_IF_ERROR(parseAtom(&frag));
+        while (!atEnd() &&
+               (peek() == '*' || peek() == '+' || peek() == '?')) {
+            char op = pattern_[pos_++];
+            int split = newState();
+            if (op == '*') {
+                eps0_[split] = frag.start;
+                patch(frag.out, split);
+                frag.start = split;
+                frag.out = {{split, 2}};
+            } else if (op == '+') {
+                eps0_[split] = frag.start;
+                patch(frag.out, split);
+                frag.out = {{split, 2}};
+            } else {
+                eps0_[split] = frag.start;
+                Frag opt;
+                opt.start = split;
+                opt.out = frag.out;
+                opt.out.push_back({split, 2});
+                frag = std::move(opt);
+            }
+        }
+        *out = std::move(frag);
+        return Status::ok();
+    }
+
+    Status
+    parseAtom(Frag *out)
+    {
+        if (atEnd()) {
+            return Status::invalidArgument("pattern ends unexpectedly");
+        }
+        char c = pattern_[pos_++];
+        switch (c) {
+          case '(': {
+            MITHRIL_RETURN_IF_ERROR(parseAlt(out));
+            if (atEnd() || pattern_[pos_] != ')') {
+                return Status::invalidArgument("missing ')'");
+            }
+            ++pos_;
+            return Status::ok();
+          }
+          case ')':
+          case '*':
+          case '+':
+          case '?':
+          case '|':
+            return Status::invalidArgument(
+                std::string("misplaced '") + c + "'");
+          case '.': {
+            int s = newState();
+            on_[s].set();
+            on_[s].reset('\n');
+            *out = {s, {{s, 0}}};
+            return Status::ok();
+          }
+          case '[':
+            return parseClass(out);
+          case '\\': {
+            if (atEnd()) {
+                return Status::invalidArgument("trailing backslash");
+            }
+            char e = pattern_[pos_++];
+            int s = newState();
+            std::bitset<256> set;
+            if (classEscape(e, &set)) {
+                on_[s] = set;
+            } else {
+                on_[s].set(static_cast<uint8_t>(literalEscape(e)));
+            }
+            *out = {s, {{s, 0}}};
+            return Status::ok();
+          }
+          default: {
+            int s = newState();
+            on_[s].set(static_cast<uint8_t>(c));
+            *out = {s, {{s, 0}}};
+            return Status::ok();
+          }
+        }
+    }
+
+    Status
+    parseClass(Frag *out)
+    {
+        std::bitset<256> set;
+        bool negate = false;
+        if (!atEnd() && peek() == '^') {
+            negate = true;
+            ++pos_;
+        }
+        bool first = true;
+        while (true) {
+            if (atEnd()) {
+                return Status::invalidArgument("missing ']'");
+            }
+            char c = pattern_[pos_++];
+            if (c == ']' && !first) {
+                break;
+            }
+            first = false;
+            if (c == '\\') {
+                if (atEnd()) {
+                    return Status::invalidArgument("trailing backslash");
+                }
+                char e = pattern_[pos_++];
+                std::bitset<256> esc;
+                if (classEscape(e, &esc)) {
+                    set |= esc;
+                    continue;
+                }
+                c = literalEscape(e);
+            }
+            if (!atEnd() && peek() == '-' && pos_ + 1 < pattern_.size() &&
+                pattern_[pos_ + 1] != ']') {
+                ++pos_;
+                char hi = pattern_[pos_++];
+                if (hi == '\\') {
+                    if (atEnd()) {
+                        return Status::invalidArgument(
+                            "trailing backslash");
+                    }
+                    hi = literalEscape(pattern_[pos_++]);
+                }
+                for (int b = static_cast<uint8_t>(c);
+                     b <= static_cast<uint8_t>(hi); ++b) {
+                    set.set(b);
+                }
+            } else {
+                set.set(static_cast<uint8_t>(c));
+            }
+        }
+        if (negate) {
+            set.flip();
+        }
+        int s = newState();
+        on_[s] = set;
+        *out = {s, {{s, 0}}};
+        return Status::ok();
+    }
+
+    std::string_view pattern_;
+    size_t pos_ = 0;
+    std::vector<std::bitset<256>> on_;
+    std::vector<int> next_;
+    std::vector<int> eps0_;
+    std::vector<int> eps1_;
+    std::vector<bool> accept_;
+};
+
+} // namespace
+
+Status
+Regex::compile(std::string_view pattern, Regex *out)
+{
+    *out = Regex();
+    Builder builder(pattern);
+    std::vector<std::bitset<256>> ons;
+    std::vector<int> nexts, eps0s, eps1s;
+    std::vector<bool> accepts;
+    int start = -1;
+    MITHRIL_RETURN_IF_ERROR(
+        builder.run(&ons, &nexts, &eps0s, &eps1s, &accepts, &start));
+    out->states_.resize(ons.size());
+    for (size_t i = 0; i < ons.size(); ++i) {
+        out->states_[i].on = ons[i];
+        out->states_[i].next = nexts[i];
+        out->states_[i].eps0 = eps0s[i];
+        out->states_[i].eps1 = eps1s[i];
+        out->states_[i].accept = accepts[i];
+    }
+    out->start_ = start;
+    return Status::ok();
+}
+
+void
+Regex::epsilonClosure(std::vector<int> *states) const
+{
+    std::vector<int> stack(*states);
+    std::vector<bool> seen(states_.size(), false);
+    for (int s : *states) {
+        seen[s] = true;
+    }
+    while (!stack.empty()) {
+        int s = stack.back();
+        stack.pop_back();
+        for (int e : {states_[s].eps0, states_[s].eps1}) {
+            if (e >= 0 && !seen[e]) {
+                seen[e] = true;
+                states->push_back(e);
+                stack.push_back(e);
+            }
+        }
+    }
+    std::sort(states->begin(), states->end());
+}
+
+int
+Regex::internDfaState(std::vector<int> nfa_states) const
+{
+    auto it = dfa_index_.find(nfa_states);
+    if (it != dfa_index_.end()) {
+        return it->second;
+    }
+    DfaState d;
+    d.nfa = nfa_states;
+    d.accept = false;
+    for (int s : d.nfa) {
+        if (states_[s].accept) {
+            d.accept = true;
+            break;
+        }
+    }
+    d.next.fill(-2);
+    dfa_states_.push_back(std::move(d));
+    int id = static_cast<int>(dfa_states_.size() - 1);
+    dfa_index_.emplace(std::move(nfa_states), id);
+    return id;
+}
+
+int
+Regex::dfaStart() const
+{
+    if (dfa_start_ < 0) {
+        std::vector<int> init{start_};
+        epsilonClosure(&init);
+        dfa_start_ = internDfaState(std::move(init));
+    }
+    return dfa_start_;
+}
+
+int
+Regex::dfaStep(int dfa_state, uint8_t byte) const
+{
+    int cached = dfa_states_[dfa_state].next[byte];
+    if (cached != -2) {
+        return cached;
+    }
+    std::vector<int> moved;
+    for (int s : dfa_states_[dfa_state].nfa) {
+        if (states_[s].on.test(byte) && states_[s].next >= 0) {
+            moved.push_back(states_[s].next);
+        }
+    }
+    int target = -1;
+    if (!moved.empty()) {
+        std::sort(moved.begin(), moved.end());
+        moved.erase(std::unique(moved.begin(), moved.end()), moved.end());
+        epsilonClosure(&moved);
+        target = internDfaState(std::move(moved));
+    }
+    dfa_states_[dfa_state].next[byte] = target;
+    return target;
+}
+
+bool
+Regex::match(std::string_view text) const
+{
+    int state = dfaStart();
+    for (char c : text) {
+        state = dfaStep(state, static_cast<uint8_t>(c));
+        if (state < 0) {
+            return false;
+        }
+    }
+    return dfa_states_[state].accept;
+}
+
+bool
+Regex::search(std::string_view text) const
+{
+    // Unanchored search: restart the DFA at every offset, accepting as
+    // soon as any prefix matches. Dead-state pruning keeps the common
+    // case near O(n).
+    for (size_t start = 0; start <= text.size(); ++start) {
+        int state = dfaStart();
+        if (dfa_states_[state].accept) {
+            return true;  // empty match
+        }
+        for (size_t i = start; i < text.size(); ++i) {
+            state = dfaStep(state, static_cast<uint8_t>(text[i]));
+            if (state < 0) {
+                break;
+            }
+            if (dfa_states_[state].accept) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace mithril::regex

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * From-scratch regular expression engine (Thompson NFA + lazy DFA).
+ *
+ * The paper positions token filtering against regular-expression-based
+ * accelerators (HAWK/HARE, Section 2.1.2 and 7.4.3): regex engines are
+ * strictly more expressive but cost far more chip resources per unit
+ * bandwidth. This module provides the software substrate for that
+ * comparison: a byte-at-a-time engine whose DFA state stepping mirrors
+ * what a hardware FSM implementation does each cycle; the companion
+ * resource/throughput model lives in sim/resource_model.h
+ * (hareKlutPerGbps).
+ *
+ * Supported syntax: literals, '.', character classes [a-z0-9_] with
+ * ranges and negation, grouping (), alternation '|', repetition
+ * '*' '+' '?', and '\\' escapes. Anchors are implicit: match() tests
+ * the whole string, search() finds the pattern anywhere.
+ */
+#ifndef MITHRIL_REGEX_REGEX_H
+#define MITHRIL_REGEX_REGEX_H
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mithril::regex {
+
+/** A compiled regular expression. */
+class Regex
+{
+  public:
+    /** Compiles @p pattern; kInvalidArgument on syntax errors. */
+    static Status compile(std::string_view pattern, Regex *out);
+
+    /** True when the whole of @p text matches. */
+    bool match(std::string_view text) const;
+
+    /** True when some substring of @p text matches. */
+    bool search(std::string_view text) const;
+
+    /** NFA states (resource-model input: FSM size proxy). */
+    size_t stateCount() const { return states_.size(); }
+
+    /** DFA states materialized so far by the lazy subset construction. */
+    size_t dfaStateCount() const { return dfa_states_.size(); }
+
+  private:
+    /** NFA state: byte-class transition + epsilon edges. */
+    struct NfaState {
+        std::bitset<256> on;   ///< consuming transition byte set
+        int next = -1;         ///< target when a byte in `on` consumed
+        int eps0 = -1;         ///< epsilon edges (split states)
+        int eps1 = -1;
+        bool accept = false;
+    };
+
+    /** DFA state: set of NFA states, transitions built lazily. */
+    struct DfaState {
+        std::vector<int> nfa;  ///< sorted NFA state ids
+        bool accept = false;
+        std::array<int, 256> next;  ///< -2 = not built, -1 = dead
+    };
+
+    void epsilonClosure(std::vector<int> *states) const;
+    int dfaStart() const;
+    int dfaStep(int dfa_state, uint8_t byte) const;
+    int internDfaState(std::vector<int> nfa_states) const;
+    bool runFrom(std::string_view text, bool anchored_end) const;
+
+    std::vector<NfaState> states_;
+    int start_ = -1;
+
+    // Lazy DFA cache; mutable because matching is logically const.
+    mutable std::vector<DfaState> dfa_states_;
+    mutable std::map<std::vector<int>, int> dfa_index_;
+    mutable int dfa_start_ = -1;
+};
+
+} // namespace mithril::regex
+
+#endif // MITHRIL_REGEX_REGEX_H

@@ -1,0 +1,63 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+
+namespace mithril::sim {
+
+double
+decompressorBound(const PerfInputs &in)
+{
+    // One word per cycle per pipeline, deterministic (Section 7.3).
+    return static_cast<double>(in.pipelines) * in.clock_hz *
+           static_cast<double>(in.datapath_bytes);
+}
+
+double
+filterBound(const PerfInputs &in)
+{
+    // Filters consume tokenized words; raw text expands by
+    // 1/useful_ratio when tokenized. Each filter sustains one word per
+    // cycle.
+    double tokenized_bps = static_cast<double>(in.pipelines) *
+                           static_cast<double>(in.hash_filters) *
+                           in.clock_hz *
+                           static_cast<double>(in.datapath_bytes);
+    return tokenized_bps * in.useful_ratio;
+}
+
+double
+storageBound(const PerfInputs &in)
+{
+    return in.storage_bw_bps * in.compression_ratio;
+}
+
+double
+modeledThroughput(const PerfInputs &in)
+{
+    return std::min({decompressorBound(in), filterBound(in),
+                     storageBound(in)});
+}
+
+double
+pipelineLutsAtWidth(size_t datapath_bytes)
+{
+    // Parametric scaling around the synthesized module costs:
+    //  - a fixed per-pipeline overhead (control, scatter/gather FIFOs)
+    //    that does NOT shrink with the datapath — the reason the paper
+    //    found 8-byte pipelines wasteful ("too slow, requiring too many
+    //    pipelines");
+    //  - tokenizer count scales with width (one per 2 B/cycle lane);
+    //  - the filter comparators/bitmaps and the decompressor shifters
+    //    scale ~linearly with width.
+    // Per-pipeline share of scatter/gather, page handling, and flash
+    // port plumbing; dominated by interface logic that does not shrink
+    // with a narrower datapath.
+    constexpr double kFixedOverhead = 20000.0;
+    double scale = static_cast<double>(datapath_bytes) / 16.0;
+    double tokenizers = 1134.0 * (static_cast<double>(datapath_bytes) / 2);
+    double filters = 2 * 30334.0 * scale;
+    double decompressor = 4245.0 * scale;
+    return kFixedOverhead + tokenizers + filters + decompressor;
+}
+
+} // namespace mithril::sim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analytic performance model of the filter engine + storage pairing.
+ *
+ * Complements the cycle-approximate emulation with the closed-form
+ * bounds the paper reasons with (Sections 4.1, 7.4.1): the deterministic
+ * decompressor bound, the tokenized-stream amplification bound, and the
+ * storage-feed bound through compression. Also hosts the datapath-width
+ * ablation (8/16/32-byte alternatives the design-space exploration
+ * rejected).
+ */
+#ifndef MITHRIL_SIM_PERF_MODEL_H
+#define MITHRIL_SIM_PERF_MODEL_H
+
+#include <cstddef>
+
+namespace mithril::sim {
+
+/** Inputs to the analytic throughput model. */
+struct PerfInputs {
+    size_t pipelines = 4;
+    double clock_hz = 200e6;
+    size_t datapath_bytes = 16;
+    /** Fraction of useful bits in the tokenized stream (Figure 13). */
+    double useful_ratio = 0.5;
+    /** Hash filters per pipeline. */
+    size_t hash_filters = 2;
+    /** LZAH compression ratio of the dataset. */
+    double compression_ratio = 6.0;
+    /** Storage internal bandwidth feeding the accelerator (bytes/s). */
+    double storage_bw_bps = 4.8e9;
+};
+
+/** Decompressed-data bound of the decompressors (bytes/s). */
+double decompressorBound(const PerfInputs &in);
+
+/**
+ * Filter-stage bound (bytes/s of raw text): each pipeline's filters
+ * consume datapath words of tokenized data; padding amplification
+ * (1 / useful_ratio) inflates the tokenized stream relative to raw
+ * text.
+ */
+double filterBound(const PerfInputs &in);
+
+/** Storage-feed bound: compressed stream expanded by the ratio. */
+double storageBound(const PerfInputs &in);
+
+/** Overall modeled throughput: min of the three bounds. */
+double modeledThroughput(const PerfInputs &in);
+
+/**
+ * LUT cost model for a pipeline at a given datapath width, scaling the
+ * synthesized module costs (tokenizer count scales with width; filter
+ * and decompressor datapaths scale ~linearly). Used by the width
+ * ablation bench.
+ */
+double pipelineLutsAtWidth(size_t datapath_bytes);
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_PERF_MODEL_H

@@ -1,0 +1,48 @@
+#include "sim/power_model.h"
+
+namespace mithril::sim {
+
+PowerModel::PowerModel()
+{
+    // Table 8. MithriLog: measured wall power (2x VC707 at ~18 W, four
+    // BlueDBM cards at 6-7 W, host CPU+memory). Software platform: CPU
+    // and memory under full load, minus Samsung's published SSD power.
+    components_ = {
+        {"CPU+Memory", 90.0, 160.0},
+        {"Total Storage", 24.0, 10.0},
+        {"2x FPGA", 36.0, 0.0},
+    };
+}
+
+double
+PowerModel::mithrilogTotal() const
+{
+    double total = 0;
+    for (const PowerComponent &c : components_) {
+        total += c.mithrilog_watts;
+    }
+    return total;
+}
+
+double
+PowerModel::softwareTotal() const
+{
+    double total = 0;
+    for (const PowerComponent &c : components_) {
+        total += c.software_watts;
+    }
+    return total;
+}
+
+double
+PowerModel::efficiencyGain(double accel_bps, double software_bps) const
+{
+    if (software_bps <= 0 || accel_bps <= 0) {
+        return 0;
+    }
+    double accel_eff = accel_bps / mithrilogTotal();
+    double sw_eff = software_bps / softwareTotal();
+    return accel_eff / sw_eff;
+}
+
+} // namespace mithril::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * System power ledger (Table 8) and performance-per-watt derivation.
+ *
+ * The paper measures wall-plug power for the MithriLog prototype and
+ * estimates the software platform's breakdown from published component
+ * numbers. This model records those per-component figures and combines
+ * them with throughput measurements/models to produce the paper's
+ * power-efficiency claim (an order of magnitude, Section 7.6).
+ */
+#ifndef MITHRIL_SIM_POWER_MODEL_H
+#define MITHRIL_SIM_POWER_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace mithril::sim {
+
+/** One Table 8 row. */
+struct PowerComponent {
+    std::string name;
+    double mithrilog_watts;
+    double software_watts;
+};
+
+/** Power breakdown of both platforms. */
+class PowerModel
+{
+  public:
+    PowerModel();
+
+    const std::vector<PowerComponent> &components() const
+    {
+        return components_;
+    }
+
+    double mithrilogTotal() const;
+    double softwareTotal() const;
+
+    /**
+     * Power-efficiency improvement factor:
+     * (accel_bps / mithrilog_watts) / (sw_bps / software_watts).
+     */
+    double efficiencyGain(double accel_bps, double software_bps) const;
+
+  private:
+    std::vector<PowerComponent> components_;
+};
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_POWER_MODEL_H

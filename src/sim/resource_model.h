@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FPGA chip-resource ledger (Tables 2 and 4, Section 7.4.3).
+ *
+ * Synthesis results for the prototype's modules are published constants
+ * in the paper; this model records them, derives pipeline/device
+ * feasibility (how many pipelines fit a VC707- or KU15P-class part),
+ * and computes the resource-efficiency comparisons: GB/s per KLUT for
+ * the compression cores (Table 4) and KLUTs per GB/s for MithriLog
+ * versus a hypothetical HARE + LZRW accelerator (Section 7.4.3).
+ */
+#ifndef MITHRIL_SIM_RESOURCE_MODEL_H
+#define MITHRIL_SIM_RESOURCE_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mithril::sim {
+
+/** LUT/BRAM cost of one module. */
+struct ModuleCost {
+    std::string name;
+    uint32_t luts;
+    uint32_t ramb36;
+    uint32_t ramb18;
+    /** Instances per filter pipeline (0 = whole-design entry). */
+    uint32_t per_pipeline;
+};
+
+/** Device capacity (for feasibility checks). */
+struct DeviceCapacity {
+    std::string name;
+    uint32_t luts;
+    uint32_t ramb36;
+    uint32_t ramb18;
+};
+
+/** Throughput/area data point for a compression core (Table 4). */
+struct CompressionCore {
+    std::string name;
+    double gbps;       ///< decompression throughput, GB/s
+    double kluts;      ///< thousands of LUTs
+    std::string source;
+    double gbpsPerKlut() const { return gbps / kluts; }
+};
+
+/** The prototype's resource ledger. */
+class ResourceModel
+{
+  public:
+    ResourceModel();
+
+    /** Module costs as synthesized (Table 2 rows). */
+    const std::vector<ModuleCost> &modules() const { return modules_; }
+
+    /** Published per-pipeline and whole-design costs (Table 2). */
+    ModuleCost pipelineCost() const;
+    ModuleCost totalCost() const;
+
+    /** Sum of component costs for one pipeline (model cross-check;
+     *  slightly below the synthesized pipeline, which includes glue). */
+    ModuleCost pipelineComponentSum() const;
+
+    /** The Virtex-7 (VC707) part used by the prototype. */
+    static DeviceCapacity vc707();
+    /** The KU15P part in Samsung's SmartSSD. */
+    static DeviceCapacity ku15p();
+
+    /** Pipelines of the synthesized cost that fit @p device, after
+     *  reserving @p infrastructure_luts for PCIe/flash/links. */
+    uint32_t pipelinesFitting(const DeviceCapacity &device,
+                              uint32_t infrastructure_luts) const;
+
+    /** Table 4's compression-core comparison (LZAH last). */
+    static std::vector<CompressionCore> compressionCores();
+
+    /** KLUTs needed per GB/s: MithriLog filter + LZAH (Section 7.4.3). */
+    static double mithrilKlutPerGbps();
+
+    /** KLUTs per GB/s for HARE (400 MB/s @ ~55 KLE) + LZRW decompressor,
+     *  the hypothetical regex-based competitor of Section 7.4.3. */
+    static double hareKlutPerGbps();
+
+  private:
+    std::vector<ModuleCost> modules_;
+};
+
+} // namespace mithril::sim
+
+#endif // MITHRIL_SIM_RESOURCE_MODEL_H

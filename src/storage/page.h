@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Page-granular storage primitives.
+ *
+ * MithriLog's storage device is NAND-flash addressed in 4 KB pages
+ * (Section 6 sizes the index around 4 KB data pages). All on-storage
+ * structures in this repository — compressed log data, index root pages,
+ * leaf pages, snapshots — are arrays of fixed-size pages identified by a
+ * PageId.
+ */
+#ifndef MITHRIL_STORAGE_PAGE_H
+#define MITHRIL_STORAGE_PAGE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mithril::storage {
+
+/** Flash page size in bytes, matching the paper's 4 KB data pages. */
+constexpr size_t kPageSize = 4096;
+
+/** Identifier of a page within a device; dense, starting at zero. */
+using PageId = uint64_t;
+
+/** Sentinel for "no page" (used by linked-list terminators). */
+constexpr PageId kInvalidPage = ~0ull;
+
+} // namespace mithril::storage
+
+#endif // MITHRIL_STORAGE_PAGE_H

@@ -1,0 +1,39 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace mithril::storage {
+
+PageId
+PageStore::allocate()
+{
+    PageId id = pageCount();
+    pages_.resize(pages_.size() + kPageSize, 0);
+    return id;
+}
+
+void
+PageStore::write(PageId id, std::span<const uint8_t> data)
+{
+    MITHRIL_ASSERT(id < pageCount());
+    MITHRIL_ASSERT(data.size() <= kPageSize);
+    std::memcpy(pages_.data() + id * kPageSize, data.data(), data.size());
+}
+
+std::span<const uint8_t>
+PageStore::read(PageId id) const
+{
+    MITHRIL_ASSERT(id < pageCount());
+    return {pages_.data() + id * kPageSize, kPageSize};
+}
+
+std::span<uint8_t>
+PageStore::mutablePage(PageId id)
+{
+    MITHRIL_ASSERT(id < pageCount());
+    return {pages_.data() + id * kPageSize, kPageSize};
+}
+
+} // namespace mithril::storage

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional (un-timed) page store: the NAND array contents.
+ *
+ * PageStore holds the bytes; SsdModel layers command timing and link
+ * bandwidth modeling on top. Keeping the two separate lets tests exercise
+ * data-path correctness without a timing model, and lets the timing model
+ * be validated without data.
+ */
+#ifndef MITHRIL_STORAGE_PAGE_STORE_H
+#define MITHRIL_STORAGE_PAGE_STORE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace mithril::storage {
+
+/** In-memory array of fixed-size pages with append-style allocation. */
+class PageStore
+{
+  public:
+    PageStore() = default;
+
+    /** Allocates a zero-filled page and returns its id. */
+    PageId allocate();
+
+    /** Number of allocated pages. */
+    uint64_t pageCount() const { return pages_.size() / kPageSize; }
+
+    /** Total allocated bytes (pageCount * kPageSize). */
+    uint64_t sizeBytes() const { return pages_.size(); }
+
+    /**
+     * Overwrites page @p id starting at byte 0 with @p data
+     * (data.size() <= kPageSize); the remainder keeps its old contents.
+     */
+    void write(PageId id, std::span<const uint8_t> data);
+
+    /** Read-only view of a full page. */
+    std::span<const uint8_t> read(PageId id) const;
+
+    /** Mutable view of a full page (for in-place structures). */
+    std::span<uint8_t> mutablePage(PageId id);
+
+  private:
+    // One flat buffer keeps allocation cheap and cache behaviour sane for
+    // the multi-GB-scale (scaled-down) datasets the benches ingest.
+    std::vector<uint8_t> pages_;
+};
+
+} // namespace mithril::storage
+
+#endif // MITHRIL_STORAGE_PAGE_STORE_H

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Timed SSD device model: the near-storage platform MithriLog runs on.
+ *
+ * The model reproduces the two properties the paper's architecture
+ * exploits (Sections 2.2, 3, 7.2):
+ *
+ *  1. the *internal* bandwidth between the NAND array and the on-device
+ *     accelerator (4.8 GB/s on the BlueDBM prototype) exceeds the
+ *     *external* PCIe link to the host (3.1 GB/s effective), and
+ *  2. flash access is latency-bound for dependent (pointer-chasing)
+ *     reads — about 100 us per hop — but many independent commands can be
+ *     in flight across channels, so batched reads are bandwidth-bound.
+ *
+ * The model is analytic rather than event-driven: reads accrue modeled
+ * time into a device clock using `max(latency chain, bytes / bandwidth)`
+ * per batch, which is exactly the level of fidelity the paper's own
+ * back-of-envelope analysis uses (Section 6.1).
+ */
+#ifndef MITHRIL_STORAGE_SSD_MODEL_H
+#define MITHRIL_STORAGE_SSD_MODEL_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/simtime.h"
+#include "common/stats.h"
+#include "storage/page_store.h"
+
+namespace mithril::storage {
+
+/** Which link a transfer crosses; determines the bandwidth bound. */
+enum class Link {
+    kInternal,  ///< NAND array -> on-device accelerator
+    kExternal,  ///< NAND array -> host over PCIe
+};
+
+/** Device parameters; defaults reproduce the paper's prototype. */
+struct SsdConfig {
+    /** Aggregate internal flash bandwidth (4x BlueDBM cards). */
+    double internal_bw_bps = 4.8e9;
+    /** Effective host link bandwidth (PCIe Gen2 x8 via DMA). */
+    double external_bw_bps = 3.1e9;
+    /** Per-command flash read latency. */
+    SimTime read_latency = SimTime::microseconds(100);
+    /** Independent commands the device can overlap (channels x QD).
+     *  Sized so 4 KB commands at 100 us latency sustain the internal
+     *  bandwidth: 256 x 4 KB / 100 us ~ 10 GB/s of headroom. */
+    unsigned parallel_commands = 256;
+};
+
+/** Comparison-platform storage (Section 7.2): RAID-0 of two NVMe SSDs. */
+inline SsdConfig
+comparisonSsdConfig()
+{
+    return SsdConfig{
+        .internal_bw_bps = 7e9,  // software systems see only one link
+        .external_bw_bps = 7e9,  // 7 GB/s measured peak in the paper
+        .read_latency = SimTime::microseconds(80),
+        .parallel_commands = 128,
+    };
+}
+
+/**
+ * A page store with a command-level timing model.
+ *
+ * All read/write entry points both move bytes and advance the modeled
+ * device clock. Pure timing queries (time*) are also exposed so the
+ * end-to-end performance model can reason about alternatives without
+ * issuing traffic.
+ */
+class SsdModel
+{
+  public:
+    explicit SsdModel(SsdConfig config = SsdConfig{});
+
+    PageStore &store() { return store_; }
+    const PageStore &store() const { return store_; }
+    const SsdConfig &config() const { return config_; }
+
+    /** Modeled time consumed by all traffic since the last reset. */
+    SimTime elapsed() const { return clock_; }
+
+    /** Resets the modeled clock (not the stored data or counters). */
+    void resetClock() { clock_ = SimTime(); }
+
+    /** Device counters: pages_read, pages_written, bytes_*, commands. */
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+    // --- pure timing queries -------------------------------------------
+
+    /**
+     * Time for @p pages independent page reads over @p link.
+     * Bandwidth-bound when the batch is large; one latency to first byte.
+     */
+    SimTime timeBatchRead(uint64_t pages, Link link) const;
+
+    /**
+     * Time for a dependent chain of @p hops reads (each must complete
+     * before the next address is known), where each hop additionally
+     * fans out to @p fanout_pages independent reads.  This is the index
+     * traversal pattern of Section 6.1.
+     */
+    SimTime timeChainRead(uint64_t hops, uint64_t fanout_pages,
+                          Link link) const;
+
+    /** Time to write @p pages (treated like batched reads; NAND program
+     *  time folds into the same bandwidth envelope at this fidelity). */
+    SimTime timeBatchWrite(uint64_t pages) const;
+
+    // --- metered data operations ---------------------------------------
+
+    /** Allocates a page (no modeled cost; allocation is bookkeeping). */
+    PageId allocate() { return store_.allocate(); }
+
+    /** Writes @p data to @p id and accrues modeled write time. */
+    void writePage(PageId id, std::span<const uint8_t> data);
+
+    /**
+     * Reads a batch of independent pages over @p link, appending their
+     * bytes to @p out, and accrues modeled time for the whole batch.
+     */
+    void readBatch(std::span<const PageId> ids, Link link,
+                   std::vector<uint8_t> *out);
+
+    /** Reads one page in a dependent chain (pointer chase): charges a
+     *  full read latency. Returns the page view. */
+    std::span<const uint8_t> readChained(PageId id, Link link);
+
+    /** Accounts a batch of independent page reads that pipeline behind
+     *  other outstanding work (latency hidden): charges transfer time
+     *  only. The caller reads the data through store(). */
+    void chargeOverlappedRead(uint64_t pages, Link link);
+
+  private:
+    double bandwidth(Link link) const;
+
+    SsdConfig config_;
+    PageStore store_;
+    SimTime clock_;
+    StatSet stats_;
+};
+
+} // namespace mithril::storage
+
+#endif // MITHRIL_STORAGE_SSD_MODEL_H

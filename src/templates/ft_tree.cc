@@ -1,0 +1,191 @@
+#include "templates/ft_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/text.h"
+
+namespace mithril::templates {
+
+std::vector<std::string_view>
+FtTree::lineSignature(std::string_view line) const
+{
+    std::vector<std::string_view> sig;
+    forEachToken(line, [&](std::string_view tok, uint32_t) {
+        auto it = token_freq_.find(tok);
+        if (it != token_freq_.end()) {
+            sig.push_back(it->first);  // canonical storage view
+        }
+        return true;
+    });
+    // Dedupe, then order by descending global frequency (ties broken by
+    // token text for determinism) — FT-tree ignores positions entirely.
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    std::sort(sig.begin(), sig.end(),
+              [&](std::string_view a, std::string_view b) {
+                  uint64_t fa = token_freq_.find(a)->second;
+                  uint64_t fb = token_freq_.find(b)->second;
+                  if (fa != fb) {
+                      return fa > fb;
+                  }
+                  return a < b;
+              });
+    if (sig.size() > config_.max_depth) {
+        sig.resize(config_.max_depth);
+    }
+    return sig;
+}
+
+FtTree
+FtTree::build(std::string_view text, const FtTreeConfig &config)
+{
+    FtTree tree;
+    tree.config_ = config;
+
+    // Pass 1: global token frequencies.
+    uint64_t lines = 0;
+    std::map<std::string, uint64_t, std::less<>> freq;
+    forEachLine(text, [&](std::string_view line) {
+        ++lines;
+        forEachToken(line, [&](std::string_view tok, uint32_t) {
+            auto it = freq.find(tok);
+            if (it == freq.end()) {
+                freq.emplace(std::string(tok), 1);
+            } else {
+                ++it->second;
+            }
+            return true;
+        });
+    });
+
+    // Threshold: below it a token is a variable value, not a template
+    // word, and never enters the tree.
+    uint64_t min_count = std::max<uint64_t>(
+        config.token_min_count,
+        static_cast<uint64_t>(static_cast<double>(lines) *
+                              config.token_frequency_ratio));
+    for (auto &[tok, count] : freq) {
+        if (count >= min_count) {
+            tree.token_freq_.emplace(tok, count);
+        }
+    }
+
+    // Pass 2: insert each line's signature as a path.
+    tree.nodes_.emplace_back();  // root
+    forEachLine(text, [&](std::string_view line) {
+        std::vector<std::string_view> sig = tree.lineSignature(line);
+        size_t node = 0;
+        ++tree.nodes_[0].pass_count;
+        for (std::string_view tok : sig) {
+            auto it = tree.nodes_[node].children.find(tok);
+            size_t next;
+            if (it == tree.nodes_[node].children.end()) {
+                next = tree.nodes_.size();
+                tree.nodes_.emplace_back();
+                tree.nodes_[next].token = std::string(tok);
+                tree.nodes_[node].children.emplace(std::string(tok), next);
+            } else {
+                next = it->second;
+            }
+            ++tree.nodes_[next].pass_count;
+            node = next;
+        }
+        ++tree.nodes_[node].terminal_count;
+    });
+
+    // Extract templates once; classify() reuses the node mapping.
+    tree.template_of_node_.assign(tree.nodes_.size(), SIZE_MAX);
+    std::vector<std::string> path;
+    tree.collectTemplates(0, &path, &tree.templates_);
+    return tree;
+}
+
+void
+FtTree::collectTemplates(size_t node, std::vector<std::string> *path,
+                         std::vector<ExtractedTemplate> *out)
+{
+    const Node &n = nodes_[node];
+    if (node != 0 && n.terminal_count >= config_.template_min_support) {
+        ExtractedTemplate tpl;
+        tpl.tokens = *path;
+        tpl.support = n.terminal_count;
+        out->push_back(std::move(tpl));
+        template_of_node_[node] = out->size() - 1;
+    }
+    for (const auto &[tok, child] : n.children) {
+        // Negations: siblings more frequent than the chosen child would
+        // have sorted earlier in the signature, so their absence is part
+        // of the template's identity (Figure 7's !B).
+        path->push_back(tok);
+        size_t before = out->size();
+        collectTemplates(child, path, out);
+        uint64_t child_freq = tokenFrequency(tok);
+        for (size_t i = before; i < out->size(); ++i) {
+            for (const auto &[sib_tok, sib_node] : n.children) {
+                if (sib_node != child &&
+                    tokenFrequency(sib_tok) > child_freq) {
+                    (*out)[i].negations.push_back(sib_tok);
+                }
+            }
+        }
+        path->pop_back();
+    }
+}
+
+std::vector<ExtractedTemplate>
+FtTree::extractTemplates() const
+{
+    return templates_;
+}
+
+size_t
+FtTree::classify(std::string_view line) const
+{
+    std::vector<std::string_view> sig = lineSignature(line);
+    size_t node = 0;
+    for (std::string_view tok : sig) {
+        auto it = nodes_[node].children.find(tok);
+        if (it == nodes_[node].children.end()) {
+            return SIZE_MAX;
+        }
+        node = it->second;
+    }
+    return template_of_node_[node];
+}
+
+uint64_t
+FtTree::tokenFrequency(std::string_view token) const
+{
+    auto it = token_freq_.find(token);
+    return it == token_freq_.end() ? 0 : it->second;
+}
+
+query::Query
+templateToQuery(const ExtractedTemplate &tpl)
+{
+    query::IntersectionSet set;
+    for (const std::string &tok : tpl.tokens) {
+        set.terms.push_back({tok, false});
+    }
+    std::set<std::string> seen;
+    for (const std::string &neg : tpl.negations) {
+        if (seen.insert(neg).second) {
+            set.terms.push_back({neg, true});
+        }
+    }
+    return query::Query({std::move(set)});
+}
+
+query::Query
+templatesToQuery(std::span<const ExtractedTemplate> templates)
+{
+    std::vector<query::IntersectionSet> sets;
+    for (const ExtractedTemplate &tpl : templates) {
+        query::Query q = templateToQuery(tpl);
+        sets.push_back(q.sets().front());
+    }
+    return query::Query(std::move(sets));
+}
+
+} // namespace mithril::templates

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FT-tree template extraction (Zhang et al. [84][85]; Section 4.3).
+ *
+ * The frequency-tree method ignores token positions: for each line, the
+ * tokens that pass a global-frequency threshold are sorted by descending
+ * global frequency and inserted as a root-to-leaf path into a tree, so
+ * globally common tokens sit near the root. Paths with enough support
+ * become templates. Variable values (timestamps, ids) fall below the
+ * frequency threshold and never enter the tree, which is how the method
+ * separates template words from parameters without supervision.
+ *
+ * This module also implements the paper's template-to-query mapping:
+ * a template path maps to one intersection set of its tokens, plus
+ * negated terms for any sibling branching token whose global frequency
+ * exceeds the chosen child's (the line would have descended into that
+ * sibling first), exactly the (A & C & !B) & D & E construction of
+ * Figure 7.
+ */
+#ifndef MITHRIL_TEMPLATES_FT_TREE_H
+#define MITHRIL_TEMPLATES_FT_TREE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query.h"
+
+namespace mithril::templates {
+
+/** FT-tree construction parameters. */
+struct FtTreeConfig {
+    /** Maximum path depth (template word count), FT-tree's "k". */
+    size_t max_depth = 6;
+    /**
+     * A token must appear in at least this fraction of lines to count
+     * as a template word (else it is treated as a variable value).
+     */
+    double token_frequency_ratio = 0.004;
+    /** ... and at least this many times in absolute terms. */
+    uint64_t token_min_count = 8;
+    /** Minimum lines a path needs to be emitted as a template. */
+    uint64_t template_min_support = 16;
+};
+
+/** One extracted template. */
+struct ExtractedTemplate {
+    /** Template tokens in descending global frequency. */
+    std::vector<std::string> tokens;
+    /** Higher-frequency sibling tokens that must be absent. */
+    std::vector<std::string> negations;
+    /** Lines that matched this path exactly. */
+    uint64_t support = 0;
+};
+
+/** Frequency tree built over a corpus. */
+class FtTree
+{
+  public:
+    /** Builds the tree over newline-separated @p text. */
+    static FtTree build(std::string_view text,
+                        const FtTreeConfig &config = FtTreeConfig{});
+
+    /** Templates with support >= config.template_min_support. */
+    std::vector<ExtractedTemplate> extractTemplates() const;
+
+    /**
+     * Classifies one line: index into extractTemplates() order of the
+     * deepest template whose path matches the line's frequency-sorted
+     * token sequence, or SIZE_MAX when none matches.
+     */
+    size_t classify(std::string_view line) const;
+
+    /** Global frequency of @p token (0 when below threshold). */
+    uint64_t tokenFrequency(std::string_view token) const;
+
+    /** Number of tree nodes (diagnostics). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    const FtTreeConfig &config() const { return config_; }
+
+  private:
+    struct Node {
+        std::string token;
+        uint64_t pass_count = 0;      ///< lines passing through
+        uint64_t terminal_count = 0;  ///< lines ending exactly here
+        std::map<std::string, size_t, std::less<>> children;
+    };
+
+    FtTree() = default;
+
+    /** Frequency-filtered, frequency-sorted, deduped token sequence. */
+    std::vector<std::string_view> lineSignature(std::string_view line)
+        const;
+
+    void collectTemplates(size_t node, std::vector<std::string> *path,
+                          std::vector<ExtractedTemplate> *out);
+
+    FtTreeConfig config_;
+    std::map<std::string, uint64_t, std::less<>> token_freq_;
+    std::vector<Node> nodes_;  // nodes_[0] is the root
+    std::vector<ExtractedTemplate> templates_;
+    std::vector<size_t> template_of_node_;
+};
+
+/** Maps one template to a single-intersection-set query (Section 4.3). */
+query::Query templateToQuery(const ExtractedTemplate &tpl);
+
+/**
+ * Joins up to kFlagPairs templates into one offloadable query by
+ * union (Section 4.3's multi-template batching).
+ */
+query::Query templatesToQuery(
+    std::span<const ExtractedTemplate> templates);
+
+} // namespace mithril::templates
+
+#endif // MITHRIL_TEMPLATES_FT_TREE_H

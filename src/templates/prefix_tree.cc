@@ -1,0 +1,170 @@
+#include "templates/prefix_tree.h"
+
+#include <algorithm>
+
+#include "common/text.h"
+
+namespace mithril::templates {
+
+namespace {
+constexpr std::string_view kWildcard = "*";
+} // namespace
+
+std::vector<std::string_view>
+PrefixTree::lineKeys(std::string_view line) const
+{
+    std::vector<std::string_view> keys;
+    forEachToken(line, [&](std::string_view tok, uint32_t column) {
+        if (column >= config_.max_depth) {
+            return false;
+        }
+        auto it = column_freq_.find(
+            {static_cast<uint16_t>(column), std::string(tok)});
+        if (it != column_freq_.end()) {
+            keys.push_back(it->first.second);
+        } else {
+            keys.push_back(kWildcard);
+        }
+        return true;
+    });
+    return keys;
+}
+
+PrefixTree
+PrefixTree::build(std::string_view text, const PrefixTreeConfig &config)
+{
+    PrefixTree tree;
+    tree.config_ = config;
+
+    // Pass 1: per-(column, token) frequencies.
+    uint64_t lines = 0;
+    std::map<std::pair<uint16_t, std::string>, uint64_t> freq;
+    forEachLine(text, [&](std::string_view line) {
+        ++lines;
+        forEachToken(line, [&](std::string_view tok, uint32_t column) {
+            if (column >= config.max_depth) {
+                return false;
+            }
+            ++freq[{static_cast<uint16_t>(column), std::string(tok)}];
+            return true;
+        });
+    });
+    uint64_t min_count = std::max<uint64_t>(
+        config.token_min_count,
+        static_cast<uint64_t>(static_cast<double>(lines) *
+                              config.token_frequency_ratio));
+    for (auto &[key, count] : freq) {
+        if (count >= min_count) {
+            tree.column_freq_.emplace(key, count);
+        }
+    }
+
+    // Pass 2: insert column-key paths.
+    tree.nodes_.emplace_back();
+    forEachLine(text, [&](std::string_view line) {
+        std::vector<std::string_view> keys = tree.lineKeys(line);
+        size_t node = 0;
+        for (std::string_view key : keys) {
+            auto it = tree.nodes_[node].children.find(key);
+            size_t next;
+            if (it == tree.nodes_[node].children.end()) {
+                next = tree.nodes_.size();
+                tree.nodes_.emplace_back();
+                tree.nodes_[node].children.emplace(std::string(key), next);
+            } else {
+                next = it->second;
+            }
+            node = next;
+        }
+        ++tree.nodes_[node].terminal_count;
+    });
+
+    tree.template_of_node_.assign(tree.nodes_.size(), SIZE_MAX);
+    std::vector<std::pair<uint16_t, std::string>> path;
+    tree.collect(0, &path, 0);
+    return tree;
+}
+
+void
+PrefixTree::collect(size_t node,
+                    std::vector<std::pair<uint16_t, std::string>> *path,
+                    uint16_t depth)
+{
+    const Node &n = nodes_[node];
+    if (node != 0 && n.terminal_count >= config_.template_min_support &&
+        !path->empty()) {
+        PrefixTemplate tpl;
+        tpl.tokens = *path;
+        tpl.support = n.terminal_count;
+        templates_.push_back(std::move(tpl));
+        template_of_node_[node] = templates_.size() - 1;
+    }
+    for (const auto &[key, child] : n.children) {
+        bool fixed = key != kWildcard;
+        if (fixed) {
+            path->emplace_back(depth, key);
+        }
+        collect(child, path, static_cast<uint16_t>(depth + 1));
+        if (fixed) {
+            path->pop_back();
+        }
+    }
+}
+
+size_t
+PrefixTree::classify(std::string_view line) const
+{
+    std::vector<std::string_view> keys = lineKeys(line);
+    size_t node = 0;
+    for (std::string_view key : keys) {
+        auto it = nodes_[node].children.find(key);
+        if (it == nodes_[node].children.end()) {
+            return SIZE_MAX;
+        }
+        node = it->second;
+    }
+    return template_of_node_[node];
+}
+
+Status
+compilePrefixTemplates(std::span<const PrefixTemplate> templates,
+                       accel::FilterProgram *out)
+{
+    *out = accel::FilterProgram();
+    if (templates.empty()) {
+        return Status::invalidArgument("no templates to compile");
+    }
+    if (templates.size() > accel::kFlagPairs) {
+        return Status::capacityExceeded(
+            "more templates than flag pairs");
+    }
+    uint32_t set_index = 0;
+    for (const PrefixTemplate &tpl : templates) {
+        if (tpl.tokens.empty()) {
+            return Status::invalidArgument("template with no fixed tokens");
+        }
+        for (const auto &[column, token] : tpl.tokens) {
+            MITHRIL_RETURN_IF_ERROR(out->table.insert(
+                token, set_index, /*negated=*/false, column));
+        }
+        out->set_owner[set_index] = set_index;
+        ++set_index;
+    }
+    out->active_sets = set_index;
+
+    for (uint32_t row = 0; row < out->table.rows(); ++row) {
+        const accel::CuckooEntry &e = out->table.entry(row);
+        if (!e.occupied) {
+            continue;
+        }
+        for (uint32_t s = 0; s < out->active_sets; ++s) {
+            uint8_t bit = static_cast<uint8_t>(1u << s);
+            if ((e.valid_mask & bit) && !(e.negative_mask & bit)) {
+                out->query_bitmaps[s][row / 64] |= 1ull << (row % 64);
+            }
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace mithril::templates

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Prefix-tree template extraction and column-constrained filtering —
+ * the Section 4.3 extension ("the engine can also trivially support
+ * prefix tree-based templates").
+ *
+ * Unlike FT-tree, prefix-tree methods (Spell, Drain, and relatives)
+ * keep token positions: a template is a sequence of (column, token)
+ * pairs, with variable columns wildcarded. The hardware supports these
+ * with a column field per cuckoo entry and a column counter in the
+ * tokenizer; matching is unchanged otherwise.
+ */
+#ifndef MITHRIL_TEMPLATES_PREFIX_TREE_H
+#define MITHRIL_TEMPLATES_PREFIX_TREE_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accel/hash_filter.h"
+#include "common/status.h"
+
+namespace mithril::templates {
+
+/** Prefix-tree construction parameters. */
+struct PrefixTreeConfig {
+    /** Columns considered (tree depth). */
+    size_t max_depth = 12;
+    /** (column, token) pairs below this line fraction are wildcards. */
+    double token_frequency_ratio = 0.01;
+    uint64_t token_min_count = 8;
+    uint64_t template_min_support = 16;
+};
+
+/** One positional template; wildcard columns are simply absent. */
+struct PrefixTemplate {
+    std::vector<std::pair<uint16_t, std::string>> tokens;
+    uint64_t support = 0;
+};
+
+/** Positional template tree. */
+class PrefixTree
+{
+  public:
+    static PrefixTree build(std::string_view text,
+                            const PrefixTreeConfig &config =
+                                PrefixTreeConfig{});
+
+    const std::vector<PrefixTemplate> &extractTemplates() const
+    {
+        return templates_;
+    }
+
+    /** Template index matching @p line, or SIZE_MAX. */
+    size_t classify(std::string_view line) const;
+
+    size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node {
+        uint64_t terminal_count = 0;
+        std::map<std::string, size_t, std::less<>> children;
+    };
+
+    PrefixTree() = default;
+
+    /** Column-wise keys for a line ("*" for variable columns). */
+    std::vector<std::string_view> lineKeys(std::string_view line) const;
+
+    void collect(size_t node,
+                 std::vector<std::pair<uint16_t, std::string>> *path,
+                 uint16_t depth);
+
+    PrefixTreeConfig config_;
+    // (column, token) -> count, for fixed-vs-wildcard decisions.
+    std::map<std::pair<uint16_t, std::string>, uint64_t> column_freq_;
+    std::vector<Node> nodes_;
+    std::vector<PrefixTemplate> templates_;
+    std::vector<size_t> template_of_node_;
+};
+
+/**
+ * Compiles positional templates into a FilterProgram whose cuckoo
+ * entries carry column constraints. One intersection set per template;
+ * fails like compileQueries on capacity limits, and with kUnsupported
+ * when one token would need two different column constraints.
+ */
+Status compilePrefixTemplates(std::span<const PrefixTemplate> templates,
+                              accel::FilterProgram *out);
+
+} // namespace mithril::templates
+
+#endif // MITHRIL_TEMPLATES_PREFIX_TREE_H

@@ -1,0 +1,79 @@
+#include "templates/template_tagger.h"
+
+#include <algorithm>
+
+namespace mithril::templates {
+
+Status
+tagTemplates(std::span<const ExtractedTemplate> templates,
+             std::span<const compress::ByteView> pages,
+             accel::Accelerator *accel, TagResult *out)
+{
+    *out = TagResult{};
+    if (templates.empty()) {
+        return Status::invalidArgument("no templates to tag against");
+    }
+    if (!accel->config().collect_masks) {
+        return Status::invalidArgument(
+            "tagger needs an accelerator with collect_masks enabled");
+    }
+    out->histogram.assign(templates.size(), 0);
+
+    // Per-line best candidate so far: (score = positive token count,
+    // template id). Higher score wins; ties go to the earlier template.
+    std::vector<std::pair<uint32_t, uint32_t>> best;
+
+    for (size_t base = 0; base < templates.size();
+         base += accel::kFlagPairs) {
+        size_t n = std::min(accel::kFlagPairs, templates.size() - base);
+        std::vector<query::Query> slice;
+        slice.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            slice.push_back(templateToQuery(templates[base + i]));
+        }
+        MITHRIL_RETURN_IF_ERROR(accel->configure(slice));
+        ++out->passes;
+
+        // One page per call keeps line masks in corpus order.
+        size_t line = 0;
+        for (const compress::ByteView &page : pages) {
+            accel::AccelResult result;
+            MITHRIL_RETURN_IF_ERROR(accel->process(
+                std::span(&page, 1), accel::Mode::kFilter, &result));
+            out->cycles += result.cycles;
+            for (uint64_t mask : result.line_masks) {
+                if (best.size() <= line) {
+                    best.resize(line + 1, {0, kUntagged});
+                }
+                for (size_t q = 0; q < n; ++q) {
+                    if (!(mask & (1ull << q))) {
+                        continue;
+                    }
+                    uint32_t id = static_cast<uint32_t>(base + q);
+                    uint32_t score = static_cast<uint32_t>(
+                        templates[id].tokens.size());
+                    auto &[best_score, best_id] = best[line];
+                    if (best_id == kUntagged || score > best_score ||
+                        (score == best_score && id < best_id)) {
+                        best_score = score;
+                        best_id = id;
+                    }
+                }
+                ++line;
+            }
+        }
+    }
+
+    out->tags.reserve(best.size());
+    for (const auto &[score, id] : best) {
+        out->tags.push_back(id);
+        if (id == kUntagged) {
+            ++out->untagged;
+        } else {
+            ++out->histogram[id];
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace mithril::templates

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Template-ID tagging — the paper's Section 8 future-work item
+ * ("exploring wire-speed methods for tagging each log line with
+ * template IDs"), built from the machinery Section 4.3 already
+ * provides.
+ *
+ * The batched filter reports, per line, a bitmask of which programmed
+ * queries accepted it. Programming one template per flag pair turns a
+ * filter pass into a template classifier for up to kFlagPairs
+ * templates; a library larger than that is covered by multiple passes
+ * over the same (compressed) data, each pass tagging its slice of the
+ * library. Lines matching several templates (a template's query
+ * retrieves a superset, Section 4.3) are resolved to the most specific
+ * — most positive tokens — candidate, mirroring deepest-path
+ * classification in the FT-tree.
+ */
+#ifndef MITHRIL_TEMPLATES_TEMPLATE_TAGGER_H
+#define MITHRIL_TEMPLATES_TEMPLATE_TAGGER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/status.h"
+#include "templates/ft_tree.h"
+
+namespace mithril::templates {
+
+/** Tag assigned to lines no template accepts. */
+constexpr uint32_t kUntagged = 0xffffffffu;
+
+/** Result of tagging a page stream. */
+struct TagResult {
+    /** Per line, the winning template id (or kUntagged). */
+    std::vector<uint32_t> tags;
+    /** Lines per template id (size = template count). */
+    std::vector<uint64_t> histogram;
+    uint64_t untagged = 0;
+    /** Accelerator passes over the data (= ceil(templates / 8)). */
+    uint32_t passes = 0;
+    /** Modeled accelerator cycles summed over passes. */
+    uint64_t cycles = 0;
+};
+
+/**
+ * Tags every line of @p pages (LZAH-compressed) against @p templates.
+ *
+ * @param accel an accelerator instance to (re)program per pass
+ * @retval kCapacityExceeded a template slice failed to compile even
+ *         alone (e.g. overflow-table exhaustion)
+ */
+Status tagTemplates(std::span<const ExtractedTemplate> templates,
+                    std::span<const compress::ByteView> pages,
+                    accel::Accelerator *accel, TagResult *out);
+
+} // namespace mithril::templates
+
+#endif // MITHRIL_TEMPLATES_TEMPLATE_TAGGER_H

@@ -1,0 +1,180 @@
+#include "accel/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "compress/lzah.h"
+#include "query/parser.h"
+
+namespace mithril::accel {
+namespace {
+
+/** Compresses lines into LZAH pages and returns owning buffers. */
+std::vector<compress::Bytes>
+makePages(const std::vector<std::string> &lines)
+{
+    compress::LzahPageEncoder enc;
+    for (const std::string &line : lines) {
+        EXPECT_NE(enc.addLine(line), compress::AddLineResult::kRejected);
+    }
+    enc.flush();
+    return std::move(enc.pages());
+}
+
+std::vector<compress::ByteView>
+views(const std::vector<compress::Bytes> &pages)
+{
+    std::vector<compress::ByteView> out;
+    for (const auto &p : pages) {
+        out.emplace_back(p);
+    }
+    return out;
+}
+
+query::Query
+mustParse(std::string_view text)
+{
+    query::Query q;
+    Status st = query::parseQuery(text, &q);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return q;
+}
+
+TEST(AcceleratorTest, FilterModeKeepsMatchingLines)
+{
+    auto pages = makePages({"RAS KERNEL INFO ok",
+                            "APP MESSAGE plain",
+                            "RAS KERNEL FATAL bad"});
+    Accelerator accel;
+    ASSERT_TRUE(accel.configure(mustParse("KERNEL & !FATAL")).isOk());
+    AccelResult result;
+    ASSERT_TRUE(accel.process(views(pages), Mode::kFilter,
+                              &result).isOk());
+    EXPECT_EQ(result.lines_in, 3u);
+    ASSERT_EQ(result.lines_kept, 1u);
+    ASSERT_EQ(result.kept.size(), 1u);
+    EXPECT_EQ(result.kept[0].text, "RAS KERNEL INFO ok");
+}
+
+TEST(AcceleratorTest, DecompressModeReturnsText)
+{
+    auto pages = makePages({"line one", "line two"});
+    Accelerator accel;
+    AccelResult result;
+    ASSERT_TRUE(accel.process(views(pages), Mode::kDecompress,
+                              &result).isOk());
+    EXPECT_EQ(result.text, "line one\nline two\n");
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(AcceleratorTest, RawModeForwardsBytes)
+{
+    auto pages = makePages({"anything"});
+    Accelerator accel;
+    AccelResult result;
+    ASSERT_TRUE(accel.process(views(pages), Mode::kRaw, &result).isOk());
+    EXPECT_EQ(result.raw.size(), pages.size() * 4096);
+}
+
+TEST(AcceleratorTest, FilterWithoutProgramFails)
+{
+    auto pages = makePages({"x"});
+    Accelerator accel;
+    AccelResult result;
+    EXPECT_FALSE(accel.process(views(pages), Mode::kFilter,
+                               &result).isOk());
+}
+
+TEST(AcceleratorTest, BatchedQueriesCountedPerQuery)
+{
+    std::vector<std::string> lines;
+    for (int i = 0; i < 100; ++i) {
+        lines.push_back(i % 2 == 0 ? "even token line"
+                                   : "odd marker line");
+    }
+    auto pages = makePages(lines);
+    std::vector<query::Query> queries{mustParse("even"),
+                                      mustParse("odd"),
+                                      mustParse("even | odd")};
+    Accelerator accel;
+    ASSERT_TRUE(accel.configure(queries).isOk());
+    AccelResult result;
+    ASSERT_TRUE(accel.process(views(pages), Mode::kFilter,
+                              &result).isOk());
+    ASSERT_GE(result.kept_per_query.size(), 3u);
+    EXPECT_EQ(result.kept_per_query[0], 50u);
+    EXPECT_EQ(result.kept_per_query[1], 50u);
+    EXPECT_EQ(result.kept_per_query[2], 100u);
+    EXPECT_EQ(result.lines_kept, 100u);
+}
+
+TEST(AcceleratorTest, CyclesScaleWithData)
+{
+    std::vector<std::string> small_lines(10, "tok a b"), big_lines;
+    for (int i = 0; i < 1000; ++i) {
+        big_lines.push_back("tok number " + std::to_string(i) +
+                            " with more content to process");
+    }
+    Accelerator accel;
+    ASSERT_TRUE(accel.configure(mustParse("tok")).isOk());
+
+    auto small_pages = makePages(small_lines);
+    auto big_pages = makePages(big_lines);
+    AccelResult small_result, big_result;
+    ASSERT_TRUE(accel.process(views(small_pages), Mode::kFilter,
+                              &small_result).isOk());
+    ASSERT_TRUE(accel.process(views(big_pages), Mode::kFilter,
+                              &big_result).isOk());
+    EXPECT_GT(big_result.cycles, small_result.cycles * 5);
+    EXPECT_GT(big_result.filterThroughput(), 0.0);
+}
+
+TEST(AcceleratorTest, MorePipelinesFewerCycles)
+{
+    std::vector<std::string> lines;
+    for (int i = 0; i < 6000; ++i) {
+        lines.push_back("payload line number " + std::to_string(i * 977) +
+                        " alpha beta gamma delta epsilon zeta");
+    }
+    auto pages = makePages(lines);
+    ASSERT_GT(pages.size(), 8u);
+
+    AccelResult one, four;
+    Accelerator a1(AccelConfig{.pipelines = 1});
+    Accelerator a4(AccelConfig{.pipelines = 4});
+    ASSERT_TRUE(a1.configure(mustParse("alpha")).isOk());
+    ASSERT_TRUE(a4.configure(mustParse("alpha")).isOk());
+    ASSERT_TRUE(a1.process(views(pages), Mode::kFilter, &one).isOk());
+    ASSERT_TRUE(a4.process(views(pages), Mode::kFilter, &four).isOk());
+    // Four pipelines split the page stream ~4x.
+    EXPECT_LT(four.cycles, one.cycles / 2);
+    EXPECT_EQ(one.lines_kept, four.lines_kept);
+}
+
+TEST(AcceleratorTest, UsefulRatioReported)
+{
+    std::vector<std::string> lines(200, "ab cd ef gh ij");
+    auto pages = makePages(lines);
+    Accelerator accel;
+    ASSERT_TRUE(accel.configure(mustParse("ab")).isOk());
+    AccelResult result;
+    ASSERT_TRUE(accel.process(views(pages), Mode::kFilter,
+                              &result).isOk());
+    // 2-byte tokens in 16-byte words: 12.5% useful.
+    EXPECT_NEAR(result.usefulRatio(), 0.125, 0.01);
+}
+
+TEST(AcceleratorTest, KeepLinesDisabledStillCounts)
+{
+    auto pages = makePages({"hit a", "hit b", "miss"});
+    Accelerator accel(AccelConfig{.keep_lines = false});
+    ASSERT_TRUE(accel.configure(mustParse("hit")).isOk());
+    AccelResult result;
+    ASSERT_TRUE(accel.process(views(pages), Mode::kFilter,
+                              &result).isOk());
+    EXPECT_EQ(result.lines_kept, 2u);
+    EXPECT_TRUE(result.kept.empty());
+    EXPECT_EQ(result.kept_per_query[0], 2u);
+}
+
+} // namespace
+} // namespace mithril::accel

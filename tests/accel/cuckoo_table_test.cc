@@ -1,0 +1,150 @@
+#include "accel/cuckoo_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mithril::accel {
+namespace {
+
+TEST(CuckooTableTest, InsertAndLookup)
+{
+    CuckooTable table;
+    ASSERT_TRUE(table.insert("KERNEL", 0, false).isOk());
+    auto row = table.lookup("KERNEL");
+    ASSERT_TRUE(row.has_value());
+    const CuckooEntry &e = table.entry(*row);
+    EXPECT_EQ(e.valid_mask, 1u);
+    EXPECT_EQ(e.negative_mask, 0u);
+    EXPECT_EQ(e.token_len, 6);
+}
+
+TEST(CuckooTableTest, MissingTokenNotFound)
+{
+    CuckooTable table;
+    ASSERT_TRUE(table.insert("aaa", 0, false).isOk());
+    EXPECT_FALSE(table.lookup("bbb").has_value());
+    EXPECT_FALSE(table.lookup("aa").has_value());
+    EXPECT_FALSE(table.lookup("aaaa").has_value());
+}
+
+TEST(CuckooTableTest, MergesFlagsForRepeatedToken)
+{
+    CuckooTable table;
+    ASSERT_TRUE(table.insert("tok", 0, false).isOk());
+    ASSERT_TRUE(table.insert("tok", 3, true).isOk());
+    auto row = table.lookup("tok");
+    ASSERT_TRUE(row.has_value());
+    const CuckooEntry &e = table.entry(*row);
+    EXPECT_EQ(e.valid_mask, 0b1001u);
+    EXPECT_EQ(e.negative_mask, 0b1000u);
+    EXPECT_EQ(table.occupiedCount(), 1u);
+}
+
+TEST(CuckooTableTest, ConflictingPolaritySameSetRejected)
+{
+    CuckooTable table;
+    ASSERT_TRUE(table.insert("tok", 0, false).isOk());
+    EXPECT_EQ(table.insert("tok", 0, true).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(CuckooTableTest, LongTokenUsesOverflow)
+{
+    CuckooTable table;
+    std::string long_token(45, 'x');
+    long_token += "END";
+    ASSERT_TRUE(table.insert(long_token, 1, false).isOk());
+    EXPECT_GT(table.overflowUsed(), 0u);
+    EXPECT_TRUE(table.lookup(long_token).has_value());
+    // A 16-byte prefix of it must not match.
+    EXPECT_FALSE(table.lookup(long_token.substr(0, 16)).has_value());
+    // Same length, different tail word.
+    std::string other = long_token;
+    other.back() = 'Z';
+    EXPECT_FALSE(table.lookup(other).has_value());
+}
+
+TEST(CuckooTableTest, Exactly16ByteTokenHasNoOverflow)
+{
+    CuckooTable table;
+    std::string tok(16, 'q');
+    ASSERT_TRUE(table.insert(tok, 0, false).isOk());
+    EXPECT_EQ(table.overflowUsed(), 0u);
+    EXPECT_TRUE(table.lookup(tok).has_value());
+    EXPECT_FALSE(table.lookup(tok + "q").has_value());
+}
+
+TEST(CuckooTableTest, OverflowTableExhaustionFails)
+{
+    CuckooTable table;
+    Status last = Status::ok();
+    // Each 64-byte token takes 3 overflow words; kOverflowWords = 128.
+    for (int i = 0; i < 60 && last.isOk(); ++i) {
+        std::string tok = std::string(60, 'a') + std::to_string(i);
+        last = table.insert(tok, 0, false);
+    }
+    EXPECT_EQ(last.code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(CuckooTableTest, HandlesEvictionsUpToHalfLoad)
+{
+    // Cuckoo hashing succeeds w.h.p. below 0.5 load factor
+    // (Section 4.2.1); 128 tokens into 256 rows must all place.
+    CuckooTable table(256);
+    for (int i = 0; i < 128; ++i) {
+        std::string tok = "token-" + std::to_string(i);
+        ASSERT_TRUE(table.insert(tok, i % 8, i % 2 == 0).isOk())
+            << "failed at " << i;
+    }
+    EXPECT_DOUBLE_EQ(table.loadFactor(), 0.5);
+    for (int i = 0; i < 128; ++i) {
+        std::string tok = "token-" + std::to_string(i);
+        auto row = table.lookup(tok);
+        ASSERT_TRUE(row.has_value()) << tok;
+        EXPECT_TRUE(table.entry(*row).valid_mask & (1u << (i % 8)));
+    }
+}
+
+TEST(CuckooTableTest, OverfullTableEventuallyFails)
+{
+    CuckooTable table(4);
+    Status last = Status::ok();
+    int placed = 0;
+    for (int i = 0; i < 20 && last.isOk(); ++i) {
+        last = table.insert("t" + std::to_string(i), 0, false);
+        if (last.isOk()) {
+            ++placed;
+        }
+    }
+    EXPECT_EQ(last.code(), StatusCode::kCapacityExceeded);
+    EXPECT_LE(placed, 4);
+}
+
+TEST(CuckooTableTest, InvalidArguments)
+{
+    CuckooTable table;
+    EXPECT_EQ(table.insert("", 0, false).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(table.insert("x", kFlagPairs, false).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(CuckooTableTest, ColumnConstraintMatching)
+{
+    CuckooTable table;
+    ASSERT_TRUE(table.insert("RAS", 0, false, /*column=*/6).isOk());
+    EXPECT_TRUE(table.lookup("RAS", 6).has_value());
+    EXPECT_FALSE(table.lookup("RAS", 5).has_value());
+}
+
+TEST(CuckooTableTest, ConflictingColumnRejected)
+{
+    CuckooTable table;
+    ASSERT_TRUE(table.insert("RAS", 0, false, 6).isOk());
+    EXPECT_EQ(table.insert("RAS", 1, false, 7).code(),
+              StatusCode::kUnsupported);
+}
+
+} // namespace
+} // namespace mithril::accel

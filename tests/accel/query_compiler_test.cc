@@ -1,0 +1,121 @@
+#include "accel/query_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace mithril::accel {
+namespace {
+
+query::Query
+mustParse(std::string_view text)
+{
+    query::Query q;
+    Status st = query::parseQuery(text, &q);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return q;
+}
+
+TEST(QueryCompilerTest, CompilesSimpleQuery)
+{
+    FilterProgram program;
+    ASSERT_TRUE(compileQuery(mustParse("RAS & KERNEL & !FATAL"),
+                             &program).isOk());
+    EXPECT_EQ(program.active_sets, 1u);
+    auto row = program.table.lookup("RAS");
+    ASSERT_TRUE(row.has_value());
+    EXPECT_TRUE(program.table.entry(*row).valid_mask & 1);
+
+    auto fatal = program.table.lookup("FATAL");
+    ASSERT_TRUE(fatal.has_value());
+    EXPECT_TRUE(program.table.entry(*fatal).negative_mask & 1);
+}
+
+TEST(QueryCompilerTest, QueryBitmapHasPositiveRowsOnly)
+{
+    FilterProgram program;
+    ASSERT_TRUE(compileQuery(mustParse("a & b & !c"), &program).isOk());
+    int bits = 0;
+    for (uint64_t w : program.query_bitmaps[0]) {
+        bits += __builtin_popcountll(w);
+    }
+    EXPECT_EQ(bits, 2);  // a and b, not c
+    auto row_a = program.table.lookup("a");
+    ASSERT_TRUE(row_a.has_value());
+    EXPECT_TRUE(program.query_bitmaps[0][*row_a / 64] &
+                (1ull << (*row_a % 64)));
+}
+
+TEST(QueryCompilerTest, BatchAssignsOwners)
+{
+    std::vector<query::Query> queries{
+        mustParse("a | b"),       // 2 sets -> owner 0
+        mustParse("c & d"),       // 1 set  -> owner 1
+        mustParse("e | f | g"),   // 3 sets -> owner 2
+    };
+    FilterProgram program;
+    ASSERT_TRUE(compileQueries(queries, &program).isOk());
+    EXPECT_EQ(program.active_sets, 6u);
+    EXPECT_EQ(program.set_owner[0], 0u);
+    EXPECT_EQ(program.set_owner[1], 0u);
+    EXPECT_EQ(program.set_owner[2], 1u);
+    EXPECT_EQ(program.set_owner[3], 2u);
+    EXPECT_EQ(program.set_owner[5], 2u);
+}
+
+TEST(QueryCompilerTest, TooManySetsRejected)
+{
+    // 9 single-token sets > 8 flag pairs.
+    std::vector<query::Query> queries{
+        mustParse("a | b | c | d | e | f | g | h | i")};
+    FilterProgram program;
+    EXPECT_EQ(compileQueries(queries, &program).code(),
+              StatusCode::kCapacityExceeded);
+}
+
+TEST(QueryCompilerTest, ExactlyEightSetsAccepted)
+{
+    std::vector<query::Query> queries{
+        mustParse("a | b | c | d | e | f | g | h")};
+    FilterProgram program;
+    EXPECT_TRUE(compileQueries(queries, &program).isOk());
+    EXPECT_EQ(program.active_sets, 8u);
+}
+
+TEST(QueryCompilerTest, SharedTokenAcrossSets)
+{
+    FilterProgram program;
+    ASSERT_TRUE(compileQuery(mustParse("(x & a) | (x & b)"),
+                             &program).isOk());
+    auto row = program.table.lookup("x");
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ(program.table.entry(*row).valid_mask & 0b11, 0b11);
+    EXPECT_EQ(program.table.occupiedCount(), 3u);
+}
+
+TEST(QueryCompilerTest, HundredsOfTermsFit)
+{
+    // FT-tree queries carry hundreds of terms (Section 1); 120 distinct
+    // tokens across 8 sets must compile into the 256-row table.
+    std::vector<query::IntersectionSet> sets(8);
+    int tok = 0;
+    for (auto &set : sets) {
+        for (int i = 0; i < 15; ++i) {
+            set.terms.push_back({"term" + std::to_string(tok++),
+                                 i % 4 == 0});
+        }
+    }
+    FilterProgram program;
+    ASSERT_TRUE(compileQuery(query::Query(std::move(sets)),
+                             &program).isOk());
+    EXPECT_EQ(program.table.occupiedCount(), 120u);
+}
+
+TEST(QueryCompilerTest, EmptyBatchRejected)
+{
+    FilterProgram program;
+    EXPECT_FALSE(compileQueries({}, &program).isOk());
+}
+
+} // namespace
+} // namespace mithril::accel

@@ -1,0 +1,56 @@
+#include "baseline/grep_scan.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril::baseline {
+namespace {
+
+TEST(GrepScanTest, CountsMatchingLines)
+{
+    GrepResult r = grepCount("error here\nok line\nerror again\n",
+                             "error");
+    EXPECT_EQ(r.matched_lines, 2u);
+}
+
+TEST(GrepScanTest, SubstringSemantics)
+{
+    // grep matches inside tokens — unlike the token filter.
+    GrepResult r = grepCount("KERNELPANIC once\n", "KERNEL");
+    EXPECT_EQ(r.matched_lines, 1u);
+}
+
+TEST(GrepScanTest, LineCountedOnceDespiteMultipleHits)
+{
+    GrepResult r = grepCount("abc abc abc\n", "abc");
+    EXPECT_EQ(r.matched_lines, 1u);
+}
+
+TEST(GrepScanTest, EmptyPatternMatchesNothing)
+{
+    GrepResult r = grepCount("anything\n", "");
+    EXPECT_EQ(r.matched_lines, 0u);
+}
+
+TEST(GrepScanTest, NoMatch)
+{
+    GrepResult r = grepCount("aaa\nbbb\n", "zzz");
+    EXPECT_EQ(r.matched_lines, 0u);
+}
+
+TEST(GrepScanTest, MatchAtEndWithoutNewline)
+{
+    GrepResult r = grepCount("first\nlast token", "token");
+    EXPECT_EQ(r.matched_lines, 1u);
+}
+
+TEST(GrepTokenCountTest, WholeTokenOnly)
+{
+    GrepResult sub = grepCount("KERNELPANIC\nKERNEL ok\n", "KERNEL");
+    GrepResult tok = grepTokenCount("KERNELPANIC\nKERNEL ok\n",
+                                    "KERNEL");
+    EXPECT_EQ(sub.matched_lines, 2u);
+    EXPECT_EQ(tok.matched_lines, 1u);
+}
+
+} // namespace
+} // namespace mithril::baseline

@@ -1,0 +1,101 @@
+#include "baseline/splunk_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace mithril::baseline {
+namespace {
+
+query::Query
+mustParse(std::string_view text)
+{
+    query::Query q;
+    Status st = query::parseQuery(text, &q);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return q;
+}
+
+/** Corpus with a rare token confined to one bucket region. */
+std::string
+bucketedCorpus()
+{
+    std::string text;
+    for (int i = 0; i < 5000; ++i) {
+        text += "common filler line number " + std::to_string(i) + "\n";
+    }
+    text += "the needle RARETOKEN appears here\n";
+    for (int i = 0; i < 5000; ++i) {
+        text += "more filler content line " + std::to_string(i) + "\n";
+    }
+    return text;
+}
+
+TEST(SplunkLiteTest, IngestBuildsIndex)
+{
+    SplunkLite engine;
+    engine.ingest("a b\nc d\n");
+    EXPECT_EQ(engine.lineCount(), 2u);
+    EXPECT_GT(engine.indexBytes(), 0u);
+}
+
+TEST(SplunkLiteTest, IndexPrunesBucketsForRareTokens)
+{
+    SplunkLite engine;
+    engine.ingest(bucketedCorpus());
+    IndexedResult r = engine.runQuery(mustParse("RARETOKEN"));
+    EXPECT_EQ(r.matched_lines, 1u);
+    EXPECT_GT(r.buckets_total, 5u);
+    EXPECT_EQ(r.buckets_scanned, 1u);  // index isolates the bucket
+}
+
+TEST(SplunkLiteTest, CommonTokenScansManyBuckets)
+{
+    SplunkLite engine;
+    engine.ingest(bucketedCorpus());
+    IndexedResult r = engine.runQuery(mustParse("filler"));
+    EXPECT_EQ(r.buckets_scanned, r.buckets_total);
+    EXPECT_EQ(r.matched_lines, 10000u);
+}
+
+TEST(SplunkLiteTest, PureNegativeQueriesCannotPrune)
+{
+    // "NOT x" requires scanning everything (Figure 16's slow cluster).
+    SplunkLite engine;
+    engine.ingest(bucketedCorpus());
+    IndexedResult r = engine.runQuery(mustParse("!RARETOKEN"));
+    EXPECT_EQ(r.buckets_scanned, r.buckets_total);
+    EXPECT_EQ(r.matched_lines, engine.lineCount() - 1);
+}
+
+TEST(SplunkLiteTest, PositivePlusNegativePrunesOnPositiveOnly)
+{
+    SplunkLite engine;
+    engine.ingest(bucketedCorpus());
+    IndexedResult r =
+        engine.runQuery(mustParse("RARETOKEN & !needle"));
+    EXPECT_EQ(r.buckets_scanned, 1u);
+    EXPECT_EQ(r.matched_lines, 0u);  // 'needle' vetoes the only hit
+}
+
+TEST(SplunkLiteTest, MissingTokenShortCircuits)
+{
+    SplunkLite engine;
+    engine.ingest(bucketedCorpus());
+    IndexedResult r = engine.runQuery(mustParse("NEVERSEEN & filler"));
+    EXPECT_EQ(r.buckets_scanned, 0u);
+    EXPECT_EQ(r.matched_lines, 0u);
+}
+
+TEST(SplunkLiteTest, UnionPlansPerSet)
+{
+    SplunkLite engine;
+    engine.ingest(bucketedCorpus());
+    IndexedResult r =
+        engine.runQuery(mustParse("RARETOKEN | NEVERSEEN"));
+    EXPECT_EQ(r.matched_lines, 1u);
+    EXPECT_EQ(r.buckets_scanned, 1u);
+}
+
+} // namespace
+} // namespace mithril::baseline

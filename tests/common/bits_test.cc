@@ -1,0 +1,111 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mithril {
+namespace {
+
+TEST(AlignTest, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 16), 0u);
+    EXPECT_EQ(alignUp(1, 16), 16u);
+    EXPECT_EQ(alignUp(16, 16), 16u);
+    EXPECT_EQ(alignUp(17, 16), 32u);
+}
+
+TEST(AlignTest, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 8));
+    EXPECT_TRUE(isAligned(64, 8));
+    EXPECT_FALSE(isAligned(63, 8));
+}
+
+TEST(LeIoTest, RoundTripsScalars)
+{
+    std::vector<uint8_t> buf;
+    putLe<uint16_t>(buf, 0xbeef);
+    putLe<uint32_t>(buf, 0xdeadbeef);
+    putLe<uint64_t>(buf, 0x0123456789abcdefull);
+    ASSERT_EQ(buf.size(), 14u);
+    EXPECT_EQ(getLe<uint16_t>(buf.data()), 0xbeef);
+    EXPECT_EQ(getLe<uint32_t>(buf.data() + 2), 0xdeadbeefu);
+    EXPECT_EQ(getLe<uint64_t>(buf.data() + 6), 0x0123456789abcdefull);
+}
+
+TEST(BitIoTest, SingleBits)
+{
+    BitWriter writer;
+    writer.write(1, 1);
+    writer.write(0, 1);
+    writer.write(1, 1);
+    auto bytes = writer.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b101);
+
+    BitReader reader(bytes.data(), bytes.size());
+    uint64_t v;
+    ASSERT_TRUE(reader.read(1, &v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(reader.read(1, &v));
+    EXPECT_EQ(v, 0u);
+    ASSERT_TRUE(reader.read(1, &v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST(BitIoTest, ReadPastEndFails)
+{
+    BitWriter writer;
+    writer.write(0x7, 3);
+    auto bytes = writer.take();
+    BitReader reader(bytes.data(), bytes.size());
+    uint64_t v;
+    ASSERT_TRUE(reader.read(8, &v));  // padding bits fill the byte
+    EXPECT_FALSE(reader.read(1, &v));
+}
+
+TEST(BitIoTest, AlignByte)
+{
+    BitWriter writer;
+    writer.write(1, 1);
+    writer.alignByte();
+    writer.write(0xab, 8);
+    auto bytes = writer.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[1], 0xab);
+
+    BitReader reader(bytes.data(), bytes.size());
+    uint64_t v;
+    ASSERT_TRUE(reader.read(1, &v));
+    reader.alignByte();
+    ASSERT_TRUE(reader.read(8, &v));
+    EXPECT_EQ(v, 0xabu);
+}
+
+/** Property: any sequence of (value, width) writes reads back intact. */
+TEST(BitIoTest, RandomRoundTrip)
+{
+    Rng rng(99);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<std::pair<uint64_t, int>> items;
+        BitWriter writer;
+        for (int i = 0; i < 200; ++i) {
+            int width = 1 + static_cast<int>(rng.below(57));
+            uint64_t value = rng.next() &
+                ((width == 64) ? ~0ull : (1ull << width) - 1);
+            items.emplace_back(value, width);
+            writer.write(value, width);
+        }
+        auto bytes = writer.take();
+        BitReader reader(bytes.data(), bytes.size());
+        for (auto [value, width] : items) {
+            uint64_t v;
+            ASSERT_TRUE(reader.read(width, &v));
+            EXPECT_EQ(v, value);
+        }
+    }
+}
+
+} // namespace
+} // namespace mithril

@@ -1,0 +1,108 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mithril {
+namespace {
+
+TEST(Mix64Test, IsDeterministic)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Mix64Test, AvalanchesSingleBitFlips)
+{
+    // Flipping one input bit should flip a substantial number of output
+    // bits (a weak but effective sanity test for mixers).
+    for (int bit = 0; bit < 64; ++bit) {
+        uint64_t a = mix64(0x1234567890abcdefull);
+        uint64_t b = mix64(0x1234567890abcdefull ^ (1ull << bit));
+        int flipped = __builtin_popcountll(a ^ b);
+        EXPECT_GE(flipped, 16) << "bit " << bit;
+        EXPECT_LE(flipped, 48) << "bit " << bit;
+    }
+}
+
+TEST(Hash64Test, EmptyInputIsStable)
+{
+    EXPECT_EQ(hash64("", 0), hash64("", 0));
+    EXPECT_NE(hash64("", 0), hash64("", 1));
+}
+
+TEST(Hash64Test, SeedChangesResult)
+{
+    EXPECT_NE(hash64("token", 1), hash64("token", 2));
+}
+
+TEST(Hash64Test, LengthExtensionDiffers)
+{
+    // "ab" + "c" vs "abc" with different boundaries must differ from
+    // plain prefixes.
+    EXPECT_NE(hash64("abc"), hash64("ab"));
+    EXPECT_NE(hash64("abc"), hash64("abcd"));
+}
+
+TEST(Hash64Test, TailBytesMatter)
+{
+    // Inputs differing only in the last byte past an 8-byte boundary.
+    std::string a = "12345678X";
+    std::string b = "12345678Y";
+    EXPECT_NE(hash64(a), hash64(b));
+}
+
+TEST(Hash64Test, DistributionOverBucketsIsRoughlyUniform)
+{
+    constexpr int kBuckets = 64;
+    constexpr int kSamples = 64000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kSamples; ++i) {
+        std::string key = "token-" + std::to_string(i);
+        ++counts[hash64(key) % kBuckets];
+    }
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / kBuckets / 2);
+        EXPECT_LT(c, kSamples / kBuckets * 2);
+    }
+}
+
+TEST(HashPairTest, ProducesIndicesInRange)
+{
+    HashPair pair(256);
+    for (int i = 0; i < 1000; ++i) {
+        std::string key = "k" + std::to_string(i);
+        EXPECT_LT(pair.h0(key), 256u);
+        EXPECT_LT(pair.h1(key), 256u);
+    }
+}
+
+TEST(HashPairTest, TwoFunctionsAreIndependent)
+{
+    // h0 == h1 for a random key should happen about 1/rows of the time.
+    HashPair pair(256);
+    int collisions = 0;
+    constexpr int kSamples = 10000;
+    for (int i = 0; i < kSamples; ++i) {
+        std::string key = "key-" + std::to_string(i);
+        if (pair.h0(key) == pair.h1(key)) {
+            ++collisions;
+        }
+    }
+    // Expected ~39; allow a wide band.
+    EXPECT_LT(collisions, 120);
+}
+
+TEST(HashPairTest, DeterministicAcrossInstances)
+{
+    HashPair a(1024), b(1024);
+    EXPECT_EQ(a.h0("RAS"), b.h0("RAS"));
+    EXPECT_EQ(a.h1("RAS"), b.h1("RAS"));
+}
+
+} // namespace
+} // namespace mithril

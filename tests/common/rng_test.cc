@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mithril {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng rng(1);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.below(bound), bound);
+        }
+    }
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    constexpr int kSamples = 10000;
+    for (int i = 0; i < kSamples; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceProbability)
+{
+    Rng rng(4);
+    int hits = 0;
+    constexpr int kSamples = 10000;
+    for (int i = 0; i < kSamples; ++i) {
+        if (rng.chance(0.25)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.25, 0.03);
+}
+
+TEST(RngTest, SkewedBelowFavorsSmallIndices)
+{
+    Rng rng(5);
+    constexpr uint64_t kN = 100;
+    std::vector<int> counts(kN, 0);
+    for (int i = 0; i < 20000; ++i) {
+        ++counts[rng.skewedBelow(kN)];
+    }
+    // The bottom decile should receive far more mass than the top one.
+    int low = 0, high = 0;
+    for (int i = 0; i < 10; ++i) {
+        low += counts[i];
+        high += counts[kN - 1 - i];
+    }
+    EXPECT_GT(low, high * 2);
+}
+
+} // namespace
+} // namespace mithril

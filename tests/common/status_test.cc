@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage)
+{
+    Status s = Status::corruptData("bad page");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+    EXPECT_EQ(s.message(), "bad page");
+    EXPECT_EQ(s.toString(), "CORRUPT_DATA: bad page");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes)
+{
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(Status::capacityExceeded("x").code(),
+              StatusCode::kCapacityExceeded);
+    EXPECT_EQ(Status::notFound("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(Status::unsupported("x").code(), StatusCode::kUnsupported);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+Status
+helperPropagates(bool fail)
+{
+    MITHRIL_RETURN_IF_ERROR(
+        fail ? Status::notFound("inner") : Status::ok());
+    return Status::invalidArgument("fellthrough");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates)
+{
+    EXPECT_EQ(helperPropagates(true).code(), StatusCode::kNotFound);
+    EXPECT_EQ(helperPropagates(false).code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CodeNames)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::kOk), "OK");
+    EXPECT_STREQ(statusCodeName(StatusCode::kCapacityExceeded),
+                 "CAPACITY_EXCEEDED");
+}
+
+} // namespace
+} // namespace mithril

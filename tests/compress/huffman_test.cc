@@ -1,0 +1,128 @@
+#include "compress/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mithril::compress {
+namespace {
+
+TEST(HuffmanLengthsTest, EmptyAlphabet)
+{
+    auto lengths = huffmanCodeLengths({0, 0, 0});
+    EXPECT_EQ(lengths, (std::vector<uint8_t>{0, 0, 0}));
+}
+
+TEST(HuffmanLengthsTest, SingleSymbolGetsOneBit)
+{
+    auto lengths = huffmanCodeLengths({0, 5, 0});
+    EXPECT_EQ(lengths[1], 1);
+    EXPECT_EQ(lengths[0], 0);
+}
+
+TEST(HuffmanLengthsTest, SkewedFrequenciesGetShorterCodes)
+{
+    auto lengths = huffmanCodeLengths({1000, 10, 10, 10});
+    EXPECT_LT(lengths[0], lengths[1]);
+}
+
+TEST(HuffmanLengthsTest, KraftInequalityHolds)
+{
+    Rng rng(11);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<uint64_t> freqs(64);
+        for (auto &f : freqs) {
+            f = rng.below(1000);
+        }
+        auto lengths = huffmanCodeLengths(freqs);
+        uint64_t kraft = 0;
+        for (size_t s = 0; s < lengths.size(); ++s) {
+            ASSERT_LE(lengths[s], kMaxCodeBits);
+            if (lengths[s] > 0) {
+                kraft += 1ull << (kMaxCodeBits - lengths[s]);
+            }
+            if (freqs[s] > 0) {
+                EXPECT_GT(lengths[s], 0) << "symbol " << s;
+            }
+        }
+        EXPECT_LE(kraft, 1ull << kMaxCodeBits);
+    }
+}
+
+TEST(HuffmanLengthsTest, LengthLimitingKicksIn)
+{
+    // Fibonacci-like frequencies force deep optimal trees; the limiter
+    // must cap them at kMaxCodeBits.
+    std::vector<uint64_t> freqs;
+    uint64_t a = 1, b = 1;
+    for (int i = 0; i < 40; ++i) {
+        freqs.push_back(a);
+        uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    auto lengths = huffmanCodeLengths(freqs);
+    for (uint8_t l : lengths) {
+        EXPECT_LE(l, kMaxCodeBits);
+        EXPECT_GT(l, 0);
+    }
+}
+
+TEST(HuffmanRoundTripTest, EncodeDecodeRandomStream)
+{
+    Rng rng(22);
+    for (int iter = 0; iter < 10; ++iter) {
+        std::vector<uint64_t> freqs(32, 0);
+        std::vector<uint32_t> symbols;
+        for (int i = 0; i < 3000; ++i) {
+            // Skew the distribution so codes differ in length.
+            uint32_t s = static_cast<uint32_t>(rng.skewedBelow(32, 3.0));
+            symbols.push_back(s);
+            ++freqs[s];
+        }
+        auto lengths = huffmanCodeLengths(freqs);
+        auto codes = canonicalCodes(lengths);
+
+        BitWriter writer;
+        for (uint32_t s : symbols) {
+            ASSERT_GT(lengths[s], 0);
+            writer.write(codes[s], lengths[s]);
+        }
+        auto bytes = writer.take();
+
+        HuffmanDecoder decoder;
+        ASSERT_TRUE(decoder.init(lengths).isOk());
+        BitReader reader(bytes.data(), bytes.size());
+        for (uint32_t expected : symbols) {
+            uint32_t got;
+            ASSERT_TRUE(decoder.decode(&reader, &got).isOk());
+            ASSERT_EQ(got, expected);
+        }
+    }
+}
+
+TEST(HuffmanDecoderTest, RejectsOversubscribedLengths)
+{
+    // Three codes of length 1 oversubscribe the code space.
+    HuffmanDecoder decoder;
+    EXPECT_FALSE(decoder.init({1, 1, 1}).isOk());
+}
+
+TEST(HuffmanDecoderTest, RejectsOutOfRangeLength)
+{
+    HuffmanDecoder decoder;
+    EXPECT_FALSE(decoder.init({16}).isOk());
+}
+
+TEST(HuffmanDecoderTest, TruncatedStreamFails)
+{
+    auto lengths = huffmanCodeLengths({10, 10, 10, 10});
+    HuffmanDecoder decoder;
+    ASSERT_TRUE(decoder.init(lengths).isOk());
+    BitReader reader(nullptr, 0);
+    uint32_t sym;
+    EXPECT_FALSE(decoder.decode(&reader, &sym).isOk());
+}
+
+} // namespace
+} // namespace mithril::compress

@@ -1,0 +1,107 @@
+#include "compress/lz4like.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace mithril::compress {
+namespace {
+
+std::string
+roundTrip(const Lz4Like &codec, const std::string &text)
+{
+    Bytes compressed = codec.compress(asBytes(text));
+    Bytes out;
+    Status st = codec.decompress(compressed, &out);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return std::string(out.begin(), out.end());
+}
+
+TEST(Lz4LikeTest, EmptyInput)
+{
+    Lz4Like codec;
+    EXPECT_EQ(roundTrip(codec, ""), "");
+}
+
+TEST(Lz4LikeTest, ShortLiterals)
+{
+    Lz4Like codec;
+    EXPECT_EQ(roundTrip(codec, "abc"), "abc");
+}
+
+TEST(Lz4LikeTest, LongLiteralRunUsesExtensionBytes)
+{
+    // > 15 literals forces the 255-saturating extension path.
+    Lz4Like codec;
+    std::string text;
+    for (int i = 0; i < 400; ++i) {
+        text += static_cast<char>('a' + (i * 11 + i / 13) % 26);
+    }
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lz4LikeTest, LongMatchUsesExtensionBytes)
+{
+    Lz4Like codec;
+    std::string text = "seed";
+    text += std::string(5000, 'z');  // match length >> 19
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lz4LikeTest, RepetitionCompressesWell)
+{
+    Lz4Like codec;
+    std::string text;
+    for (int i = 0; i < 1000; ++i) {
+        text += "Jun 3 15:42:50 node kernel: link up\n";
+    }
+    Bytes compressed = codec.compress(asBytes(text));
+    EXPECT_LT(compressed.size(), text.size() / 8);
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lz4LikeTest, SelfOverlappingMatch)
+{
+    Lz4Like codec;
+    std::string text = "abab";
+    text += std::string(100, 'c');
+    text = text + text + text;
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lz4LikeTest, TruncatedFrameRejected)
+{
+    Lz4Like codec;
+    Bytes out;
+    Bytes tiny{9};
+    EXPECT_EQ(codec.decompress(tiny, &out).code(),
+              StatusCode::kCorruptData);
+}
+
+TEST(Lz4LikeTest, BadOffsetRejected)
+{
+    Lz4Like codec;
+    std::string text = "xyxyxyxyxyxyxyxyxyxyxyxyxyxyxyxy";
+    Bytes compressed = codec.compress(asBytes(text));
+    Bytes out;
+    // Zero out what should be a match offset; offset 0 is invalid.
+    bool corrupted = false;
+    for (size_t i = 9; i + 1 < compressed.size(); ++i) {
+        if (compressed[i] != 0 || compressed[i + 1] != 0) {
+            continue;
+        }
+        corrupted = true;
+        break;
+    }
+    (void)corrupted;
+    // Direct construction: token with match, offset 0.
+    Bytes bad;
+    putLe<uint64_t>(bad, 8);
+    bad.push_back(0x10);  // 1 literal, match len 4
+    bad.push_back('a');
+    putLe<uint16_t>(bad, 0);  // offset 0: invalid
+    EXPECT_FALSE(codec.decompress(bad, &out).isOk());
+}
+
+} // namespace
+} // namespace mithril::compress

@@ -1,0 +1,112 @@
+#include "compress/lzrw1.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril::compress {
+namespace {
+
+std::string
+roundTrip(const Lzrw1 &codec, const std::string &text)
+{
+    Bytes compressed = codec.compress(asBytes(text));
+    Bytes out;
+    Status st = codec.decompress(compressed, &out);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return std::string(out.begin(), out.end());
+}
+
+TEST(Lzrw1Test, EmptyInput)
+{
+    Lzrw1 codec;
+    EXPECT_EQ(roundTrip(codec, ""), "");
+}
+
+TEST(Lzrw1Test, ShortLiteralOnly)
+{
+    Lzrw1 codec;
+    EXPECT_EQ(roundTrip(codec, "ab"), "ab");
+}
+
+TEST(Lzrw1Test, RepetitionCompresses)
+{
+    Lzrw1 codec;
+    std::string text;
+    for (int i = 0; i < 500; ++i) {
+        text += "the same log line again ";
+    }
+    Bytes compressed = codec.compress(asBytes(text));
+    EXPECT_LT(compressed.size(), text.size() / 3);
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lzrw1Test, OverlappingCopy)
+{
+    // "aaaa..." exercises self-overlapping match copies.
+    Lzrw1 codec;
+    std::string text(1000, 'a');
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lzrw1Test, MatchesCapAt18Bytes)
+{
+    // A long run must be emitted as multiple <=18-byte copies and
+    // still reassemble exactly.
+    Lzrw1 codec;
+    std::string text = "prefix ";
+    text += std::string(100, 'x');
+    text += " suffix";
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lzrw1Test, OffsetsBeyond4095AreNotUsed)
+{
+    // Pattern repeats at distance > 4095: LZRW1 cannot reference it,
+    // but output must still be correct.
+    Lzrw1 codec;
+    std::string unique_block;
+    for (int i = 0; i < 5000; ++i) {
+        unique_block += static_cast<char>('a' + (i * 7 + i / 26) % 26);
+    }
+    std::string text = unique_block + unique_block;
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lzrw1Test, BinaryBytesSurvive)
+{
+    Lzrw1 codec;
+    std::string text;
+    for (int i = 0; i < 1024; ++i) {
+        text += static_cast<char>(i % 256);
+    }
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(Lzrw1Test, TruncatedFrameRejected)
+{
+    Lzrw1 codec;
+    Bytes out;
+    Bytes tiny{0, 1, 2};
+    EXPECT_EQ(codec.decompress(tiny, &out).code(),
+              StatusCode::kCorruptData);
+}
+
+TEST(Lzrw1Test, CorruptOffsetRejected)
+{
+    Lzrw1 codec;
+    std::string text = "abcabcabcabcabcabcabcabc";
+    Bytes compressed = codec.compress(asBytes(text));
+    // Force the control word to claim a copy where none fits.
+    compressed[8] = 0xff;
+    compressed[9] = 0xff;
+    Bytes out;
+    Status st = codec.decompress(compressed, &out);
+    // Either rejected or (rarely) decodes to wrong-size output; the
+    // decoder must not crash and must not silently return success with
+    // the original text.
+    if (st.isOk()) {
+        EXPECT_NE(std::string(out.begin(), out.end()), text);
+    }
+}
+
+} // namespace
+} // namespace mithril::compress

@@ -1,0 +1,108 @@
+#include "compress/minideflate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mithril::compress {
+namespace {
+
+std::string
+roundTrip(const MiniDeflate &codec, const std::string &text)
+{
+    Bytes compressed = codec.compress(asBytes(text));
+    Bytes out;
+    Status st = codec.decompress(compressed, &out);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return std::string(out.begin(), out.end());
+}
+
+TEST(MiniDeflateTest, EmptyInput)
+{
+    MiniDeflate codec;
+    EXPECT_EQ(roundTrip(codec, ""), "");
+}
+
+TEST(MiniDeflateTest, SingleByte)
+{
+    MiniDeflate codec;
+    EXPECT_EQ(roundTrip(codec, "q"), "q");
+}
+
+TEST(MiniDeflateTest, PlainText)
+{
+    MiniDeflate codec;
+    std::string text = "the quick brown fox jumps over the lazy dog";
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(MiniDeflateTest, HighlyRepetitiveBeatsLz4ClassRatios)
+{
+    MiniDeflate codec;
+    std::string text;
+    for (int i = 0; i < 2000; ++i) {
+        text += "Jun 3 15:42:50 node-7 kernel: eth0 link up 1000Mbps\n";
+    }
+    Bytes compressed = codec.compress(asBytes(text));
+    double ratio = compressionRatio(text.size(), compressed.size());
+    // Entropy coding should push identical-line logs far beyond 20x.
+    EXPECT_GT(ratio, 20.0);
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(MiniDeflateTest, IncompressibleRandomSurvives)
+{
+    MiniDeflate codec;
+    Rng rng(5);
+    std::string text;
+    for (int i = 0; i < 50000; ++i) {
+        text += static_cast<char>(rng.below(256));
+    }
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(MiniDeflateTest, MultiBlockInput)
+{
+    // More than kBlockSymbols items forces several Huffman blocks.
+    MiniDeflate codec;
+    Rng rng(6);
+    std::string text;
+    for (int i = 0; i < 90000; ++i) {
+        text += static_cast<char>('a' + rng.below(26));
+    }
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(MiniDeflateTest, MaxLengthMatches)
+{
+    MiniDeflate codec;
+    std::string text(100000, 'a');  // runs of 258-byte matches
+    Bytes compressed = codec.compress(asBytes(text));
+    EXPECT_LT(compressed.size(), 2000u);
+    EXPECT_EQ(roundTrip(codec, text), text);
+}
+
+TEST(MiniDeflateTest, TruncatedFrameRejected)
+{
+    MiniDeflate codec;
+    Bytes out;
+    Bytes tiny{1, 2};
+    EXPECT_EQ(codec.decompress(tiny, &out).code(),
+              StatusCode::kCorruptData);
+}
+
+TEST(MiniDeflateTest, CorruptBodyRejectedOrWrong)
+{
+    MiniDeflate codec;
+    std::string text = "abcdefgh abcdefgh abcdefgh";
+    Bytes compressed = codec.compress(asBytes(text));
+    compressed[compressed.size() / 2] ^= 0x55;
+    Bytes out;
+    Status st = codec.decompress(compressed, &out);
+    if (st.isOk()) {
+        EXPECT_NE(std::string(out.begin(), out.end()), text);
+    }
+}
+
+} // namespace
+} // namespace mithril::compress

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Failure injection: corrupted storage must surface as kCorruptData
+ * through every read path — never a crash, never silent wrong data.
+ * Also exercises degenerate system states (query before ingest, flush
+ * with nothing pending, double flush).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/lzah.h"
+#include "core/mithrilog.h"
+#include "query/parser.h"
+
+namespace mithril::core {
+namespace {
+
+query::Query
+mustParse(std::string_view text)
+{
+    query::Query q;
+    Status st = query::parseQuery(text, &q);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return q;
+}
+
+std::string
+corpus()
+{
+    std::string text;
+    for (int i = 0; i < 2000; ++i) {
+        text += "unit " + std::to_string(i) +
+                " status nominal check passed\n";
+    }
+    return text;
+}
+
+TEST(FailureInjectionTest, CorruptedPageMagicFailsQueries)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(corpus()).isOk());
+    system.flush();
+    ASSERT_GT(system.dataPageCount(), 0u);
+
+    // Smash the first data page's header.
+    auto page = system.ssd().store().mutablePage(0);
+    for (size_t i = 0; i < 16; ++i) {
+        page[i] ^= 0xa5;
+    }
+    QueryResult r;
+    Status st = system.run(mustParse("nominal"), &r);
+    EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+}
+
+TEST(FailureInjectionTest, RandomPayloadCorruptionNeverCrashes)
+{
+    // Flip bytes at random positions across the data pages; every
+    // query either succeeds (corruption missed/benign) or reports
+    // kCorruptData. Decoders must stay within bounds throughout.
+    Rng rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        MithriLog system;
+        ASSERT_TRUE(system.ingestText(corpus()).isOk());
+        system.flush();
+        uint64_t pages = system.dataPageCount();
+        for (int flips = 0; flips < 8; ++flips) {
+            auto page = system.ssd().store().mutablePage(
+                rng.below(pages));
+            page[rng.below(page.size())] ^=
+                static_cast<uint8_t>(1 + rng.below(255));
+        }
+        QueryResult r;
+        Status st = system.run(mustParse("nominal & check"), &r);
+        if (!st.isOk()) {
+            EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+        }
+    }
+}
+
+TEST(FailureInjectionTest, TruncatedPageDecodeRejected)
+{
+    compress::LzahPageEncoder enc;
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_NE(enc.addLine("some line " + std::to_string(i)),
+                  compress::AddLineResult::kRejected);
+    }
+    enc.flush();
+    ASSERT_EQ(enc.pages().size(), 1u);
+    // Present only the header and a sliver of the first chunk: the
+    // decoder must hit the boundary check, not read past the view.
+    compress::ByteView sliver(enc.pages()[0].data(), 48);
+    compress::Bytes out;
+    Status st = compress::lzahDecodePage(sliver, false, &out);
+    EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+}
+
+TEST(FailureInjectionTest, RandomBytesAsPageRejected)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        compress::Bytes junk(4096);
+        for (auto &b : junk) {
+            b = static_cast<uint8_t>(rng.below(256));
+        }
+        compress::Bytes out;
+        Status st = compress::lzahDecodePage(junk, true, &out);
+        // Random magic almost never validates; either way: no crash,
+        // and failure is typed.
+        if (!st.isOk()) {
+            EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+        }
+    }
+}
+
+TEST(FailureInjectionTest, QueriesOnEmptySystem)
+{
+    MithriLog system;
+    system.flush();  // nothing pending: must be a no-op
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("anything"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 0u);
+    EXPECT_EQ(r.pages_total, 0u);
+}
+
+TEST(FailureInjectionTest, DoubleFlushIsIdempotent)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText("one line here\n").isOk());
+    system.flush();
+    uint64_t pages = system.dataPageCount();
+    system.flush();
+    EXPECT_EQ(system.dataPageCount(), pages);
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("one"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 1u);
+}
+
+TEST(FailureInjectionTest, IngestAfterFlushKeepsWorking)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText("first era alpha\n").isOk());
+    system.flush();
+    ASSERT_TRUE(system.ingestText("second era beta\n").isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("alpha | beta"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 2u);
+}
+
+} // namespace
+} // namespace mithril::core

@@ -1,0 +1,291 @@
+#include "core/mithrilog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/text.h"
+#include "loggen/log_generator.h"
+#include "query/matcher.h"
+#include "query/parser.h"
+
+namespace mithril::core {
+namespace {
+
+query::Query
+mustParse(std::string_view text)
+{
+    query::Query q;
+    Status st = query::parseQuery(text, &q);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return q;
+}
+
+std::string
+smallCorpus()
+{
+    std::string text;
+    for (int i = 0; i < 3000; ++i) {
+        if (i % 3 == 0) {
+            text += "RAS KERNEL INFO instruction cache parity error "
+                    "corrected seq" + std::to_string(i) + "\n";
+        } else if (i % 3 == 1) {
+            text += "RAS KERNEL FATAL data TLB error interrupt seq" +
+                    std::to_string(i) + "\n";
+        } else {
+            text += "RAS APP FATAL ciod error reading message prefix "
+                    "seq" + std::to_string(i) + "\n";
+        }
+    }
+    return text;
+}
+
+TEST(MithriLogTest, IngestAccountsLinesAndPages)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    EXPECT_EQ(system.lineCount(), 3000u);
+    EXPECT_GT(system.dataPageCount(), 0u);
+    EXPECT_GT(system.compressionRatio(), 1.5);
+}
+
+TEST(MithriLogTest, QueryCountsMatchCorpusStructure)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("KERNEL & INFO"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 1000u);
+    EXPECT_FALSE(r.used_fallback);
+
+    ASSERT_TRUE(system.run(mustParse("KERNEL & !FATAL"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 1000u);
+
+    ASSERT_TRUE(system.run(mustParse("FATAL"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 2000u);
+}
+
+TEST(MithriLogTest, IndexPrunesPages)
+{
+    MithriLog system;
+    std::string text = smallCorpus();
+    text += "needle UNIQUETOKEN in haystack\n";
+    text += smallCorpus();
+    ASSERT_TRUE(system.ingestText(text).isOk());
+    system.flush();
+
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("UNIQUETOKEN"), &r).isOk());
+    EXPECT_EQ(r.matched_lines, 1u);
+    // The single-token query must touch far fewer pages than exist.
+    EXPECT_LT(r.pages_scanned, r.pages_total / 2);
+    EXPECT_GT(r.index_time.ps(), 0u);
+}
+
+TEST(MithriLogTest, QueryTimeBreakdownIsConsistent)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("KERNEL"), &r).isOk());
+    EXPECT_GE(r.total_time.ps(),
+              std::max(r.storage_time.ps(), r.compute_time.ps()));
+    EXPECT_GT(r.effectiveThroughput(system.rawBytes()), 0.0);
+}
+
+TEST(MithriLogTest, FullScanTouchesAllPages)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    std::vector<query::Query> queries{mustParse("INFO")};
+    QueryResult r;
+    ASSERT_TRUE(system.runFullScan(queries, &r).isOk());
+    EXPECT_EQ(r.pages_scanned, r.pages_total);
+    EXPECT_EQ(r.matched_lines, 1000u);
+}
+
+TEST(MithriLogTest, BatchedQueriesShareOnePass)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    std::vector<query::Query> queries{mustParse("INFO"),
+                                      mustParse("APP & FATAL")};
+    QueryResult r;
+    ASSERT_TRUE(system.runBatch(queries, &r).isOk());
+    ASSERT_EQ(r.matched_per_query.size(), 2u);
+    EXPECT_EQ(r.matched_per_query[0], 1000u);
+    EXPECT_EQ(r.matched_per_query[1], 1000u);
+    EXPECT_EQ(r.matched_lines, 2000u);
+}
+
+TEST(MithriLogTest, FallbackOnNonOffloadableQuery)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    // 9 union sets exceed the 8 flag pairs -> software fallback.
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse(
+        "INFO | FATAL | APP | KERNEL | cache | TLB | ciod | parity | "
+        "interrupt"), &r).isOk());
+    EXPECT_TRUE(r.used_fallback);
+    EXPECT_GT(r.matched_lines, 0u);
+}
+
+TEST(MithriLogTest, TextQueryInterface)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText("alpha beta\ngamma delta\n").isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run("alpha & beta", &r).isOk());
+    EXPECT_EQ(r.matched_lines, 1u);
+    EXPECT_FALSE(system.run("((", &r).isOk());
+}
+
+TEST(MithriLogTest, LongLinesTruncatedWithCounter)
+{
+    MithriLog system;
+    std::string giant(10000, 'x');
+    ASSERT_TRUE(system.ingestLine(giant).isOk());
+    system.flush();
+    EXPECT_EQ(system.truncatedLines(), 1u);
+    EXPECT_EQ(system.lineCount(), 1u);
+}
+
+TEST(MithriLogTest, LongLineRejectedWhenTruncationDisabled)
+{
+    MithriLogConfig cfg;
+    cfg.truncate_long_lines = false;
+    MithriLog system(cfg);
+    std::string giant(10000, 'x');
+    EXPECT_FALSE(system.ingestLine(giant).isOk());
+}
+
+TEST(MithriLogTest, NoIndexConfigScansEverything)
+{
+    MithriLogConfig cfg;
+    cfg.use_index = false;
+    MithriLog system(cfg);
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("INFO"), &r).isOk());
+    EXPECT_EQ(r.pages_scanned, r.pages_total);
+    EXPECT_EQ(r.index_time.ps(), 0u);
+}
+
+TEST(MithriLogTest, EmptyBatchRejected)
+{
+    MithriLog system;
+    QueryResult r;
+    EXPECT_FALSE(system.runBatch({}, &r).isOk());
+}
+
+TEST(MithriLogTest, PlannerSkipsTraversalForCommonTokens)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+
+    // "RAS" occurs on every line: entry counters predict no pruning,
+    // so the planner goes straight to a full scan (no traversal time).
+    QueryResult common;
+    ASSERT_TRUE(system.run(mustParse("RAS"), &common).isOk());
+    EXPECT_TRUE(common.planned_full_scan);
+    EXPECT_EQ(common.index_time.ps(), 0u);
+    EXPECT_EQ(common.pages_scanned, common.pages_total);
+    EXPECT_EQ(common.matched_lines, 3000u);
+
+    // A selective token goes through the index as usual.
+    QueryResult rare;
+    ASSERT_TRUE(system.run(mustParse("seq42"), &rare).isOk());
+    EXPECT_FALSE(rare.planned_full_scan);
+    EXPECT_LT(rare.pages_scanned, rare.pages_total);
+    EXPECT_EQ(rare.matched_lines, 1u);
+}
+
+TEST(MithriLogTest, PlannerCanBeDisabled)
+{
+    MithriLogConfig cfg;
+    cfg.planner_scan_threshold = 1.0;
+    MithriLog system(cfg);
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("RAS"), &r).isOk());
+    EXPECT_FALSE(r.planned_full_scan);
+    EXPECT_GT(r.index_time.ps(), 0u);
+    EXPECT_EQ(r.matched_lines, 3000u);
+}
+
+TEST(MithriLogTest, TimeRangeQueryBoundsPages)
+{
+    // A realistic corpus desynchronizes index leaf flushes (tokens of
+    // different page frequencies), which is what gives the snapshot
+    // log its granularity.
+    MithriLogConfig cfg;
+    cfg.index.snapshot_leaf_interval = 2;
+    MithriLog system(cfg);
+    loggen::LogGenerator gen(loggen::hpc4Datasets()[1]);
+    std::string text = gen.generate(4 << 20);
+    std::vector<std::string_view> lines = splitLines(text);
+    ASSERT_TRUE(system.ingestText(text).isOk());
+    system.flush();
+    ASSERT_GT(system.index().snapshots().size(), 2u);
+
+    query::Query q = mustParse("error | failed");
+    uint64_t t0 = lines.size() / 4;
+    uint64_t t1 = lines.size() / 2;
+
+    QueryResult full, middle;
+    ASSERT_TRUE(system.run(q, &full).isOk());
+    ASSERT_TRUE(system.runTimeRange(q, t0, t1, &middle).isOk());
+
+    // Bounded query touches fewer pages and returns fewer lines, but
+    // never loses a match inside the window (coarseness only ever
+    // over-approximates).
+    EXPECT_LT(middle.pages_scanned, full.pages_scanned);
+    EXPECT_LE(middle.matched_lines, full.matched_lines);
+
+    query::SoftwareMatcher matcher(q);
+    uint64_t in_window = 0;
+    for (uint64_t j = t0; j < t1 && j < lines.size(); ++j) {
+        if (matcher.matches(lines[j])) {
+            ++in_window;
+        }
+    }
+    EXPECT_GT(in_window, 0u);
+    EXPECT_GE(middle.matched_lines, in_window);
+}
+
+TEST(MithriLogTest, TimeRangeWholeRangeEqualsFullQuery)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    query::Query q = mustParse("FATAL");
+    QueryResult full, ranged;
+    ASSERT_TRUE(system.run(q, &full).isOk());
+    ASSERT_TRUE(system.runTimeRange(q, 0, ~0ull, &ranged).isOk());
+    EXPECT_EQ(full.matched_lines, ranged.matched_lines);
+}
+
+TEST(MithriLogTest, KeptLinesAreRealLines)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText("keep me now\ndrop me\n").isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("keep"), &r).isOk());
+    ASSERT_EQ(r.lines.size(), 1u);
+    EXPECT_EQ(r.lines[0].text, "keep me now");
+}
+
+} // namespace
+} // namespace mithril::core

@@ -1,0 +1,154 @@
+#include "loggen/log_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/text.h"
+
+namespace mithril::loggen {
+namespace {
+
+TEST(DatasetsTest, FourDatasetsWithPaperMetadata)
+{
+    const auto &specs = hpc4Datasets();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].name, "BGL2");
+    EXPECT_EQ(specs[0].paper_templates, 93);
+    EXPECT_EQ(specs[1].name, "Liberty2");
+    EXPECT_EQ(specs[2].name, "Spirit2");
+    EXPECT_EQ(specs[2].paper_templates, 241);
+    EXPECT_EQ(specs[3].name, "Thunderbird");
+    EXPECT_DOUBLE_EQ(specs[3].paper_size_gb, 30.0);
+}
+
+TEST(DatasetsTest, LookupByName)
+{
+    EXPECT_EQ(datasetByName("Spirit2").template_count, 241u);
+}
+
+TEST(LogGeneratorTest, DeterministicForSameSpec)
+{
+    LogGenerator a(hpc4Datasets()[0]);
+    LogGenerator b(hpc4Datasets()[0]);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.line(), b.line());
+    }
+}
+
+TEST(LogGeneratorTest, DatasetsDiffer)
+{
+    LogGenerator a(hpc4Datasets()[0]);
+    LogGenerator b(hpc4Datasets()[1]);
+    EXPECT_NE(a.line(), b.line());
+}
+
+TEST(LogGeneratorTest, TemplateLibrarySizeMatchesSpec)
+{
+    for (const DatasetSpec &spec : hpc4Datasets()) {
+        LogGenerator gen(spec);
+        EXPECT_EQ(gen.templates().size(), spec.template_count);
+    }
+}
+
+TEST(LogGeneratorTest, GenerateApproximatesRequestedSize)
+{
+    LogGenerator gen(hpc4Datasets()[1]);
+    std::string text = gen.generate(1 << 20);
+    EXPECT_GE(text.size(), 1u << 20);
+    EXPECT_LT(text.size(), (1u << 20) + 4096);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(LogGeneratorTest, TraceMatchesLineCount)
+{
+    LogGenerator gen(hpc4Datasets()[0]);
+    std::vector<uint32_t> trace;
+    std::string text = gen.generate(200 * 1024, &trace);
+    EXPECT_EQ(trace.size(), gen.linesEmitted());
+    EXPECT_EQ(splitLines(text).size(), trace.size());
+    for (uint32_t t : trace) {
+        EXPECT_LT(t, gen.templates().size());
+    }
+}
+
+TEST(LogGeneratorTest, TemplatePopularityIsSkewed)
+{
+    LogGenerator gen(hpc4Datasets()[3]);
+    std::vector<uint32_t> trace;
+    gen.generate(1 << 20, &trace);
+    std::map<uint32_t, uint64_t> counts;
+    for (uint32_t t : trace) {
+        ++counts[t];
+    }
+    // Template 0 (Zipf head) must dominate the median template.
+    uint64_t head = counts[0];
+    std::vector<uint64_t> all;
+    for (auto &[t, c] : counts) {
+        all.push_back(c);
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_GT(head, all[all.size() / 2] * 5);
+}
+
+TEST(LogGeneratorTest, BglHeaderShape)
+{
+    LogGenerator gen(datasetByName("BGL2"));
+    std::string line = gen.line();
+    auto tokens = splitTokens(line);
+    ASSERT_GE(tokens.size(), 9u);
+    EXPECT_EQ(tokens[0], "-");
+    EXPECT_EQ(tokens[6], "RAS");
+    // Node name appears twice (positions 3 and 5).
+    EXPECT_EQ(tokens[3], tokens[5]);
+}
+
+TEST(LogGeneratorTest, SyslogHeaderShape)
+{
+    LogGenerator gen(datasetByName("Thunderbird"));
+    std::string line = gen.line();
+    auto tokens = splitTokens(line);
+    ASSERT_GE(tokens.size(), 10u);
+    // "SEQ EPOCH DATE NODE MONTH DAY TIME NODE daemon: ..."
+    EXPECT_EQ(tokens[3], tokens[7]);   // node repeats
+    EXPECT_EQ(tokens[8].back(), ':');  // daemon tag
+}
+
+TEST(LogGeneratorTest, LinesHaveNoForbiddenBytes)
+{
+    // LZAH requires NUL-free, newline-terminated lines.
+    LogGenerator gen(hpc4Datasets()[2]);
+    for (int i = 0; i < 500; ++i) {
+        std::string line = gen.line();
+        EXPECT_EQ(line.find('\0'), std::string::npos);
+        EXPECT_EQ(line.find('\n'), std::string::npos);
+        EXPECT_LT(line.size(), 1000u);
+        EXPECT_GT(line.size(), 20u);
+    }
+}
+
+TEST(LogGeneratorTest, VariabilityOrderingAcrossDatasets)
+{
+    // Thunderbird-like must be more repetitive (more compressible)
+    // than BGL2-like, reproducing Table 5's ordering for LZAH.
+    auto distinct_ratio = [](const DatasetSpec &spec) {
+        LogGenerator gen(spec);
+        std::string text = gen.generate(512 * 1024);
+        std::set<std::string_view> distinct;
+        size_t total = 0;
+        forEachLine(text, [&](std::string_view line) {
+            forEachToken(line, [&](std::string_view tok, uint32_t) {
+                distinct.insert(tok);
+                ++total;
+                return true;
+            });
+        });
+        return static_cast<double>(distinct.size()) / total;
+    };
+    EXPECT_GT(distinct_ratio(datasetByName("BGL2")),
+              distinct_ratio(datasetByName("Thunderbird")));
+}
+
+} // namespace
+} // namespace mithril::loggen

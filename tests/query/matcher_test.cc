@@ -1,0 +1,118 @@
+#include "query/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace mithril::query {
+namespace {
+
+bool
+matches(std::string_view query_text, std::string_view line)
+{
+    Query q;
+    Status st = parseQuery(query_text, &q);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    SoftwareMatcher m(q);
+    return m.matches(line);
+}
+
+TEST(MatcherTest, SinglePositiveToken)
+{
+    EXPECT_TRUE(matches("KERNEL", "RAS KERNEL INFO"));
+    EXPECT_FALSE(matches("KERNEL", "RAS APP INFO"));
+}
+
+TEST(MatcherTest, TokenBoundariesAreExact)
+{
+    // Token semantics, not substring semantics.
+    EXPECT_FALSE(matches("KERN", "RAS KERNEL INFO"));
+    EXPECT_FALSE(matches("KERNELS", "RAS KERNEL INFO"));
+}
+
+TEST(MatcherTest, ConjunctionRequiresAll)
+{
+    EXPECT_TRUE(matches("RAS & INFO", "RAS KERNEL INFO"));
+    EXPECT_FALSE(matches("RAS & FATAL", "RAS KERNEL INFO"));
+}
+
+TEST(MatcherTest, NegationVetoes)
+{
+    // Template 2 of Figure 1: RAS & KERNEL & INFO & !FATAL.
+    EXPECT_TRUE(matches("RAS & KERNEL & INFO & !FATAL",
+                        "x RAS KERNEL INFO cache parity"));
+    EXPECT_FALSE(matches("RAS & KERNEL & INFO & !FATAL",
+                         "x RAS KERNEL INFO FATAL panic"));
+}
+
+TEST(MatcherTest, UnionAcceptsAnySet)
+{
+    EXPECT_TRUE(matches("(a & b) | (c & d)", "c q d"));
+    EXPECT_FALSE(matches("(a & b) | (c & d)", "a d"));
+}
+
+TEST(MatcherTest, PureNegativeSet)
+{
+    EXPECT_TRUE(matches("!missing", "some other line"));
+    EXPECT_FALSE(matches("!present", "present here"));
+}
+
+TEST(MatcherTest, RepeatedTokenInLineCountsOnce)
+{
+    // "a a" must not satisfy "a & b".
+    EXPECT_FALSE(matches("a & b", "a a a"));
+    EXPECT_TRUE(matches("a & b", "a b a"));
+}
+
+TEST(MatcherTest, EmptyLine)
+{
+    EXPECT_FALSE(matches("a", ""));
+    EXPECT_TRUE(matches("!a", ""));
+}
+
+TEST(MatcherTest, NegativeAfterPositiveStillVetoes)
+{
+    // The violating token appears after all positives are satisfied;
+    // matchers must not early-exit.
+    EXPECT_FALSE(matches("a & !z", "a b c z"));
+}
+
+TEST(MatcherTest, ManyPositiveTermsAcrossWordBoundary)
+{
+    // > 64 positive terms exercises the multi-word found-bitmap path.
+    std::string query_text;
+    std::string line;
+    for (int i = 0; i < 70; ++i) {
+        if (i > 0) {
+            query_text += " & ";
+        }
+        std::string tok = "tok" + std::to_string(i);
+        query_text += tok;
+        line += tok + " ";
+    }
+    EXPECT_TRUE(matches(query_text, line));
+    // Remove one token: must fail.
+    EXPECT_FALSE(matches(query_text + " & tok99", line));
+}
+
+TEST(MatcherTest, FilterLines)
+{
+    Query q;
+    ASSERT_TRUE(parseQuery("FATAL", &q).isOk());
+    SoftwareMatcher m(q);
+    auto lines = m.filterLines("a FATAL x\nok line\nFATAL again\n");
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "a FATAL x");
+    EXPECT_EQ(lines[1], "FATAL again");
+}
+
+TEST(MatcherTest, SharedTokenAcrossSetsWithDifferentPolarity)
+{
+    // "err" required by set 1, forbidden by set 2.
+    EXPECT_TRUE(matches("(err & disk) | (net & !err)", "err disk"));
+    EXPECT_TRUE(matches("(err & disk) | (net & !err)", "net up"));
+    EXPECT_FALSE(matches("(err & disk) | (net & !err)", "net err"));
+}
+
+} // namespace
+} // namespace mithril::query

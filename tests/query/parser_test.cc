@@ -1,0 +1,166 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril::query {
+namespace {
+
+Query
+mustParse(std::string_view text)
+{
+    Query q;
+    Status st = parseQuery(text, &q);
+    EXPECT_TRUE(st.isOk()) << text << " -> " << st.toString();
+    return q;
+}
+
+TEST(ParserTest, SingleToken)
+{
+    Query q = mustParse("error");
+    ASSERT_EQ(q.sets().size(), 1u);
+    ASSERT_EQ(q.sets()[0].terms.size(), 1u);
+    EXPECT_EQ(q.sets()[0].terms[0].token, "error");
+    EXPECT_FALSE(q.sets()[0].terms[0].negated);
+}
+
+TEST(ParserTest, QuotedTokenPreservesSpecials)
+{
+    Query q = mustParse("\"pbs_mom:\" AND NOT \"failed\"");
+    ASSERT_EQ(q.sets().size(), 1u);
+    EXPECT_EQ(q.sets()[0].terms[0].token, "pbs_mom:");
+    EXPECT_TRUE(q.sets()[0].terms[1].negated);
+}
+
+TEST(ParserTest, SymbolsAndKeywordsEquivalent)
+{
+    EXPECT_EQ(mustParse("a & !b | c"), mustParse("a AND NOT b OR c"));
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive)
+{
+    EXPECT_EQ(mustParse("a and not b"), mustParse("a AND NOT b"));
+}
+
+TEST(ParserTest, ImplicitAnd)
+{
+    EXPECT_EQ(mustParse("a b c"), mustParse("a & b & c"));
+}
+
+TEST(ParserTest, OrSplitsSets)
+{
+    Query q = mustParse("(a & b) | (c & d)");
+    EXPECT_EQ(q.sets().size(), 2u);
+}
+
+TEST(ParserTest, NestedParens)
+{
+    Query q = mustParse("((a))");
+    EXPECT_EQ(q.sets().size(), 1u);
+}
+
+TEST(ParserTest, DistributesAndOverOr)
+{
+    // a & (b | c)  ==>  (a & b) | (a & c)
+    Query q = mustParse("a & (b | c)");
+    ASSERT_EQ(q.sets().size(), 2u);
+    EXPECT_EQ(q.sets()[0].terms.size(), 2u);
+    EXPECT_EQ(q.sets()[1].terms.size(), 2u);
+}
+
+TEST(ParserTest, DeMorganPushesNegation)
+{
+    // !(a | b)  ==>  !a & !b
+    Query q = mustParse("!(a | b)");
+    ASSERT_EQ(q.sets().size(), 1u);
+    EXPECT_EQ(q.sets()[0].terms.size(), 2u);
+    EXPECT_TRUE(q.sets()[0].terms[0].negated);
+    EXPECT_TRUE(q.sets()[0].terms[1].negated);
+}
+
+TEST(ParserTest, DeMorganOverAndMakesUnion)
+{
+    // !(a & b)  ==>  !a | !b
+    Query q = mustParse("!(a & b)");
+    EXPECT_EQ(q.sets().size(), 2u);
+}
+
+TEST(ParserTest, DoubleNegation)
+{
+    Query q = mustParse("!!a");
+    ASSERT_EQ(q.sets().size(), 1u);
+    EXPECT_FALSE(q.sets()[0].terms[0].negated);
+}
+
+TEST(ParserTest, DuplicateTermsDeduped)
+{
+    Query q = mustParse("a & a & a");
+    ASSERT_EQ(q.sets().size(), 1u);
+    EXPECT_EQ(q.sets()[0].terms.size(), 1u);
+}
+
+TEST(ParserTest, ContradictorySetDropped)
+{
+    // (a & !a) | b leaves only b.
+    Query q = mustParse("(a & !a) | b");
+    ASSERT_EQ(q.sets().size(), 1u);
+    EXPECT_EQ(q.sets()[0].terms[0].token, "b");
+}
+
+TEST(ParserTest, FullyContradictoryQueryRejected)
+{
+    Query q;
+    EXPECT_FALSE(parseQuery("a & !a", &q).isOk());
+}
+
+TEST(ParserTest, RoundTripsThroughToString)
+{
+    Query q = mustParse("(\"A\" & !\"B\") | \"C\"");
+    Query q2 = mustParse(q.toString());
+    EXPECT_EQ(q, q2);
+}
+
+TEST(ParserErrorTest, EmptyInput)
+{
+    Query q;
+    EXPECT_EQ(parseQuery("", &q).code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(parseQuery("   ", &q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserErrorTest, UnbalancedParens)
+{
+    Query q;
+    EXPECT_FALSE(parseQuery("(a", &q).isOk());
+    EXPECT_FALSE(parseQuery("a)", &q).isOk());
+}
+
+TEST(ParserErrorTest, DanglingOperators)
+{
+    Query q;
+    EXPECT_FALSE(parseQuery("a &", &q).isOk());
+    EXPECT_FALSE(parseQuery("| a", &q).isOk());
+    EXPECT_FALSE(parseQuery("!", &q).isOk());
+}
+
+TEST(ParserErrorTest, UnterminatedQuote)
+{
+    Query q;
+    EXPECT_FALSE(parseQuery("\"abc", &q).isOk());
+}
+
+TEST(ParserErrorTest, DnfExplosionCapped)
+{
+    // (a0|b0) & (a1|b1) & ... doubles the set count per clause; 10
+    // clauses = 1024 sets > kMaxDnfSets.
+    std::string text;
+    for (int i = 0; i < 10; ++i) {
+        if (i > 0) {
+            text += " & ";
+        }
+        text += "(a" + std::to_string(i) + " | b" + std::to_string(i) + ")";
+    }
+    Query q;
+    EXPECT_EQ(parseQuery(text, &q).code(), StatusCode::kCapacityExceeded);
+}
+
+} // namespace
+} // namespace mithril::query

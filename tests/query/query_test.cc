@@ -1,0 +1,90 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril::query {
+namespace {
+
+TEST(QueryTest, AllOfBuildsSingleSet)
+{
+    std::vector<std::string> tokens{"a", "b"};
+    Query q = Query::allOf(tokens);
+    ASSERT_EQ(q.sets().size(), 1u);
+    EXPECT_EQ(q.sets()[0].terms.size(), 2u);
+    EXPECT_FALSE(q.sets()[0].terms[0].negated);
+    EXPECT_TRUE(q.validate().isOk());
+}
+
+TEST(QueryTest, AnyOfBuildsOneSetPerToken)
+{
+    std::vector<std::string> tokens{"a", "b", "c"};
+    Query q = Query::anyOf(tokens);
+    EXPECT_EQ(q.sets().size(), 3u);
+    EXPECT_EQ(q.termCount(), 3u);
+}
+
+TEST(QueryTest, UnionOfConcatenatesSets)
+{
+    std::vector<std::string> ab{"a", "b"};
+    std::vector<std::string> cd{"c", "d"};
+    std::vector<Query> queries{Query::allOf(ab), Query::allOf(cd)};
+    Query joined = Query::unionOf(queries);
+    EXPECT_EQ(joined.sets().size(), 2u);
+}
+
+TEST(QueryTest, DistinctTokensDeduplicates)
+{
+    Query q({{{{"a", false}, {"b", true}}}, {{{"a", true}, {"c", false}}}});
+    auto tokens = q.distinctTokens();
+    EXPECT_EQ(tokens, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(QueryValidateTest, EmptyQueryInvalid)
+{
+    Query q;
+    EXPECT_FALSE(q.validate().isOk());
+}
+
+TEST(QueryValidateTest, EmptySetInvalid)
+{
+    Query q({IntersectionSet{}});
+    EXPECT_FALSE(q.validate().isOk());
+}
+
+TEST(QueryValidateTest, EmptyTokenInvalid)
+{
+    Query q({{{{"", false}}}});
+    EXPECT_FALSE(q.validate().isOk());
+}
+
+TEST(QueryValidateTest, ConflictingPolarityInvalid)
+{
+    Query q({{{{"a", false}, {"a", true}}}});
+    EXPECT_EQ(q.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryValidateTest, PureNegativeControlledByFlag)
+{
+    Query q({{{{"a", true}}}});
+    EXPECT_TRUE(q.validate(true).isOk());
+    EXPECT_EQ(q.validate(false).code(), StatusCode::kUnsupported);
+}
+
+TEST(QueryToStringTest, RendersEquationOneShape)
+{
+    // (!A & B & C) | (!D & !E & F & G), Equation 1 of the paper.
+    Query q({{{{"A", true}, {"B", false}, {"C", false}}},
+             {{{"D", true}, {"E", true}, {"F", false}, {"G", false}}}});
+    EXPECT_EQ(q.toString(),
+              "(!\"A\" & \"B\" & \"C\") | "
+              "(!\"D\" & !\"E\" & \"F\" & \"G\")");
+}
+
+TEST(QueryTest, PositiveCount)
+{
+    IntersectionSet s{{{"a", false}, {"b", true}, {"c", false}}};
+    EXPECT_EQ(s.positiveCount(), 2u);
+}
+
+} // namespace
+} // namespace mithril::query

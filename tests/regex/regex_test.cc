@@ -1,0 +1,159 @@
+#include "regex/regex.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril::regex {
+namespace {
+
+Regex
+mustCompile(std::string_view pattern)
+{
+    Regex re;
+    Status st = Regex::compile(pattern, &re);
+    EXPECT_TRUE(st.isOk()) << pattern << ": " << st.toString();
+    return re;
+}
+
+TEST(RegexTest, LiteralMatch)
+{
+    Regex re = mustCompile("abc");
+    EXPECT_TRUE(re.match("abc"));
+    EXPECT_FALSE(re.match("ab"));
+    EXPECT_FALSE(re.match("abcd"));
+    EXPECT_FALSE(re.match("xbc"));
+}
+
+TEST(RegexTest, DotMatchesAnyExceptNewline)
+{
+    Regex re = mustCompile("a.c");
+    EXPECT_TRUE(re.match("abc"));
+    EXPECT_TRUE(re.match("a c"));
+    EXPECT_FALSE(re.match("a\nc"));
+}
+
+TEST(RegexTest, StarRepetition)
+{
+    Regex re = mustCompile("ab*c");
+    EXPECT_TRUE(re.match("ac"));
+    EXPECT_TRUE(re.match("abc"));
+    EXPECT_TRUE(re.match("abbbbc"));
+    EXPECT_FALSE(re.match("adc"));
+}
+
+TEST(RegexTest, PlusRepetition)
+{
+    Regex re = mustCompile("ab+c");
+    EXPECT_FALSE(re.match("ac"));
+    EXPECT_TRUE(re.match("abc"));
+    EXPECT_TRUE(re.match("abbc"));
+}
+
+TEST(RegexTest, QuestionOptional)
+{
+    Regex re = mustCompile("colou?r");
+    EXPECT_TRUE(re.match("color"));
+    EXPECT_TRUE(re.match("colour"));
+    EXPECT_FALSE(re.match("colouur"));
+}
+
+TEST(RegexTest, Alternation)
+{
+    Regex re = mustCompile("cat|dog|bird");
+    EXPECT_TRUE(re.match("cat"));
+    EXPECT_TRUE(re.match("dog"));
+    EXPECT_TRUE(re.match("bird"));
+    EXPECT_FALSE(re.match("fish"));
+}
+
+TEST(RegexTest, GroupingWithRepetition)
+{
+    Regex re = mustCompile("(ab)+");
+    EXPECT_TRUE(re.match("ab"));
+    EXPECT_TRUE(re.match("abab"));
+    EXPECT_FALSE(re.match("aba"));
+}
+
+TEST(RegexTest, CharacterClass)
+{
+    Regex re = mustCompile("[a-c]+");
+    EXPECT_TRUE(re.match("abcba"));
+    EXPECT_FALSE(re.match("abd"));
+}
+
+TEST(RegexTest, NegatedClass)
+{
+    Regex re = mustCompile("[^0-9]+");
+    EXPECT_TRUE(re.match("abc"));
+    EXPECT_FALSE(re.match("ab3"));
+}
+
+TEST(RegexTest, ClassEscapes)
+{
+    EXPECT_TRUE(mustCompile("\\d+").match("12345"));
+    EXPECT_FALSE(mustCompile("\\d+").match("12a45"));
+    EXPECT_TRUE(mustCompile("\\w+").match("abc_123"));
+    EXPECT_TRUE(mustCompile("a\\.b").match("a.b"));
+    EXPECT_FALSE(mustCompile("a\\.b").match("axb"));
+}
+
+TEST(RegexTest, EmptyAlternative)
+{
+    Regex re = mustCompile("a(b|)c");
+    EXPECT_TRUE(re.match("abc"));
+    EXPECT_TRUE(re.match("ac"));
+}
+
+TEST(RegexTest, SearchFindsSubstring)
+{
+    Regex re = mustCompile("FATAL");
+    EXPECT_TRUE(re.search("RAS KERNEL FATAL data storage interrupt"));
+    EXPECT_FALSE(re.search("RAS KERNEL INFO ok"));
+}
+
+TEST(RegexTest, SearchLogPattern)
+{
+    // A HARE-style log query: an error code pattern anywhere in line.
+    Regex re = mustCompile("err(or)?=0x[0-9a-f]+");
+    EXPECT_TRUE(re.search("dev eth0 error=0x1f4 dropped"));
+    EXPECT_TRUE(re.search("err=0xdeadbeef"));
+    EXPECT_FALSE(re.search("error=xyz"));
+}
+
+TEST(RegexTest, DfaStatesAreCached)
+{
+    Regex re = mustCompile("(a|b)*abb");
+    EXPECT_TRUE(re.match("aabb"));
+    size_t after_first = re.dfaStateCount();
+    EXPECT_GT(after_first, 0u);
+    // Re-matching similar input should reuse cached DFA states.
+    EXPECT_TRUE(re.match("babb"));
+    EXPECT_LE(re.dfaStateCount(), after_first + 2);
+}
+
+TEST(RegexTest, StateCountGrowsWithPattern)
+{
+    Regex small = mustCompile("ab");
+    Regex big = mustCompile("(abc|def|ghi)+[0-9]*x*y+z?");
+    EXPECT_GT(big.stateCount(), small.stateCount());
+}
+
+TEST(RegexErrorTest, SyntaxErrors)
+{
+    Regex re;
+    EXPECT_FALSE(Regex::compile("(ab", &re).isOk());
+    EXPECT_FALSE(Regex::compile("ab)", &re).isOk());
+    EXPECT_FALSE(Regex::compile("*a", &re).isOk());
+    EXPECT_FALSE(Regex::compile("a[bc", &re).isOk());
+    EXPECT_FALSE(Regex::compile("a\\", &re).isOk());
+}
+
+TEST(RegexTest, EmptyPatternMatchesEmpty)
+{
+    Regex re = mustCompile("");
+    EXPECT_TRUE(re.match(""));
+    EXPECT_FALSE(re.match("a"));
+    EXPECT_TRUE(re.search("anything"));
+}
+
+} // namespace
+} // namespace mithril::regex

@@ -1,0 +1,73 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mithril::storage {
+namespace {
+
+TEST(PageStoreTest, AllocateReturnsSequentialIds)
+{
+    PageStore store;
+    EXPECT_EQ(store.allocate(), 0u);
+    EXPECT_EQ(store.allocate(), 1u);
+    EXPECT_EQ(store.allocate(), 2u);
+    EXPECT_EQ(store.pageCount(), 3u);
+    EXPECT_EQ(store.sizeBytes(), 3 * kPageSize);
+}
+
+TEST(PageStoreTest, FreshPagesAreZeroed)
+{
+    PageStore store;
+    PageId id = store.allocate();
+    auto page = store.read(id);
+    for (uint8_t b : page) {
+        ASSERT_EQ(b, 0);
+    }
+}
+
+TEST(PageStoreTest, WriteReadRoundTrip)
+{
+    PageStore store;
+    PageId id = store.allocate();
+    std::vector<uint8_t> data(kPageSize);
+    std::iota(data.begin(), data.end(), 0);
+    store.write(id, data);
+    auto page = store.read(id);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), page.begin()));
+}
+
+TEST(PageStoreTest, PartialWriteKeepsTail)
+{
+    PageStore store;
+    PageId id = store.allocate();
+    std::vector<uint8_t> full(kPageSize, 0xff);
+    store.write(id, full);
+    std::vector<uint8_t> head(16, 0x01);
+    store.write(id, head);
+    auto page = store.read(id);
+    EXPECT_EQ(page[0], 0x01);
+    EXPECT_EQ(page[15], 0x01);
+    EXPECT_EQ(page[16], 0xff);
+}
+
+TEST(PageStoreTest, MutablePageWritesThrough)
+{
+    PageStore store;
+    PageId id = store.allocate();
+    store.mutablePage(id)[100] = 0x42;
+    EXPECT_EQ(store.read(id)[100], 0x42);
+}
+
+TEST(PageStoreTest, PagesAreIndependent)
+{
+    PageStore store;
+    PageId a = store.allocate();
+    PageId b = store.allocate();
+    store.mutablePage(a)[0] = 1;
+    EXPECT_EQ(store.read(b)[0], 0);
+}
+
+} // namespace
+} // namespace mithril::storage

@@ -1,0 +1,102 @@
+#include "storage/ssd_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mithril::storage {
+namespace {
+
+TEST(SsdModelTest, BatchReadMovesData)
+{
+    SsdModel ssd;
+    PageId a = ssd.allocate();
+    PageId b = ssd.allocate();
+    std::vector<uint8_t> ones(kPageSize, 1);
+    std::vector<uint8_t> twos(kPageSize, 2);
+    ssd.writePage(a, ones);
+    ssd.writePage(b, twos);
+
+    std::vector<uint8_t> out;
+    std::vector<PageId> ids{a, b};
+    ssd.readBatch(ids, Link::kInternal, &out);
+    ASSERT_EQ(out.size(), 2 * kPageSize);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[kPageSize], 2);
+}
+
+TEST(SsdModelTest, LargeBatchIsBandwidthBound)
+{
+    SsdModel ssd;
+    // 100k pages at 4.8 GB/s -> ~85 ms; latency contribution is tiny.
+    SimTime t = ssd.timeBatchRead(100000, Link::kInternal);
+    double expected = 100000.0 * kPageSize / 4.8e9;
+    EXPECT_NEAR(t.toSeconds(), expected, expected * 0.2);
+}
+
+TEST(SsdModelTest, InternalLinkIsFasterThanExternal)
+{
+    SsdModel ssd;
+    SimTime internal = ssd.timeBatchRead(50000, Link::kInternal);
+    SimTime external = ssd.timeBatchRead(50000, Link::kExternal);
+    EXPECT_LT(internal.ps(), external.ps());
+    // Ratio should track the 4.8 / 3.1 bandwidth ratio.
+    double ratio = static_cast<double>(external.ps()) / internal.ps();
+    EXPECT_NEAR(ratio, 4.8 / 3.1, 0.2);
+}
+
+TEST(SsdModelTest, ChainedReadsAreLatencyBound)
+{
+    SsdModel ssd;
+    // 100 dependent hops at 100 us each: >= 10 ms regardless of size.
+    SimTime t = ssd.timeChainRead(100, 0, Link::kInternal);
+    EXPECT_GE(t.toSeconds(), 100 * 100e-6 * 0.99);
+}
+
+TEST(SsdModelTest, ChainWithFanoutCoversLeafTraffic)
+{
+    SsdModel ssd;
+    SimTime chain_only = ssd.timeChainRead(10, 0, Link::kInternal);
+    SimTime with_fanout = ssd.timeChainRead(10, 256, Link::kInternal);
+    EXPECT_GE(with_fanout.ps(), chain_only.ps());
+}
+
+TEST(SsdModelTest, MeteredReadsAdvanceClockAndStats)
+{
+    SsdModel ssd;
+    PageId a = ssd.allocate();
+    std::vector<uint8_t> data(kPageSize, 7);
+    ssd.writePage(a, data);
+    ssd.resetClock();
+
+    std::vector<uint8_t> out;
+    std::vector<PageId> ids{a};
+    ssd.readBatch(ids, Link::kExternal, &out);
+    EXPECT_GT(ssd.elapsed().ps(), 0u);
+    EXPECT_EQ(ssd.stats().get("pages_read"), 1u);
+    EXPECT_EQ(ssd.stats().get("bytes_read"), kPageSize);
+
+    auto view = ssd.readChained(a, Link::kExternal);
+    EXPECT_EQ(view[0], 7);
+    EXPECT_EQ(ssd.stats().get("chained_reads"), 1u);
+}
+
+TEST(SsdModelTest, ResetClockZeroesElapsedOnly)
+{
+    SsdModel ssd;
+    PageId a = ssd.allocate();
+    std::vector<uint8_t> data(16, 1);
+    ssd.writePage(a, data);
+    EXPECT_GT(ssd.elapsed().ps(), 0u);
+    ssd.resetClock();
+    EXPECT_EQ(ssd.elapsed().ps(), 0u);
+    EXPECT_EQ(ssd.stats().get("pages_written"), 1u);
+}
+
+TEST(SsdModelTest, ComparisonConfigHasSingleFastLink)
+{
+    SsdConfig cfg = comparisonSsdConfig();
+    EXPECT_DOUBLE_EQ(cfg.internal_bw_bps, cfg.external_bw_bps);
+    EXPECT_GT(cfg.internal_bw_bps, 4.8e9);
+}
+
+} // namespace
+} // namespace mithril::storage

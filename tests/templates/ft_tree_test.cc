@@ -1,0 +1,168 @@
+#include "templates/ft_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "loggen/log_generator.h"
+#include "query/matcher.h"
+
+namespace mithril::templates {
+namespace {
+
+/** Small corpus shaped like Figure 7: token A most frequent, then B,
+ *  C, D, E. */
+std::string
+figure7Corpus()
+{
+    std::string text;
+    // Global frequency order must be A > B > C > D ~ E as in Figure 7:
+    // A = 150, B = 80, C = 70 (40 + 30), D = E = 30.
+    for (int i = 0; i < 80; ++i) {
+        text += "A B v" + std::to_string(i) + "\n";   // template 1
+    }
+    for (int i = 0; i < 40; ++i) {
+        text += "A C w" + std::to_string(i) + "\n";   // template 2
+    }
+    for (int i = 0; i < 30; ++i) {
+        text += "A C D E u" + std::to_string(i) + "\n";  // template 3
+    }
+    return text;
+}
+
+FtTreeConfig
+smallConfig()
+{
+    FtTreeConfig cfg;
+    cfg.token_min_count = 20;
+    cfg.token_frequency_ratio = 0.0;
+    cfg.template_min_support = 20;
+    return cfg;
+}
+
+TEST(FtTreeTest, FrequencyThresholdDropsVariables)
+{
+    FtTree tree = FtTree::build(figure7Corpus(), smallConfig());
+    EXPECT_GT(tree.tokenFrequency("A"), 0u);
+    EXPECT_GT(tree.tokenFrequency("E"), 0u);
+    EXPECT_EQ(tree.tokenFrequency("v1"), 0u);  // variable value
+}
+
+TEST(FtTreeTest, ExtractsFigure7Templates)
+{
+    FtTree tree = FtTree::build(figure7Corpus(), smallConfig());
+    auto templates = tree.extractTemplates();
+    ASSERT_EQ(templates.size(), 3u);
+
+    // Templates sorted by DFS over token order; find by content.
+    bool found_ab = false, found_ac = false, found_acde = false;
+    for (const auto &tpl : templates) {
+        if (tpl.tokens == std::vector<std::string>{"A", "B"}) {
+            found_ab = true;
+            EXPECT_EQ(tpl.support, 80u);
+            // C is B's lower-frequency sibling: no negation needed.
+            EXPECT_TRUE(tpl.negations.empty());
+        }
+        if (tpl.tokens == std::vector<std::string>{"A", "C"}) {
+            found_ac = true;
+            // B is a higher-frequency sibling of C: must be negated.
+            ASSERT_EQ(tpl.negations.size(), 1u);
+            EXPECT_EQ(tpl.negations[0], "B");
+        }
+        if (tpl.tokens ==
+            std::vector<std::string>{"A", "C", "D", "E"}) {
+            found_acde = true;
+            EXPECT_EQ(tpl.negations, std::vector<std::string>{"B"});
+        }
+    }
+    EXPECT_TRUE(found_ab);
+    EXPECT_TRUE(found_ac);
+    EXPECT_TRUE(found_acde);
+}
+
+TEST(FtTreeTest, ClassifyMapsLinesToTemplates)
+{
+    FtTree tree = FtTree::build(figure7Corpus(), smallConfig());
+    auto templates = tree.extractTemplates();
+
+    size_t idx = tree.classify("A B v999");
+    ASSERT_NE(idx, SIZE_MAX);
+    EXPECT_EQ(templates[idx].tokens,
+              (std::vector<std::string>{"A", "B"}));
+
+    idx = tree.classify("A C D E u7");
+    ASSERT_NE(idx, SIZE_MAX);
+    EXPECT_EQ(templates[idx].tokens.size(), 4u);
+
+    EXPECT_EQ(tree.classify("Z Q unknown"), SIZE_MAX);
+}
+
+TEST(FtTreeTest, TemplateToQueryMatchesItsOwnLines)
+{
+    // Section 4.3's soundness property: the query built from a
+    // template accepts every line the template classified.
+    std::string corpus = figure7Corpus();
+    FtTree tree = FtTree::build(corpus, smallConfig());
+    auto templates = tree.extractTemplates();
+
+    for (const auto &tpl : templates) {
+        query::Query q = templateToQuery(tpl);
+        ASSERT_TRUE(q.validate().isOk());
+        query::SoftwareMatcher m(q);
+        EXPECT_GT(m.filterLines(corpus).size(), 0u);
+    }
+
+    // Template (A & C & !B) must reject A-B lines and accept A-C ones.
+    for (const auto &tpl : templates) {
+        if (tpl.tokens == std::vector<std::string>{"A", "C"}) {
+            query::SoftwareMatcher m(templateToQuery(tpl));
+            EXPECT_TRUE(m.matches("A C w1"));
+            EXPECT_FALSE(m.matches("A B v1"));
+            EXPECT_TRUE(m.matches("A C D E u1"));  // superset retrieval
+        }
+    }
+}
+
+TEST(FtTreeTest, TemplatesToQueryJoinsWithUnion)
+{
+    FtTree tree = FtTree::build(figure7Corpus(), smallConfig());
+    auto templates = tree.extractTemplates();
+    query::Query joined = templatesToQuery(
+        std::span(templates.data(), 2));
+    EXPECT_EQ(joined.sets().size(), 2u);
+    EXPECT_TRUE(joined.validate().isOk());
+}
+
+TEST(FtTreeTest, MaxDepthTruncatesSignatures)
+{
+    FtTreeConfig cfg = smallConfig();
+    cfg.max_depth = 2;
+    FtTree tree = FtTree::build(figure7Corpus(), cfg);
+    for (const auto &tpl : tree.extractTemplates()) {
+        EXPECT_LE(tpl.tokens.size(), 2u);
+    }
+}
+
+TEST(FtTreeTest, ExtractsTemplateLibraryFromSyntheticDataset)
+{
+    // Table 1 reproduction path: extraction on a synthetic dataset
+    // recovers a library within the right order of magnitude.
+    const auto &spec = loggen::hpc4Datasets()[0];  // BGL2-like, 93
+    loggen::LogGenerator gen(spec);
+    std::string text = gen.generate(2 << 20);
+
+    FtTreeConfig cfg;
+    cfg.template_min_support = 24;
+    FtTree tree = FtTree::build(text, cfg);
+    auto templates = tree.extractTemplates();
+    EXPECT_GT(templates.size(), 20u);
+    EXPECT_LT(templates.size(), 600u);
+}
+
+TEST(FtTreeTest, EmptyCorpusYieldsNoTemplates)
+{
+    FtTree tree = FtTree::build("", FtTreeConfig{});
+    EXPECT_TRUE(tree.extractTemplates().empty());
+    EXPECT_EQ(tree.classify("anything"), SIZE_MAX);
+}
+
+} // namespace
+} // namespace mithril::templates

@@ -1,0 +1,134 @@
+#include "templates/prefix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "compress/lzah.h"
+
+namespace mithril::templates {
+namespace {
+
+std::string
+positionalCorpus()
+{
+    std::string text;
+    // Two templates distinguished only by position: "up" appears at
+    // column 2 in template 1 and at column 1 in template 2.
+    for (int i = 0; i < 50; ++i) {
+        text += "eth0 link up " + std::to_string(i) + "\n";
+    }
+    for (int i = 0; i < 50; ++i) {
+        text += "node up link " + std::to_string(i) + "\n";
+    }
+    return text;
+}
+
+PrefixTreeConfig
+smallConfig()
+{
+    PrefixTreeConfig cfg;
+    cfg.token_min_count = 10;
+    cfg.token_frequency_ratio = 0.0;
+    cfg.template_min_support = 10;
+    return cfg;
+}
+
+TEST(PrefixTreeTest, ExtractsPositionalTemplates)
+{
+    PrefixTree tree = PrefixTree::build(positionalCorpus(), smallConfig());
+    const auto &templates = tree.extractTemplates();
+    ASSERT_EQ(templates.size(), 2u);
+    for (const auto &tpl : templates) {
+        EXPECT_EQ(tpl.support, 50u);
+        EXPECT_EQ(tpl.tokens.size(), 3u);  // the variable is wildcarded
+    }
+}
+
+TEST(PrefixTreeTest, ClassifyDistinguishesByPosition)
+{
+    PrefixTree tree = PrefixTree::build(positionalCorpus(), smallConfig());
+    size_t t1 = tree.classify("eth0 link up 999");
+    size_t t2 = tree.classify("node up link 999");
+    ASSERT_NE(t1, SIZE_MAX);
+    ASSERT_NE(t2, SIZE_MAX);
+    EXPECT_NE(t1, t2);
+    EXPECT_EQ(tree.classify("something totally different here"),
+              SIZE_MAX);
+}
+
+TEST(PrefixTreeTest, CompileRejectsConflictingColumns)
+{
+    PrefixTree tree = PrefixTree::build(positionalCorpus(), smallConfig());
+    const auto &templates = tree.extractTemplates();
+    // "up" needs column 2 for one template and column 1 for the other:
+    // one shared cuckoo entry cannot hold both (documented limit).
+    accel::FilterProgram program;
+    Status st = compilePrefixTemplates(templates, &program);
+    EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(PrefixTreeTest, CompiledProgramFiltersByColumn)
+{
+    // Disjoint-token positional templates compile and filter.
+    std::string text;
+    for (int i = 0; i < 40; ++i) {
+        text += "kernel: oops code " + std::to_string(i) + "\n";
+        text += "sshd: login user" + std::to_string(i) + " ok\n";
+    }
+    PrefixTree tree = PrefixTree::build(text, smallConfig());
+    const auto &templates = tree.extractTemplates();
+    ASSERT_EQ(templates.size(), 2u);
+
+    accel::FilterProgram program;
+    ASSERT_TRUE(compilePrefixTemplates(templates, &program).isOk());
+
+    compress::LzahPageEncoder enc;
+    ASSERT_NE(enc.addLine("kernel: oops code 77"),
+              compress::AddLineResult::kRejected);
+    ASSERT_NE(enc.addLine("sshd: login userX ok"),
+              compress::AddLineResult::kRejected);
+    // Same tokens, wrong positions: must NOT match.
+    ASSERT_NE(enc.addLine("oops kernel: 12 code"),
+              compress::AddLineResult::kRejected);
+    enc.flush();
+
+    accel::Accelerator accel;
+    accel.configureProgram(std::move(program));
+    std::vector<compress::ByteView> views;
+    for (const auto &p : enc.pages()) {
+        views.emplace_back(p);
+    }
+    accel::AccelResult result;
+    ASSERT_TRUE(accel.process(views, accel::Mode::kFilter,
+                              &result).isOk());
+    EXPECT_EQ(result.lines_kept, 2u);
+    for (const auto &line : result.kept) {
+        EXPECT_NE(line.text, "oops kernel: 12 code");
+    }
+}
+
+TEST(PrefixTreeTest, EmptyCorpus)
+{
+    PrefixTree tree = PrefixTree::build("", smallConfig());
+    EXPECT_TRUE(tree.extractTemplates().empty());
+}
+
+TEST(PrefixTreeTest, CompileEmptyTemplatesRejected)
+{
+    accel::FilterProgram program;
+    EXPECT_FALSE(compilePrefixTemplates({}, &program).isOk());
+}
+
+TEST(PrefixTreeTest, CompileTooManyTemplatesRejected)
+{
+    std::vector<PrefixTemplate> templates(9);
+    for (size_t i = 0; i < templates.size(); ++i) {
+        templates[i].tokens = {{0, "tok" + std::to_string(i)}};
+    }
+    accel::FilterProgram program;
+    EXPECT_EQ(compilePrefixTemplates(templates, &program).code(),
+              StatusCode::kCapacityExceeded);
+}
+
+} // namespace
+} // namespace mithril::templates
