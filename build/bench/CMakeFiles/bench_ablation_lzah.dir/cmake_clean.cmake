@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lzah.dir/bench_ablation_lzah.cc.o"
+  "CMakeFiles/bench_ablation_lzah.dir/bench_ablation_lzah.cc.o.d"
+  "bench_ablation_lzah"
+  "bench_ablation_lzah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lzah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hare_compare.dir/bench_hare_compare.cc.o"
+  "CMakeFiles/bench_hare_compare.dir/bench_hare_compare.cc.o.d"
+  "bench_hare_compare"
+  "bench_hare_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hare_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

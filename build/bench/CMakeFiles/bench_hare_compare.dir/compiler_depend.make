@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_hare_compare.
+# This may be replaced when dependencies are built.

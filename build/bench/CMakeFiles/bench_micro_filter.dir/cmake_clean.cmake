@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_filter.dir/bench_micro_filter.cc.o"
+  "CMakeFiles/bench_micro_filter.dir/bench_micro_filter.cc.o.d"
+  "bench_micro_filter"
+  "bench_micro_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

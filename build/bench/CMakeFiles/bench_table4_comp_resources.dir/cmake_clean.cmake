@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_comp_resources.dir/bench_table4_comp_resources.cc.o"
+  "CMakeFiles/bench_table4_comp_resources.dir/bench_table4_comp_resources.cc.o.d"
+  "bench_table4_comp_resources"
+  "bench_table4_comp_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_comp_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_comp_ratio.dir/bench_table5_comp_ratio.cc.o"
+  "CMakeFiles/bench_table5_comp_ratio.dir/bench_table5_comp_ratio.cc.o.d"
+  "bench_table5_comp_ratio"
+  "bench_table5_comp_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_comp_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_power.dir/bench_table8_power.cc.o"
+  "CMakeFiles/bench_table8_power.dir/bench_table8_power.cc.o.d"
+  "bench_table8_power"
+  "bench_table8_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_scan.dir/anomaly_scan.cpp.o"
+  "CMakeFiles/anomaly_scan.dir/anomaly_scan.cpp.o.d"
+  "anomaly_scan"
+  "anomaly_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_query.dir/batch_query.cpp.o"
+  "CMakeFiles/batch_query.dir/batch_query.cpp.o.d"
+  "batch_query"
+  "batch_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_cli.dir/mithril_cli.cpp.o"
+  "CMakeFiles/mithril_cli.dir/mithril_cli.cpp.o.d"
+  "mithril_cli"
+  "mithril_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

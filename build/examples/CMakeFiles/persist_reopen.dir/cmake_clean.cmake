@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_reopen.dir/persist_reopen.cpp.o"
+  "CMakeFiles/persist_reopen.dir/persist_reopen.cpp.o.d"
+  "persist_reopen"
+  "persist_reopen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_reopen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/mithril_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/mithril_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/cuckoo_table.cc" "src/accel/CMakeFiles/mithril_accel.dir/cuckoo_table.cc.o" "gcc" "src/accel/CMakeFiles/mithril_accel.dir/cuckoo_table.cc.o.d"
+  "/root/repo/src/accel/filter_pipeline.cc" "src/accel/CMakeFiles/mithril_accel.dir/filter_pipeline.cc.o" "gcc" "src/accel/CMakeFiles/mithril_accel.dir/filter_pipeline.cc.o.d"
+  "/root/repo/src/accel/hash_filter.cc" "src/accel/CMakeFiles/mithril_accel.dir/hash_filter.cc.o" "gcc" "src/accel/CMakeFiles/mithril_accel.dir/hash_filter.cc.o.d"
+  "/root/repo/src/accel/query_compiler.cc" "src/accel/CMakeFiles/mithril_accel.dir/query_compiler.cc.o" "gcc" "src/accel/CMakeFiles/mithril_accel.dir/query_compiler.cc.o.d"
+  "/root/repo/src/accel/tokenizer.cc" "src/accel/CMakeFiles/mithril_accel.dir/tokenizer.cc.o" "gcc" "src/accel/CMakeFiles/mithril_accel.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithril_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithril_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mithril_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mithril_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

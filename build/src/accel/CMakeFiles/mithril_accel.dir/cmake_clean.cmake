@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_accel.dir/accelerator.cc.o"
+  "CMakeFiles/mithril_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/mithril_accel.dir/cuckoo_table.cc.o"
+  "CMakeFiles/mithril_accel.dir/cuckoo_table.cc.o.d"
+  "CMakeFiles/mithril_accel.dir/filter_pipeline.cc.o"
+  "CMakeFiles/mithril_accel.dir/filter_pipeline.cc.o.d"
+  "CMakeFiles/mithril_accel.dir/hash_filter.cc.o"
+  "CMakeFiles/mithril_accel.dir/hash_filter.cc.o.d"
+  "CMakeFiles/mithril_accel.dir/query_compiler.cc.o"
+  "CMakeFiles/mithril_accel.dir/query_compiler.cc.o.d"
+  "CMakeFiles/mithril_accel.dir/tokenizer.cc.o"
+  "CMakeFiles/mithril_accel.dir/tokenizer.cc.o.d"
+  "libmithril_accel.a"
+  "libmithril_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/grep_scan.cc" "src/baseline/CMakeFiles/mithril_baseline.dir/grep_scan.cc.o" "gcc" "src/baseline/CMakeFiles/mithril_baseline.dir/grep_scan.cc.o.d"
+  "/root/repo/src/baseline/scan_db.cc" "src/baseline/CMakeFiles/mithril_baseline.dir/scan_db.cc.o" "gcc" "src/baseline/CMakeFiles/mithril_baseline.dir/scan_db.cc.o.d"
+  "/root/repo/src/baseline/splunk_lite.cc" "src/baseline/CMakeFiles/mithril_baseline.dir/splunk_lite.cc.o" "gcc" "src/baseline/CMakeFiles/mithril_baseline.dir/splunk_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithril_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithril_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mithril_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mithril_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

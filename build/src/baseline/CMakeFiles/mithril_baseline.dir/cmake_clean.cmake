@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_baseline.dir/grep_scan.cc.o"
+  "CMakeFiles/mithril_baseline.dir/grep_scan.cc.o.d"
+  "CMakeFiles/mithril_baseline.dir/scan_db.cc.o"
+  "CMakeFiles/mithril_baseline.dir/scan_db.cc.o.d"
+  "CMakeFiles/mithril_baseline.dir/splunk_lite.cc.o"
+  "CMakeFiles/mithril_baseline.dir/splunk_lite.cc.o.d"
+  "libmithril_baseline.a"
+  "libmithril_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

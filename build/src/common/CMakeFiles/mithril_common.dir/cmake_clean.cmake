@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_common.dir/hash.cc.o"
+  "CMakeFiles/mithril_common.dir/hash.cc.o.d"
+  "CMakeFiles/mithril_common.dir/stats.cc.o"
+  "CMakeFiles/mithril_common.dir/stats.cc.o.d"
+  "CMakeFiles/mithril_common.dir/status.cc.o"
+  "CMakeFiles/mithril_common.dir/status.cc.o.d"
+  "CMakeFiles/mithril_common.dir/text.cc.o"
+  "CMakeFiles/mithril_common.dir/text.cc.o.d"
+  "libmithril_common.a"
+  "libmithril_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

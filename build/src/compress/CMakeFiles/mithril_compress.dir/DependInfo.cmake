@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/mithril_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/mithril_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/mithril_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/mithril_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz4like.cc" "src/compress/CMakeFiles/mithril_compress.dir/lz4like.cc.o" "gcc" "src/compress/CMakeFiles/mithril_compress.dir/lz4like.cc.o.d"
+  "/root/repo/src/compress/lzah.cc" "src/compress/CMakeFiles/mithril_compress.dir/lzah.cc.o" "gcc" "src/compress/CMakeFiles/mithril_compress.dir/lzah.cc.o.d"
+  "/root/repo/src/compress/lzrw1.cc" "src/compress/CMakeFiles/mithril_compress.dir/lzrw1.cc.o" "gcc" "src/compress/CMakeFiles/mithril_compress.dir/lzrw1.cc.o.d"
+  "/root/repo/src/compress/minideflate.cc" "src/compress/CMakeFiles/mithril_compress.dir/minideflate.cc.o" "gcc" "src/compress/CMakeFiles/mithril_compress.dir/minideflate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithril_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mithril_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_compress.dir/compressor.cc.o"
+  "CMakeFiles/mithril_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/mithril_compress.dir/huffman.cc.o"
+  "CMakeFiles/mithril_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/mithril_compress.dir/lz4like.cc.o"
+  "CMakeFiles/mithril_compress.dir/lz4like.cc.o.d"
+  "CMakeFiles/mithril_compress.dir/lzah.cc.o"
+  "CMakeFiles/mithril_compress.dir/lzah.cc.o.d"
+  "CMakeFiles/mithril_compress.dir/lzrw1.cc.o"
+  "CMakeFiles/mithril_compress.dir/lzrw1.cc.o.d"
+  "CMakeFiles/mithril_compress.dir/minideflate.cc.o"
+  "CMakeFiles/mithril_compress.dir/minideflate.cc.o.d"
+  "libmithril_compress.a"
+  "libmithril_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_core.dir/mithrilog.cc.o"
+  "CMakeFiles/mithril_core.dir/mithrilog.cc.o.d"
+  "libmithril_core.a"
+  "libmithril_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_index.dir/inverted_index.cc.o"
+  "CMakeFiles/mithril_index.dir/inverted_index.cc.o.d"
+  "libmithril_index.a"
+  "libmithril_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_loggen.dir/datasets.cc.o"
+  "CMakeFiles/mithril_loggen.dir/datasets.cc.o.d"
+  "CMakeFiles/mithril_loggen.dir/log_generator.cc.o"
+  "CMakeFiles/mithril_loggen.dir/log_generator.cc.o.d"
+  "libmithril_loggen.a"
+  "libmithril_loggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_loggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_query.dir/matcher.cc.o"
+  "CMakeFiles/mithril_query.dir/matcher.cc.o.d"
+  "CMakeFiles/mithril_query.dir/parser.cc.o"
+  "CMakeFiles/mithril_query.dir/parser.cc.o.d"
+  "CMakeFiles/mithril_query.dir/query.cc.o"
+  "CMakeFiles/mithril_query.dir/query.cc.o.d"
+  "libmithril_query.a"
+  "libmithril_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

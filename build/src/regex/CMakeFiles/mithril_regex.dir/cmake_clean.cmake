@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_regex.dir/regex.cc.o"
+  "CMakeFiles/mithril_regex.dir/regex.cc.o.d"
+  "libmithril_regex.a"
+  "libmithril_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

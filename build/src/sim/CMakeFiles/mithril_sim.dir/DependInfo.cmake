@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/perf_model.cc" "src/sim/CMakeFiles/mithril_sim.dir/perf_model.cc.o" "gcc" "src/sim/CMakeFiles/mithril_sim.dir/perf_model.cc.o.d"
+  "/root/repo/src/sim/power_model.cc" "src/sim/CMakeFiles/mithril_sim.dir/power_model.cc.o" "gcc" "src/sim/CMakeFiles/mithril_sim.dir/power_model.cc.o.d"
+  "/root/repo/src/sim/resource_model.cc" "src/sim/CMakeFiles/mithril_sim.dir/resource_model.cc.o" "gcc" "src/sim/CMakeFiles/mithril_sim.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mithril_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/mithril_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithril_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mithril_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mithril_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

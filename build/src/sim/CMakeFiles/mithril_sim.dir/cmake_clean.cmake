@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_sim.dir/perf_model.cc.o"
+  "CMakeFiles/mithril_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/mithril_sim.dir/power_model.cc.o"
+  "CMakeFiles/mithril_sim.dir/power_model.cc.o.d"
+  "CMakeFiles/mithril_sim.dir/resource_model.cc.o"
+  "CMakeFiles/mithril_sim.dir/resource_model.cc.o.d"
+  "libmithril_sim.a"
+  "libmithril_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_storage.dir/page_store.cc.o"
+  "CMakeFiles/mithril_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/mithril_storage.dir/ssd_model.cc.o"
+  "CMakeFiles/mithril_storage.dir/ssd_model.cc.o.d"
+  "libmithril_storage.a"
+  "libmithril_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_templates.dir/ft_tree.cc.o"
+  "CMakeFiles/mithril_templates.dir/ft_tree.cc.o.d"
+  "CMakeFiles/mithril_templates.dir/prefix_tree.cc.o"
+  "CMakeFiles/mithril_templates.dir/prefix_tree.cc.o.d"
+  "CMakeFiles/mithril_templates.dir/template_tagger.cc.o"
+  "CMakeFiles/mithril_templates.dir/template_tagger.cc.o.d"
+  "libmithril_templates.a"
+  "libmithril_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

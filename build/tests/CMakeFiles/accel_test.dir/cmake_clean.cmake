@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_test.dir/accel/accelerator_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/accelerator_test.cc.o.d"
+  "CMakeFiles/accel_test.dir/accel/cuckoo_sweep_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/cuckoo_sweep_test.cc.o.d"
+  "CMakeFiles/accel_test.dir/accel/cuckoo_table_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/cuckoo_table_test.cc.o.d"
+  "CMakeFiles/accel_test.dir/accel/equivalence_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/equivalence_test.cc.o.d"
+  "CMakeFiles/accel_test.dir/accel/hash_filter_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/hash_filter_test.cc.o.d"
+  "CMakeFiles/accel_test.dir/accel/query_compiler_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/query_compiler_test.cc.o.d"
+  "CMakeFiles/accel_test.dir/accel/tokenizer_test.cc.o"
+  "CMakeFiles/accel_test.dir/accel/tokenizer_test.cc.o.d"
+  "accel_test"
+  "accel_test.pdb"
+  "accel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

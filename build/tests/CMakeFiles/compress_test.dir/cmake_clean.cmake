@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_test.dir/compress/huffman_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/huffman_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lz4like_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lz4like_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lzah_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lzah_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/lzrw1_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/lzrw1_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/minideflate_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/minideflate_test.cc.o.d"
+  "CMakeFiles/compress_test.dir/compress/roundtrip_test.cc.o"
+  "CMakeFiles/compress_test.dir/compress/roundtrip_test.cc.o.d"
+  "compress_test"
+  "compress_test.pdb"
+  "compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
