@@ -60,8 +60,9 @@ noRealignCompressedSize(const std::string &text, uint64_t *matches,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("LZAH newline-realignment ablation", "Section 5 / Figure 8");
     std::printf("%-12s %10s %12s %12s %12s\n", "dataset",
                 "realign", "no-realign", "match% re", "match% no");
@@ -105,10 +106,20 @@ main()
                     spec.name.c_str(), real_ratio, ablated_ratio,
                     real_match_frac * 100.0,
                     100.0 * matches / std::max<uint64_t>(words, 1));
+        obs::JsonRecord rec("ablation_lzah");
+        rec.field("dataset", spec.name)
+            .field("realign_ratio", real_ratio)
+            .field("no_realign_ratio", ablated_ratio)
+            .field("realign_match_frac", real_match_frac)
+            .field("no_realign_match_frac",
+                   static_cast<double>(matches) /
+                       std::max<uint64_t>(words, 1));
+        emitRecord(&rec);
     }
     std::printf("\nWithout realignment the window drifts relative to "
                 "line structure, so\nrepeated line content stops "
                 "matching; the realigned encoder should hold a\n"
                 "large ratio advantage on every dataset.\n");
+    finishBench();
     return 0;
 }

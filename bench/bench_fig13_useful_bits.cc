@@ -14,8 +14,9 @@ using namespace mithril;
 using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Useful bits in the tokenized datapath", "Figure 13");
     std::printf("%-12s %14s %14s %12s\n", "dataset", "tokenized words",
                 "useful bytes", "useful %");
@@ -33,9 +34,16 @@ main()
                     static_cast<unsigned long long>(
                         tokenizer.usefulBytes()),
                     tokenizer.usefulRatio() * 100.0);
+        obs::JsonRecord rec("fig13_useful_bits");
+        rec.field("dataset", spec.name)
+            .field("tokenized_words", tokenizer.wordsEmitted())
+            .field("useful_bytes", tokenizer.usefulBytes())
+            .field("useful_ratio", tokenizer.usefulRatio());
+        emitRecord(&rec);
     }
     std::printf("\npaper: roughly half the tokenized datapath is "
                 "useful data on all four\ndatasets, motivating two "
                 "hash filters per pipeline.\n");
+    finishBench();
     return 0;
 }

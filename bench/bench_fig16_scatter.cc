@@ -18,8 +18,9 @@ using namespace mithril;
 using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Per-query time scatter: MithriLog vs Splunk-like",
            "Figure 16");
     constexpr double kThreads = 12.0;
@@ -30,7 +31,7 @@ main()
                                       24 << 20);
         baseline::SplunkLite splunk;
         splunk.ingest(ds.text);
-        core::MithriLog system;
+        core::MithriLog system(obsConfig());
         system.ingestText(ds.text);
         system.flush();
 
@@ -70,10 +71,17 @@ main()
             std::printf("  -> mean speedup %.1fx, max %.1fx over %zu "
                         "queries\n", sum_ratio / n, worst_ratio, n);
         }
+        obs::JsonRecord rec("fig16_scatter");
+        rec.field("dataset", ds.spec.name)
+            .field("queries", n)
+            .field("mean_speedup", n ? sum_ratio / n : 0.0)
+            .field("max_speedup", worst_ratio);
+        emitRecord(&rec);
     }
     std::printf("\nShape target: points lie above the diagonal "
                 "(MithriLog faster), with the\nlargest gaps on queries "
                 "whose index pruning fails (scan-heavy cluster at\nthe "
                 "left edge of the paper's plots).\n");
+    finishBench();
     return 0;
 }

@@ -21,8 +21,9 @@ using namespace mithril;
 using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Resource efficiency vs regex accelerators", "Section 7.4.3");
     std::printf("%-24s %14s\n", "design", "KLUT per GB/s");
     std::printf("%-24s %14.1f\n", "HARE + LZRW (est.)",
@@ -84,5 +85,16 @@ main()
                 "match; %llu vs %llu)\n",
                 static_cast<unsigned long long>(regex_hits),
                 static_cast<unsigned long long>(token_hits));
+    obs::JsonRecord rec("hare_compare");
+    rec.field("hare_klut_per_gbps",
+              sim::ResourceModel::hareKlutPerGbps())
+        .field("mithril_klut_per_gbps",
+               sim::ResourceModel::mithrilKlutPerGbps())
+        .field("regex_hits", regex_hits)
+        .field("token_hits", token_hits)
+        .field("regex_bps", text.size() / std::max(regex_s, 1e-9))
+        .field("token_bps", text.size() / std::max(token_s, 1e-9));
+    emitRecord(&rec);
+    finishBench();
     return 0;
 }

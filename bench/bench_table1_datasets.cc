@@ -12,8 +12,9 @@ using namespace mithril;
 using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Dataset statistics", "Table 1");
     std::printf("%-12s | %12s %10s %10s | %10s %8s %10s\n",
                 "dataset", "lines", "size", "templates",
@@ -30,9 +31,17 @@ main()
                         .c_str(),
                     ds.templates.size(), spec.paper_lines_millions,
                     spec.paper_size_gb, spec.paper_templates);
+        obs::JsonRecord rec("table1_datasets");
+        rec.field("dataset", spec.name)
+            .field("lines", lines)
+            .field("bytes", ds.text.size())
+            .field("templates", ds.templates.size())
+            .field("paper_templates", spec.paper_templates);
+        emitRecord(&rec);
     }
     std::printf("\nTemplate counts depend on corpus scale and FT-tree "
                 "thresholds; the\nreproduction target is the order of "
                 "magnitude (tens to hundreds).\n");
+    finishBench();
     return 0;
 }

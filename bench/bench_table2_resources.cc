@@ -8,14 +8,17 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "sim/resource_model.h"
 #include "storage/ssd_model.h"
 
 using namespace mithril;
+using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     std::printf("Table 2: chip resource utilization on VC707\n");
     std::printf("%-14s %10s %8s %8s %s\n", "module", "LUTs", "RAMB36",
                 "RAMB18", "per-pipeline");
@@ -56,5 +59,21 @@ main()
                 sw_ssd.external_bw_bps / 1e9);
     std::printf("%-22s %.1f GB/s (Internal)\n", "",
                 mithril_ssd.internal_bw_bps / 1e9);
+    obs::JsonRecord rec("table2_resources");
+    rec.field("total_luts",
+              static_cast<uint64_t>(model.totalCost().luts))
+        .field("total_ramb36",
+               static_cast<uint64_t>(model.totalCost().ramb36))
+        .field("device_luts", static_cast<uint64_t>(device.luts))
+        .field("lut_utilization",
+               static_cast<double>(model.totalCost().luts) /
+                   device.luts)
+        .field("pipelines_fitting",
+               static_cast<uint64_t>(
+                   model.pipelinesFitting(device, infra)))
+        .field("internal_bw_bps", mithril_ssd.internal_bw_bps)
+        .field("external_bw_bps", mithril_ssd.external_bw_bps);
+    emitRecord(&rec);
+    finishBench();
     return 0;
 }

@@ -16,8 +16,9 @@ using namespace mithril;
 using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Compression core resource efficiency", "Table 4");
     std::printf("%-8s %8s %8s %12s   %s\n", "algo", "GB/s", "KLUT",
                 "GB/s/KLUT", "source");
@@ -25,6 +26,12 @@ main()
         std::printf("%-8s %8.3f %8.2f %12.3f   %s\n",
                     core.name.c_str(), core.gbps, core.kluts,
                     core.gbpsPerKlut(), core.source.c_str());
+        obs::JsonRecord rec("table4_comp_resources");
+        rec.field("algo", core.name)
+            .field("gbps", core.gbps)
+            .field("kluts", core.kluts)
+            .field("gbps_per_klut", core.gbpsPerKlut());
+        emitRecord(&rec);
     }
 
     // Cross-check: the emulated decompressor emits exactly one 16-byte
@@ -53,5 +60,11 @@ main()
                 static_cast<unsigned long long>(model.cycles()),
                 static_cast<unsigned long long>(model.cycles()),
                 gbps);
+    obs::JsonRecord rec("table4_cycle_check");
+    rec.field("cycles", model.cycles())
+        .field("bytes_out", model.bytesOut())
+        .field("gbps_at_200mhz", gbps);
+    emitRecord(&rec);
+    finishBench();
     return 0;
 }

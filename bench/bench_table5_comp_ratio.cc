@@ -30,8 +30,9 @@ const std::map<std::string, std::map<std::string, double>> kPaper = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Compression effectiveness (ratio, higher is better)",
            "Table 5");
     std::printf("%-8s", "algo");
@@ -46,8 +47,16 @@ main()
         std::string text = gen.generate(4 << 20);
         for (const auto &codec : compress::allCompressors()) {
             compress::Bytes c = codec->compress(compress::asBytes(text));
-            measured[codec->name()][spec.name] =
+            double ratio =
                 compress::compressionRatio(text.size(), c.size());
+            measured[codec->name()][spec.name] = ratio;
+            obs::JsonRecord rec("table5_comp_ratio");
+            rec.field("algo", codec->name())
+                .field("dataset", spec.name)
+                .field("ratio", ratio)
+                .field("paper_ratio",
+                       kPaper.at(codec->name()).at(spec.name));
+            emitRecord(&rec);
         }
     }
 
@@ -67,5 +76,6 @@ main()
     std::printf("\nShape targets: gzip > LZ4 > word/byte-granular "
                 "codecs on every dataset;\nLZAH ratio rises with "
                 "dataset repetitiveness (BGL2 lowest).\n");
+    finishBench();
     return 0;
 }

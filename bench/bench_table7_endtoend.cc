@@ -22,8 +22,9 @@ constexpr double kSplunkThreads = 12.0;  // paper's generous division
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Average end-to-end improvement over Splunk-like engine",
            "Table 7");
     std::printf("%-12s %10s %14s %14s %12s\n", "dataset", "queries",
@@ -39,7 +40,7 @@ main()
         baseline::SplunkLite splunk;
         splunk.ingest(ds.text);
 
-        core::MithriLog system;
+        core::MithriLog system(obsConfig());
         system.ingestText(ds.text);
         system.flush();
 
@@ -67,13 +68,21 @@ main()
             mithril_total += mr.total_time.toSeconds();
             ++ran;
         }
+        double improvement = mithril_total > 0
+                                 ? splunk_total / mithril_total
+                                 : 0.0;
         std::printf("%-12s %10zu %12.4fs %12.4fs %11.1fx "
                     "(paper %.1fx)\n",
                     spec.name.c_str(), ran, splunk_total,
-                    mithril_total,
-                    mithril_total > 0 ? splunk_total / mithril_total
-                                      : 0.0,
-                    paper[d]);
+                    mithril_total, improvement, paper[d]);
+        obs::JsonRecord rec("table7_endtoend");
+        rec.field("dataset", spec.name)
+            .field("queries", ran)
+            .field("splunk_seconds", splunk_total)
+            .field("mithrilog_seconds", mithril_total)
+            .field("improvement", improvement)
+            .field("paper_improvement", paper[d]);
+        emitRecord(&rec);
         ++d;
     }
     std::printf("\nSplunk times are divided by %g; MithriLog times are "
@@ -81,5 +90,6 @@ main()
                 "factors depend on this host's CPU;\nthe target is "
                 "order-of-magnitude improvement, largest on "
                 "scan-heavy queries.\n", kSplunkThreads);
+    finishBench();
     return 0;
 }

@@ -17,8 +17,9 @@ using namespace mithril;
 using namespace mithril::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     banner("Power consumption breakdown and efficiency", "Table 8");
     sim::PowerModel model;
     std::printf("%-22s %12s %12s\n", "component", "MithriLog(W)",
@@ -34,7 +35,7 @@ main()
     BenchDataset ds = makeDataset(loggen::hpc4Datasets()[1], 4 << 20);
     baseline::ScanDb db;
     db.ingest(ds.text);
-    core::MithriLog system;
+    core::MithriLog system(obsConfig());
     system.ingestText(ds.text);
     system.flush();
 
@@ -64,5 +65,14 @@ main()
     std::printf("power-efficiency gain: %.1fx (paper: over an order of "
                 "magnitude)\n",
                 model.efficiencyGain(accel_tput, sw_tput));
+    obs::JsonRecord rec("table8_power");
+    rec.field("mithrilog_watts", model.mithrilogTotal())
+        .field("software_watts", model.softwareTotal())
+        .field("mithrilog_bps", accel_tput)
+        .field("software_bps", sw_tput)
+        .field("efficiency_gain",
+               model.efficiencyGain(accel_tput, sw_tput));
+    emitRecord(&rec);
+    finishBench();
     return 0;
 }

@@ -14,14 +14,116 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/mithrilog.h"
 #include "loggen/log_generator.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "query/query.h"
 #include "templates/ft_tree.h"
 
 namespace mithril::bench {
+
+// ---- machine-readable output -----------------------------------------
+//
+// Every bench accepts three optional flags (anywhere on the line):
+//   --json-out=<path>      append each BENCH_JSON record to a file
+//   --metrics-out=<path>   write the shared metric registry on exit
+//   --trace-out=<path>     write the shared span buffer on exit
+// and emits `BENCH_JSON {...}` lines on stdout alongside its
+// human-readable tables, one record per reported row.
+
+/** Parsed bench command line. */
+struct BenchArgs {
+    std::string json_out;
+    std::string metrics_out;
+    std::string trace_out;
+};
+
+inline BenchArgs &
+benchArgs()
+{
+    static BenchArgs args;
+    return args;
+}
+
+/** The registry/tracer every MithriLog in a bench reports into (one
+ *  namespace across datasets; see obsConfig()). */
+inline obs::MetricsRegistry &
+benchMetrics()
+{
+    static obs::MetricsRegistry registry;
+    return registry;
+}
+
+inline obs::Tracer &
+benchTracer()
+{
+    static obs::Tracer tracer;
+    return tracer;
+}
+
+/** Parses the shared flags. Call first thing in main(). */
+inline void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view a = argv[i];
+        auto flag = [&](std::string_view prefix, std::string *out) {
+            if (a.rfind(prefix, 0) == 0) {
+                *out = a.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        flag("--json-out=", &benchArgs().json_out) ||
+            flag("--metrics-out=", &benchArgs().metrics_out) ||
+            flag("--trace-out=", &benchArgs().trace_out);
+    }
+}
+
+/** MithriLog configuration wired to the bench-wide registry/tracer. */
+inline core::MithriLogConfig
+obsConfig()
+{
+    core::MithriLogConfig config;
+    config.metrics = &benchMetrics();
+    config.tracer = &benchTracer();
+    return config;
+}
+
+/** Emits @p record to stdout (and --json-out when given). */
+inline void
+emitRecord(obs::JsonRecord *record)
+{
+    record->emit(stdout, benchArgs().json_out);
+}
+
+/** Writes --metrics-out / --trace-out files. Call before returning
+ *  from main(); harmless when the flags were not given. */
+inline void
+finishBench()
+{
+    if (!benchArgs().metrics_out.empty()) {
+        Status st = obs::writeMetricsJson(benchMetrics(),
+                                          benchArgs().metrics_out);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "metrics-out: %s\n",
+                         st.toString().c_str());
+        }
+    }
+    if (!benchArgs().trace_out.empty()) {
+        Status st =
+            benchTracer().writeChromeTrace(benchArgs().trace_out);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "trace-out: %s\n",
+                         st.toString().c_str());
+        }
+    }
+}
 
 /** Scaled dataset size used by the heavier benches. */
 constexpr uint64_t kBenchBytes = 6ull << 20;

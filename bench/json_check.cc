@@ -1,0 +1,80 @@
+/**
+ * @file
+ * json_check — validates machine-readable bench/metrics output.
+ *
+ * Usage: json_check <file> [required-key ...]
+ *
+ * Every non-empty line of <file> must be a syntactically valid JSON
+ * document (metrics snapshots are one document; --json-out files are
+ * one record per line), and every required key must appear as a quoted
+ * string somewhere in the file. Exits non-zero with a message on the
+ * first violation — CTest runs this after a bench's --metrics-out to
+ * keep the telemetry contract honest.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: json_check <file> [required-key ...]\n");
+        return 2;
+    }
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    if (text.empty()) {
+        std::fprintf(stderr, "json_check: %s is empty\n", argv[1]);
+        return 1;
+    }
+
+    size_t pos = 0, line_no = 0, documents = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            nl = text.size();
+        }
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;
+        }
+        std::string err;
+        if (!mithril::obs::jsonValid(line, &err)) {
+            std::fprintf(stderr, "json_check: %s:%zu: %s\n", argv[1],
+                         line_no, err.c_str());
+            return 1;
+        }
+        ++documents;
+    }
+    if (documents == 0) {
+        std::fprintf(stderr, "json_check: %s has no JSON documents\n",
+                     argv[1]);
+        return 1;
+    }
+
+    for (int i = 2; i < argc; ++i) {
+        std::string quoted = "\"" + std::string(argv[i]) + "\"";
+        if (text.find(quoted) == std::string::npos) {
+            std::fprintf(stderr,
+                         "json_check: %s: required key %s missing\n",
+                         argv[1], argv[i]);
+            return 1;
+        }
+    }
+    std::printf("json_check: %s ok (%zu documents, %d required keys)\n",
+                argv[1], documents, argc - 2);
+    return 0;
+}

@@ -240,12 +240,8 @@ bench/CMakeFiles/bench_fig15_histogram.dir/bench_fig15_histogram.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
- /root/repo/src/loggen/log_generator.h /root/repo/src/loggen/datasets.h \
- /root/repo/src/templates/ft_tree.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/stats.h \
  /root/repo/src/core/mithrilog.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/accel/accelerator.h \
  /root/repo/src/accel/filter_pipeline.h \
@@ -253,5 +249,18 @@ bench/CMakeFiles/bench_fig15_histogram.dir/bench_fig15_histogram.cc.o: \
  /usr/include/c++/12/optional /root/repo/src/accel/datapath.h \
  /root/repo/src/accel/tokenizer.h /root/repo/src/compress/lzah.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/common/simtime.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/stats.h \
  /root/repo/src/index/inverted_index.h /root/repo/src/storage/ssd_model.h \
- /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h
+ /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/loggen/log_generator.h /root/repo/src/loggen/datasets.h \
+ /root/repo/src/obs/report.h /root/repo/src/obs/json.h \
+ /root/repo/src/templates/ft_tree.h

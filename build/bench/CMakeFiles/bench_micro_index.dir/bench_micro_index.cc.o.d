@@ -221,9 +221,17 @@ bench/CMakeFiles/bench_micro_index.dir/bench_micro_index.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/accel/tokenizer.h \
  /root/repo/src/compress/lzah.h /root/repo/src/compress/compressor.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/query/query.h \
- /root/repo/src/common/simtime.h /root/repo/src/index/inverted_index.h \
- /root/repo/src/common/stats.h /root/repo/src/storage/ssd_model.h \
+ /root/repo/src/common/simtime.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/stats.h \
+ /root/repo/src/index/inverted_index.h /root/repo/src/storage/ssd_model.h \
  /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/loggen/log_generator.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_query_breakdown.cc" "bench/CMakeFiles/bench_query_breakdown.dir/bench_query_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_query_breakdown.dir/bench_query_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mithril_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mithril_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/templates/CMakeFiles/mithril_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mithril_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggen/CMakeFiles/mithril_loggen.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mithril_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mithril_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/mithril_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mithril_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mithril_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/mithril_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mithril_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mithril_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

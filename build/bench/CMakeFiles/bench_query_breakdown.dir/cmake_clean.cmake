@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_breakdown.dir/bench_query_breakdown.cc.o"
+  "CMakeFiles/bench_query_breakdown.dir/bench_query_breakdown.cc.o.d"
+  "bench_query_breakdown"
+  "bench_query_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

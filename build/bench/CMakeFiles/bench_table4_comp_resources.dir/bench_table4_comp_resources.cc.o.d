@@ -157,22 +157,13 @@ bench/CMakeFiles/bench_table4_comp_resources.dir/bench_table4_comp_resources.cc.
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
  /usr/include/c++/12/cstddef /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/loggen/log_generator.h /root/repo/src/loggen/datasets.h \
- /root/repo/src/query/query.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/templates/ft_tree.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/compress/lzah.h \
- /root/repo/src/compress/compressor.h /usr/include/c++/12/memory \
+ /root/repo/src/core/mithrilog.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -209,6 +200,7 @@ bench/CMakeFiles/bench_table4_comp_resources.dir/bench_table4_comp_resources.cc.
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -237,5 +229,33 @@ bench/CMakeFiles/bench_table4_comp_resources.dir/bench_table4_comp_resources.cc.
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/sim/resource_model.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/accel/accelerator.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/accel/filter_pipeline.h \
+ /root/repo/src/accel/hash_filter.h /root/repo/src/accel/cuckoo_table.h \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/accel/datapath.h /root/repo/src/accel/tokenizer.h \
+ /root/repo/src/compress/lzah.h /root/repo/src/compress/compressor.h \
+ /root/repo/src/accel/query_compiler.h /root/repo/src/query/query.h \
+ /root/repo/src/common/simtime.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/stats.h \
+ /root/repo/src/index/inverted_index.h /root/repo/src/storage/ssd_model.h \
+ /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/loggen/log_generator.h /root/repo/src/loggen/datasets.h \
+ /root/repo/src/obs/report.h /root/repo/src/obs/json.h \
+ /root/repo/src/templates/ft_tree.h /root/repo/src/sim/resource_model.h

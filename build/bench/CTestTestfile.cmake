@@ -4,3 +4,13 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_breakdown_clean "/usr/bin/cmake" "-E" "rm" "-rf" "/root/repo/build/bench/obs_out")
+set_tests_properties(bench_breakdown_clean PROPERTIES  FIXTURES_SETUP "obs_clean" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_breakdown_mkdir "/usr/bin/cmake" "-E" "make_directory" "/root/repo/build/bench/obs_out")
+set_tests_properties(bench_breakdown_mkdir PROPERTIES  FIXTURES_REQUIRED "obs_clean" FIXTURES_SETUP "obs_dir" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;49;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_breakdown_run "/root/repo/build/bench/bench_query_breakdown" "--metrics-out=/root/repo/build/bench/obs_out/metrics.json" "--json-out=/root/repo/build/bench/obs_out/records.json" "--trace-out=/root/repo/build/bench/obs_out/trace.json")
+set_tests_properties(bench_breakdown_run PROPERTIES  FIXTURES_REQUIRED "obs_dir" FIXTURES_SETUP "obs_run" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;51;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_breakdown_metrics_check "/root/repo/build/bench/json_check" "/root/repo/build/bench/obs_out/metrics.json" "ssd.pages_read" "accel.stall_cycles" "index.candidate_pages" "lzah.bytes_in" "lzah.bytes_out" "core.queries")
+set_tests_properties(bench_breakdown_metrics_check PROPERTIES  FIXTURES_REQUIRED "obs_run" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;56;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_breakdown_records_check "/root/repo/build/bench/json_check" "/root/repo/build/bench/obs_out/records.json" "query_breakdown" "candidate_pages" "false_positive_pages")
+set_tests_properties(bench_breakdown_records_check PROPERTIES  FIXTURES_REQUIRED "obs_run" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;60;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -218,12 +218,14 @@ examples/CMakeFiles/persist_reopen.dir/persist_reopen.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/accel/tokenizer.h \
  /root/repo/src/compress/lzah.h /root/repo/src/compress/compressor.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/query/query.h \
- /root/repo/src/common/simtime.h /root/repo/src/index/inverted_index.h \
- /root/repo/src/common/stats.h /usr/include/c++/12/map \
+ /root/repo/src/common/simtime.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/storage/ssd_model.h /root/repo/src/storage/page_store.h \
- /root/repo/src/storage/page.h /root/repo/src/loggen/log_generator.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/stats.h \
+ /root/repo/src/index/inverted_index.h /root/repo/src/storage/ssd_model.h \
+ /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h \
+ /root/repo/src/obs/trace.h /root/repo/src/loggen/log_generator.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

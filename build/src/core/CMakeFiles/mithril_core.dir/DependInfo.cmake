@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/query/CMakeFiles/mithril_query.dir/DependInfo.cmake"
   "/root/repo/build/src/accel/CMakeFiles/mithril_accel.dir/DependInfo.cmake"
   "/root/repo/build/src/index/CMakeFiles/mithril_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mithril_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

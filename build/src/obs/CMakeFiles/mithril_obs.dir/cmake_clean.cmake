@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mithril_obs.dir/json.cc.o"
+  "CMakeFiles/mithril_obs.dir/json.cc.o.d"
+  "CMakeFiles/mithril_obs.dir/metrics.cc.o"
+  "CMakeFiles/mithril_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/mithril_obs.dir/report.cc.o"
+  "CMakeFiles/mithril_obs.dir/report.cc.o.d"
+  "CMakeFiles/mithril_obs.dir/trace.cc.o"
+  "CMakeFiles/mithril_obs.dir/trace.cc.o.d"
+  "libmithril_obs.a"
+  "libmithril_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mithril_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

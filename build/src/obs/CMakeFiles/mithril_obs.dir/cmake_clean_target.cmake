@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmithril_obs.a"
+)

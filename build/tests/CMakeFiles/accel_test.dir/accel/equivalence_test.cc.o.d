@@ -300,7 +300,10 @@ tests/CMakeFiles/accel_test.dir/accel/equivalence_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/accel/tokenizer.h \
  /root/repo/src/compress/lzah.h /root/repo/src/compress/compressor.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/query/query.h \
- /root/repo/src/common/simtime.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/simtime.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/stats.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

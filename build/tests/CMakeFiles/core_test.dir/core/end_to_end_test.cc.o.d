@@ -304,11 +304,15 @@ tests/CMakeFiles/core_test.dir/core/end_to_end_test.cc.o: \
  /root/repo/src/accel/datapath.h /root/repo/src/common/hash.h \
  /root/repo/src/accel/tokenizer.h /root/repo/src/compress/lzah.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/common/simtime.h \
- /root/repo/src/index/inverted_index.h /root/repo/src/common/stats.h \
- /root/repo/src/storage/ssd_model.h /root/repo/src/storage/page_store.h \
- /root/repo/src/storage/page.h /root/repo/src/loggen/log_generator.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/stats.h \
+ /root/repo/src/index/inverted_index.h /root/repo/src/storage/ssd_model.h \
+ /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /root/repo/src/loggen/log_generator.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

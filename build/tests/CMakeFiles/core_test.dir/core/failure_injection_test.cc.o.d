@@ -323,7 +323,10 @@ tests/CMakeFiles/core_test.dir/core/failure_injection_test.cc.o: \
  /root/repo/src/accel/hash_filter.h /root/repo/src/accel/cuckoo_table.h \
  /root/repo/src/accel/datapath.h /root/repo/src/accel/tokenizer.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/query/query.h \
- /root/repo/src/common/simtime.h /root/repo/src/index/inverted_index.h \
- /root/repo/src/common/stats.h /root/repo/src/storage/ssd_model.h \
- /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h \
- /root/repo/src/query/parser.h
+ /root/repo/src/common/simtime.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/stats.h /root/repo/src/index/inverted_index.h \
+ /root/repo/src/storage/ssd_model.h /root/repo/src/storage/page_store.h \
+ /root/repo/src/storage/page.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/query/parser.h

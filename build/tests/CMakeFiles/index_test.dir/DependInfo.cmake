@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/compress/CMakeFiles/mithril_compress.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/mithril_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/query/CMakeFiles/mithril_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mithril_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mithril_common.dir/DependInfo.cmake"
   )
 

@@ -320,5 +320,8 @@ tests/CMakeFiles/index_test.dir/index/index_oracle_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/hash.h \
  /root/repo/src/common/status.h /root/repo/src/index/inverted_index.h \
  /usr/include/c++/12/span /root/repo/src/common/stats.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/ssd_model.h /root/repo/src/common/simtime.h \
  /root/repo/src/storage/page_store.h /root/repo/src/storage/page.h

@@ -300,4 +300,7 @@ tests/CMakeFiles/templates_test.dir/templates/prefix_tree_test.cc.o: \
  /root/repo/src/accel/filter_pipeline.h /root/repo/src/compress/lzah.h \
  /root/repo/src/compress/compressor.h \
  /root/repo/src/accel/query_compiler.h /root/repo/src/query/query.h \
- /root/repo/src/common/simtime.h
+ /root/repo/src/common/simtime.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/stats.h

@@ -9,26 +9,75 @@
  *   templates <in.log> [N]               FT-tree library (top N shown)
  *   stat     <in.img>                    image statistics
  *
+ * Global flags (any subcommand; most useful with `query`):
+ *   --metrics-out=<path>   write a JSON metrics snapshot on exit
+ *   --trace-out=<path>     write a Chrome-trace (Perfetto) span file
+ *
  * Example session:
  *   mithril_cli generate Spirit2 8 /tmp/spirit.log
  *   mithril_cli ingest /tmp/spirit.log /tmp/spirit.img
- *   mithril_cli query /tmp/spirit.img "error & !timeout"
+ *   mithril_cli query /tmp/spirit.img "error & !timeout" \
+ *       --metrics-out=/tmp/m.json --trace-out=/tmp/t.json
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/text.h"
 #include "common/wall_timer.h"
 #include "core/mithrilog.h"
 #include "loggen/log_generator.h"
+#include "obs/report.h"
 #include "templates/ft_tree.h"
 
 using namespace mithril;
 
 namespace {
+
+/** Destinations of the --metrics-out / --trace-out flags. */
+struct ObsOut {
+    std::string metrics_path;
+    std::string trace_path;
+
+    /** Writes whatever the user asked for; reports but does not fail
+     *  the command on write errors. */
+    int
+    write(const core::MithriLog &system) const
+    {
+        int rc = 0;
+        if (!metrics_path.empty()) {
+            Status st = obs::writeMetricsJson(system.metrics(),
+                                              metrics_path);
+            if (!st.isOk()) {
+                std::fprintf(stderr, "metrics-out: %s\n",
+                             st.toString().c_str());
+                rc = 1;
+            } else {
+                std::printf("metrics written to %s\n",
+                            metrics_path.c_str());
+            }
+        }
+        if (!trace_path.empty()) {
+            Status st = system.tracer().writeChromeTrace(trace_path);
+            if (!st.isOk()) {
+                std::fprintf(stderr, "trace-out: %s\n",
+                             st.toString().c_str());
+                rc = 1;
+            } else {
+                std::printf("trace written to %s (open in "
+                            "ui.perfetto.dev)\n",
+                            trace_path.c_str());
+            }
+        }
+        return rc;
+    }
+};
+
+ObsOut g_obs;
 
 int
 usage()
@@ -40,6 +89,7 @@ usage()
                  "  mithril_cli query <in.img> \"<query>\"\n"
                  "  mithril_cli templates <in.log> [N]\n"
                  "  mithril_cli stat <in.img>\n"
+                 "flags: --metrics-out=<path>  --trace-out=<path>\n"
                  "datasets: BGL2 Liberty2 Spirit2 Thunderbird\n");
     return 2;
 }
@@ -131,13 +181,14 @@ cmdQuery(const std::string &img_path, const std::string &query_text)
                 r.total_time.toSeconds() * 1e3,
                 humanBandwidth(r.effectiveThroughput(system.rawBytes()))
                     .c_str());
+    std::printf("breakdown: %s\n", r.breakdown.toJson().c_str());
     for (size_t i = 0; i < r.lines.size() && i < 10; ++i) {
         std::printf("%s\n", r.lines[i].text.c_str());
     }
     if (r.lines.size() > 10) {
         std::printf("... and %zu more\n", r.lines.size() - 10);
     }
-    return 0;
+    return g_obs.write(system);
 }
 
 int
@@ -196,6 +247,22 @@ cmdStat(const std::string &img_path)
 int
 main(int argc, char **argv)
 {
+    // Strip the observability flags anywhere on the line; the
+    // subcommands then see only their positional arguments.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string_view a = argv[i];
+        if (a.rfind("--metrics-out=", 0) == 0) {
+            g_obs.metrics_path = a.substr(strlen("--metrics-out="));
+        } else if (a.rfind("--trace-out=", 0) == 0) {
+            g_obs.trace_path = a.substr(strlen("--trace-out="));
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
     if (argc < 2) {
         return usage();
     }

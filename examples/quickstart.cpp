@@ -90,6 +90,11 @@ main(int argc, char **argv)
         std::printf("  effective throughput: %s\n",
                     humanBandwidth(result.effectiveThroughput(
                         system.rawBytes())).c_str());
+        // 4. The same attribution, machine-readable: Table-7's
+        // index/storage/compute split plus the index's page-pruning
+        // account (candidates, false positives).
+        std::printf("  breakdown: %s\n",
+                    result.breakdown.toJson().c_str());
         for (size_t i = 0; i < result.lines.size() && i < 3; ++i) {
             std::printf("  > %s\n", result.lines[i].text.c_str());
         }

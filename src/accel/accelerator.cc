@@ -87,6 +87,7 @@ Accelerator::process(std::span<const compress::ByteView> pages, Mode mode,
     }
 
     out->kept_per_query.assign(std::max<size_t>(query_count_, 1), 0);
+    std::vector<uint64_t> pipeline_cycles(pipelines_.size(), 0);
     for (size_t p = 0; p < pipelines_.size(); ++p) {
         PipelineResult r;
         MITHRIL_RETURN_IF_ERROR(pipelines_[p].process(
@@ -98,10 +99,12 @@ Accelerator::process(std::span<const compress::ByteView> pages, Mode mode,
         out->lines_in += r.lines_in;
         out->lines_kept += r.lines_kept;
         out->cycles = std::max(out->cycles, r.cycles);
+        pipeline_cycles[p] = r.cycles;
         out->decompressed_bytes += r.decompressed_bytes;
         out->padded_bytes += r.padded_bytes;
         out->tokenized_words += r.tokenized_words;
         out->useful_token_bytes += r.useful_token_bytes;
+        out->pages_with_matches += r.pages_with_matches;
         for (size_t q = 0; q < out->kept_per_query.size() &&
                            q < r.kept_per_query.size(); ++q) {
             out->kept_per_query[q] += r.kept_per_query[q];
@@ -112,7 +115,38 @@ Accelerator::process(std::span<const compress::ByteView> pages, Mode mode,
         out->text += r.text;
         out->raw.insert(out->raw.end(), r.raw.begin(), r.raw.end());
     }
+    // All pipelines run until the slowest finishes; the others idle.
+    for (uint64_t c : pipeline_cycles) {
+        out->stall_cycles += out->cycles - c;
+    }
+    if (metrics_ != nullptr) {
+        meterBatch(*out, pages.size());
+    }
     return Status::ok();
+}
+
+void
+Accelerator::meterBatch(const AccelResult &r, uint64_t pages_in)
+{
+    metrics_->counter("accel.batches").add();
+    metrics_->counter("accel.pages_in").add(pages_in);
+    metrics_->counter("accel.lines_in").add(r.lines_in);
+    metrics_->counter("accel.lines_kept").add(r.lines_kept);
+    metrics_->counter("accel.busy_cycles").add(r.cycles);
+    metrics_->counter("accel.stall_cycles").add(r.stall_cycles);
+    metrics_->counter("accel.decompressed_bytes")
+        .add(r.decompressed_bytes);
+    metrics_->counter("accel.padded_bytes").add(r.padded_bytes);
+    metrics_->counter("accel.padding_bytes")
+        .add(r.padded_bytes > r.decompressed_bytes
+                 ? r.padded_bytes - r.decompressed_bytes
+                 : 0);
+    metrics_->counter("accel.tokenized_words").add(r.tokenized_words);
+    metrics_->counter("accel.useful_token_bytes")
+        .add(r.useful_token_bytes);
+    if (r.tokenized_words != 0) {
+        metrics_->gauge("accel.useful_ratio").set(r.usefulRatio());
+    }
 }
 
 } // namespace mithril::accel

@@ -19,6 +19,7 @@
 #include "accel/filter_pipeline.h"
 #include "accel/query_compiler.h"
 #include "common/simtime.h"
+#include "obs/metrics.h"
 
 namespace mithril::accel {
 
@@ -49,6 +50,11 @@ struct AccelResult {
     uint64_t padded_bytes = 0;
     uint64_t tokenized_words = 0;
     uint64_t useful_token_bytes = 0;
+    /** Pages with >= 1 accepted line (kFilter mode). */
+    uint64_t pages_with_matches = 0;
+    /** Idle cycles across pipelines while the slowest one finished
+     *  (page/line imbalance — the stall source Section 7.3 names). */
+    uint64_t stall_cycles = 0;
 
     /** Decompressed text (kDecompress mode). */
     std::string text;
@@ -74,6 +80,16 @@ class Accelerator
     const AccelConfig &config() const { return config_; }
 
     /**
+     * Joins the unified metric namespace: per-batch counters under
+     * `accel.*` (busy/stall cycles, padding amplification, useful-bit
+     * bytes, lines in/kept) and the `accel.useful_ratio` gauge.
+     */
+    void bindMetrics(obs::MetricsRegistry *metrics)
+    {
+        metrics_ = metrics;
+    }
+
+    /**
      * Programs all pipelines with a batch of queries.
      * On failure the previous program is kept.
      */
@@ -97,11 +113,14 @@ class Accelerator
                    AccelResult *out);
 
   private:
+    void meterBatch(const AccelResult &r, uint64_t pages_in);
+
     AccelConfig config_;
     FilterProgram program_;
     bool programmed_ = false;
     size_t query_count_ = 0;
     std::vector<FilterPipeline> pipelines_;
+    obs::MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace mithril::accel

@@ -86,20 +86,20 @@ FilterPipeline::process(std::span<const compress::ByteView> pages,
         f.resetStats();
     }
 
-    compress::Bytes padded;
-    for (const auto &page : pages) {
-        MITHRIL_RETURN_IF_ERROR(decompressor_.decodePage(page, &padded));
-    }
-    out->padded_bytes = padded.size();
-
-    std::vector<std::string> lines;
-    splitPaddedLines(padded, &lines);
-    for (const std::string &line : lines) {
-        out->decompressed_bytes += line.size() + 1;
-    }
-    out->lines_in = lines.size();
-
     if (mode == Mode::kDecompress) {
+        compress::Bytes padded;
+        for (const auto &page : pages) {
+            MITHRIL_RETURN_IF_ERROR(
+                decompressor_.decodePage(page, &padded));
+        }
+        out->padded_bytes = padded.size();
+
+        std::vector<std::string> lines;
+        splitPaddedLines(padded, &lines);
+        for (const std::string &line : lines) {
+            out->decompressed_bytes += line.size() + 1;
+        }
+        out->lines_in = lines.size();
         out->text.reserve(out->decompressed_bytes);
         for (const std::string &line : lines) {
             out->text += line;
@@ -113,27 +113,47 @@ FilterPipeline::process(std::span<const compress::ByteView> pages,
 
     // Scatter lines round-robin over the tokenizers; each group of
     // (kTokenizersPerPipeline / kHashFiltersPerPipeline) tokenizers
-    // feeds one hash filter (Section 7.4.1).
+    // feeds one hash filter (Section 7.4.1). Pages decode one at a
+    // time — LZAH pages are line-self-contained — so acceptance can be
+    // attributed per page (pages_with_matches); the round-robin line
+    // index stays continuous across pages, matching the hardware
+    // scatter unit.
     constexpr size_t kGroup = kTokenizersPerPipeline /
                               kHashFiltersPerPipeline;
     out->kept_per_query.assign(64, 0);
-    for (size_t i = 0; i < lines.size(); ++i) {
-        size_t t = i % kTokenizersPerPipeline;
-        TokenizedLine tokenized = tokenizers_[t].run(lines[i]);
-        uint64_t mask = filters_[t / kGroup].evaluate(tokenized);
-        if (collect_masks) {
-            out->line_masks.push_back(mask);
-        }
-        if (mask != 0) {
-            ++out->lines_kept;
-            for (size_t q = 0; q < 64; ++q) {
-                if (mask & (1ull << q)) {
-                    ++out->kept_per_query[q];
+    compress::Bytes padded;
+    std::vector<std::string> lines;
+    size_t line_idx = 0;
+    for (const auto &page : pages) {
+        padded.clear();
+        MITHRIL_RETURN_IF_ERROR(decompressor_.decodePage(page, &padded));
+        out->padded_bytes += padded.size();
+        lines.clear();
+        splitPaddedLines(padded, &lines);
+        out->lines_in += lines.size();
+        uint64_t kept_before = out->lines_kept;
+        for (const std::string &line : lines) {
+            out->decompressed_bytes += line.size() + 1;
+            size_t t = line_idx++ % kTokenizersPerPipeline;
+            TokenizedLine tokenized = tokenizers_[t].run(line);
+            uint64_t mask = filters_[t / kGroup].evaluate(tokenized);
+            if (collect_masks) {
+                out->line_masks.push_back(mask);
+            }
+            if (mask != 0) {
+                ++out->lines_kept;
+                for (size_t q = 0; q < 64; ++q) {
+                    if (mask & (1ull << q)) {
+                        ++out->kept_per_query[q];
+                    }
+                }
+                if (keep_lines) {
+                    out->kept.push_back({line, mask});
                 }
             }
-            if (keep_lines) {
-                out->kept.push_back({lines[i], mask});
-            }
+        }
+        if (out->lines_kept != kept_before) {
+            ++out->pages_with_matches;
         }
     }
 

@@ -57,6 +57,9 @@ struct PipelineResult {
     uint64_t padded_bytes = 0;        ///< datapath words x 16
     uint64_t tokenized_words = 0;
     uint64_t useful_token_bytes = 0;
+    /** Pages with >= 1 accepted line (kFilter mode). The complement
+     *  over a query's candidate set measures index false positives. */
+    uint64_t pages_with_matches = 0;
     /** Raw page bytes forwarded in kRaw mode. */
     std::vector<uint8_t> raw;
     /** Decompressed text in kDecompress mode. */

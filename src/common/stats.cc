@@ -73,6 +73,30 @@ Histogram::render(size_t bar_width) const
     return out;
 }
 
+void
+StatSet::bind(CounterSink *sink, std::string prefix)
+{
+    sink_ = sink;
+    prefix_ = std::move(prefix);
+    if (sink_ != nullptr) {
+        // Replay what accumulated before binding so the unified
+        // namespace never under-counts (ingest can precede binding).
+        for (const auto &[name, value] : counters_) {
+            if (value != 0) {
+                forward(name, value);
+            }
+        }
+    }
+}
+
+void
+StatSet::forward(const std::string &name, uint64_t delta)
+{
+    std::string full = prefix_;
+    full += name;
+    sink_->addCounter(full, delta);
+}
+
 uint64_t
 StatSet::get(const std::string &name) const
 {

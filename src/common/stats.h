@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mithril {
@@ -67,10 +68,30 @@ class Histogram
 };
 
 /**
+ * Destination for forwarded counter updates.
+ *
+ * Implemented by obs::MetricsRegistry; declared here so the device
+ * models' legacy StatSet can forward into the unified metric
+ * namespace without common depending on obs.
+ */
+class CounterSink
+{
+  public:
+    virtual ~CounterSink() = default;
+    virtual void addCounter(std::string_view name, uint64_t delta) = 0;
+};
+
+/**
  * Registry of named monotonically increasing counters.
  *
  * Device models expose one of these so tests can assert on modeled
  * behaviour (pages read, commands issued, stall cycles, ...).
+ *
+ * @deprecated New code should report into obs::MetricsRegistry
+ * directly. StatSet remains as a thin shim: when bound via bind(),
+ * every add() also forwards to the sink under `prefix + name`, so the
+ * legacy per-component counters and the unified namespace stay in
+ * lockstep with a single call site.
  */
 class StatSet
 {
@@ -79,7 +100,15 @@ class StatSet
     add(const std::string &name, uint64_t delta = 1)
     {
         counters_[name] += delta;
+        if (sink_ != nullptr) {
+            forward(name, delta);
+        }
     }
+
+    /** Forwards all future (and already-accumulated) counters to
+     *  @p sink under @p prefix, e.g. prefix "ssd." -> "ssd.pages_read".
+     *  Pass nullptr to unbind. */
+    void bind(CounterSink *sink, std::string prefix);
 
     uint64_t get(const std::string &name) const;
 
@@ -91,7 +120,11 @@ class StatSet
     std::string toString() const;
 
   private:
+    void forward(const std::string &name, uint64_t delta);
+
     std::map<std::string, uint64_t> counters_;
+    CounterSink *sink_ = nullptr;
+    std::string prefix_;
 };
 
 } // namespace mithril

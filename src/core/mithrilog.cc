@@ -5,6 +5,8 @@
 
 #include "common/bits.h"
 #include "common/text.h"
+#include "common/wall_timer.h"
+#include "obs/json.h"
 #include "query/matcher.h"
 #include "query/parser.h"
 
@@ -18,6 +20,37 @@ MithriLog::MithriLog(MithriLogConfig config)
       index_(std::make_unique<index::InvertedIndex>(&ssd_, config.index)),
       accel_(config.accel)
 {
+    if (config_.metrics != nullptr) {
+        metrics_ = config_.metrics;
+    } else {
+        owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_ = owned_metrics_.get();
+    }
+    if (config_.tracer != nullptr) {
+        tracer_ = config_.tracer;
+    } else {
+        owned_tracer_ = std::make_unique<obs::Tracer>();
+        tracer_ = owned_tracer_.get();
+    }
+    ssd_.bindMetrics(metrics_);
+    index_->bindMetrics(metrics_);
+    accel_.bindMetrics(metrics_);
+
+    counters_.lines_ingested = &metrics_->counter("core.lines_ingested");
+    counters_.lines_truncated =
+        &metrics_->counter("core.lines_truncated");
+    counters_.pages_sealed = &metrics_->counter("core.pages_sealed");
+    counters_.lzah_bytes_in = &metrics_->counter("lzah.bytes_in");
+    counters_.lzah_bytes_out = &metrics_->counter("lzah.bytes_out");
+    counters_.queries = &metrics_->counter("core.queries");
+    counters_.query_fallbacks =
+        &metrics_->counter("core.query_fallbacks");
+    counters_.planner_full_scans =
+        &metrics_->counter("core.planner_full_scans");
+    counters_.candidate_pages =
+        &metrics_->counter("index.candidate_pages");
+    counters_.false_positive_pages =
+        &metrics_->counter("index.false_positive_pages");
 }
 
 Status
@@ -29,6 +62,7 @@ MithriLog::ingestLine(std::string_view line)
         }
         line = line.substr(0, compress::LzahPageEncoder::kMaxLineBytes);
         ++truncated_lines_;
+        counters_.lines_truncated->add();
     }
     compress::AddLineResult r = encoder_.addLine(line);
     MITHRIL_ASSERT(r != compress::AddLineResult::kRejected);
@@ -45,6 +79,8 @@ MithriLog::ingestLine(std::string_view line)
     });
     ++lines_;
     raw_bytes_ += line.size() + 1;
+    counters_.lines_ingested->add();
+    counters_.lzah_bytes_in->add(line.size() + 1);
     return Status::ok();
 }
 
@@ -78,6 +114,8 @@ MithriLog::sealPendingPage()
     }
     index_->addPage(id, tokens, lines_);
     pending_tokens_.clear();
+    counters_.pages_sealed->add();
+    counters_.lzah_bytes_out->add(storage::kPageSize);
 }
 
 void
@@ -88,6 +126,7 @@ MithriLog::flush()
         sealPendingPage();
     }
     index_->flush();
+    metrics_->gauge("lzah.ratio").set(compressionRatio());
 }
 
 double
@@ -179,23 +218,40 @@ Status
 MithriLog::execute(std::span<const PageId> pages,
                    std::span<const query::Query> queries, QueryResult *out)
 {
+    obs::Span compile_span = tracer_->span("query.compile", "core");
     Status compiled = accel_.configure(queries);
+    compile_span.end();
     if (compiled.code() == StatusCode::kCapacityExceeded ||
         compiled.code() == StatusCode::kUnsupported) {
+        counters_.query_fallbacks->add();
         return softwareScan(queries, out);
     }
     MITHRIL_RETURN_IF_ERROR(compiled);
 
+    // Streaming and filtering overlap on the device; the spans carry
+    // each stage's own modeled cost and the parent query span carries
+    // the overlapped total.
+    obs::Span stream_span = tracer_->span("query.page_stream", "core");
     std::vector<compress::ByteView> views;
     views.reserve(pages.size());
     for (PageId id : pages) {
         views.push_back(ssd_.store().read(id));
     }
+    // The stream pipelines behind index traversal and filtering, so the
+    // reads are metered (ssd.pages_read, link busy) as overlapped.
+    ssd_.chargeOverlappedRead(pages.size(), Link::kInternal);
+    out->storage_time = ssd_.timeBatchRead(pages.size(), Link::kInternal);
+    stream_span.setSimDuration(out->storage_time);
+    stream_span.end();
 
+    obs::Span filter_span = tracer_->span("query.filter", "core");
     accel::AccelResult ar;
-    MITHRIL_RETURN_IF_ERROR(
-        accel_.process(views, accel::Mode::kFilter, &ar));
+    Status processed = accel_.process(views, accel::Mode::kFilter, &ar);
+    filter_span.setSimDuration(ar.computeTime(config_.accel.clock_hz));
+    filter_span.end();
+    MITHRIL_RETURN_IF_ERROR(processed);
 
+    out->breakdown.pages_with_matches = ar.pages_with_matches;
     out->matched_lines = ar.lines_kept;
     out->lines = std::move(ar.kept);
     out->matched_per_query.assign(ar.kept_per_query.begin(),
@@ -214,7 +270,6 @@ MithriLog::execute(std::span<const PageId> pages,
     // "fast enough to saturate the accelerator"). The slowest stage
     // paces the query; one read latency covers the un-overlapped first
     // hop.
-    out->storage_time = ssd_.timeBatchRead(pages.size(), Link::kInternal);
     out->compute_time = ar.computeTime(config_.accel.clock_hz);
     out->total_time =
         SimTime::max(out->index_time,
@@ -227,6 +282,7 @@ Status
 MithriLog::softwareScan(std::span<const query::Query> queries,
                         QueryResult *out)
 {
+    obs::Span span = tracer_->span("query.fallback", "core");
     out->used_fallback = true;
     out->matched_per_query.assign(queries.size(), 0);
 
@@ -241,6 +297,9 @@ MithriLog::softwareScan(std::span<const query::Query> queries,
         MITHRIL_RETURN_IF_ERROR(compress::lzahDecodePage(
             ssd_.store().read(id), /*padded=*/false, &text));
     }
+    // Every page crosses PCIe to the host; metered as one overlapped
+    // batch matching the modeled storage_time below.
+    ssd_.chargeOverlappedRead(data_pages_.size(), Link::kExternal);
     std::string_view view(reinterpret_cast<const char *>(text.data()),
                           text.size());
     forEachLine(view, [&](std::string_view line) {
@@ -265,6 +324,7 @@ MithriLog::softwareScan(std::span<const query::Query> queries,
     out->storage_time =
         ssd_.timeBatchRead(data_pages_.size(), Link::kExternal);
     out->total_time = out->index_time + out->storage_time;
+    span.setSimDuration(out->storage_time);
     return Status::ok();
 }
 
@@ -275,16 +335,60 @@ MithriLog::runBatch(std::span<const query::Query> queries, QueryResult *out)
     if (queries.empty()) {
         return Status::invalidArgument("empty query batch");
     }
+    WallTimer wall;
+    obs::Span qspan = tracer_->span("query", "core");
+    counters_.queries->add(queries.size());
 
+    bool index_pruned = false;
     std::vector<PageId> pages;
     if (config_.use_index && !plannerPrefersScan(queries)) {
+        obs::Span lookup = tracer_->span("query.index_lookup", "core");
         pages = candidatePages(queries, &out->index_time);
+        lookup.setSimDuration(out->index_time);
+        lookup.end();
+        // Pure-negative sets degrade to all pages; that is a scan, not
+        // an index nomination.
+        index_pruned = pages.size() < data_pages_.size() ||
+                       data_pages_.empty();
+        counters_.candidate_pages->add(pages.size());
         ssd_.resetClock();
     } else {
         pages = data_pages_;
         out->planned_full_scan = config_.use_index;
+        if (out->planned_full_scan) {
+            obs::Span plan = tracer_->span("query.plan_full_scan",
+                                           "core");
+            counters_.planner_full_scans->add();
+        }
     }
-    return execute(pages, queries, out);
+    Status st = execute(pages, queries, out);
+    out->breakdown.candidate_pages = index_pruned ? pages.size() : 0;
+    finishQuery(out, &qspan, wall.seconds(), index_pruned);
+    return st;
+}
+
+void
+MithriLog::finishQuery(QueryResult *out, obs::Span *span,
+                       double wall_seconds, bool index_pruned)
+{
+    QueryBreakdown &b = out->breakdown;
+    b.index_time = out->index_time;
+    b.storage_time = out->storage_time;
+    b.compute_time = out->compute_time;
+    b.total_time = out->total_time;
+    b.pages_scanned = out->pages_scanned;
+    b.pages_total = out->pages_total;
+    b.matched_lines = out->matched_lines;
+    b.used_fallback = out->used_fallback;
+    b.planned_full_scan = out->planned_full_scan;
+    b.wall_seconds = wall_seconds;
+    if (index_pruned && !out->used_fallback &&
+        b.pages_scanned >= b.pages_with_matches) {
+        b.false_positive_pages = b.pages_scanned - b.pages_with_matches;
+        counters_.false_positive_pages->add(b.false_positive_pages);
+    }
+    span->setSimDuration(out->total_time);
+    span->end();
 }
 
 bool
@@ -452,10 +556,21 @@ MithriLog::runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
                         QueryResult *out)
 {
     *out = QueryResult{};
+    WallTimer wall;
+    obs::Span qspan = tracer_->span("query", "core");
+    counters_.queries->add();
+
     std::span<const query::Query> queries(&q, 1);
+    bool index_pruned = false;
     std::vector<PageId> pages;
     if (config_.use_index) {
+        obs::Span lookup = tracer_->span("query.index_lookup", "core");
         pages = candidatePages(queries, &out->index_time);
+        lookup.setSimDuration(out->index_time);
+        lookup.end();
+        index_pruned = pages.size() < data_pages_.size() ||
+                       data_pages_.empty();
+        counters_.candidate_pages->add(pages.size());
         ssd_.resetClock();
     } else {
         pages = data_pages_;
@@ -467,7 +582,13 @@ MithriLog::runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
             bounded.push_back(p);
         }
     }
-    return execute(bounded, queries, out);
+    Status st = execute(bounded, queries, out);
+    out->breakdown.candidate_pages = index_pruned ? pages.size() : 0;
+    // The time bound prunes further than the index alone; the false-
+    // positive account only makes sense against the executed set.
+    finishQuery(out, &qspan, wall.seconds(),
+                index_pruned || bounded.size() < pages.size());
+    return st;
 }
 
 Status
@@ -478,7 +599,48 @@ MithriLog::runFullScan(std::span<const query::Query> queries,
     if (queries.empty()) {
         return Status::invalidArgument("empty query batch");
     }
-    return execute(data_pages_, queries, out);
+    WallTimer wall;
+    obs::Span qspan = tracer_->span("query", "core");
+    counters_.queries->add(queries.size());
+    Status st = execute(data_pages_, queries, out);
+    finishQuery(out, &qspan, wall.seconds(), /*index_pruned=*/false);
+    return st;
+}
+
+std::string
+QueryBreakdown::toJson() const
+{
+    std::string out;
+    obs::JsonWriter w(&out);
+    w.beginObject();
+    w.key("index_ps");
+    w.value(static_cast<uint64_t>(index_time.ps()));
+    w.key("storage_ps");
+    w.value(static_cast<uint64_t>(storage_time.ps()));
+    w.key("compute_ps");
+    w.value(static_cast<uint64_t>(compute_time.ps()));
+    w.key("total_ps");
+    w.value(static_cast<uint64_t>(total_time.ps()));
+    w.key("candidate_pages");
+    w.value(candidate_pages);
+    w.key("pages_scanned");
+    w.value(pages_scanned);
+    w.key("pages_total");
+    w.value(pages_total);
+    w.key("pages_with_matches");
+    w.value(pages_with_matches);
+    w.key("false_positive_pages");
+    w.value(false_positive_pages);
+    w.key("matched_lines");
+    w.value(matched_lines);
+    w.key("used_fallback");
+    w.value(used_fallback);
+    w.key("planned_full_scan");
+    w.value(planned_full_scan);
+    w.key("wall_seconds");
+    w.value(wall_seconds);
+    w.endObject();
+    return out;
 }
 
 } // namespace mithril::core

@@ -35,6 +35,8 @@
 #include "common/simtime.h"
 #include "compress/lzah.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query.h"
 #include "storage/ssd_model.h"
 
@@ -55,9 +57,49 @@ struct MithriLogConfig {
      * then pure overhead). 1.0 disables the planner.
      */
     double planner_scan_threshold = 0.85;
-    /** Lines longer than LZAH's page limit are truncated (with a
-     *  counter) instead of rejected. */
+    /** Lines longer than LZAH's page limit are truncated (with the
+     *  `core.lines_truncated` counter) instead of rejected. */
     bool truncate_long_lines = true;
+    /**
+     * External metric registry / tracer to report into (benches and
+     * services aggregating several systems share one). When null the
+     * system owns private instances, reachable via metrics()/tracer().
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::Tracer *tracer = nullptr;
+};
+
+/**
+ * Structured attribution of one query run — the Table 7 split
+ * (index vs. storage vs. compute) plus the page-pruning account, in
+ * machine-readable form. SimTime fields are deterministic for a given
+ * image + query; wall_seconds is host-measured and is not.
+ */
+struct QueryBreakdown {
+    SimTime index_time;    ///< modeled index traversal
+    SimTime storage_time;  ///< modeled data-page streaming
+    SimTime compute_time;  ///< modeled accelerator cycles
+    SimTime total_time;    ///< index + max(storage, compute) + latency
+
+    uint64_t candidate_pages = 0;   ///< pages the index nominated
+    uint64_t pages_scanned = 0;
+    uint64_t pages_total = 0;
+    /** Pages that produced at least one accepted line. */
+    uint64_t pages_with_matches = 0;
+    /** Index-nominated pages with no match (probabilistic-index false
+     *  positives plus legitimately empty candidates). Zero when the
+     *  index was bypassed. */
+    uint64_t false_positive_pages = 0;
+    uint64_t matched_lines = 0;
+
+    bool used_fallback = false;
+    bool planned_full_scan = false;
+    /** Host-side measured time for the whole run (both domains kept,
+     *  per the repo's measured-vs-modeled discipline). */
+    double wall_seconds = 0.0;
+
+    /** One-line JSON object (keys: phase times in ps, pages, flags). */
+    std::string toJson() const;
 };
 
 /** End-to-end result of one query (or batch). */
@@ -79,6 +121,10 @@ struct QueryResult {
     /** Planner skipped index traversal (poor predicted pruning). */
     bool planned_full_scan = false;
     double useful_ratio = 0.0;   ///< tokenized-datapath utilization
+
+    /** Structured phase attribution (duplicates the scalar fields
+     *  above in reportable form, plus pruning/false-positive data). */
+    QueryBreakdown breakdown;
 
     /** Effective throughput against the original dataset size. */
     double effectiveThroughput(uint64_t dataset_bytes) const
@@ -167,6 +213,17 @@ class MithriLog
     accel::Accelerator &accelerator() { return accel_; }
     const MithriLogConfig &config() const { return config_; }
 
+    // ---- observability --------------------------------------------------
+
+    /** The unified metric namespace (`ssd.*`, `index.*`, `accel.*`,
+     *  `lzah.*`, `core.*`); config-supplied or system-owned. */
+    obs::MetricsRegistry &metrics() { return *metrics_; }
+    const obs::MetricsRegistry &metrics() const { return *metrics_; }
+
+    /** Span buffer covering the query datapath in both time domains. */
+    obs::Tracer &tracer() { return *tracer_; }
+    const obs::Tracer &tracer() const { return *tracer_; }
+
   private:
     /** Candidate data pages for a batch via the inverted index.
      *  @param index_time receives the modeled traversal time, with
@@ -190,7 +247,32 @@ class MithriLog
 
     void sealPendingPage();
 
+    /** Fills QueryResult::breakdown, closes the query span, and
+     *  records the per-query counters. @p index_pruned says whether
+     *  the candidate set came from index traversal (false-positive
+     *  accounting only applies then). */
+    void finishQuery(QueryResult *out, obs::Span *span,
+                     double wall_seconds, bool index_pruned);
+
     MithriLogConfig config_;
+    std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+    std::unique_ptr<obs::Tracer> owned_tracer_;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
+
+    /** Hot-path counters, resolved once (registry refs are stable). */
+    struct CoreCounters {
+        obs::Counter *lines_ingested = nullptr;
+        obs::Counter *lines_truncated = nullptr;
+        obs::Counter *pages_sealed = nullptr;
+        obs::Counter *lzah_bytes_in = nullptr;
+        obs::Counter *lzah_bytes_out = nullptr;
+        obs::Counter *queries = nullptr;
+        obs::Counter *query_fallbacks = nullptr;
+        obs::Counter *planner_full_scans = nullptr;
+        obs::Counter *candidate_pages = nullptr;
+        obs::Counter *false_positive_pages = nullptr;
+    } counters_;
     storage::SsdModel ssd_;
     std::unique_ptr<index::InvertedIndex> index_;
     accel::Accelerator accel_;

@@ -41,6 +41,7 @@
 #include "common/hash.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/ssd_model.h"
 
 namespace mithril::index {
@@ -144,6 +145,14 @@ class InvertedIndex
 
     /** Counters: leaf/root flushes, lookups, pages returned, ... */
     const StatSet &stats() const { return stats_; }
+
+    /** Joins the unified metric namespace: counters forward as
+     *  `index.*` (lookups, pages_returned = candidate pages, node
+     *  flushes, corrupt refs). */
+    void bindMetrics(obs::MetricsRegistry *metrics)
+    {
+        stats_.bind(metrics, "index.");
+    }
 
   private:
     static constexpr uint64_t kInvalidRef = ~0ull;

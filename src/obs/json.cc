@@ -1,0 +1,365 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace mithril::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!pending_.empty()) {
+        if (pending_.back() == '1') {
+            *out_ += ',';
+        } else {
+            pending_.back() = '1';
+        }
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    *out_ += '{';
+    pending_ += '0';
+}
+
+void
+JsonWriter::endObject()
+{
+    *out_ += '}';
+    pending_.pop_back();
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    *out_ += '[';
+    pending_ += '0';
+}
+
+void
+JsonWriter::endArray()
+{
+    *out_ += ']';
+    pending_.pop_back();
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    *out_ += '"';
+    *out_ += jsonEscape(k);
+    *out_ += "\":";
+    after_key_ = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    *out_ += '"';
+    *out_ += jsonEscape(v);
+    *out_ += '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        *out_ += "null";  // JSON has no Inf/NaN
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    *out_ += buf;
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    *out_ += std::to_string(v);
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    separate();
+    *out_ += std::to_string(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    *out_ += v ? "true" : "false";
+}
+
+namespace {
+
+/** Recursive-descent JSON validator (syntax only, no value capture). */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string *err)
+    {
+        bool ok = value() && (skipWs(), pos_ == text_.size());
+        if (!ok && err != nullptr) {
+            *err = error_.empty()
+                       ? "trailing data at offset " + std::to_string(pos_)
+                       : error_;
+        }
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (error_.empty()) {
+            error_ = std::string(what) + " at offset " +
+                     std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            return fail("bad literal");
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return fail("expected string");
+        }
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("control char in string");
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) {
+                    break;
+                }
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i]))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape");
+                }
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return fail("bad number");
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return fail("bad fraction");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return fail("bad exponent");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            return fail("unexpected end");
+        }
+        switch (text_[pos_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string()) {
+                return false;
+            }
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                return fail("expected ':'");
+            }
+            ++pos_;
+            if (!value()) {
+                return false;
+            }
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value()) {
+                return false;
+            }
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+jsonValid(std::string_view text, std::string *err)
+{
+    return Validator(text).run(err);
+}
+
+} // namespace mithril::obs

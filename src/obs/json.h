@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON utilities for the observability layer: a streaming
+ * writer (commas and escaping handled), and a strict validity checker
+ * used by tests and the bench-output checker. No external
+ * dependencies, by repo policy.
+ */
+#ifndef MITHRIL_OBS_JSON_H
+#define MITHRIL_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mithril::obs {
+
+/** Escapes @p s for use inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming JSON writer appending to a caller-owned string.
+ *
+ * Usage:
+ *   JsonWriter w(&out);
+ *   w.beginObject();
+ *   w.key("name"); w.value("x");
+ *   w.key("list"); w.beginArray(); w.value(1.0); w.endArray();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::string *out) : out_(out) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(uint64_t v);
+    void value(int64_t v);
+    void value(bool v);
+
+  private:
+    void separate();
+
+    std::string *out_;
+    /** Whether a comma is due before the next element, per depth. */
+    std::string pending_;  // stack of 0/1 chars
+    bool after_key_ = false;
+};
+
+/**
+ * Strict syntax check of one complete JSON document.
+ * @param err if non-null, receives a short description on failure.
+ */
+bool jsonValid(std::string_view text, std::string *err = nullptr);
+
+} // namespace mithril::obs
+
+#endif // MITHRIL_OBS_JSON_H

@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace mithril::obs {
+
+namespace {
+
+template <typename Map, typename Factory>
+auto &
+findOrCreate(Map &map, std::mutex &mu, std::string_view full,
+             Factory make)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(full);
+    if (it == map.end()) {
+        it = map.emplace(std::string(full), make()).first;
+    }
+    return *it->second;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::fullName(std::string_view name,
+                          std::initializer_list<Label> labels)
+{
+    std::string full(name);
+    if (labels.size() != 0) {
+        std::vector<Label> sorted(labels);
+        std::sort(sorted.begin(), sorted.end());
+        full += '{';
+        bool first = true;
+        for (const Label &l : sorted) {
+            if (!first) {
+                full += ',';
+            }
+            first = false;
+            full += l.first;
+            full += '=';
+            full += l.second;
+        }
+        full += '}';
+    }
+    return full;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name,
+                         std::initializer_list<Label> labels)
+{
+    if (labels.size() == 0) {
+        return findOrCreate(counters_, mu_, name,
+                            [] { return std::make_unique<Counter>(); });
+    }
+    return findOrCreate(counters_, mu_, fullName(name, labels),
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name,
+                       std::initializer_list<Label> labels)
+{
+    if (labels.size() == 0) {
+        return findOrCreate(gauges_, mu_, name,
+                            [] { return std::make_unique<Gauge>(); });
+    }
+    return findOrCreate(gauges_, mu_, fullName(name, labels),
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+LogHistogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::initializer_list<Label> labels)
+{
+    auto make = [] { return std::make_unique<LogHistogram>(); };
+    if (labels.size() == 0) {
+        return findOrCreate(histograms_, mu_, name, make);
+    }
+    return findOrCreate(histograms_, mu_, fullName(name, labels), make);
+}
+
+uint64_t
+MetricsRegistry::counterValue(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_) {
+        snap.counters.emplace(name, c->value());
+    }
+    for (const auto &[name, g] : gauges_) {
+        snap.gauges.emplace(name, g->value());
+    }
+    for (const auto &[name, h] : histograms_) {
+        MetricsSnapshot::HistogramData data;
+        data.count = h->count();
+        data.sum = h->sum();
+        for (size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+            uint64_t c = h->bucketCount(i);
+            if (c != 0) {
+                data.buckets.emplace_back(LogHistogram::bucketLo(i), c);
+            }
+        }
+        snap.histograms.emplace(name, std::move(data));
+    }
+    return snap;
+}
+
+} // namespace mithril::obs

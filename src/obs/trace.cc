@@ -1,0 +1,229 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace mithril::obs {
+
+namespace {
+/** Nesting depth of open spans on this thread (display only). */
+thread_local uint32_t t_depth = 0;
+} // namespace
+
+// ---- Span ---------------------------------------------------------------
+
+Span::Span(Tracer *tracer, std::string_view name,
+           std::string_view category)
+    : tracer_(tracer)
+{
+    event_.name = name;
+    event_.category = category;
+    event_.wall_start_ns = tracer_->nowNs();
+    event_.sim_start_ps = tracer_->simCursor().ps();
+    event_.depth = t_depth++;
+}
+
+Span::Span(Span &&other) noexcept
+    : tracer_(other.tracer_), event_(std::move(other.event_))
+{
+    other.tracer_ = nullptr;
+}
+
+Span &
+Span::operator=(Span &&other) noexcept
+{
+    if (this != &other) {
+        end();
+        tracer_ = other.tracer_;
+        event_ = std::move(other.event_);
+        other.tracer_ = nullptr;
+    }
+    return *this;
+}
+
+void
+Span::setSimDuration(SimTime dur)
+{
+    event_.sim_dur_ps = dur.ps();
+    event_.has_sim = true;
+}
+
+void
+Span::end()
+{
+    if (tracer_ == nullptr) {
+        return;
+    }
+    event_.wall_dur_ns = tracer_->nowNs() - event_.wall_start_ns;
+    --t_depth;
+    tracer_->record(std::move(event_));
+    tracer_ = nullptr;
+}
+
+// ---- Tracer -------------------------------------------------------------
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now())
+{
+    ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+uint64_t
+Tracer::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+SimTime
+Tracer::simCursor() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return SimTime::picoseconds(sim_cursor_ps_);
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    event.seq = next_seq_++;
+    if (event.has_sim) {
+        sim_cursor_ps_ = std::max(sim_cursor_ps_,
+                                  event.sim_start_ps + event.sim_dur_ps);
+    }
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[event.seq % capacity_] = std::move(event);
+        ++dropped_;
+    }
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceEvent> out = ring_;
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    dropped_ = 0;
+}
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    // Two "processes": pid 1 is the wall-clock domain, pid 2 the
+    // SimTime domain. Complete events (ph "X") with ts/dur in
+    // microseconds, as chrome://tracing and Perfetto expect.
+    constexpr int kWallPid = 1;
+    constexpr int kSimPid = 2;
+
+    std::vector<TraceEvent> evs = events();
+    std::string out;
+    JsonWriter w(&out);
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ns");
+    w.key("traceEvents");
+    w.beginArray();
+
+    auto meta = [&](int pid, const char *name) {
+        w.beginObject();
+        w.key("name");
+        w.value("process_name");
+        w.key("ph");
+        w.value("M");
+        w.key("pid");
+        w.value(static_cast<uint64_t>(pid));
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(name);
+        w.endObject();
+        w.endObject();
+    };
+    meta(kWallPid, "wall (measured)");
+    meta(kSimPid, "simtime (modeled)");
+
+    auto complete = [&](const TraceEvent &e, int pid, double ts_us,
+                        double dur_us) {
+        w.beginObject();
+        w.key("name");
+        w.value(e.name);
+        w.key("cat");
+        w.value(e.category);
+        w.key("ph");
+        w.value("X");
+        w.key("pid");
+        w.value(static_cast<uint64_t>(pid));
+        w.key("tid");
+        w.value(static_cast<uint64_t>(1));
+        w.key("ts");
+        w.value(ts_us);
+        w.key("dur");
+        w.value(dur_us);
+        w.key("args");
+        w.beginObject();
+        w.key("depth");
+        w.value(static_cast<uint64_t>(e.depth));
+        if (e.has_sim) {
+            w.key("sim_ps");
+            w.value(e.sim_dur_ps);
+        }
+        w.endObject();
+        w.endObject();
+    };
+
+    for (const TraceEvent &e : evs) {
+        complete(e, kWallPid, e.wall_start_ns * 1e-3,
+                 e.wall_dur_ns * 1e-3);
+        if (e.has_sim) {
+            complete(e, kSimPid, e.sim_start_ps * 1e-6,
+                     e.sim_dur_ps * 1e-6);
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    return out;
+}
+
+Status
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::string json = chromeTraceJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        return Status::invalidArgument("cannot open " + path);
+    }
+    bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (std::fclose(f) != 0 || !ok) {
+        return Status::internal("short write to " + path);
+    }
+    return Status::ok();
+}
+
+} // namespace mithril::obs

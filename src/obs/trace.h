@@ -1,0 +1,134 @@
+/**
+ * @file
+ * mithril::obs — RAII span tracing in two time domains.
+ *
+ * Every span records *wall-clock* time (host-side, measured) and,
+ * when the instrumented phase has a modeled cost, *SimTime* (the
+ * deterministic device-model clock at the paper's platform
+ * parameters). The two domains are the repo's measured-vs-modeled
+ * discipline (see common/wall_timer.h) carried into tracing: a trace
+ * shows both what the host spent and where the modeled cycles went.
+ *
+ * Spans append completed events into a bounded ring (oldest events are
+ * overwritten; a drop counter records how many). The buffer exports as
+ * Chrome trace-event JSON loadable in chrome://tracing or Perfetto:
+ * wall-domain events appear under process "wall (measured)" and
+ * sim-domain events under process "simtime (modeled)".
+ *
+ * SimTime layout: the tracer keeps a monotonic sim cursor. A span
+ * captures the cursor when it opens; closing with setSimDuration()
+ * advances the cursor past the span. Phases the performance model
+ * overlaps (page streaming vs. filter compute) therefore appear
+ * sequentially in the sim track — the track is an attribution of
+ * modeled cost, and the parent span carries the overlapped total.
+ * Sim-domain values are deterministic run-to-run; wall values are not.
+ */
+#ifndef MITHRIL_OBS_TRACE_H
+#define MITHRIL_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/simtime.h"
+#include "common/status.h"
+
+namespace mithril::obs {
+
+/** One completed span. */
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    uint64_t wall_start_ns = 0;  ///< relative to the tracer's epoch
+    uint64_t wall_dur_ns = 0;
+    uint64_t sim_start_ps = 0;
+    uint64_t sim_dur_ps = 0;
+    bool has_sim = false;  ///< span carried a modeled duration
+    uint32_t depth = 0;    ///< nesting depth at open
+    uint64_t seq = 0;      ///< completion order
+};
+
+class Tracer;
+
+/**
+ * RAII span: records on destruction (or an explicit end()).
+ * Movable, not copyable. A default-constructed span is inert, so
+ * instrumented code can run without a tracer attached.
+ */
+class Span
+{
+  public:
+    Span() = default;
+    Span(Tracer *tracer, std::string_view name,
+         std::string_view category);
+    Span(Span &&other) noexcept;
+    Span &operator=(Span &&other) noexcept;
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+    ~Span() { end(); }
+
+    /** Attaches the modeled cost of this phase; the event then also
+     *  appears in the sim track. */
+    void setSimDuration(SimTime dur);
+
+    /** Completes the span now (idempotent). */
+    void end();
+
+  private:
+    Tracer *tracer_ = nullptr;
+    TraceEvent event_;
+};
+
+/** Bounded ring of spans + the sim-domain cursor. */
+class Tracer
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 16384;
+
+    explicit Tracer(size_t capacity = kDefaultCapacity);
+
+    /** Opens a span; completed when the returned object dies. */
+    Span span(std::string_view name, std::string_view category = "query")
+    {
+        return Span(this, name, category);
+    }
+
+    /** Completed events, oldest first (bounded by capacity). */
+    std::vector<TraceEvent> events() const;
+
+    /** Events overwritten because the ring was full. */
+    uint64_t dropped() const;
+
+    /** Current end of the sim-domain timeline. */
+    SimTime simCursor() const;
+
+    /** Chrome trace-event JSON (the whole buffer). */
+    std::string chromeTraceJson() const;
+
+    /** Writes chromeTraceJson() to @p path. */
+    Status writeChromeTrace(const std::string &path) const;
+
+    /** Empties the ring (sim cursor keeps advancing monotonically). */
+    void clear();
+
+  private:
+    friend class Span;
+
+    uint64_t nowNs() const;
+    void record(TraceEvent event);
+
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> ring_;
+    size_t capacity_;
+    uint64_t next_seq_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t sim_cursor_ps_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace mithril::obs
+
+#endif // MITHRIL_OBS_TRACE_H

@@ -6,11 +6,38 @@ namespace mithril::storage {
 
 SsdModel::SsdModel(SsdConfig config) : config_(config) {}
 
+void
+SsdModel::bindMetrics(obs::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics_ != nullptr) {
+        stats_.bind(metrics_, "ssd.");
+        link_busy_[0] = &metrics_->counter("ssd.internal_link_busy_ps");
+        link_busy_[1] = &metrics_->counter("ssd.external_link_busy_ps");
+        batch_pages_ = &metrics_->histogram("ssd.batch_pages");
+    } else {
+        stats_.bind(nullptr, "");
+        link_busy_[0] = link_busy_[1] = nullptr;
+        batch_pages_ = nullptr;
+    }
+}
+
 double
 SsdModel::bandwidth(Link link) const
 {
     return link == Link::kInternal ? config_.internal_bw_bps
                                    : config_.external_bw_bps;
+}
+
+void
+SsdModel::meterTransfer(uint64_t pages, SimTime busy, Link link)
+{
+    if (metrics_ == nullptr) {
+        return;
+    }
+    link_busy_[link == Link::kInternal ? 0 : 1]->add(busy.ps());
+    batch_pages_->record(
+        std::min<uint64_t>(pages, config_.parallel_commands));
 }
 
 SimTime
@@ -83,29 +110,35 @@ SsdModel::readBatch(std::span<const PageId> ids, Link link,
         auto page = store_.read(id);
         out->insert(out->end(), page.begin(), page.end());
     }
-    clock_ += timeBatchRead(ids.size(), link);
+    SimTime busy = timeBatchRead(ids.size(), link);
+    clock_ += busy;
     stats_.add("pages_read", ids.size());
     stats_.add("bytes_read", ids.size() * kPageSize);
     stats_.add("read_commands");
+    meterTransfer(ids.size(), busy, link);
 }
 
 void
 SsdModel::chargeOverlappedRead(uint64_t pages, Link link)
 {
-    clock_ += SimTime::transfer(pages * kPageSize, bandwidth(link));
+    SimTime busy = SimTime::transfer(pages * kPageSize, bandwidth(link));
+    clock_ += busy;
     stats_.add("pages_read", pages);
     stats_.add("bytes_read", pages * kPageSize);
     stats_.add("overlapped_reads");
+    meterTransfer(pages, busy, link);
 }
 
 std::span<const uint8_t>
 SsdModel::readChained(PageId id, Link link)
 {
-    clock_ += config_.read_latency +
-              SimTime::transfer(kPageSize, bandwidth(link));
+    SimTime busy = config_.read_latency +
+                   SimTime::transfer(kPageSize, bandwidth(link));
+    clock_ += busy;
     stats_.add("pages_read");
     stats_.add("bytes_read", kPageSize);
     stats_.add("chained_reads");
+    meterTransfer(1, busy, link);
     return store_.read(id);
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/simtime.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "storage/page_store.h"
 
 namespace mithril::storage {
@@ -89,6 +90,15 @@ class SsdModel
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
 
+    /**
+     * Joins the unified metric namespace: legacy counters forward as
+     * `ssd.*`, and the model additionally records per-link busy time
+     * (`ssd.internal_link_busy_ps` / `ssd.external_link_busy_ps`) and
+     * a queue-depth histogram (`ssd.batch_pages`, the independent
+     * commands in flight per batch, capped by parallel_commands).
+     */
+    void bindMetrics(obs::MetricsRegistry *metrics);
+
     // --- pure timing queries -------------------------------------------
 
     /**
@@ -136,11 +146,15 @@ class SsdModel
 
   private:
     double bandwidth(Link link) const;
+    void meterTransfer(uint64_t pages, SimTime busy, Link link);
 
     SsdConfig config_;
     PageStore store_;
     SimTime clock_;
     StatSet stats_;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::Counter *link_busy_[2] = {nullptr, nullptr};
+    obs::LogHistogram *batch_pages_ = nullptr;
 };
 
 } // namespace mithril::storage

@@ -156,6 +156,10 @@ TEST(MithriLogTest, LongLinesTruncatedWithCounter)
     system.flush();
     EXPECT_EQ(system.truncatedLines(), 1u);
     EXPECT_EQ(system.lineCount(), 1u);
+    // The same count is visible in the unified metric namespace.
+    EXPECT_EQ(system.metrics().counterValue("core.lines_truncated"),
+              1u);
+    EXPECT_EQ(system.metrics().counterValue("core.lines_ingested"), 1u);
 }
 
 TEST(MithriLogTest, LongLineRejectedWhenTruncationDisabled)
@@ -285,6 +289,117 @@ TEST(MithriLogTest, KeptLinesAreRealLines)
     ASSERT_TRUE(system.run(mustParse("keep"), &r).isOk());
     ASSERT_EQ(r.lines.size(), 1u);
     EXPECT_EQ(r.lines[0].text, "keep me now");
+}
+
+TEST(MithriLogTest, QueryBreakdownMatchesScalars)
+{
+    MithriLog system;
+    std::string text = smallCorpus();
+    text += "needle UNIQUETOKEN in haystack\n";
+    text += smallCorpus();
+    ASSERT_TRUE(system.ingestText(text).isOk());
+    system.flush();
+
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("UNIQUETOKEN"), &r).isOk());
+    const QueryBreakdown &b = r.breakdown;
+    EXPECT_EQ(b.total_time.ps(), r.total_time.ps());
+    EXPECT_EQ(b.index_time.ps(), r.index_time.ps());
+    EXPECT_EQ(b.pages_scanned, r.pages_scanned);
+    EXPECT_EQ(b.matched_lines, r.matched_lines);
+    EXPECT_FALSE(b.used_fallback);
+    EXPECT_GT(b.wall_seconds, 0.0);
+    // Index path: candidates were nominated and the page-pruning
+    // account closes (candidates = with-matches + false positives).
+    EXPECT_EQ(b.candidate_pages, b.pages_scanned);
+    EXPECT_GE(b.pages_with_matches, 1u);
+    EXPECT_EQ(b.false_positive_pages,
+              b.pages_scanned - b.pages_with_matches);
+
+    std::string json = b.toJson();
+    EXPECT_NE(json.find("\"total_ps\""), std::string::npos);
+    EXPECT_NE(json.find("\"false_positive_pages\""), std::string::npos);
+}
+
+TEST(MithriLogTest, QueryDatapathFeedsMetricsAndSpans)
+{
+    MithriLog system;
+    ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
+    system.flush();
+    QueryResult r;
+    ASSERT_TRUE(system.run(mustParse("seq42"), &r).isOk());
+
+    const obs::MetricsRegistry &m = system.metrics();
+    EXPECT_EQ(m.counterValue("core.queries"), 1u);
+    EXPECT_GT(m.counterValue("ssd.pages_read"), 0u);
+    EXPECT_GT(m.counterValue("index.candidate_pages"), 0u);
+    EXPECT_GT(m.counterValue("accel.busy_cycles"), 0u);
+    EXPECT_GT(m.counterValue("lzah.bytes_in"), 0u);
+    EXPECT_EQ(m.counterValue("core.lines_ingested"), 3000u);
+
+    // The span buffer covers the datapath phases, nested under the
+    // parent query span, with modeled durations attached.
+    bool saw_query = false, saw_lookup = false, saw_stream = false,
+         saw_filter = false;
+    for (const obs::TraceEvent &e : system.tracer().events()) {
+        if (e.name == "query") {
+            saw_query = true;
+            EXPECT_EQ(e.depth, 0u);
+            EXPECT_TRUE(e.has_sim);
+            EXPECT_EQ(e.sim_dur_ps, r.total_time.ps());
+        } else if (e.name == "query.index_lookup") {
+            saw_lookup = true;
+            EXPECT_EQ(e.depth, 1u);
+        } else if (e.name == "query.page_stream") {
+            saw_stream = true;
+            EXPECT_EQ(e.sim_dur_ps, r.storage_time.ps());
+        } else if (e.name == "query.filter") {
+            saw_filter = true;
+            EXPECT_EQ(e.sim_dur_ps, r.compute_time.ps());
+        }
+    }
+    EXPECT_TRUE(saw_query);
+    EXPECT_TRUE(saw_lookup);
+    EXPECT_TRUE(saw_stream);
+    EXPECT_TRUE(saw_filter);
+}
+
+TEST(MithriLogTest, SimDomainTelemetryIsDeterministic)
+{
+    auto run = [] {
+        MithriLog system;
+        EXPECT_TRUE(system.ingestText(smallCorpus()).isOk());
+        system.flush();
+        QueryResult r;
+        EXPECT_TRUE(system.run(mustParse("KERNEL & INFO"), &r).isOk());
+        obs::MetricsSnapshot snap = system.metrics().snapshot();
+        std::vector<std::pair<uint64_t, uint64_t>> sim;
+        for (const obs::TraceEvent &e : system.tracer().events()) {
+            if (e.has_sim) {
+                sim.emplace_back(e.sim_start_ps, e.sim_dur_ps);
+            }
+        }
+        return std::make_pair(snap.counters, sim);
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(MithriLogTest, ExternalRegistryIsShared)
+{
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    MithriLogConfig cfg;
+    cfg.metrics = &registry;
+    cfg.tracer = &tracer;
+    MithriLog system(cfg);
+    ASSERT_TRUE(system.ingestText("alpha beta\n").isOk());
+    system.flush();
+    EXPECT_EQ(&system.metrics(), &registry);
+    EXPECT_EQ(&system.tracer(), &tracer);
+    EXPECT_EQ(registry.counterValue("core.lines_ingested"), 1u);
 }
 
 } // namespace

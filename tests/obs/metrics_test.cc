@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace mithril::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterBasics)
+{
+    MetricsRegistry m;
+    Counter &c = m.counter("core.lines_ingested");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name resolves to the same counter.
+    EXPECT_EQ(&m.counter("core.lines_ingested"), &c);
+    EXPECT_EQ(m.counterValue("core.lines_ingested"), 42u);
+    EXPECT_EQ(m.counterValue("no.such"), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsLoseNoUpdates)
+{
+    MetricsRegistry m;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 50000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m] {
+            // Half resolve the counter fresh each time (exercising
+            // registry locking), half cache the handle (the hot-path
+            // pattern).
+            Counter &cached = m.counter("test.hits");
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                if (i % 2 == 0) {
+                    m.counter("test.hits").add();
+                } else {
+                    cached.add();
+                }
+            }
+        });
+    }
+    for (auto &th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(m.counterValue("test.hits"), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, Labels)
+{
+    MetricsRegistry m;
+    m.counter("ssd.link_busy_ps", {{"link", "internal"}}).add(10);
+    m.counter("ssd.link_busy_ps", {{"link", "external"}}).add(20);
+    EXPECT_EQ(m.counterValue("ssd.link_busy_ps{link=internal}"), 10u);
+    EXPECT_EQ(m.counterValue("ssd.link_busy_ps{link=external}"), 20u);
+}
+
+TEST(MetricsRegistry, Gauge)
+{
+    MetricsRegistry m;
+    Gauge &g = m.gauge("lzah.ratio");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.set(3.0);
+    MetricsSnapshot snap = m.snapshot();
+    EXPECT_DOUBLE_EQ(snap.gauges.at("lzah.ratio"), 3.0);
+}
+
+TEST(LogHistogram, BucketEdges)
+{
+    // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(LogHistogram::bucketFor(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketFor(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketFor(2), 2u);
+    EXPECT_EQ(LogHistogram::bucketFor(3), 2u);
+    EXPECT_EQ(LogHistogram::bucketFor(4), 3u);
+    EXPECT_EQ(LogHistogram::bucketFor(7), 3u);
+    EXPECT_EQ(LogHistogram::bucketFor(8), 4u);
+    EXPECT_EQ(LogHistogram::bucketFor(~0ull), 64u);
+
+    EXPECT_EQ(LogHistogram::bucketLo(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketLo(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketLo(4), 8u);
+
+    LogHistogram h;
+    h.record(0);
+    h.record(1);
+    h.record(7);
+    h.record(8);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 16u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(MetricsRegistry, StatSetBridge)
+{
+    MetricsRegistry m;
+    StatSet stats;
+    stats.add("pages_read", 3);  // pre-bind accumulation
+    stats.bind(&m, "ssd.");
+    // bind() replays what was already counted...
+    EXPECT_EQ(m.counterValue("ssd.pages_read"), 3u);
+    // ...and forwards everything after.
+    stats.add("pages_read", 2);
+    stats.add("batches");
+    EXPECT_EQ(m.counterValue("ssd.pages_read"), 5u);
+    EXPECT_EQ(m.counterValue("ssd.batches"), 1u);
+    // The StatSet's own view stays intact (deprecated shim contract).
+    EXPECT_EQ(stats.get("pages_read"), 5u);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsValid)
+{
+    MetricsRegistry m;
+    m.counter("a.count").add(1);
+    m.counter("b.count", {{"k", "v"}}).add(2);
+    m.gauge("c.ratio").set(0.5);
+    m.histogram("d.sizes").record(100);
+    std::string json = metricsToJson(m);
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err << "\n" << json;
+    EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+    EXPECT_NE(json.find("\"d.sizes\""), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesAndNesting)
+{
+    std::string out;
+    JsonWriter w(&out);
+    w.beginObject();
+    w.key("text");
+    w.value("line\n\"quoted\"\t\\");
+    w.key("list");
+    w.beginArray();
+    w.value(static_cast<uint64_t>(1));
+    w.value(-2.5);
+    w.value(true);
+    w.endArray();
+    w.endObject();
+    std::string err;
+    EXPECT_TRUE(jsonValid(out, &err)) << err << "\n" << out;
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    EXPECT_NE(out.find("\\\""), std::string::npos);
+}
+
+TEST(JsonValid, RejectsMalformed)
+{
+    EXPECT_TRUE(jsonValid("{\"a\": [1, 2.5e3, null, \"x\"]}"));
+    EXPECT_FALSE(jsonValid(""));
+    EXPECT_FALSE(jsonValid("{"));
+    EXPECT_FALSE(jsonValid("{\"a\":}"));
+    EXPECT_FALSE(jsonValid("{\"a\": 1,}"));
+    EXPECT_FALSE(jsonValid("{\"a\": 1} extra"));
+    EXPECT_FALSE(jsonValid("{'a': 1}"));
+}
+
+TEST(JsonRecord, BenchLineFormat)
+{
+    JsonRecord rec("my_bench");
+    rec.field("dataset", "BGL2")
+        .field("value", 1.5)
+        .field("count", static_cast<uint64_t>(7))
+        .field("ok", true);
+    std::string json = rec.json();
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err << "\n" << json;
+    EXPECT_NE(json.find("\"bench\":\"my_bench\""), std::string::npos);
+}
+
+} // namespace
+} // namespace mithril::obs

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace mithril::obs {
+namespace {
+
+TEST(Tracer, SpanNestingAndOrdering)
+{
+    Tracer tracer;
+    {
+        Span outer = tracer.span("query", "core");
+        {
+            Span inner = tracer.span("query.index_lookup", "core");
+            inner.setSimDuration(SimTime::picoseconds(100));
+        }
+        {
+            Span inner = tracer.span("query.filter", "core");
+            inner.setSimDuration(SimTime::picoseconds(50));
+        }
+        outer.setSimDuration(SimTime::picoseconds(150));
+    }
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    // Children complete before the parent; completion order is the
+    // record order.
+    EXPECT_EQ(events[0].name, "query.index_lookup");
+    EXPECT_EQ(events[1].name, "query.filter");
+    EXPECT_EQ(events[2].name, "query");
+    EXPECT_EQ(events[0].depth, 1u);
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_EQ(events[2].depth, 0u);
+    // Sim track: the second child starts where the first ended; the
+    // parent started at the cursor both were laid out from.
+    EXPECT_TRUE(events[0].has_sim);
+    EXPECT_EQ(events[0].sim_start_ps, 0u);
+    EXPECT_EQ(events[0].sim_dur_ps, 100u);
+    EXPECT_EQ(events[1].sim_start_ps, 100u);
+    EXPECT_EQ(events[1].sim_dur_ps, 50u);
+    EXPECT_EQ(events[2].sim_start_ps, 0u);
+    EXPECT_EQ(events[2].sim_dur_ps, 150u);
+    EXPECT_EQ(tracer.simCursor().ps(), 150u);
+}
+
+TEST(Tracer, EndIsIdempotentAndMoveSafe)
+{
+    Tracer tracer;
+    Span a = tracer.span("a");
+    a.end();
+    a.end();  // no double record
+    Span b = tracer.span("b");
+    Span c = std::move(b);
+    c.end();
+    EXPECT_EQ(tracer.events().size(), 2u);
+    // Default-constructed span is inert.
+    { Span inert; }
+}
+
+TEST(Tracer, SimDeterminismAcrossRuns)
+{
+    auto run = [] {
+        Tracer tracer;
+        for (int i = 0; i < 5; ++i) {
+            Span s = tracer.span("phase");
+            s.setSimDuration(SimTime::picoseconds(1000 + i));
+        }
+        std::vector<std::pair<uint64_t, uint64_t>> sim;
+        for (const TraceEvent &e : tracer.events()) {
+            sim.emplace_back(e.sim_start_ps, e.sim_dur_ps);
+        }
+        return sim;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Tracer, BoundedRingDropsOldest)
+{
+    Tracer tracer(4);
+    for (int i = 0; i < 10; ++i) {
+        Span s = tracer.span("s" + std::to_string(i));
+    }
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(tracer.dropped(), 6u);
+    // Oldest-first within the retained window.
+    EXPECT_EQ(events[0].name, "s6");
+    EXPECT_EQ(events[3].name, "s9");
+}
+
+TEST(Tracer, ChromeTraceJsonGolden)
+{
+    Tracer tracer;
+    {
+        Span outer = tracer.span("query", "core");
+        Span inner = tracer.span("query.page_stream", "core");
+        inner.setSimDuration(SimTime::picoseconds(2'000'000));
+        inner.end();
+        outer.setSimDuration(SimTime::picoseconds(2'500'000));
+    }
+    std::string json = tracer.chromeTraceJson();
+
+    std::string err;
+    ASSERT_TRUE(jsonValid(json, &err)) << err << "\n" << json;
+    // Chrome trace-event contract: complete events with the four
+    // required fields, present in both time-domain tracks.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"query.page_stream\""),
+              std::string::npos);
+    EXPECT_NE(json.find("wall (measured)"), std::string::npos);
+    EXPECT_NE(json.find("simtime (modeled)"), std::string::npos);
+    // Process-name metadata events for both tracks.
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(Tracer, ClearKeepsCursorMonotonic)
+{
+    Tracer tracer;
+    {
+        Span s = tracer.span("a");
+        s.setSimDuration(SimTime::picoseconds(500));
+    }
+    tracer.clear();
+    EXPECT_TRUE(tracer.events().empty());
+    {
+        Span s = tracer.span("b");
+        s.setSimDuration(SimTime::picoseconds(10));
+    }
+    // The sim timeline never rewinds across clear().
+    EXPECT_EQ(tracer.events().at(0).sim_start_ps, 500u);
+    EXPECT_EQ(tracer.simCursor().ps(), 510u);
+}
+
+} // namespace
+} // namespace mithril::obs
