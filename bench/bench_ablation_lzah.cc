@@ -94,7 +94,9 @@ main(int argc, char **argv)
         uint64_t real_words = 0;
         compress::Bytes scratch;
         for (const auto &page : enc.pages()) {
-            compress::lzahDecodePage(page, true, &scratch, &real_words);
+            expectOk(compress::lzahDecodePage(page, true, &scratch,
+                                              &real_words),
+                     "lzah decode");
         }
         double real_payload =
             static_cast<double>(enc.pages().size() * 4096);

@@ -33,7 +33,7 @@ main(int argc, char **argv)
     for (const auto &spec : loggen::hpc4Datasets()) {
         BenchDataset ds = makeDataset(spec, 12 << 20);
         core::MithriLog system(obsConfig());
-        system.ingestText(ds.text);
+        expectOk(system.ingestText(ds.text), "ingest");
         system.flush();
 
         std::vector<query::Query> q{ds.singles.empty()

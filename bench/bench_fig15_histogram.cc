@@ -73,7 +73,7 @@ main(int argc, char **argv)
     baseline::ScanDb db;
     db.ingest(ds.text);
     core::MithriLog system(obsConfig());
-    system.ingestText(ds.text);
+    expectOk(system.ingestText(ds.text), "ingest");
     system.flush();
 
     std::printf("dataset %s, %zu template queries\n\n",

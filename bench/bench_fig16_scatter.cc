@@ -32,7 +32,7 @@ main(int argc, char **argv)
         baseline::SplunkLite splunk;
         splunk.ingest(ds.text);
         core::MithriLog system(obsConfig());
-        system.ingestText(ds.text);
+        expectOk(system.ingestText(ds.text), "ingest");
         system.flush();
 
         std::printf("\ndataset %s  (columns: splunk_s mithrilog_s "

@@ -20,7 +20,7 @@ main(int argc, char **argv)
                 "dataset", "lines", "size", "templates",
                 "paperM", "paperGB", "paperTpl");
     std::printf("%-12s | %12s %10s %10s | (full-scale HPC4 values)\n",
-                "", "(synthetic,", "scaled", "extracted", "");
+                "", "(synthetic,", "scaled", "extracted");
 
     for (const auto &spec : loggen::hpc4Datasets()) {
         BenchDataset ds = makeDataset(spec);

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/simtime.h"
 #include "compress/lzah.h"
 #include "sim/resource_model.h"
 
@@ -50,11 +51,11 @@ main(int argc, char **argv)
     compress::LzahDecompressorModel model;
     compress::Bytes out;
     for (const auto &page : enc.pages()) {
-        model.decodePage(page, &out);
+        expectOk(model.decodePage(page, &out), "lzah decode");
     }
-    double gbps =
-        static_cast<double>(model.bytesOut()) /
-        (static_cast<double>(model.cycles()) / 200e6) / 1e9;
+    double gbps = throughputBps(model.bytesOut(),
+                                SimTime::cycles(model.cycles(), 200e6)) /
+                  1e9;
     std::printf("\ncycle-model check: %llu words in %llu cycles -> "
                 "%.2f GB/s at 200 MHz (deterministic)\n",
                 static_cast<unsigned long long>(model.cycles()),

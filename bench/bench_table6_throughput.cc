@@ -85,7 +85,7 @@ main(int argc, char **argv)
         dict_db.ingest(ds.text);
 
         core::MithriLog system(obsConfig());
-        system.ingestText(ds.text);
+        expectOk(system.ingestText(ds.text), "ingest");
         system.flush();
 
         scan_rows[d] = {scanDbAvgTput(db, ds.singles, 10),

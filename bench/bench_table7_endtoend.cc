@@ -41,7 +41,7 @@ main(int argc, char **argv)
         splunk.ingest(ds.text);
 
         core::MithriLog system(obsConfig());
-        system.ingestText(ds.text);
+        expectOk(system.ingestText(ds.text), "ingest");
         system.flush();
 
         // All singles (capped) + all combinations, same set for both.

@@ -36,7 +36,7 @@ main(int argc, char **argv)
     baseline::ScanDb db;
     db.ingest(ds.text);
     core::MithriLog system(obsConfig());
-    system.ingestText(ds.text);
+    expectOk(system.ingestText(ds.text), "ingest");
     system.flush();
 
     double sw_tput = 0, accel_tput = 0;

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,6 +83,18 @@ initBench(int argc, char **argv)
         flag("--json-out=", &benchArgs().json_out) ||
             flag("--metrics-out=", &benchArgs().metrics_out) ||
             flag("--trace-out=", &benchArgs().trace_out);
+    }
+}
+
+/** Aborts the bench when a setup step fails: a bench that silently
+ *  ingests nothing would print plausible-looking zeros. */
+inline void
+expectOk(const Status &status, const char *what)
+{
+    if (!status.isOk()) {
+        std::fprintf(stderr, "%s: %s\n", what,
+                     status.toString().c_str());
+        std::abort();
     }
 }
 

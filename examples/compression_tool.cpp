@@ -42,8 +42,7 @@ reportOne(const std::string &label, const std::string &text)
 
         bool ok = st.isOk() && output.size() == text.size() &&
                   std::equal(output.begin(), output.end(),
-                             reinterpret_cast<const uint8_t *>(
-                                 text.data()));
+                             asByteSpan(text).begin());
         std::printf("  %-8s %6.2fx %14s %14s %s\n",
                     codec->name().c_str(),
                     compress::compressionRatio(text.size(),

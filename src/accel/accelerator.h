@@ -93,10 +93,10 @@ class Accelerator
      * Programs all pipelines with a batch of queries.
      * On failure the previous program is kept.
      */
-    Status configure(std::span<const query::Query> queries);
+    [[nodiscard]] Status configure(std::span<const query::Query> queries);
 
     /** Programs a single query. */
-    Status configure(const query::Query &q);
+    [[nodiscard]] Status configure(const query::Query &q);
 
     /** Programs a pre-compiled image (template queries build these). */
     void configureProgram(FilterProgram program);
@@ -109,8 +109,8 @@ class Accelerator
      * @p mode. Pages are distributed round-robin, one page per
      * pipeline per turn, as the device's scatter unit does.
      */
-    Status process(std::span<const compress::ByteView> pages, Mode mode,
-                   AccelResult *out);
+    [[nodiscard]] Status process(std::span<const compress::ByteView> pages,
+                                 Mode mode, AccelResult *out);
 
   private:
     void meterBatch(const AccelResult &r, uint64_t pages_in);

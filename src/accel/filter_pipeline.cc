@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bits.h"
+
 namespace mithril::accel {
 
 namespace {
@@ -27,10 +29,9 @@ splitPaddedLines(std::span<const uint8_t> padded,
             }
         }
         if (nl == kDatapathBytes) {
-            current.append(reinterpret_cast<const char *>(w),
-                           kDatapathBytes);
+            current.append(asChars(w, kDatapathBytes));
         } else {
-            current.append(reinterpret_cast<const char *>(w), nl);
+            current.append(asChars(w, nl));
             lines->push_back(std::move(current));
             current.clear();
         }

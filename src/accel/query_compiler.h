@@ -31,11 +31,12 @@ namespace mithril::accel {
  *                           exhaustion
  * @retval kInvalidArgument  a query fails Query::validate()
  */
-Status compileQueries(std::span<const query::Query> queries,
-                      FilterProgram *out);
+[[nodiscard]] Status compileQueries(std::span<const query::Query> queries,
+                                    FilterProgram *out);
 
 /** Convenience wrapper for a single query. */
-Status compileQuery(const query::Query &q, FilterProgram *out);
+[[nodiscard]] Status compileQuery(const query::Query &q,
+                                  FilterProgram *out);
 
 } // namespace mithril::accel
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bits.h"
 #include "common/status.h"
 #include "common/text.h"
 #include "common/wall_timer.h"
@@ -257,9 +258,7 @@ ScanDb::runTextBatch(std::span<const query::Query> queries) const
         scratch.clear();
         Status st = codec_.decompress(block.compressed, &scratch);
         MITHRIL_ASSERT(st.isOk());
-        std::string_view text(
-            reinterpret_cast<const char *>(scratch.data()),
-            scratch.size());
+        std::string_view text = asChars(scratch);
         forEachLine(text, [&](std::string_view line) {
             ++result.scanned_lines;
             for (const query::SoftwareMatcher &m : matchers) {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 
+#include "common/bits.h"
 #include "common/status.h"
 #include "common/text.h"
 #include "common/wall_timer.h"
@@ -120,9 +121,7 @@ SplunkLite::runQuery(const query::Query &q) const
         scratch.clear();
         Status st = codec_.decompress(buckets_[b].compressed, &scratch);
         MITHRIL_ASSERT(st.isOk());
-        std::string_view text(
-            reinterpret_cast<const char *>(scratch.data()),
-            scratch.size());
+        std::string_view text = asChars(scratch);
         forEachLine(text, [&](std::string_view line) {
             if (matcher.matches(line)) {
                 ++result.matched_lines;

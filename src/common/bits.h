@@ -11,21 +11,57 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 
 namespace mithril {
 
+// ---- sanctioned type-punning helpers ---------------------------------
+//
+// The log pipeline constantly crosses the text/bytes boundary: codecs
+// and the page store work in uint8_t, tokenizers and matchers in
+// char/string_view. char and unsigned char may alias anything
+// ([basic.lval]/11), so these two views are well-defined; they are the
+// ONLY reinterpret_cast sites permitted in the tree (enforced by
+// tools/mithril_lint.py rule cast-outside-bits).
+
+/** Views a byte buffer as text without copying. */
+[[nodiscard]] inline std::string_view
+asChars(const uint8_t *data, size_t len)
+{
+    // Justification: uint8_t -> char is the aliasing-safe direction.
+    return {reinterpret_cast<const char *>(data), len};
+}
+
+/** Views a byte container (vector/span) as text without copying. */
+template <typename Container>
+[[nodiscard]] inline std::string_view
+asChars(const Container &bytes)
+{
+    return asChars(bytes.data(), bytes.size());
+}
+
+/** Views text as a byte range without copying (inverse of asChars). */
+[[nodiscard]] inline std::span<const uint8_t>
+asByteSpan(std::string_view s)
+{
+    // Justification: char -> unsigned char is the aliasing-safe
+    // direction.
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
 /** Rounds @p v up to the next multiple of @p align (power of two). */
-constexpr size_t
+[[nodiscard]] constexpr size_t
 alignUp(size_t v, size_t align)
 {
     return (v + align - 1) & ~(align - 1);
 }
 
 /** True when @p v is a multiple of @p align (power of two). */
-constexpr bool
+[[nodiscard]] constexpr bool
 isAligned(size_t v, size_t align)
 {
     return (v & (align - 1)) == 0;
@@ -43,7 +79,7 @@ putLe(std::vector<uint8_t> &out, T value)
 
 /** Reads a little-endian scalar; caller guarantees bounds. */
 template <typename T>
-inline T
+[[nodiscard]] inline T
 getLe(const uint8_t *p)
 {
     T value;
@@ -92,7 +128,7 @@ class BitWriter
     size_t bitCount() const { return bytes_.size() * 8 + accBits_; }
 
     /** Flushes and returns the byte buffer (writer becomes empty). */
-    std::vector<uint8_t>
+    [[nodiscard]] std::vector<uint8_t>
     take()
     {
         alignByte();
@@ -114,7 +150,7 @@ class BitReader
     BitReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
 
     /** Reads @p nbits bits (nbits <= 57); returns false past the end. */
-    bool
+    [[nodiscard]] bool
     read(int nbits, uint64_t *value)
     {
         MITHRIL_ASSERT(nbits >= 0 && nbits <= 57);

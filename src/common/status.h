@@ -37,8 +37,13 @@ const char *statusCodeName(StatusCode code);
  * Value type carrying success or a (code, message) error.
  *
  * Cheap to copy in the ok case; error construction allocates the message.
+ *
+ * The class itself is [[nodiscard]]: any call returning a Status by value
+ * must consume it (assign, MITHRIL_RETURN_IF_ERROR, or an explicit
+ * (void) cast with a justification comment). Enforced tree-wide by
+ * -Werror in the werror/tidy/ubsan presets and by tools/mithril_lint.py.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** Constructs an ok status. */
@@ -86,8 +91,8 @@ class Status
         return Status(StatusCode::kInternal, std::move(msg));
     }
 
-    bool isOk() const { return code_ == StatusCode::kOk; }
-    StatusCode code() const { return code_; }
+    [[nodiscard]] bool isOk() const { return code_ == StatusCode::kOk; }
+    [[nodiscard]] StatusCode code() const { return code_; }
     const std::string &message() const { return message_; }
 
     /** Formats "CODE: message" for logs and test failures. */

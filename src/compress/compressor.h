@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bits.h"
 #include "common/status.h"
 
 namespace mithril::compress {
@@ -35,10 +36,10 @@ class Compressor
     virtual ~Compressor() = default;
 
     /** Codec name as printed in benchmark tables ("LZAH", "LZ4", ...). */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /** Compresses @p input into a self-contained buffer. */
-    virtual Bytes compress(ByteView input) const = 0;
+    [[nodiscard]] virtual Bytes compress(ByteView input) const = 0;
 
     /**
      * Decompresses a buffer produced by compress().
@@ -48,16 +49,16 @@ class Compressor
 };
 
 /** Compression ratio original/compressed (> 1 means it shrank). */
-double compressionRatio(size_t original, size_t compressed);
+[[nodiscard]] double compressionRatio(size_t original, size_t compressed);
 
 /** Instantiates every codec for comparison benches, LZAH first. */
-std::vector<std::unique_ptr<Compressor>> allCompressors();
+[[nodiscard]] std::vector<std::unique_ptr<Compressor>> allCompressors();
 
 /** Converts a string to a ByteView without copying. */
-inline ByteView
+[[nodiscard]] inline ByteView
 asBytes(std::string_view s)
 {
-    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+    return asByteSpan(s);
 }
 
 } // namespace mithril::compress

@@ -299,8 +299,7 @@ Bytes
 Lzah::compress(ByteView input) const
 {
     LzahPageEncoder encoder;
-    std::string_view text(reinterpret_cast<const char *>(input.data()),
-                          input.size());
+    std::string_view text = asChars(input.data(), input.size());
 
     // Lines longer than a page are split into word-aligned fragments,
     // each fed as its own "line". The artificial terminator every

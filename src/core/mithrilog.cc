@@ -300,8 +300,7 @@ MithriLog::softwareScan(std::span<const query::Query> queries,
     // Every page crosses PCIe to the host; metered as one overlapped
     // batch matching the modeled storage_time below.
     ssd_.chargeOverlappedRead(data_pages_.size(), Link::kExternal);
-    std::string_view view(reinterpret_cast<const char *>(text.data()),
-                          text.size());
+    std::string_view view = asChars(text);
     forEachLine(view, [&](std::string_view line) {
         bool any = false;
         for (size_t q = 0; q < matchers.size(); ++q) {

@@ -142,10 +142,10 @@ class MithriLog
     // ---- ingest --------------------------------------------------------
 
     /** Ingests one line (without trailing newline). */
-    Status ingestLine(std::string_view line);
+    [[nodiscard]] Status ingestLine(std::string_view line);
 
     /** Ingests newline-separated text. */
-    Status ingestText(std::string_view text);
+    [[nodiscard]] Status ingestText(std::string_view text);
 
     /** Seals the open page and flushes the index (end of ingest). */
     void flush();
@@ -163,21 +163,22 @@ class MithriLog
     // ---- query ---------------------------------------------------------
 
     /** Runs one query end to end. */
-    Status run(const query::Query &q, QueryResult *out);
+    [[nodiscard]] Status run(const query::Query &q, QueryResult *out);
 
     /** Parses and runs a query text. */
-    Status run(std::string_view query_text, QueryResult *out);
+    [[nodiscard]] Status run(std::string_view query_text,
+                             QueryResult *out);
 
     /** Runs a batch concurrently on one accelerator pass (Section 4). */
-    Status runBatch(std::span<const query::Query> queries,
-                    QueryResult *out);
+    [[nodiscard]] Status runBatch(std::span<const query::Query> queries,
+                                  QueryResult *out);
 
     /**
      * Runs a batch as a full scan, bypassing the index — the Section
      * 7.4.2 configuration isolating filter-engine performance.
      */
-    Status runFullScan(std::span<const query::Query> queries,
-                       QueryResult *out);
+    [[nodiscard]] Status runFullScan(
+        std::span<const query::Query> queries, QueryResult *out);
 
     /**
      * Time-bounded query (Section 6.3's snapshot mechanism): candidate
@@ -187,8 +188,8 @@ class MithriLog
      * restriction is coarse (snapshot granularity), so the time window
      * may over-approximate but never cuts matching lines inside it.
      */
-    Status runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
-                        QueryResult *out);
+    [[nodiscard]] Status runTimeRange(const query::Query &q, uint64_t t0,
+                                      uint64_t t1, QueryResult *out);
 
     // ---- persistence ----------------------------------------------------
 
@@ -196,7 +197,7 @@ class MithriLog
      * Writes a device image (all pages, index state, counters) to
      * @p path. Flushes first, so the image is self-contained.
      */
-    Status saveImage(const std::string &path);
+    [[nodiscard]] Status saveImage(const std::string &path);
 
     /**
      * Restores a device image into this system. Must be called on a
@@ -204,7 +205,7 @@ class MithriLog
      * saving one (the index validates its part).
      * @retval kCorruptData unreadable, malformed, or mismatched image.
      */
-    Status loadImage(const std::string &path);
+    [[nodiscard]] Status loadImage(const std::string &path);
 
     // ---- component access (benches, tests, ablations) ------------------
 

@@ -36,7 +36,7 @@ constexpr size_t kMaxDnfSets = 256;
  * @retval kInvalidArgument   syntax error (message has position info)
  * @retval kCapacityExceeded  DNF expansion exceeded kMaxDnfSets
  */
-Status parseQuery(std::string_view text, Query *out);
+[[nodiscard]] Status parseQuery(std::string_view text, Query *out);
 
 } // namespace mithril::query
 

@@ -87,7 +87,7 @@ class Query
      *
      * @param allow_pure_negative permit sets with no positive terms.
      */
-    Status validate(bool allow_pure_negative = true) const;
+    [[nodiscard]] Status validate(bool allow_pure_negative = true) const;
 
     /** Renders as text parseable by parseQuery ("(a & !b) | c"). */
     std::string toString() const;

@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baseline/scan_db.h"
 #include "baseline/splunk_lite.h"
 #include "core/mithrilog.h"
@@ -34,38 +36,38 @@ class CrossEngineTest : public ::testing::Test
     SetUpTestSuite()
     {
         loggen::LogGenerator gen(loggen::hpc4Datasets()[0]);
-        text_ = new std::string(gen.generate(4 << 20));
+        text_ = std::make_unique<std::string>(gen.generate(4 << 20));
 
-        system_ = new MithriLog();
+        system_ = std::make_unique<MithriLog>();
         ASSERT_TRUE(system_->ingestText(*text_).isOk());
         system_->flush();
 
-        scan_db_ = new baseline::ScanDb();
+        scan_db_ = std::make_unique<baseline::ScanDb>();
         scan_db_->ingest(*text_);
 
-        splunk_ = new baseline::SplunkLite();
+        splunk_ = std::make_unique<baseline::SplunkLite>();
         splunk_->ingest(*text_);
     }
 
     static void
     TearDownTestSuite()
     {
-        delete splunk_;
-        delete scan_db_;
-        delete system_;
-        delete text_;
+        splunk_.reset();
+        scan_db_.reset();
+        system_.reset();
+        text_.reset();
     }
 
-    static std::string *text_;
-    static MithriLog *system_;
-    static baseline::ScanDb *scan_db_;
-    static baseline::SplunkLite *splunk_;
+    static std::unique_ptr<std::string> text_;
+    static std::unique_ptr<MithriLog> system_;
+    static std::unique_ptr<baseline::ScanDb> scan_db_;
+    static std::unique_ptr<baseline::SplunkLite> splunk_;
 };
 
-std::string *CrossEngineTest::text_ = nullptr;
-MithriLog *CrossEngineTest::system_ = nullptr;
-baseline::ScanDb *CrossEngineTest::scan_db_ = nullptr;
-baseline::SplunkLite *CrossEngineTest::splunk_ = nullptr;
+std::unique_ptr<std::string> CrossEngineTest::text_;
+std::unique_ptr<MithriLog> CrossEngineTest::system_;
+std::unique_ptr<baseline::ScanDb> CrossEngineTest::scan_db_;
+std::unique_ptr<baseline::SplunkLite> CrossEngineTest::splunk_;
 
 TEST_F(CrossEngineTest, AllEnginesAgreeOnCounts)
 {

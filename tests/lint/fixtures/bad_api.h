@@ -1,0 +1,14 @@
+// Known-bad fixture companion: declares a Status-returning API so the
+// dropped-status rule has a name to track.
+#ifndef MITHRIL_TESTS_LINT_FIXTURES_BAD_API_H
+#define MITHRIL_TESTS_LINT_FIXTURES_BAD_API_H
+
+#include "common/status.h"
+
+namespace mithril {
+
+Status sealFixturePage(int page);
+
+} // namespace mithril
+
+#endif // MITHRIL_TESTS_LINT_FIXTURES_BAD_API_H

@@ -1,0 +1,8 @@
+// Known-bad fixture: reinterpret_cast outside src/common/bits.h.
+#include <cstdint>
+
+const char *
+punned(const uint8_t *bytes)
+{
+    return reinterpret_cast<const char *>(bytes);  // line 7: cast
+}

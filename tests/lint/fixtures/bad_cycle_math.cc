@@ -1,0 +1,16 @@
+// Known-bad fixture: raw cycle->time conversion outside simtime.h/sim/.
+// Each offending line number is asserted by lint_selftest.py.
+#include <cstdint>
+
+double
+modelSeconds(uint64_t cycles, double clock_hz)
+{
+    return cycles / clock_hz;  // line 8: cycle-to-time
+}
+
+double
+modelGbps(uint64_t busy_cycles, uint64_t bytes)
+{
+    double secs = static_cast<double>(busy_cycles) / 200e6;  // line 14
+    return bytes / secs / 1e9;
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture: a Status-returning call used as a bare statement.
+#include "bad_api.h"
+
+namespace mithril {
+
+void
+sealAll()
+{
+    sealFixturePage(0);  // line 9: dropped-status
+    Status kept = sealFixturePage(1);  // consumed: no finding
+    (void)kept;
+}
+
+} // namespace mithril

@@ -1,0 +1,7 @@
+// Known-bad fixture: include guard does not match the file path.
+#ifndef SOME_RANDOM_GUARD_H
+#define SOME_RANDOM_GUARD_H
+
+int fixtureValue();
+
+#endif // SOME_RANDOM_GUARD_H

@@ -1,0 +1,8 @@
+// Known-bad fixture: uplevel include path.
+#include "../bad_outside.h"  // line 2: include-order
+
+int
+fixtureMain()
+{
+    return 0;
+}

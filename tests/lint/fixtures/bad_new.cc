@@ -1,0 +1,7 @@
+// Known-bad fixture: naked new/delete outside arena code.
+void
+churn()
+{
+    int *p = new int[4];  // line 5: raw-new-delete
+    delete[] p;  // line 6: raw-new-delete
+}

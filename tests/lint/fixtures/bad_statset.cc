@@ -1,0 +1,13 @@
+// Known-bad fixture: direct use of the deprecated StatSet shim.
+#include "common/stats.h"
+
+namespace mithril {
+
+void
+countThings()
+{
+    StatSet stats;  // line 9: direct-statset
+    stats.add("things");
+}
+
+} // namespace mithril

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Self-test for tools/mithril_lint.py.
+
+Feeds each known-bad fixture through the linter and asserts the right
+rule fires at the right file:line; then asserts the clean fixture
+produces zero findings (no false positives). Exercised via
+`ctest -R lint_selftest`.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(ROOT, "tools", "mithril_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_lint(*names):
+    paths = [os.path.join(FIXTURES, n) for n in names]
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", ROOT, *paths],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+failures = []
+
+
+def expect(cond, what):
+    if not cond:
+        failures.append(what)
+        print(f"FAIL: {what}")
+    else:
+        print(f"ok:   {what}")
+
+
+def expect_finding(output, fixture, line, rule):
+    pattern = rf"tests/lint/fixtures/{re.escape(fixture)}:{line}: " \
+              rf"\[{re.escape(rule)}\]"
+    expect(re.search(pattern, output) is not None,
+           f"{fixture}:{line} fires [{rule}]")
+
+
+# ---- each known-bad fixture fires its rule at the exact line ----------
+
+rc, out = run_lint("bad_cycle_math.cc")
+expect(rc == 1, "bad_cycle_math.cc exits 1")
+expect_finding(out, "bad_cycle_math.cc", 8, "cycle-to-time")
+expect_finding(out, "bad_cycle_math.cc", 14, "cycle-to-time")
+
+# dropped-status needs the declaring header in the same scan set.
+rc, out = run_lint("bad_api.h", "bad_dropped_status.cc")
+expect(rc == 1, "bad_dropped_status.cc exits 1")
+expect_finding(out, "bad_dropped_status.cc", 9, "dropped-status")
+expect("bad_dropped_status.cc:10" not in out,
+       "consumed Status on line 10 is not flagged")
+
+rc, out = run_lint("bad_statset.cc")
+expect(rc == 1, "bad_statset.cc exits 1")
+expect_finding(out, "bad_statset.cc", 9, "direct-statset")
+
+rc, out = run_lint("bad_rand.cc")
+expect(rc == 1, "bad_rand.cc exits 1")
+expect_finding(out, "bad_rand.cc", 8, "banned-rand-time")
+expect_finding(out, "bad_rand.cc", 9, "banned-rand-time")
+
+rc, out = run_lint("bad_new.cc")
+expect(rc == 1, "bad_new.cc exits 1")
+expect_finding(out, "bad_new.cc", 5, "raw-new-delete")
+expect_finding(out, "bad_new.cc", 6, "raw-new-delete")
+
+rc, out = run_lint("bad_cast.cc")
+expect(rc == 1, "bad_cast.cc exits 1")
+expect_finding(out, "bad_cast.cc", 7, "cast-outside-bits")
+
+rc, out = run_lint("bad_guard.h")
+expect(rc == 1, "bad_guard.h exits 1")
+expect_finding(out, "bad_guard.h", 2, "header-guard")
+
+rc, out = run_lint("bad_include_order.cc")
+expect(rc == 1, "bad_include_order.cc exits 1")
+expect_finding(out, "bad_include_order.cc", 2, "include-order")
+
+# ---- every finding carries a fix hint ---------------------------------
+
+rc, out = run_lint("bad_statset.cc")
+expect("hint:" in out, "findings include a fix hint")
+
+# ---- the clean fixture produces zero findings -------------------------
+
+rc, out = run_lint("clean_fixture.h", "clean_fixture.cc")
+expect(rc == 0, "clean fixtures exit 0")
+expect("finding" not in out, "clean fixtures produce no findings")
+
+# ---- and the real tree is clean (the gate itself) ---------------------
+
+proc = subprocess.run([sys.executable, LINT, "--root", ROOT],
+                      capture_output=True, text=True)
+expect(proc.returncode == 0,
+       f"full tree is lint-clean\n{proc.stdout}")
+
+if failures:
+    print(f"\n{len(failures)} selftest failure(s)")
+    sys.exit(1)
+print("\nlint_selftest: all assertions passed")

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# One-command CI gate: every layer of the static-analysis + test stack.
+#
+#   tools/ci_check.sh [--fast]
+#
+# Runs, in order (stopping at the first failure):
+#   1. werror build      full tree, -Wall -Wextra -Werror
+#   2. unit + bench tests ctest over the werror build
+#   3. domain lint       tools/mithril_lint.py (and its self-test)
+#   4. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#   5. ubsan build+test  full tree under -fsanitize=undefined
+#      (skipped with --fast)
+#
+# This is the command ROADMAP's tier-1 verify can grow into: a tree
+# that passes ci_check.sh passes every gate a future PR is held to.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+
+step() { printf '\n=== ci_check: %s ===\n' "$*"; }
+
+step "werror build (preset: werror)"
+cmake --preset werror > /dev/null
+cmake --build --preset werror -j "$JOBS"
+
+step "unit + bench tests"
+ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+
+step "domain lint (mithril_lint.py + selftest)"
+python3 tools/mithril_lint.py
+python3 tests/lint/lint_selftest.py > /dev/null
+echo "lint selftest: ok"
+
+step "clang-tidy"
+if tools/run_tidy.sh build-werror; then
+    :
+else
+    rc=$?
+    if [ "$rc" -eq 77 ]; then
+        echo "clang-tidy unavailable: SKIPPED"
+    else
+        exit "$rc"
+    fi
+fi
+
+if [ "$FAST" -eq 1 ]; then
+    step "ubsan tier skipped (--fast)"
+else
+    step "ubsan build + tests (preset: ubsan)"
+    cmake --preset ubsan > /dev/null
+    cmake --build --preset ubsan -j "$JOBS"
+    ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+fi
+
+step "ALL GATES PASSED"

@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""mithril-lint: domain-invariant linter for the MithriLog tree.
+
+Layer 3 of the static-analysis gate (DESIGN.md §8). Enforces
+repo-specific invariants no generic tool knows about:
+
+  cycle-to-time      cycle counts may only be converted to time or
+                     throughput inside src/common/simtime.h and src/sim/;
+                     everywhere else they must flow through SimTime so
+                     modeled GB/s stays structurally derived.
+  dropped-status     a call to an unambiguously Status-returning function
+                     used as a bare statement (belt and braces on top of
+                     the [[nodiscard]] + -Werror compiler layer).
+  direct-statset     StatSet is a deprecated shim; new code reports into
+                     mithril::obs::MetricsRegistry.
+  banned-rand-time   rand()/srand()/time()/std::random_device break
+                     bit-for-bit reproducibility; use common/rng.h.
+  raw-new-delete     no naked new/delete outside arena code; use
+                     containers or smart pointers.
+  cast-outside-bits  reinterpret_cast/const_cast only inside the audited
+                     helpers in src/common/bits.h.
+  header-guard       include guards must be MITHRIL_<PATH>_H.
+  include-order      a .cc includes its own header first; no "../"
+                     uplevel includes; <system> before "project" blocks.
+
+Suppression: append `// mithril-lint: allow(<rule>) <why>` to the line
+(or the line above). Suppressions without a justification are findings
+themselves.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+Stdlib-only by design; runs anywhere python3 runs.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Scan sets and per-rule allowlists (paths are repo-relative, '/'-separated).
+
+SCAN_DIRS = ("src", "bench", "examples", "tests", "tools")
+SOURCE_EXTS = (".cc", ".cpp", ".h", ".hpp")
+EXCLUDE_PARTS = ("tests/lint/fixtures",)  # known-bad lint fixtures
+
+ALLOW = {
+    # SimTime itself and the device models own cycle->time conversion.
+    "cycle-to-time": ("src/common/simtime.h", "src/sim/"),
+    # The shim, its legacy holders (bound through CounterSink), the obs
+    # bridge that implements the sink, and their direct tests.
+    "direct-statset": (
+        "src/common/stats.h",
+        "src/common/stats.cc",
+        "src/storage/ssd_model.",
+        "src/index/inverted_index.",
+        "src/obs/",
+        "tests/common/stats_test.cc",
+        "tests/obs/",
+    ),
+    "banned-rand-time": ("src/common/rng.h",),
+    "raw-new-delete": ("arena",),  # any file with arena in its name
+    "cast-outside-bits": ("src/common/bits.h",),
+}
+
+RULE_HINTS = {
+    "cycle-to-time": "convert via SimTime::cycles(n, hz) and "
+                     "throughputBps() from common/simtime.h",
+    "dropped-status": "assign the Status, use MITHRIL_RETURN_IF_ERROR, "
+                      "or (void)-cast with a justification comment",
+    "direct-statset": "report through mithril::obs::MetricsRegistry "
+                      "(see src/obs/metrics.h)",
+    "banned-rand-time": "use mithril::Rng from common/rng.h with an "
+                        "explicit seed",
+    "raw-new-delete": "use std::vector/std::unique_ptr, or keep arena "
+                      "allocation in a file named *arena*",
+    "cast-outside-bits": "use asChars()/asByteSpan() from common/bits.h "
+                         "or add an audited helper there",
+    "header-guard": "guard must be MITHRIL_<PATH>_H (path relative to "
+                    "src/, or to the repo root outside src/)",
+    "include-order": "own header first in a .cc; no \"../\" paths; "
+                     "<system> includes before \"project\" includes",
+}
+
+
+def allowed(rule, relpath):
+    return any(part in relpath for part in ALLOW.get(rule, ()))
+
+
+# ---------------------------------------------------------------------------
+# Lexical helpers.
+
+_STRING_RE = re.compile(
+    r'"(?:[^"\\]|\\.)*"|'  # string literal
+    r"'(?:[^'\\]|\\.)*'"   # char literal
+)
+_LINE_COMMENT_RE = re.compile(r"//.*$")
+_SUPPRESS_RE = re.compile(r"mithril-lint:\s*allow\((?P<rules>[\w, -]+)\)"
+                          r"\s*(?P<why>.*)")
+
+
+def strip_code(lines):
+    """Returns lines with strings/comments blanked (same line numbers)."""
+    out = []
+    in_block = False
+    for line in lines:
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        line = _STRING_RE.sub('""', line)
+        line = _LINE_COMMENT_RE.sub("", line)
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        out.append(line)
+    return out
+
+
+def suppressions(lines):
+    """Maps line number -> set of rule names allowed there."""
+    allow_at = {}
+    for i, line in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group("rules").split(",")}
+            # A suppression covers its own line and the next line, so it
+            # can sit on the offending line or immediately above it.
+            for target in (i, i + 1):
+                allow_at.setdefault(target, set()).update(rules)
+            if not m.group("why").strip():
+                allow_at.setdefault("missing-why", []).append(i)
+    return allow_at
+
+
+# ---------------------------------------------------------------------------
+# Rule implementations. Each yields (line_number, rule, message).
+
+_CYCLE_ID = r"\w*[Cc]ycles?\w*"
+_FREQ = r"(?:\w*(?:hz|Hz|freq|clock|period)\w*|[0-9.]+e[0-9]+)"
+# A cycle identifier (possibly a getter call, possibly wrapped in casts,
+# hence trailing close-parens) multiplied/divided with a frequency- or
+# time-scale operand, in either order.
+_CYCLE_TIME_RE = re.compile(
+    rf"(?:\b{_CYCLE_ID}(?:\(\))?\s*\)*\s*[*/]\s*\(*\s*{_FREQ}\b)|"
+    rf"(?:\b{_FREQ}(?:\(\))?\s*\)*\s*[*/]\s*"
+    rf"(?:\w+(?:<[^<>]*>)?\()*\s*{_CYCLE_ID}\b)")
+
+
+def check_cycle_to_time(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _CYCLE_TIME_RE.search(line):
+            yield (i, "cycle-to-time",
+                   "raw cycle<->time/frequency arithmetic outside "
+                   "simtime.h/sim/")
+
+
+_STATSET_RE = re.compile(r"\bStatSet\b")
+
+
+def check_direct_statset(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _STATSET_RE.search(line):
+            yield (i, "direct-statset",
+                   "direct use of deprecated StatSet")
+
+
+_RAND_TIME_RE = re.compile(
+    r"(?<![\w.:>])(?:rand|srand|time)\s*\(|std::random_device")
+
+
+def check_banned_rand_time(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _RAND_TIME_RE.search(line):
+            yield (i, "banned-rand-time",
+                   "non-deterministic rand()/srand()/time()/"
+                   "random_device")
+
+
+_NEW_DELETE_RE = re.compile(
+    r"(?<![\w.:])(?:new\s+[A-Za-z_(]|delete(?:\[\])?\s+[A-Za-z_*(])")
+
+
+def check_raw_new_delete(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _NEW_DELETE_RE.search(line):
+            yield (i, "raw-new-delete",
+                   "naked new/delete outside arena code")
+
+
+_CAST_RE = re.compile(r"\b(?:reinterpret_cast|const_cast)\s*<")
+
+
+def check_cast_outside_bits(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _CAST_RE.search(line):
+            yield (i, "cast-outside-bits",
+                   "reinterpret_cast/const_cast outside "
+                   "src/common/bits.h")
+
+
+def expected_guard(relpath):
+    rel = relpath[4:] if relpath.startswith("src/") else relpath
+    return "MITHRIL_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper()
+
+
+def check_header_guard(relpath, code):
+    if not relpath.endswith((".h", ".hpp")):
+        return
+    guard = expected_guard(relpath)
+    text = "\n".join(code)
+    ifndef = re.search(r"#ifndef\s+(\w+)", text)
+    if ifndef is None:
+        yield (1, "header-guard", f"missing include guard {guard}")
+        return
+    if ifndef.group(1) != guard:
+        line = text[:ifndef.start()].count("\n") + 1
+        yield (line, "header-guard",
+               f"guard {ifndef.group(1)} != expected {guard}")
+    elif f"#define {guard}" not in text:
+        yield (1, "header-guard", f"missing #define {guard}")
+
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?:"([^"]+)"|<([^>]+)>)')
+
+
+def check_include_order(relpath, code):
+    includes = []  # (line, path-or-None-for-system, is_project)
+    for i, line in enumerate(code, start=1):
+        m = _INCLUDE_RE.match(line)
+        if m:
+            project = m.group(1) is not None
+            includes.append((i, m.group(1) or m.group(2), project))
+    for i, path, project in includes:
+        if project and path.startswith("../"):
+            yield (i, "include-order", f'uplevel include "{path}"')
+    if relpath.endswith((".cc", ".cpp")) and relpath.startswith("src/"):
+        own = relpath[4:]
+        own = re.sub(r"\.(cc|cpp)$", ".h", own)
+        if includes and os.path.exists(os.path.join("src", own)):
+            first = includes[0]
+            if not (first[2] and first[1] == own):
+                yield (first[0], "include-order",
+                       f'first include must be own header "{own}"')
+            # After the own header, <system> includes precede "project"
+            # includes (project block may follow, never interleave).
+            seen_project = False
+            for i, path, project in includes[1:]:
+                if project:
+                    seen_project = True
+                elif seen_project:
+                    yield (i, "include-order",
+                           f"<{path}> after project includes")
+                    break
+
+
+# ---------------------------------------------------------------------------
+# dropped-status: two-pass cross-file rule.
+
+_STATUS_DECL_RE = re.compile(
+    r"(?:^|[\s;}])(?:\[\[nodiscard\]\]\s+)?(?:virtual\s+)?(?:static\s+)?"
+    r"(?P<ret>[A-Za-z_][\w:]*)\s*\n?\s*(?P<name>[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE)
+_KEYWORDS = {"if", "while", "for", "switch", "return", "sizeof", "case",
+             "catch", "do", "else", "new", "delete", "operator"}
+# Names shared with STL containers/algorithms: a bare `set.insert(x);`
+# would be indistinguishable from CuckooTable::insert, so these stay
+# with the compiler layer ([[nodiscard]] Status + -Werror) only.
+_STL_NAMES = {"insert", "erase", "emplace", "emplace_back", "append",
+              "assign", "push_back", "pop_back", "swap", "merge",
+              "reserve", "resize", "clear", "count", "find", "at",
+              "get", "reset", "write", "read", "run", "close", "open"}
+
+
+def collect_status_names(files):
+    """Function names that ONLY ever appear returning Status.
+
+    A name also declared with any other return type anywhere in the tree
+    is ambiguous and skipped — the compiler's [[nodiscard]] layer still
+    covers those call sites.
+    """
+    status_names, other_names = set(), set()
+    for relpath, code in files:
+        if not relpath.endswith((".h", ".hpp")):
+            continue
+        text = "\n".join(code)
+        for m in _STATUS_DECL_RE.finditer(text):
+            ret, name = m.group("ret"), m.group("name")
+            if name in _KEYWORDS or ret in _KEYWORDS:
+                continue
+            if ret == "Status":
+                status_names.add(name)
+            else:
+                other_names.add(name)
+    return status_names - other_names - _STL_NAMES
+
+
+_CONSUMED_RE = re.compile(
+    r"^\s*(?:return\b|=|\w[\w:<>,&*\s]*\s[&*]?\w+\s*=|\(void\)|"
+    r"MITHRIL_RETURN_IF_ERROR|MITHRIL_ASSERT|EXPECT_|ASSERT_|expectOk)")
+
+
+def check_dropped_status(relpath, code, status_names):
+    if not status_names:
+        return
+    call_re = re.compile(
+        r"^\s*(?:[\w\]\[]+(?:\.|->))?(?P<name>[A-Za-z_]\w*)\s*\(")
+    for i, line in enumerate(code, start=1):
+        m = call_re.match(line)
+        if m is None or m.group("name") not in status_names:
+            continue
+        if _CONSUMED_RE.match(line):
+            continue
+        # Continuation of a multi-line expression (e.g. the argument of
+        # MITHRIL_RETURN_IF_ERROR) is not a statement start.
+        prev = next((code[j].rstrip() for j in range(i - 2, -1, -1)
+                     if code[j].strip()), ";")
+        if not prev.endswith((";", "{", "}", ":")):
+            continue
+        # Join continuation lines to see how the statement ends.
+        stmt = line
+        j = i
+        while not stmt.rstrip().endswith((";", "{", "}")) \
+                and j < len(code):
+            stmt += code[j]
+            j += 1
+        if re.search(r"\)\s*;\s*$", stmt.rstrip()):
+            yield (i, "dropped-status",
+                   f"result of Status-returning {m.group('name')}() "
+                   "is discarded")
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+
+SIMPLE_RULES = (
+    check_cycle_to_time,
+    check_direct_statset,
+    check_banned_rand_time,
+    check_raw_new_delete,
+    check_cast_outside_bits,
+    check_header_guard,
+    check_include_order,
+)
+_RAW_RULES = {check_header_guard, check_include_order}
+RULE_OF_CHECK = {
+    check_cycle_to_time: "cycle-to-time",
+    check_direct_statset: "direct-statset",
+    check_banned_rand_time: "banned-rand-time",
+    check_raw_new_delete: "raw-new-delete",
+    check_cast_outside_bits: "cast-outside-bits",
+    check_header_guard: "header-guard",
+    check_include_order: "include-order",
+}
+
+
+def gather_files(root, paths):
+    if paths:
+        # Explicit paths are linted as-is (the self-test feeds the
+        # known-bad fixtures this way).
+        return sorted(os.path.relpath(p, root).replace(os.sep, "/")
+                      for p in paths)
+    found = []
+    for d in SCAN_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, name), root)
+                    found.append(rel.replace(os.sep, "/"))
+    return [f for f in sorted(found)
+            if not any(part in f for part in EXCLUDE_PARTS)]
+
+
+def lint(root, paths):
+    findings = []
+    files = []
+    for rel in gather_files(root, paths):
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as fh:
+                raw = fh.read().splitlines()
+        except OSError as e:
+            print(f"mithril-lint: cannot read {rel}: {e}",
+                  file=sys.stderr)
+            return 2
+        files.append((rel, raw, strip_code(raw), suppressions(raw)))
+
+    status_names = collect_status_names(
+        [(rel, code) for rel, _, code, _ in files])
+
+    for rel, raw, code, allow_at in files:
+        for bad_line in allow_at.get("missing-why", []):
+            findings.append((rel, bad_line, "suppression",
+                             "allow() without a justification"))
+        per_file = []
+        for check in SIMPLE_RULES:
+            rule = RULE_OF_CHECK[check]
+            if allowed(rule, rel):
+                continue
+            # Preprocessor rules need the raw text: code stripping
+            # blanks the "path" string of an #include line.
+            lines = raw if check in _RAW_RULES else code
+            per_file.extend(check(rel, lines))
+        per_file.extend(check_dropped_status(rel, code, status_names))
+        for line, rule, message in per_file:
+            if rule in allow_at.get(line, set()):
+                continue
+            findings.append((rel, line, rule, message))
+
+    for rel, line, rule, message in sorted(findings):
+        hint = RULE_HINTS.get(rule, "")
+        suffix = f" (hint: {hint})" if hint else ""
+        print(f"{rel}:{line}: [{rule}] {message}{suffix}")
+    if findings:
+        print(f"mithril-lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"mithril-lint: clean ({len(files)} files, "
+          f"{len(status_names)} Status-returning names tracked)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files (default: whole tree)")
+    args = parser.parse_args()
+    if args.list_rules:
+        for rule, hint in RULE_HINTS.items():
+            print(f"{rule}: {hint}")
+        return 0
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    os.chdir(root)
+    return lint(root, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
