@@ -12,6 +12,11 @@
  * Global flags (any subcommand; most useful with `query`):
  *   --metrics-out=<path>   write a JSON metrics snapshot on exit
  *   --trace-out=<path>     write a Chrome-trace (Perfetto) span file
+ *   --fault-plan=<spec>    attach a deterministic fault-injection plan
+ *                          to the device before running (query only);
+ *                          spec example: "seed=3,ber=1e-6,timeout=0.01"
+ *                          (keys: seed ber ecc timeout garble retries
+ *                          backoff_us)
  *
  * Example session:
  *   mithril_cli generate Spirit2 8 /tmp/spirit.log
@@ -22,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,6 +36,7 @@
 #include "common/text.h"
 #include "common/wall_timer.h"
 #include "core/mithrilog.h"
+#include "fault/fault_plan.h"
 #include "loggen/log_generator.h"
 #include "obs/report.h"
 #include "templates/ft_tree.h"
@@ -78,6 +85,7 @@ struct ObsOut {
 };
 
 ObsOut g_obs;
+std::string g_fault_spec;
 
 int
 usage()
@@ -90,6 +98,8 @@ usage()
                  "  mithril_cli templates <in.log> [N]\n"
                  "  mithril_cli stat <in.img>\n"
                  "flags: --metrics-out=<path>  --trace-out=<path>\n"
+                 "       --fault-plan=<spec>   e.g. "
+                 "\"seed=3,ber=1e-6,timeout=0.01\"\n"
                  "datasets: BGL2 Liberty2 Spirit2 Thunderbird\n");
     return 2;
 }
@@ -165,19 +175,35 @@ cmdQuery(const std::string &img_path, const std::string &query_text)
         std::fprintf(stderr, "load: %s\n", st.toString().c_str());
         return 1;
     }
+    // The plan attaches after the image load so injection hits only
+    // the query path, not the (host-side) image restore.
+    std::unique_ptr<fault::FaultPlan> plan;
+    if (!g_fault_spec.empty()) {
+        fault::FaultPlanConfig fc;
+        st = fault::FaultPlan::parse(g_fault_spec, &fc);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "fault-plan: %s\n",
+                         st.toString().c_str());
+            return 2;
+        }
+        plan = std::make_unique<fault::FaultPlan>(fc);
+        system.ssd().attachFaultPlan(plan.get());
+    }
     core::QueryResult r;
     st = system.run(query_text, &r);
     if (!st.isOk()) {
         std::fprintf(stderr, "query: %s\n", st.toString().c_str());
         return 1;
     }
-    std::printf("%llu matches (%llu/%llu pages%s%s); modeled %.3f ms, "
+    std::printf("%llu matches (%llu/%llu pages%s%s%s%s); modeled %.3f ms, "
                 "effective %s\n",
                 static_cast<unsigned long long>(r.matched_lines),
                 static_cast<unsigned long long>(r.pages_scanned),
                 static_cast<unsigned long long>(r.pages_total),
                 r.planned_full_scan ? ", planner: full scan" : "",
                 r.used_fallback ? ", software fallback" : "",
+                r.degraded_index_scan ? ", degraded: index" : "",
+                r.degraded_software_scan ? ", degraded: software" : "",
                 r.total_time.toSeconds() * 1e3,
                 humanBandwidth(r.effectiveThroughput(system.rawBytes()))
                     .c_str());
@@ -256,6 +282,8 @@ main(int argc, char **argv)
             g_obs.metrics_path = a.substr(strlen("--metrics-out="));
         } else if (a.rfind("--trace-out=", 0) == 0) {
             g_obs.trace_path = a.substr(strlen("--trace-out="));
+        } else if (a.rfind("--fault-plan=", 0) == 0) {
+            g_fault_spec = a.substr(strlen("--fault-plan="));
         } else {
             args.push_back(argv[i]);
         }

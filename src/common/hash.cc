@@ -40,6 +40,39 @@ hash64(const void *data, size_t len, uint64_t seed)
     return mix64(h);
 }
 
+namespace {
+
+/** 256-entry table for byte-at-a-time reflected CRC-32. */
+struct Crc32Table {
+    uint32_t entry[256];
+
+    constexpr Crc32Table() : entry()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit) {
+                c = (c >> 1) ^ ((c & 1u) ? 0xedb88320u : 0u);
+            }
+            entry[i] = c;
+        }
+    }
+};
+
+constexpr Crc32Table kCrc32Table;
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = ~seed;
+    for (size_t i = 0; i < len; ++i) {
+        c = kCrc32Table.entry[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    return ~c;
+}
+
 HashPair::HashPair(uint32_t rows, uint64_t seed0, uint64_t seed1)
     : rows_(rows), mask_(rows - 1), seed0_(seed0), seed1_(seed1)
 {

@@ -45,6 +45,17 @@ hash64(std::string_view s, uint64_t seed = 0)
 }
 
 /**
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+ *
+ * Used as the integrity check on persisted page frames (LZAH pages, index
+ * nodes, codec frames): unlike hash64 it has guaranteed detection of all
+ * single- and double-bit errors and all burst errors up to 32 bits, which
+ * is the fault model the storage layer injects. Pass the previous return
+ * value as @p seed to continue a CRC across multiple ranges.
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/**
  * The pair of hash functions a hardware cuckoo filter instantiates.
  *
  * Both functions map a token to a table row in [0, rows). The hardware

@@ -13,6 +13,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kCorruptData: return "CORRUPT_DATA";
       case StatusCode::kUnsupported: return "UNSUPPORTED";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kDataLoss: return "DATA_LOSS";
     }
     return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class StatusCode {
     kCorruptData,       ///< on-storage bytes failed validation
     kUnsupported,       ///< valid request outside this engine's abilities
     kInternal,          ///< unexpected internal condition
+    kDataLoss,          ///< bytes unrecoverable after retry/ECC exhausted
 };
 
 /** Human-readable name for a status code. */
@@ -89,6 +90,12 @@ class [[nodiscard]] Status
     internal(std::string msg)
     {
         return Status(StatusCode::kInternal, std::move(msg));
+    }
+
+    static Status
+    dataLoss(std::string msg)
+    {
+        return Status(StatusCode::kDataLoss, std::move(msg));
     }
 
     [[nodiscard]] bool isOk() const { return code_ == StatusCode::kOk; }

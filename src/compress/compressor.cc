@@ -1,11 +1,36 @@
 #include "compress/compressor.h"
 
+#include "common/hash.h"
 #include "compress/lz4like.h"
 #include "compress/lzah.h"
 #include "compress/lzrw1.h"
 #include "compress/minideflate.h"
 
 namespace mithril::compress {
+
+void
+appendCrcTrailer(Bytes *out)
+{
+    putLe<uint32_t>(*out, crc32(out->data(), out->size()));
+}
+
+Status
+stripCrcTrailer(ByteView framed, ByteView *payload)
+{
+    if (framed.size() < 4) {
+        // No room for the trailer at all: structural truncation, not
+        // detected byte damage.
+        return Status::corruptData("frame too short for CRC trailer");
+    }
+    size_t body = framed.size() - 4;
+    uint32_t stored = getLe<uint32_t>(framed.data() + body);
+    uint32_t actual = crc32(framed.data(), body);
+    if (stored != actual) {
+        return Status::dataLoss("frame CRC mismatch");
+    }
+    *payload = framed.first(body);
+    return Status::ok();
+}
 
 double
 compressionRatio(size_t original, size_t compressed)

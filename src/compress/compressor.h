@@ -48,6 +48,33 @@ class Compressor
     virtual Status decompress(ByteView input, Bytes *output) const = 0;
 };
 
+/**
+ * Upper bound any frame may declare for its decoded size (4 GiB).
+ *
+ * A corrupt size field must translate into kCorruptData, not into an
+ * unbounded allocation before decoding even starts.
+ */
+constexpr uint64_t kMaxDecodedBytes = 1ull << 32;
+
+/** Largest upfront reserve a decoder trusts a frame header for; the
+ *  output vector grows normally past this. */
+constexpr size_t kMaxDecodeReserve = 1u << 24;
+
+/**
+ * Appends a little-endian CRC-32 of @p out's current contents.
+ *
+ * Every whole-buffer codec frames its output with this trailer so a
+ * mutated or truncated frame is rejected deterministically (as
+ * kDataLoss) before structural parsing begins.
+ */
+void appendCrcTrailer(Bytes *out);
+
+/** Verifies and strips a CRC-32 trailer; on success @p payload views
+ *  the framed bytes without the trailer. Returns kDataLoss on a CRC
+ *  mismatch (byte damage), kCorruptData when the frame is too short
+ *  to carry the trailer (structural truncation). */
+Status stripCrcTrailer(ByteView framed, ByteView *payload);
+
 /** Compression ratio original/compressed (> 1 means it shrank). */
 [[nodiscard]] double compressionRatio(size_t original, size_t compressed);
 

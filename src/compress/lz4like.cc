@@ -110,19 +110,26 @@ Lz4Like::compress(ByteView input) const
     }
     // Final literals-only sequence.
     emitSequence(out, base + lit_start, n - lit_start, 0, 0);
+    appendCrcTrailer(&out);
     return out;
 }
 
 Status
 Lz4Like::decompress(ByteView input, Bytes *output) const
 {
+    ByteView frame;
+    MITHRIL_RETURN_IF_ERROR(stripCrcTrailer(input, &frame));
+    input = frame;
     if (input.size() < 8) {
         return Status::corruptData("LZ4 frame truncated");
     }
     uint64_t original_size = getLe<uint64_t>(input.data());
+    if (original_size > kMaxDecodedBytes) {
+        return Status::corruptData("LZ4 declared size implausible");
+    }
     size_t pos = 8;
     Bytes out;
-    out.reserve(original_size);
+    out.reserve(std::min<uint64_t>(original_size, kMaxDecodeReserve));
 
     while (true) {
         if (pos >= input.size()) {

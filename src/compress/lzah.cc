@@ -1,8 +1,10 @@
 #include "compress/lzah.h"
 
+#include <cstddef>
 #include <cstring>
 
 #include "common/bits.h"
+#include "common/hash.h"
 #include "storage/page.h"
 
 namespace mithril::compress {
@@ -18,9 +20,19 @@ struct PageHeader {
     uint32_t item_count;
     uint32_t decompressed_bytes;  // padded (word-aligned) form
     uint32_t magic;
-    uint32_t reserved;
+    uint32_t crc;                 // CRC-32 of the payload (bytes 16..)
 };
 static_assert(sizeof(PageHeader) == kPageHeaderBytes);
+
+/** CRC-32 of everything after the header word. The header fields
+ *  themselves are covered by the magic and the byte/item consistency
+ *  check, so a flip anywhere in the page is detected. */
+uint32_t
+pagePayloadCrc(ByteView page)
+{
+    return crc32(page.data() + kPageHeaderBytes,
+                 page.size() - kPageHeaderBytes);
+}
 
 /** Exact encoded byte size of @p is_match chunk-packed into one page. */
 size_t
@@ -176,6 +188,7 @@ LzahPageEncoder::sealPage()
     hdr.item_count = static_cast<uint32_t>(items_.size());
     hdr.decompressed_bytes = decompressed_bytes_;
     hdr.magic = kPageMagic;
+    // hdr.crc is patched in after the payload is laid out.
     std::memcpy(page.data(), &hdr, sizeof hdr);
 
     size_t off = kPageHeaderBytes;
@@ -206,6 +219,9 @@ LzahPageEncoder::sealPage()
     }
     MITHRIL_ASSERT(off <= kPageBytes);
 
+    hdr.crc = pagePayloadCrc(page);
+    std::memcpy(page.data() + offsetof(PageHeader, crc), &hdr.crc, 4);
+
     pages_.push_back(std::move(page));
     items_.clear();
     literal_words_ = 0;
@@ -218,8 +234,7 @@ LzahPageEncoder::sealPage()
 // Page decoding
 
 Status
-lzahDecodePage(ByteView page, bool padded, Bytes *output,
-               uint64_t *word_count)
+lzahVerifyPage(ByteView page)
 {
     if (page.size() < kPageHeaderBytes) {
         return Status::corruptData("LZAH page shorter than header");
@@ -233,6 +248,19 @@ lzahDecodePage(ByteView page, bool padded, Bytes *output,
         hdr.item_count * static_cast<uint32_t>(kLzahWord)) {
         return Status::corruptData("LZAH header byte/item mismatch");
     }
+    if (hdr.crc != pagePayloadCrc(page)) {
+        return Status::dataLoss("LZAH page CRC mismatch");
+    }
+    return Status::ok();
+}
+
+Status
+lzahDecodePage(ByteView page, bool padded, Bytes *output,
+               uint64_t *word_count)
+{
+    MITHRIL_RETURN_IF_ERROR(lzahVerifyPage(page));
+    PageHeader hdr;
+    std::memcpy(&hdr, page.data(), sizeof hdr);
 
     std::vector<Word> table(kLzahTableEntries);
     size_t off = kPageHeaderBytes;
@@ -349,17 +377,24 @@ Lzah::compress(ByteView input) const
     for (const Bytes &page : encoder.pages()) {
         out.insert(out.end(), page.begin(), page.end());
     }
+    appendCrcTrailer(&out);
     return out;
 }
 
 Status
 Lzah::decompress(ByteView input, Bytes *output) const
 {
+    ByteView frame;
+    MITHRIL_RETURN_IF_ERROR(stripCrcTrailer(input, &frame));
+    input = frame;
     size_t need = 8 + 1 + 4;
     if (input.size() < need) {
         return Status::corruptData("LZAH frame truncated");
     }
     uint64_t original_size = getLe<uint64_t>(input.data());
+    if (original_size > kMaxDecodedBytes) {
+        return Status::corruptData("LZAH declared size implausible");
+    }
     uint8_t trailing_newline = input[8];
     uint32_t join_count = getLe<uint32_t>(input.data() + 9);
     size_t off = 13;
@@ -378,7 +413,8 @@ Lzah::decompress(ByteView input, Bytes *output) const
     }
 
     Bytes stream;
-    stream.reserve(original_size + 16);
+    stream.reserve(
+        std::min<uint64_t>(original_size + 16, kMaxDecodeReserve));
     for (uint32_t p = 0; p < page_count; ++p) {
         MITHRIL_RETURN_IF_ERROR(lzahDecodePage(
             input.subspan(off, kPageBytes), /*padded=*/false, &stream));

@@ -158,6 +158,18 @@ Status lzahDecodePage(ByteView page, bool padded, Bytes *output,
                       uint64_t *word_count = nullptr);
 
 /**
+ * Cheap integrity check of one compressed page without decoding it:
+ * header magic, byte/item consistency, and the payload CRC-32 the
+ * encoder stamps into the header. Returns kDataLoss on a CRC mismatch
+ * (damaged payload), kCorruptData on structural header damage.
+ *
+ * The query path runs this on every page as it is staged for the
+ * accelerator, so a flipped bit is caught (and the read retried)
+ * before the filter pipeline ever sees the page.
+ */
+Status lzahVerifyPage(ByteView page);
+
+/**
  * Cycle-counting decompressor model.
  *
  * In hardware the LZAH decoder emits exactly one 16-byte word per cycle

@@ -81,19 +81,26 @@ Lzrw1::compress(ByteView input) const
         }
         std::memcpy(out.data() + control_at, &control, 2);
     }
+    appendCrcTrailer(&out);
     return out;
 }
 
 Status
 Lzrw1::decompress(ByteView input, Bytes *output) const
 {
+    ByteView frame;
+    MITHRIL_RETURN_IF_ERROR(stripCrcTrailer(input, &frame));
+    input = frame;
     if (input.size() < 8) {
         return Status::corruptData("LZRW1 frame truncated");
     }
     uint64_t original_size = getLe<uint64_t>(input.data());
+    if (original_size > kMaxDecodedBytes) {
+        return Status::corruptData("LZRW1 declared size implausible");
+    }
     size_t pos = 8;
     Bytes out;
-    out.reserve(original_size);
+    out.reserve(std::min<uint64_t>(original_size, kMaxDecodeReserve));
 
     while (out.size() < original_size) {
         if (pos + 2 > input.size()) {

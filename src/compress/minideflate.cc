@@ -254,19 +254,26 @@ MiniDeflate::compress(ByteView input) const
     if (!items.empty() || n == 0) {
         writeBlock(&writer, items);
     }
-    return writer.take();
+    Bytes out = writer.take();
+    appendCrcTrailer(&out);
+    return out;
 }
 
 Status
 MiniDeflate::decompress(ByteView input, Bytes *output) const
 {
-    BitReader reader(input.data(), input.size());
+    ByteView frame;
+    MITHRIL_RETURN_IF_ERROR(stripCrcTrailer(input, &frame));
+    BitReader reader(frame.data(), frame.size());
     uint64_t original_size;
     if (!reader.read(48, &original_size)) {
         return Status::corruptData("deflate frame truncated");
     }
+    if (original_size > kMaxDecodedBytes) {
+        return Status::corruptData("deflate declared size implausible");
+    }
     Bytes out;
-    out.reserve(original_size);
+    out.reserve(std::min<uint64_t>(original_size, kMaxDecodeReserve));
 
     while (out.size() < original_size) {
         uint64_t symbol_count;
@@ -298,6 +305,12 @@ MiniDeflate::decompress(ByteView input, Bytes *output) const
             MITHRIL_RETURN_IF_ERROR(lit_dec.decode(&reader, &sym));
             if (sym == kEob) {
                 break;
+            }
+            if (out.size() > original_size) {
+                // A block must not outgrow the declared size; without
+                // this bound a corrupt stream could expand without
+                // limit before the outer check runs.
+                return Status::corruptData("deflate block overran size");
             }
             if (sym < 256) {
                 out.push_back(static_cast<uint8_t>(sym));

@@ -51,6 +51,14 @@ MithriLog::MithriLog(MithriLogConfig config)
         &metrics_->counter("index.candidate_pages");
     counters_.false_positive_pages =
         &metrics_->counter("index.false_positive_pages");
+    counters_.degraded_index_scans =
+        &metrics_->counter("core.degraded_index_scans");
+    counters_.degraded_software_scans =
+        &metrics_->counter("core.degraded_software_scans");
+    counters_.crc_failed_pages =
+        &metrics_->counter("core.crc_failed_pages");
+    counters_.pages_dropped = &metrics_->counter("core.pages_dropped");
+    counters_.ssd_read_retries = &metrics_->counter("ssd.read_retries");
 }
 
 Status
@@ -142,7 +150,7 @@ MithriLog::compressionRatio() const
 
 std::vector<PageId>
 MithriLog::candidatePages(std::span<const query::Query> queries,
-                          SimTime *index_time)
+                          SimTime *index_time, bool *integrity_lost)
 {
     // Different tokens' index chains are independent, so the device
     // overlaps them across channels: the modeled index time is the
@@ -180,7 +188,7 @@ MithriLog::candidatePages(std::span<const query::Query> queries,
             for (const std::string &token : positives) {
                 ssd_.resetClock();
                 std::vector<PageId> token_pages =
-                    index_->lookup(token);
+                    index_->lookup(token, integrity_lost);
                 SimTime lookup = ssd_.elapsed();
                 max_lookup = SimTime::max(max_lookup, lookup);
                 sum_ps += lookup.ps();
@@ -215,6 +223,71 @@ MithriLog::candidatePages(std::span<const query::Query> queries,
 }
 
 Status
+MithriLog::stagePages(std::span<const PageId> pages, Link link,
+                      std::vector<compress::ByteView> *views,
+                      std::vector<compress::Bytes> *storage,
+                      QueryResult *out)
+{
+    fault::FaultPlan *plan = ssd_.faultPlan();
+    views->reserve(pages.size());
+    if (plan == nullptr) {
+        // Unfaulted hot path: zero-copy views straight out of the
+        // store, one bulk overlapped charge. A CRC failure here is
+        // persistent damage (no plan means a re-read returns the same
+        // bytes), so the page is dropped, not retried.
+        for (PageId id : pages) {
+            std::span<const uint8_t> view;
+            if (!ssd_.store().read(id, &view).isOk() ||
+                !compress::lzahVerifyPage(view).isOk()) {
+                counters_.crc_failed_pages->add();
+                counters_.pages_dropped->add();
+                ++out->pages_dropped;
+                continue;
+            }
+            views->push_back(view);
+        }
+        ssd_.chargeOverlappedRead(pages.size(), link);
+        return Status::ok();
+    }
+    // Fault plan attached: page-at-a-time reads so every page passes
+    // the injection + retry machinery. A page that reads "cleanly" but
+    // fails its LZAH CRC (silent corruption past the device's ECC)
+    // spends the same retry budget on re-reads before being dropped.
+    unsigned budget = plan->config().max_retries;
+    storage->reserve(pages.size());
+    for (PageId id : pages) {
+        compress::Bytes buf;
+        if (!ssd_.readOverlapped(id, link, &buf).isOk()) {
+            counters_.pages_dropped->add();
+            ++out->pages_dropped;
+            continue;
+        }
+        bool ok = compress::lzahVerifyPage(buf).isOk();
+        if (!ok) {
+            counters_.crc_failed_pages->add();
+        }
+        for (unsigned r = 0; !ok && r < budget; ++r) {
+            compress::Bytes fresh;
+            if (!ssd_.rereadPage(id, link, &fresh).isOk()) {
+                break;
+            }
+            buf = std::move(fresh);
+            ok = compress::lzahVerifyPage(buf).isOk();
+        }
+        if (!ok) {
+            counters_.pages_dropped->add();
+            ++out->pages_dropped;
+            continue;
+        }
+        storage->push_back(std::move(buf));
+    }
+    for (const compress::Bytes &b : *storage) {
+        views->push_back(compress::ByteView(b.data(), b.size()));
+    }
+    return Status::ok();
+}
+
+Status
 MithriLog::execute(std::span<const PageId> pages,
                    std::span<const query::Query> queries, QueryResult *out)
 {
@@ -232,15 +305,19 @@ MithriLog::execute(std::span<const PageId> pages,
     // each stage's own modeled cost and the parent query span carries
     // the overlapped total.
     obs::Span stream_span = tracer_->span("query.page_stream", "core");
+    uint64_t stage_start_ps = ssd_.elapsed().ps();
     std::vector<compress::ByteView> views;
-    views.reserve(pages.size());
-    for (PageId id : pages) {
-        views.push_back(ssd_.store().read(id));
-    }
+    std::vector<compress::Bytes> staged;
+    MITHRIL_RETURN_IF_ERROR(
+        stagePages(pages, Link::kInternal, &views, &staged, out));
     // The stream pipelines behind index traversal and filtering, so the
-    // reads are metered (ssd.pages_read, link busy) as overlapped.
-    ssd_.chargeOverlappedRead(pages.size(), Link::kInternal);
-    out->storage_time = ssd_.timeBatchRead(pages.size(), Link::kInternal);
+    // reads are metered (ssd.pages_read, link busy) as overlapped. The
+    // batch-read model bounds the stage from below; retry/backoff
+    // charges under a fault plan can push it higher.
+    SimTime stage_busy =
+        SimTime::picoseconds(ssd_.elapsed().ps() - stage_start_ps);
+    out->storage_time = SimTime::max(
+        ssd_.timeBatchRead(pages.size(), Link::kInternal), stage_busy);
     stream_span.setSimDuration(out->storage_time);
     stream_span.end();
 
@@ -249,6 +326,25 @@ MithriLog::execute(std::span<const PageId> pages,
     Status processed = accel_.process(views, accel::Mode::kFilter, &ar);
     filter_span.setSimDuration(ar.computeTime(config_.accel.clock_hz));
     filter_span.end();
+    if (processed.code() == StatusCode::kCorruptData ||
+        processed.code() == StatusCode::kDataLoss) {
+        // The filter pipeline choked on damage the page CRCs did not
+        // cover: degrade to the host scan over the staged pages rather
+        // than failing the query. The pages re-cross PCIe to the host.
+        out->degraded_software_scan = true;
+        counters_.degraded_software_scans->add();
+        obs::Span degrade =
+            tracer_->span("query.degraded_software_scan", "core");
+        ssd_.chargeOverlappedRead(views.size(), Link::kExternal);
+        Status scanned = hostScanViews(views, queries, out);
+        out->storage_time =
+            out->storage_time +
+            ssd_.timeBatchRead(views.size(), Link::kExternal);
+        out->total_time = out->index_time + out->storage_time +
+                          ssd_.config().read_latency;
+        degrade.setSimDuration(out->storage_time);
+        return scanned;
+    }
     MITHRIL_RETURN_IF_ERROR(processed);
 
     out->breakdown.pages_with_matches = ar.pages_with_matches;
@@ -279,11 +375,11 @@ MithriLog::execute(std::span<const PageId> pages,
 }
 
 Status
-MithriLog::softwareScan(std::span<const query::Query> queries,
-                        QueryResult *out)
+MithriLog::hostScanViews(std::span<const compress::ByteView> views,
+                         std::span<const query::Query> queries,
+                         QueryResult *out)
 {
-    obs::Span span = tracer_->span("query.fallback", "core");
-    out->used_fallback = true;
+    out->matched_lines = 0;
     out->matched_per_query.assign(queries.size(), 0);
 
     std::vector<query::SoftwareMatcher> matchers;
@@ -293,13 +389,19 @@ MithriLog::softwareScan(std::span<const query::Query> queries,
     }
 
     compress::Bytes text;
-    for (PageId id : data_pages_) {
-        MITHRIL_RETURN_IF_ERROR(compress::lzahDecodePage(
-            ssd_.store().read(id), /*padded=*/false, &text));
+    for (compress::ByteView v : views) {
+        // Decode per page into a scratch buffer so a mid-page decode
+        // failure (structural damage past the CRC) drops that page
+        // cleanly instead of leaking partial garbage into the text.
+        compress::Bytes page_text;
+        if (compress::lzahDecodePage(v, /*padded=*/false, &page_text)
+                .isOk()) {
+            text.insert(text.end(), page_text.begin(), page_text.end());
+        } else {
+            counters_.pages_dropped->add();
+            ++out->pages_dropped;
+        }
     }
-    // Every page crosses PCIe to the host; metered as one overlapped
-    // batch matching the modeled storage_time below.
-    ssd_.chargeOverlappedRead(data_pages_.size(), Link::kExternal);
     std::string_view view = asChars(text);
     forEachLine(view, [&](std::string_view line) {
         bool any = false;
@@ -313,15 +415,37 @@ MithriLog::softwareScan(std::span<const query::Query> queries,
             ++out->matched_lines;
         }
     });
-
-    out->pages_scanned = data_pages_.size();
+    out->pages_scanned = views.size();
     out->pages_total = data_pages_.size();
     out->bytes_scanned = text.size();
+    return Status::ok();
+}
+
+Status
+MithriLog::softwareScan(std::span<const query::Query> queries,
+                        QueryResult *out)
+{
+    obs::Span span = tracer_->span("query.fallback", "core");
+    out->used_fallback = true;
+
+    // Every page crosses PCIe to the host; stagePages meters the reads
+    // (and, under a fault plan, runs injection/retry per page).
+    uint64_t stage_start_ps = ssd_.elapsed().ps();
+    std::vector<compress::ByteView> views;
+    std::vector<compress::Bytes> staged;
+    MITHRIL_RETURN_IF_ERROR(stagePages(data_pages_, Link::kExternal,
+                                       &views, &staged, out));
+    SimTime stage_busy =
+        SimTime::picoseconds(ssd_.elapsed().ps() - stage_start_ps);
+    MITHRIL_RETURN_IF_ERROR(hostScanViews(views, queries, out));
+
+    out->pages_scanned = data_pages_.size();
     // Fallback ships every page to the host over PCIe and burns CPU;
     // the storage component alone is modeled here (the CPU side is a
     // measured quantity, reported by the benches that exercise it).
-    out->storage_time =
-        ssd_.timeBatchRead(data_pages_.size(), Link::kExternal);
+    out->storage_time = SimTime::max(
+        ssd_.timeBatchRead(data_pages_.size(), Link::kExternal),
+        stage_busy);
     out->total_time = out->index_time + out->storage_time;
     span.setSimDuration(out->storage_time);
     return Status::ok();
@@ -337,18 +461,32 @@ MithriLog::runBatch(std::span<const query::Query> queries, QueryResult *out)
     WallTimer wall;
     obs::Span qspan = tracer_->span("query", "core");
     counters_.queries->add(queries.size());
+    uint64_t retries_before = counters_.ssd_read_retries->value();
 
     bool index_pruned = false;
     std::vector<PageId> pages;
     if (config_.use_index && !plannerPrefersScan(queries)) {
         obs::Span lookup = tracer_->span("query.index_lookup", "core");
-        pages = candidatePages(queries, &out->index_time);
+        bool integrity_lost = false;
+        pages =
+            candidatePages(queries, &out->index_time, &integrity_lost);
         lookup.setSimDuration(out->index_time);
         lookup.end();
-        // Pure-negative sets degrade to all pages; that is a scan, not
-        // an index nomination.
-        index_pruned = pages.size() < data_pages_.size() ||
-                       data_pages_.empty();
+        if (integrity_lost) {
+            // The candidate set cannot be trusted to be complete:
+            // degrade to a full accelerator scan rather than risk
+            // silently missing matches.
+            out->degraded_index_scan = true;
+            counters_.degraded_index_scans->add();
+            obs::Span degrade =
+                tracer_->span("query.degraded_index_scan", "core");
+            pages = data_pages_;
+        } else {
+            // Pure-negative sets degrade to all pages; that is a scan,
+            // not an index nomination.
+            index_pruned = pages.size() < data_pages_.size() ||
+                           data_pages_.empty();
+        }
         counters_.candidate_pages->add(pages.size());
         ssd_.resetClock();
     } else {
@@ -362,13 +500,15 @@ MithriLog::runBatch(std::span<const query::Query> queries, QueryResult *out)
     }
     Status st = execute(pages, queries, out);
     out->breakdown.candidate_pages = index_pruned ? pages.size() : 0;
-    finishQuery(out, &qspan, wall.seconds(), index_pruned);
+    finishQuery(out, &qspan, wall.seconds(), index_pruned,
+                retries_before);
     return st;
 }
 
 void
 MithriLog::finishQuery(QueryResult *out, obs::Span *span,
-                       double wall_seconds, bool index_pruned)
+                       double wall_seconds, bool index_pruned,
+                       uint64_t retries_before)
 {
     QueryBreakdown &b = out->breakdown;
     b.index_time = out->index_time;
@@ -380,6 +520,11 @@ MithriLog::finishQuery(QueryResult *out, obs::Span *span,
     b.matched_lines = out->matched_lines;
     b.used_fallback = out->used_fallback;
     b.planned_full_scan = out->planned_full_scan;
+    b.degraded_index_scan = out->degraded_index_scan;
+    b.degraded_software_scan = out->degraded_software_scan;
+    b.pages_dropped = out->pages_dropped;
+    b.read_retries =
+        counters_.ssd_read_retries->value() - retries_before;
     b.wall_seconds = wall_seconds;
     if (index_pruned && !out->used_fallback &&
         b.pages_scanned >= b.pages_with_matches) {
@@ -444,7 +589,9 @@ MithriLog::run(std::string_view query_text, QueryResult *out)
 
 namespace {
 constexpr uint32_t kImageMagic = 0x474f4c4d;  // "MLOG"
-constexpr uint32_t kImageVersion = 1;
+/** v2: LZAH page headers and index nodes carry CRC-32 fields; v1
+ *  images would fail every page verification, so they are rejected. */
+constexpr uint32_t kImageVersion = 2;
 } // namespace
 
 Status
@@ -477,8 +624,9 @@ MithriLog::saveImage(const std::string &path)
     }
     bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
     for (PageId p = 0; ok && p < pages; ++p) {
-        auto view = ssd_.store().read(p);
-        ok = std::fwrite(view.data(), 1, view.size(), f) == view.size();
+        std::span<const uint8_t> view;
+        ok = ssd_.store().read(p, &view).isOk() &&
+             std::fwrite(view.data(), 1, view.size(), f) == view.size();
     }
     if (std::fclose(f) != 0 || !ok) {
         return Status::internal("short write to " + path);
@@ -558,17 +706,26 @@ MithriLog::runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
     WallTimer wall;
     obs::Span qspan = tracer_->span("query", "core");
     counters_.queries->add();
+    uint64_t retries_before = counters_.ssd_read_retries->value();
 
     std::span<const query::Query> queries(&q, 1);
     bool index_pruned = false;
     std::vector<PageId> pages;
     if (config_.use_index) {
         obs::Span lookup = tracer_->span("query.index_lookup", "core");
-        pages = candidatePages(queries, &out->index_time);
+        bool integrity_lost = false;
+        pages =
+            candidatePages(queries, &out->index_time, &integrity_lost);
         lookup.setSimDuration(out->index_time);
         lookup.end();
-        index_pruned = pages.size() < data_pages_.size() ||
-                       data_pages_.empty();
+        if (integrity_lost) {
+            out->degraded_index_scan = true;
+            counters_.degraded_index_scans->add();
+            pages = data_pages_;
+        } else {
+            index_pruned = pages.size() < data_pages_.size() ||
+                           data_pages_.empty();
+        }
         counters_.candidate_pages->add(pages.size());
         ssd_.resetClock();
     } else {
@@ -586,7 +743,8 @@ MithriLog::runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
     // The time bound prunes further than the index alone; the false-
     // positive account only makes sense against the executed set.
     finishQuery(out, &qspan, wall.seconds(),
-                index_pruned || bounded.size() < pages.size());
+                index_pruned || bounded.size() < pages.size(),
+                retries_before);
     return st;
 }
 
@@ -601,8 +759,10 @@ MithriLog::runFullScan(std::span<const query::Query> queries,
     WallTimer wall;
     obs::Span qspan = tracer_->span("query", "core");
     counters_.queries->add(queries.size());
+    uint64_t retries_before = counters_.ssd_read_retries->value();
     Status st = execute(data_pages_, queries, out);
-    finishQuery(out, &qspan, wall.seconds(), /*index_pruned=*/false);
+    finishQuery(out, &qspan, wall.seconds(), /*index_pruned=*/false,
+                retries_before);
     return st;
 }
 
@@ -636,6 +796,14 @@ QueryBreakdown::toJson() const
     w.value(used_fallback);
     w.key("planned_full_scan");
     w.value(planned_full_scan);
+    w.key("degraded_index_scan");
+    w.value(degraded_index_scan);
+    w.key("degraded_software_scan");
+    w.value(degraded_software_scan);
+    w.key("pages_dropped");
+    w.value(pages_dropped);
+    w.key("read_retries");
+    w.value(read_retries);
     w.key("wall_seconds");
     w.value(wall_seconds);
     w.endObject();

@@ -94,6 +94,19 @@ struct QueryBreakdown {
 
     bool used_fallback = false;
     bool planned_full_scan = false;
+    /** Index traversal hit unrecoverable damage; the query fell back
+     *  to an accelerator full scan instead of trusting an incomplete
+     *  candidate set. */
+    bool degraded_index_scan = false;
+    /** The accelerator path failed on faulted data; the query fell
+     *  back to the host software scan over the staged pages. */
+    bool degraded_software_scan = false;
+    /** Pages unreadable (or CRC-rejected) after the device retry
+     *  budget — dropped from the scan, counted, never silently
+     *  misparsed. */
+    uint64_t pages_dropped = 0;
+    /** Device read retries charged during this query (fault plans). */
+    uint64_t read_retries = 0;
     /** Host-side measured time for the whole run (both domains kept,
      *  per the repo's measured-vs-modeled discipline). */
     double wall_seconds = 0.0;
@@ -120,6 +133,12 @@ struct QueryResult {
     bool used_fallback = false;  ///< software path (compile failure)
     /** Planner skipped index traversal (poor predicted pruning). */
     bool planned_full_scan = false;
+    /** Corrupt index forced an accelerator full scan (see breakdown). */
+    bool degraded_index_scan = false;
+    /** Accelerator fault forced the host software scan. */
+    bool degraded_software_scan = false;
+    /** Unreadable pages dropped after exhausting device retries. */
+    uint64_t pages_dropped = 0;
     double useful_ratio = 0.0;   ///< tokenized-datapath utilization
 
     /** Structured phase attribution (duplicates the scalar fields
@@ -228,15 +247,39 @@ class MithriLog
   private:
     /** Candidate data pages for a batch via the inverted index.
      *  @param index_time receives the modeled traversal time, with
-     *  independent token chains overlapped across channels. */
+     *  independent token chains overlapped across channels.
+     *  @param integrity_lost set true when traversal damage makes the
+     *  candidate set untrustworthy (caller must full-scan). */
     std::vector<storage::PageId>
     candidatePages(std::span<const query::Query> queries,
-                   SimTime *index_time);
+                   SimTime *index_time, bool *integrity_lost);
 
-    /** Streams @p pages through the accelerator and fills @p out. */
+    /**
+     * Reads @p pages for scanning, verifying each staged page's LZAH
+     * CRC. With a fault plan attached the reads go page-at-a-time
+     * (faultable, retried); CRC rejections trigger re-reads up to the
+     * plan's retry budget. Pages still unreadable are dropped and
+     * counted (`out->pages_dropped`), never passed on corrupt.
+     * @p storage owns faulted copies; @p views index into it (or
+     * zero-copy into the store on the unfaulted path).
+     */
+    Status stagePages(std::span<const storage::PageId> pages,
+                      storage::Link link,
+                      std::vector<compress::ByteView> *views,
+                      std::vector<compress::Bytes> *storage,
+                      QueryResult *out);
+
+    /** Streams @p pages through the accelerator and fills @p out.
+     *  Degrades to hostScanViews when the filter pipeline faults. */
     Status execute(std::span<const storage::PageId> pages,
                    std::span<const query::Query> queries,
                    QueryResult *out);
+
+    /** Host-side matching over already-staged pages (tolerant: pages
+     *  that fail to decode are dropped and counted). */
+    Status hostScanViews(std::span<const compress::ByteView> views,
+                         std::span<const query::Query> queries,
+                         QueryResult *out);
 
     /** Software fallback for non-offloadable queries. */
     Status softwareScan(std::span<const query::Query> queries,
@@ -251,9 +294,11 @@ class MithriLog
     /** Fills QueryResult::breakdown, closes the query span, and
      *  records the per-query counters. @p index_pruned says whether
      *  the candidate set came from index traversal (false-positive
-     *  accounting only applies then). */
+     *  accounting only applies then); @p retries_before is the
+     *  `ssd.read_retries` value at query start (delta attribution). */
     void finishQuery(QueryResult *out, obs::Span *span,
-                     double wall_seconds, bool index_pruned);
+                     double wall_seconds, bool index_pruned,
+                     uint64_t retries_before);
 
     MithriLogConfig config_;
     std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -273,6 +318,11 @@ class MithriLog
         obs::Counter *planner_full_scans = nullptr;
         obs::Counter *candidate_pages = nullptr;
         obs::Counter *false_positive_pages = nullptr;
+        obs::Counter *degraded_index_scans = nullptr;
+        obs::Counter *degraded_software_scans = nullptr;
+        obs::Counter *crc_failed_pages = nullptr;
+        obs::Counter *pages_dropped = nullptr;
+        obs::Counter *ssd_read_retries = nullptr;
     } counters_;
     storage::SsdModel ssd_;
     std::unique_ptr<index::InvertedIndex> index_;

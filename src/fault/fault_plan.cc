@@ -1,0 +1,223 @@
+#include "fault/fault_plan.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace mithril::fault {
+
+namespace {
+
+enum ObsSlot {
+    kObsDraws = 0,
+    kObsTimeouts,
+    kObsUncorrectable,
+    kObsBitsFlipped,
+    kObsBlocksGarbled,
+};
+
+/**
+ * Geometric(p) gap: clean bits to skip before the next flipped bit.
+ * Inverse-CDF sampling keeps a 1e-6 BER at ~0 draws per 4 KB page
+ * instead of 32768 Bernoulli trials.
+ */
+uint64_t
+geometricGap(Rng &rng, double p)
+{
+    double denom = std::log1p(-p); // < 0 for p in (0, 1]; -inf at p = 1
+    double g = std::log1p(-rng.uniform()) / denom;
+    if (!(g < 1e18)) {
+        g = 1e18;
+    }
+    return static_cast<uint64_t>(g);
+}
+
+Status
+parseDouble(std::string_view key, std::string_view value, double lo,
+            double hi, double *out)
+{
+    std::string buf(value);
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str() || *end != '\0' || !(v >= lo) || !(v <= hi)) {
+        return Status::invalidArgument("fault plan: bad value for '" +
+                                       std::string(key) + "': " + buf);
+    }
+    *out = v;
+    return Status::ok();
+}
+
+Status
+parseU64(std::string_view key, std::string_view value, uint64_t *out)
+{
+    std::string buf(value);
+    char *end = nullptr;
+    uint64_t v = std::strtoull(buf.c_str(), &end, 0);
+    if (end == buf.c_str() || *end != '\0') {
+        return Status::invalidArgument("fault plan: bad value for '" +
+                                       std::string(key) + "': " + buf);
+    }
+    *out = v;
+    return Status::ok();
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config)
+{
+    MITHRIL_ASSERT(config_.bit_error_rate >= 0 &&
+                   config_.bit_error_rate <= 1);
+    MITHRIL_ASSERT(config_.uncorrectable_rate >= 0 &&
+                   config_.uncorrectable_rate <= 1);
+    MITHRIL_ASSERT(config_.timeout_rate >= 0 && config_.timeout_rate <= 1);
+    MITHRIL_ASSERT(config_.block_garble_rate >= 0 &&
+                   config_.block_garble_rate <= 1);
+}
+
+Status
+FaultPlan::parse(std::string_view spec, FaultPlanConfig *out)
+{
+    FaultPlanConfig cfg;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        size_t comma = rest.find(',');
+        std::string_view item = rest.substr(0, comma);
+        rest = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : rest.substr(comma + 1);
+        if (item.empty()) {
+            continue;
+        }
+        size_t eq = item.find('=');
+        if (eq == std::string_view::npos) {
+            return Status::invalidArgument(
+                "fault plan: expected key=value, got '" +
+                std::string(item) + "'");
+        }
+        std::string_view key = item.substr(0, eq);
+        std::string_view value = item.substr(eq + 1);
+        if (key == "seed") {
+            MITHRIL_RETURN_IF_ERROR(parseU64(key, value, &cfg.seed));
+        } else if (key == "ber") {
+            MITHRIL_RETURN_IF_ERROR(
+                parseDouble(key, value, 0.0, 1.0, &cfg.bit_error_rate));
+        } else if (key == "ecc") {
+            MITHRIL_RETURN_IF_ERROR(parseDouble(
+                key, value, 0.0, 1.0, &cfg.uncorrectable_rate));
+        } else if (key == "timeout") {
+            MITHRIL_RETURN_IF_ERROR(
+                parseDouble(key, value, 0.0, 1.0, &cfg.timeout_rate));
+        } else if (key == "garble") {
+            MITHRIL_RETURN_IF_ERROR(parseDouble(
+                key, value, 0.0, 1.0, &cfg.block_garble_rate));
+        } else if (key == "retries") {
+            uint64_t v = 0;
+            MITHRIL_RETURN_IF_ERROR(parseU64(key, value, &v));
+            cfg.max_retries = static_cast<unsigned>(v);
+        } else if (key == "backoff_us") {
+            double us = 0;
+            MITHRIL_RETURN_IF_ERROR(
+                parseDouble(key, value, 0.0, 1e9, &us));
+            cfg.retry_backoff = SimTime::microseconds(us);
+        } else {
+            return Status::invalidArgument("fault plan: unknown key '" +
+                                           std::string(key) + "'");
+        }
+    }
+    *out = cfg;
+    return Status::ok();
+}
+
+void
+FaultPlan::bindMetrics(obs::MetricsRegistry *metrics)
+{
+    if (metrics == nullptr) {
+        return;
+    }
+    obs_[kObsDraws] = &metrics->counter("fault.draws");
+    obs_[kObsTimeouts] = &metrics->counter("fault.timeouts");
+    obs_[kObsUncorrectable] = &metrics->counter("fault.uncorrectable");
+    obs_[kObsBitsFlipped] = &metrics->counter("fault.bits_flipped");
+    obs_[kObsBlocksGarbled] = &metrics->counter("fault.blocks_garbled");
+}
+
+ReadFault
+FaultPlan::drawRead(uint64_t page_id, size_t page_bytes)
+{
+    ReadFault fault;
+    ++counters_.draws;
+    if (obs_[kObsDraws] != nullptr) {
+        obs_[kObsDraws]->add();
+    }
+    // One independent stream per (plan seed, page, draw ordinal): the
+    // same plan replays the same faults in the same order, but a retry
+    // of the same page gets a fresh draw.
+    Rng rng(mix64(mix64(config_.seed ^ page_id) + counters_.draws));
+
+    if (config_.timeout_rate > 0 && rng.chance(config_.timeout_rate)) {
+        fault.timeout = true;
+        ++counters_.timeouts;
+        if (obs_[kObsTimeouts] != nullptr) {
+            obs_[kObsTimeouts]->add();
+        }
+        return fault;
+    }
+    if (config_.uncorrectable_rate > 0 &&
+        rng.chance(config_.uncorrectable_rate)) {
+        fault.uncorrectable = true;
+        ++counters_.uncorrectable;
+        if (obs_[kObsUncorrectable] != nullptr) {
+            obs_[kObsUncorrectable]->add();
+        }
+        return fault;
+    }
+    if (config_.block_garble_rate > 0 &&
+        rng.chance(config_.block_garble_rate)) {
+        fault.garble = true;
+        fault.garble_offset =
+            static_cast<uint32_t>(rng.below(page_bytes > 0 ? page_bytes
+                                                           : 1));
+        fault.garble_seed = rng.next();
+        ++counters_.blocks_garbled;
+        if (obs_[kObsBlocksGarbled] != nullptr) {
+            obs_[kObsBlocksGarbled]->add();
+        }
+    }
+    if (config_.bit_error_rate > 0) {
+        uint64_t bits = static_cast<uint64_t>(page_bytes) * 8;
+        uint64_t pos = geometricGap(rng, config_.bit_error_rate);
+        while (pos < bits) {
+            fault.flipped_bits.push_back(static_cast<uint32_t>(pos));
+            pos += 1 + geometricGap(rng, config_.bit_error_rate);
+        }
+        counters_.bits_flipped += fault.flipped_bits.size();
+        if (obs_[kObsBitsFlipped] != nullptr &&
+            !fault.flipped_bits.empty()) {
+            obs_[kObsBitsFlipped]->add(fault.flipped_bits.size());
+        }
+    }
+    return fault;
+}
+
+void
+FaultPlan::applyCorruption(const ReadFault &f,
+                           std::span<uint8_t> page) const
+{
+    for (uint32_t bit : f.flipped_bits) {
+        size_t byte = bit / 8;
+        if (byte < page.size()) {
+            page[byte] ^= static_cast<uint8_t>(1u << (bit % 8));
+        }
+    }
+    if (f.garble && f.garble_offset < page.size()) {
+        Rng noise(f.garble_seed);
+        for (size_t i = f.garble_offset; i < page.size(); ++i) {
+            page[i] = static_cast<uint8_t>(noise.next());
+        }
+    }
+}
+
+} // namespace mithril::fault

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <set>
 
 #include "common/bits.h"
@@ -92,6 +93,7 @@ InvertedIndex::writeLeaf(const Entry &entry)
     for (size_t i = 0; i < entry.buffer.size(); ++i) {
         node.addrs[i] = entry.buffer[i];
     }
+    node.crc = nodeCrc(node);
     auto page = ssd_->store().mutablePage(open_leaf_page_);
     std::memcpy(page.data() + open_leaf_slot_ * sizeof(LeafNode), &node,
                 sizeof(LeafNode));
@@ -140,6 +142,7 @@ InvertedIndex::flushRoot(Entry *entry)
     for (size_t i = 0; i < entry->leaf_refs.size(); ++i) {
         node.leaf_refs[i] = entry->leaf_refs[i];
     }
+    node.crc = nodeCrc(node);
     auto page = ssd_->store().mutablePage(open_root_page_);
     std::memcpy(page.data() + open_root_slot_ * sizeof(RootNode), &node,
                 sizeof(RootNode));
@@ -170,7 +173,8 @@ InvertedIndex::maybeSnapshot(uint64_t timestamp)
 
 void
 InvertedIndex::collectEntry(const Entry &entry,
-                            std::vector<PageId> *out)
+                            std::vector<PageId> *out,
+                            bool *integrity_lost)
 {
     // 1. In-memory buffer, newest first (no storage cost).
     for (auto it = entry.buffer.rbegin(); it != entry.buffer.rend(); ++it) {
@@ -181,40 +185,81 @@ InvertedIndex::collectEntry(const Entry &entry,
 
     // Defensive validation: the index is probabilistic and storage can
     // be corrupted under it; a reference or node that fails validation
-    // terminates its chain (counted) instead of faulting. Downstream
-    // filtering tolerates missing/false pages by design.
+    // terminates its chain (counted) instead of faulting, and flags the
+    // lookup as incomplete so the query path can degrade to a full
+    // scan rather than silently return a short result.
+    auto lost = [&] {
+        stats_.add("corrupt_refs");
+        if (integrity_lost != nullptr) {
+            *integrity_lost = true;
+        }
+    };
     auto valid_ref = [&](uint64_t ref, size_t slots_per_page) {
         return (ref >> kSlotBits) < page_count &&
                (ref & ((1u << kSlotBits) - 1)) < slots_per_page;
     };
+    // CRC-driven rereads only help when a fault plan can change the
+    // bytes between attempts; without one, damage is persistent and a
+    // reread would return the identical copy.
+    unsigned max_rereads = ssd_->faultPlan() != nullptr
+                               ? ssd_->faultPlan()->config().max_retries
+                               : 0;
 
     // Helper: fetch a batch of leaf nodes. The fanout reads are
     // independent of the *next* root hop, so they pipeline behind its
     // 100 us latency (Section 6.1's design argument); the model
-    // charges them transfer time only.
+    // charges them transfer time only. Each distinct page is read once
+    // per batch; only CRC rejections trigger re-reads.
     auto read_leaves = [&](std::span<const uint64_t> refs) {
-        std::set<PageId> pages;
+        std::map<PageId, std::vector<uint8_t>> cache;
         for (uint64_t ref : refs) {
             if (valid_ref(ref, kLeafPerPage)) {
-                pages.insert(ref >> kSlotBits);
+                cache.emplace(ref >> kSlotBits, std::vector<uint8_t>());
             }
         }
-        ssd_->chargeOverlappedRead(pages.size(), Link::kExternal);
+        std::set<PageId> bad;
+        for (auto &[page, bytes] : cache) {
+            Status st = ssd_->readOverlapped(page, Link::kExternal,
+                                             &bytes);
+            if (!st.isOk()) {
+                bad.insert(page);
+            }
+        }
         // Parse newest-first.
         for (auto it = refs.rbegin(); it != refs.rend(); ++it) {
             if (!valid_ref(*it, kLeafPerPage)) {
-                stats_.add("corrupt_refs");
+                lost();
                 continue;
             }
             PageId page = *it >> kSlotBits;
             size_t slot = *it & ((1u << kSlotBits) - 1);
+            if (bad.contains(page)) {
+                lost();
+                continue;
+            }
             LeafNode node;
-            std::memcpy(&node,
-                        ssd_->store().read(page).data() +
-                            slot * sizeof(LeafNode),
-                        sizeof(LeafNode));
-            if (node.count > 16) {
-                stats_.add("corrupt_refs");
+            auto extract = [&] {
+                std::memcpy(&node,
+                            cache[page].data() + slot * sizeof(LeafNode),
+                            sizeof(LeafNode));
+                return node.count <= 16 && node.crc == nodeCrc(node);
+            };
+            bool ok = extract();
+            for (unsigned r = 0; !ok && r < max_rereads; ++r) {
+                std::vector<uint8_t> fresh;
+                if (!ssd_->rereadPage(page, Link::kExternal, &fresh)
+                         .isOk()) {
+                    break;
+                }
+                cache[page] = std::move(fresh);
+                ok = extract();
+                if (ok) {
+                    stats_.add("node_crc_recoveries");
+                }
+            }
+            if (!ok) {
+                stats_.add("node_crc_failures");
+                lost();
                 continue;
             }
             for (size_t i = node.count; i-- > 0;) {
@@ -224,7 +269,7 @@ InvertedIndex::collectEntry(const Entry &entry,
                 if (node.addrs[i] <= max_data_page_) {
                     out->push_back(node.addrs[i]);
                 } else {
-                    stats_.add("corrupt_refs");
+                    lost();
                 }
             }
         }
@@ -242,17 +287,37 @@ InvertedIndex::collectEntry(const Entry &entry,
     while (ref != kInvalidRef) {
         if (!valid_ref(ref, kRootPerPage) || ++hops > page_count + 1) {
             // Corrupt link or a cycle introduced by corruption.
-            stats_.add("corrupt_refs");
+            lost();
             break;
         }
         PageId page = ref >> kSlotBits;
         size_t slot = ref & ((1u << kSlotBits) - 1);
-        auto bytes = ssd_->readChained(page, Link::kExternal);
+        std::vector<uint8_t> bytes;
+        if (!ssd_->readChained(page, Link::kExternal, &bytes).isOk()) {
+            lost();
+            break;
+        }
         RootNode node;
-        std::memcpy(&node, bytes.data() + slot * sizeof(RootNode),
-                    sizeof(RootNode));
-        if (node.count > 16) {
-            stats_.add("corrupt_refs");
+        auto extract = [&] {
+            std::memcpy(&node, bytes.data() + slot * sizeof(RootNode),
+                        sizeof(RootNode));
+            return node.count <= 16 && node.crc == nodeCrc(node);
+        };
+        bool ok = extract();
+        for (unsigned r = 0; !ok && r < max_rereads; ++r) {
+            std::vector<uint8_t> fresh;
+            if (!ssd_->rereadPage(page, Link::kExternal, &fresh).isOk()) {
+                break;
+            }
+            bytes = std::move(fresh);
+            ok = extract();
+            if (ok) {
+                stats_.add("node_crc_recoveries");
+            }
+        }
+        if (!ok) {
+            stats_.add("node_crc_failures");
+            lost();
             break;
         }
         read_leaves(std::span<const uint64_t>(node.leaf_refs, node.count));
@@ -262,16 +327,16 @@ InvertedIndex::collectEntry(const Entry &entry,
 }
 
 std::vector<PageId>
-InvertedIndex::lookup(std::string_view token)
+InvertedIndex::lookup(std::string_view token, bool *integrity_lost)
 {
     stats_.add("lookups");
     std::vector<PageId> pages;
     uint32_t i0 = hashes_.h0(token);
-    collectEntry(entries_[i0], &pages);
+    collectEntry(entries_[i0], &pages, integrity_lost);
     if (config_.two_hash) {
         uint32_t i1 = hashes_.h1(token);
         if (i1 != i0) {
-            collectEntry(entries_[i1], &pages);
+            collectEntry(entries_[i1], &pages, integrity_lost);
         }
     }
     // Traversal returned reverse chronological order; one sort restores
@@ -283,12 +348,13 @@ InvertedIndex::lookup(std::string_view token)
 }
 
 std::vector<PageId>
-InvertedIndex::lookupAll(std::span<const std::string> tokens)
+InvertedIndex::lookupAll(std::span<const std::string> tokens,
+                         bool *integrity_lost)
 {
     std::vector<PageId> result;
     bool first = true;
     for (const std::string &token : tokens) {
-        std::vector<PageId> pages = lookup(token);
+        std::vector<PageId> pages = lookup(token, integrity_lost);
         if (first) {
             result = std::move(pages);
             first = false;

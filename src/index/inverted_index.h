@@ -91,16 +91,25 @@ class InvertedIndex
      * Candidate data pages for @p token, in chronological order.
      * Includes false positives (other tokens sharing the entries).
      * Reads are metered on the shared SsdModel.
+     *
+     * When @p integrity_lost is non-null it is set to true if any part
+     * of the traversal was unrecoverable (node CRC failure after
+     * retries, unreadable index page, corrupt chain link) — the result
+     * may then be missing candidate pages, and the caller must treat
+     * it as incomplete (the query path degrades to a full scan).
      */
-    std::vector<storage::PageId> lookup(std::string_view token);
+    std::vector<storage::PageId> lookup(std::string_view token,
+                                        bool *integrity_lost = nullptr);
 
     /**
      * Candidate pages for a conjunction: intersection of the page sets
      * of @p tokens (computed in read order, reversed once at the end).
      * With an empty token list returns an empty vector.
+     * @p integrity_lost aggregates across all per-token lookups.
      */
     std::vector<storage::PageId>
-    lookupAll(std::span<const std::string> tokens);
+    lookupAll(std::span<const std::string> tokens,
+              bool *integrity_lost = nullptr);
 
     /** Pages recorded between @p t0 and @p t1 according to snapshots
      *  (coarse: snapshot granularity). */
@@ -167,22 +176,34 @@ class InvertedIndex
         storage::PageId last_pushed = storage::kInvalidPage;
     };
 
-    /** Serialized leaf node: node_arity addresses. */
+    /** Serialized leaf node: node_arity addresses, CRC-framed. */
     struct LeafNode {
         uint64_t addrs[16];
         uint16_t count;
-        uint8_t pad[6];
+        uint16_t pad;
+        uint32_t crc;  ///< CRC-32 of the node with this field zeroed
     };
     static_assert(sizeof(LeafNode) == 136);
 
-    /** Serialized root node: leaf refs + list link. */
+    /** Serialized root node: leaf refs + list link, CRC-framed. */
     struct RootNode {
         uint64_t leaf_refs[16];
         uint64_t next;
         uint16_t count;
-        uint8_t pad[6];
+        uint16_t pad;
+        uint32_t crc;  ///< CRC-32 of the node with this field zeroed
     };
     static_assert(sizeof(RootNode) == 144);
+
+    /** CRC over a node image with its crc field zeroed; detects any
+     *  bit flip in the 136/144-byte node a read returned. */
+    template <typename Node>
+    static uint32_t
+    nodeCrc(Node node)
+    {
+        node.crc = 0;
+        return crc32(&node, sizeof node);
+    }
 
     uint32_t entryFor(std::string_view token) const;
     void push(Entry *entry, storage::PageId page);
@@ -191,9 +212,11 @@ class InvertedIndex
     uint64_t writeLeaf(const Entry &entry);
     void maybeSnapshot(uint64_t timestamp);
 
-    /** Reads pages of one entry, newest first. */
+    /** Reads pages of one entry, newest first; sets @p integrity_lost
+     *  on unrecoverable traversal damage (may be null). */
     void collectEntry(const Entry &entry,
-                      std::vector<storage::PageId> *out);
+                      std::vector<storage::PageId> *out,
+                      bool *integrity_lost);
 
     storage::SsdModel *ssd_;
     IndexConfig config_;

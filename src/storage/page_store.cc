@@ -1,8 +1,7 @@
 #include "storage/page_store.h"
 
 #include <cstring>
-
-#include "common/status.h"
+#include <string>
 
 namespace mithril::storage {
 
@@ -22,11 +21,16 @@ PageStore::write(PageId id, std::span<const uint8_t> data)
     std::memcpy(pages_.data() + id * kPageSize, data.data(), data.size());
 }
 
-std::span<const uint8_t>
-PageStore::read(PageId id) const
+Status
+PageStore::read(PageId id, std::span<const uint8_t> *out) const
 {
-    MITHRIL_ASSERT(id < pageCount());
-    return {pages_.data() + id * kPageSize, kPageSize};
+    if (!contains(id)) {
+        return Status::invalidArgument(
+            "page id " + std::to_string(id) + " out of range (" +
+            std::to_string(pageCount()) + " pages allocated)");
+    }
+    *out = {pages_.data() + id * kPageSize, kPageSize};
+    return Status::ok();
 }
 
 std::span<uint8_t>

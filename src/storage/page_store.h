@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/page.h"
 
 namespace mithril::storage {
@@ -39,10 +40,21 @@ class PageStore
      */
     void write(PageId id, std::span<const uint8_t> data);
 
-    /** Read-only view of a full page. */
-    std::span<const uint8_t> read(PageId id) const;
+    /**
+     * Read-only view of a full page.
+     *
+     * Returns kInvalidArgument for an out-of-range or never-allocated
+     * @p id (a corrupt on-storage pointer must surface as an error the
+     * degradation ladder can catch, not as UB or an abort).
+     */
+    Status read(PageId id, std::span<const uint8_t> *out) const;
 
-    /** Mutable view of a full page (for in-place structures). */
+    /** True iff @p id names an allocated page. */
+    bool contains(PageId id) const { return id < pageCount(); }
+
+    /** Mutable view of a full page (for in-place structures). The id
+     *  must be valid: writers derive ids from allocate(), never from
+     *  on-storage bytes, so this stays an invariant (asserted). */
     std::span<uint8_t> mutablePage(PageId id);
 
   private:

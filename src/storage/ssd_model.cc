@@ -1,6 +1,7 @@
 #include "storage/ssd_model.h"
 
 #include <algorithm>
+#include <string>
 
 namespace mithril::storage {
 
@@ -19,6 +20,18 @@ SsdModel::bindMetrics(obs::MetricsRegistry *metrics)
         stats_.bind(nullptr, "");
         link_busy_[0] = link_busy_[1] = nullptr;
         batch_pages_ = nullptr;
+    }
+    if (fault_plan_ != nullptr) {
+        fault_plan_->bindMetrics(metrics_);
+    }
+}
+
+void
+SsdModel::attachFaultPlan(fault::FaultPlan *plan)
+{
+    fault_plan_ = plan;
+    if (fault_plan_ != nullptr && metrics_ != nullptr) {
+        fault_plan_->bindMetrics(metrics_);
     }
 }
 
@@ -102,13 +115,55 @@ SsdModel::writePage(PageId id, std::span<const uint8_t> data)
     stats_.add("bytes_written", data.size());
 }
 
-void
+/**
+ * Moves one page's bytes into @p out (appending), consulting the fault
+ * plan. Device-reported failures (timeout, ECC-uncorrectable) are
+ * retried in place with backoff + a fresh command latency charged into
+ * the clock; silent corruption damages the appended copy. Timing for
+ * the *initial* command is the caller's responsibility, which keeps
+ * batch/chained/overlapped charging identical to the unfaulted model.
+ */
+Status
+SsdModel::fetchPage(PageId id, std::vector<uint8_t> *out)
+{
+    std::span<const uint8_t> view;
+    MITHRIL_RETURN_IF_ERROR(store_.read(id, &view));
+    if (fault_plan_ == nullptr) {
+        out->insert(out->end(), view.begin(), view.end());
+        return Status::ok();
+    }
+    unsigned attempts = fault_plan_->config().max_retries + 1;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            clock_ +=
+                config_.read_latency + fault_plan_->config().retry_backoff;
+            stats_.add("read_retries");
+        }
+        fault::ReadFault f = fault_plan_->drawRead(id, kPageSize);
+        if (f.failed()) {
+            continue;
+        }
+        size_t base = out->size();
+        out->insert(out->end(), view.begin(), view.end());
+        if (f.corrupts()) {
+            fault_plan_->applyCorruption(
+                f, std::span<uint8_t>(out->data() + base, kPageSize));
+        }
+        return Status::ok();
+    }
+    return Status::dataLoss("page " + std::to_string(id) +
+                            " unreadable after " +
+                            std::to_string(attempts) + " attempts");
+}
+
+Status
 SsdModel::readBatch(std::span<const PageId> ids, Link link,
                     std::vector<uint8_t> *out)
 {
+    std::vector<uint8_t> batch;
+    batch.reserve(ids.size() * kPageSize);
     for (PageId id : ids) {
-        auto page = store_.read(id);
-        out->insert(out->end(), page.begin(), page.end());
+        MITHRIL_RETURN_IF_ERROR(fetchPage(id, &batch));
     }
     SimTime busy = timeBatchRead(ids.size(), link);
     clock_ += busy;
@@ -116,6 +171,8 @@ SsdModel::readBatch(std::span<const PageId> ids, Link link,
     stats_.add("bytes_read", ids.size() * kPageSize);
     stats_.add("read_commands");
     meterTransfer(ids.size(), busy, link);
+    out->insert(out->end(), batch.begin(), batch.end());
+    return Status::ok();
 }
 
 void
@@ -129,8 +186,8 @@ SsdModel::chargeOverlappedRead(uint64_t pages, Link link)
     meterTransfer(pages, busy, link);
 }
 
-std::span<const uint8_t>
-SsdModel::readChained(PageId id, Link link)
+Status
+SsdModel::readChained(PageId id, Link link, std::vector<uint8_t> *out)
 {
     SimTime busy = config_.read_latency +
                    SimTime::transfer(kPageSize, bandwidth(link));
@@ -139,7 +196,38 @@ SsdModel::readChained(PageId id, Link link)
     stats_.add("bytes_read", kPageSize);
     stats_.add("chained_reads");
     meterTransfer(1, busy, link);
-    return store_.read(id);
+    out->clear();
+    return fetchPage(id, out);
+}
+
+Status
+SsdModel::readOverlapped(PageId id, Link link, std::vector<uint8_t> *out)
+{
+    SimTime busy = SimTime::transfer(kPageSize, bandwidth(link));
+    clock_ += busy;
+    stats_.add("pages_read");
+    stats_.add("bytes_read", kPageSize);
+    stats_.add("overlapped_reads");
+    meterTransfer(1, busy, link);
+    out->clear();
+    return fetchPage(id, out);
+}
+
+Status
+SsdModel::rereadPage(PageId id, Link link, std::vector<uint8_t> *out)
+{
+    SimTime backoff = fault_plan_ != nullptr
+                          ? fault_plan_->config().retry_backoff
+                          : SimTime();
+    SimTime busy = backoff + config_.read_latency +
+                   SimTime::transfer(kPageSize, bandwidth(link));
+    clock_ += busy;
+    stats_.add("read_retries");
+    stats_.add("pages_read");
+    stats_.add("bytes_read", kPageSize);
+    meterTransfer(1, busy, link);
+    out->clear();
+    return fetchPage(id, out);
 }
 
 } // namespace mithril::storage

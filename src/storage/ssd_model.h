@@ -26,6 +26,8 @@
 
 #include "common/simtime.h"
 #include "common/stats.h"
+#include "common/status.h"
+#include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "storage/page_store.h"
 
@@ -99,6 +101,22 @@ class SsdModel
      */
     void bindMetrics(obs::MetricsRegistry *metrics);
 
+    /**
+     * Attaches a fault plan (non-owning; may be null to detach).
+     *
+     * With a plan attached every data-moving read consults it: timeouts
+     * and ECC-uncorrectable outcomes are retried up to the plan's
+     * max_retries with modeled backoff charged into the device clock
+     * (`ssd.read_retries`), then surface as kDataLoss; silent bit flips
+     * and block garbling damage the returned copy for upper layers'
+     * CRC framing to catch. With no plan the data path is exactly the
+     * unfaulted code.
+     */
+    void attachFaultPlan(fault::FaultPlan *plan);
+
+    /** Currently attached fault plan, or null. */
+    fault::FaultPlan *faultPlan() const { return fault_plan_; }
+
     // --- pure timing queries -------------------------------------------
 
     /**
@@ -131,13 +149,28 @@ class SsdModel
     /**
      * Reads a batch of independent pages over @p link, appending their
      * bytes to @p out, and accrues modeled time for the whole batch.
+     * Fails with kInvalidArgument for an unallocated id and kDataLoss
+     * when a page stays unreadable after the fault plan's retries; on
+     * failure @p out is left as it was on entry.
      */
-    void readBatch(std::span<const PageId> ids, Link link,
-                   std::vector<uint8_t> *out);
+    Status readBatch(std::span<const PageId> ids, Link link,
+                     std::vector<uint8_t> *out);
 
     /** Reads one page in a dependent chain (pointer chase): charges a
-     *  full read latency. Returns the page view. */
-    std::span<const uint8_t> readChained(PageId id, Link link);
+     *  full read latency. Replaces @p out with the page bytes. */
+    Status readChained(PageId id, Link link, std::vector<uint8_t> *out);
+
+    /** Reads one page that pipelines behind other outstanding work
+     *  (latency hidden, transfer time charged). Replaces @p out. */
+    Status readOverlapped(PageId id, Link link,
+                          std::vector<uint8_t> *out);
+
+    /**
+     * Re-issues a read after an upper layer rejected the returned bytes
+     * (CRC mismatch): charges the plan's backoff plus a fresh command
+     * latency, counts `ssd.read_retries`, and replaces @p out.
+     */
+    Status rereadPage(PageId id, Link link, std::vector<uint8_t> *out);
 
     /** Accounts a batch of independent page reads that pipeline behind
      *  other outstanding work (latency hidden): charges transfer time
@@ -147,11 +180,13 @@ class SsdModel
   private:
     double bandwidth(Link link) const;
     void meterTransfer(uint64_t pages, SimTime busy, Link link);
+    Status fetchPage(PageId id, std::vector<uint8_t> *out);
 
     SsdConfig config_;
     PageStore store_;
     SimTime clock_;
     StatSet stats_;
+    fault::FaultPlan *fault_plan_ = nullptr;
     obs::MetricsRegistry *metrics_ = nullptr;
     obs::Counter *link_busy_[2] = {nullptr, nullptr};
     obs::LogHistogram *batch_pages_ = nullptr;

@@ -71,6 +71,34 @@ TEST(Hash64Test, DistributionOverBucketsIsRoughlyUniform)
     }
 }
 
+TEST(Crc32Test, MatchesKnownVectors)
+{
+    // Standard IEEE CRC-32 check values.
+    EXPECT_EQ(crc32("", 0), 0u);
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog", 43),
+              0x414fa339u);
+}
+
+TEST(Crc32Test, SeedContinuesAcrossRanges)
+{
+    const char *msg = "123456789";
+    uint32_t split = crc32(msg + 4, 5, crc32(msg, 4));
+    EXPECT_EQ(split, crc32(msg, 9));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips)
+{
+    std::vector<uint8_t> buf(4096, 0x5a);
+    uint32_t clean = crc32(buf.data(), buf.size());
+    for (size_t bit : {size_t{0}, size_t{17}, size_t{4096 * 8 - 1}}) {
+        buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        EXPECT_NE(crc32(buf.data(), buf.size()), clean) << "bit " << bit;
+        buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    EXPECT_EQ(crc32(buf.data(), buf.size()), clean);
+}
+
 TEST(HashPairTest, ProducesIndicesInRange)
 {
     HashPair pair(256);

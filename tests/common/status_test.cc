@@ -31,6 +31,7 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes)
     EXPECT_EQ(Status::notFound("x").code(), StatusCode::kNotFound);
     EXPECT_EQ(Status::unsupported("x").code(), StatusCode::kUnsupported);
     EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+    EXPECT_EQ(Status::dataLoss("x").code(), StatusCode::kDataLoss);
 }
 
 Status
@@ -53,6 +54,7 @@ TEST(StatusTest, CodeNames)
     EXPECT_STREQ(statusCodeName(StatusCode::kOk), "OK");
     EXPECT_STREQ(statusCodeName(StatusCode::kCapacityExceeded),
                  "CAPACITY_EXCEEDED");
+    EXPECT_STREQ(statusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
 }
 
 } // namespace

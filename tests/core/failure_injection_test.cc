@@ -1,9 +1,13 @@
 /**
  * @file
- * Failure injection: corrupted storage must surface as kCorruptData
- * through every read path — never a crash, never silent wrong data.
- * Also exercises degenerate system states (query before ingest, flush
- * with nothing pending, double flush).
+ * Failure injection: corrupted storage must never crash and never
+ * produce silent wrong data. Raw decoders surface typed errors
+ * (kCorruptData for structural damage, kDataLoss for CRC-detected byte
+ * damage); the query path degrades gracefully instead — damaged pages
+ * are dropped (counted in QueryBreakdown::pages_dropped) and the query
+ * still answers from the readable remainder. Also exercises degenerate
+ * system states (query before ingest, flush with nothing pending,
+ * double flush).
  */
 #include <gtest/gtest.h>
 
@@ -35,21 +39,35 @@ corpus()
     return text;
 }
 
-TEST(FailureInjectionTest, CorruptedPageMagicFailsQueries)
+TEST(FailureInjectionTest, CorruptedPageDegradesGracefully)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(corpus()).isOk());
     system.flush();
-    ASSERT_GT(system.dataPageCount(), 0u);
+    ASSERT_GT(system.dataPageCount(), 1u);
 
-    // Smash the first data page's header.
+    // Baseline before damage.
+    QueryResult clean;
+    ASSERT_TRUE(system.run(mustParse("nominal"), &clean).isOk());
+    EXPECT_EQ(clean.matched_lines, 2000u);
+    EXPECT_EQ(clean.pages_dropped, 0u);
+
+    // Smash the first data page's header: its damage is persistent
+    // (no fault plan), so the page is dropped — the query must still
+    // succeed and answer from the readable remainder.
     auto page = system.ssd().store().mutablePage(0);
     for (size_t i = 0; i < 16; ++i) {
         page[i] ^= 0xa5;
     }
     QueryResult r;
     Status st = system.run(mustParse("nominal"), &r);
-    EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+    ASSERT_TRUE(st.isOk()) << st.toString();
+    EXPECT_EQ(r.pages_dropped, 1u);
+    EXPECT_EQ(r.breakdown.pages_dropped, 1u);
+    EXPECT_LT(r.matched_lines, clean.matched_lines);
+    EXPECT_GT(r.matched_lines, 0u);
+    EXPECT_GT(system.metrics().counter("core.pages_dropped").value(),
+              0u);
 }
 
 TEST(FailureInjectionTest, RandomPayloadCorruptionNeverCrashes)
@@ -71,8 +89,13 @@ TEST(FailureInjectionTest, RandomPayloadCorruptionNeverCrashes)
         }
         QueryResult r;
         Status st = system.run(mustParse("nominal & check"), &r);
+        // The degradation ladder drops damaged pages, so queries
+        // succeed; any residual typed failure is acceptable, a crash
+        // or silent misparse is not.
         if (!st.isOk()) {
-            EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+            EXPECT_TRUE(st.code() == StatusCode::kCorruptData ||
+                        st.code() == StatusCode::kDataLoss)
+                << st.toString();
         }
     }
 }
@@ -91,7 +114,10 @@ TEST(FailureInjectionTest, TruncatedPageDecodeRejected)
     compress::ByteView sliver(enc.pages()[0].data(), 48);
     compress::Bytes out;
     Status st = compress::lzahDecodePage(sliver, false, &out);
-    EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+    // The page CRC covers the payload, so truncation reads as detected
+    // byte damage (kDataLoss) before structural parsing even starts.
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+    EXPECT_TRUE(out.empty());
 }
 
 TEST(FailureInjectionTest, RandomBytesAsPageRejected)
@@ -107,7 +133,9 @@ TEST(FailureInjectionTest, RandomBytesAsPageRejected)
         // Random magic almost never validates; either way: no crash,
         // and failure is typed.
         if (!st.isOk()) {
-            EXPECT_EQ(st.code(), StatusCode::kCorruptData);
+            EXPECT_TRUE(st.code() == StatusCode::kCorruptData ||
+                        st.code() == StatusCode::kDataLoss)
+                << st.toString();
         }
     }
 }

@@ -1,0 +1,16 @@
+// Fixture: every way of wiring a fault hook that bypasses FaultPlan.
+// Each numbered line must fire [fault-gating].
+namespace mithril {
+
+#ifdef MITHRIL_INJECT_FAULTS  // line 5: compile-time fault gate
+static bool g_fault_enabled = true;  // line 6: global mutable toggle
+
+void
+corruptRead(Device *device)
+{
+    device->drawRead(9, 4096);  // line 11: drawRead outside a plan
+}
+
+#endif
+
+} // namespace mithril

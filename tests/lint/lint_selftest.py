@@ -76,6 +76,12 @@ rc, out = run_lint("bad_cast.cc")
 expect(rc == 1, "bad_cast.cc exits 1")
 expect_finding(out, "bad_cast.cc", 7, "cast-outside-bits")
 
+rc, out = run_lint("bad_fault_hook.cc")
+expect(rc == 1, "bad_fault_hook.cc exits 1")
+expect_finding(out, "bad_fault_hook.cc", 5, "fault-gating")
+expect_finding(out, "bad_fault_hook.cc", 6, "fault-gating")
+expect_finding(out, "bad_fault_hook.cc", 11, "fault-gating")
+
 rc, out = run_lint("bad_guard.h")
 expect(rc == 1, "bad_guard.h exits 1")
 expect_finding(out, "bad_guard.h", 2, "header-guard")

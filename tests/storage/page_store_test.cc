@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <span>
 
 namespace mithril::storage {
 namespace {
@@ -21,7 +22,8 @@ TEST(PageStoreTest, FreshPagesAreZeroed)
 {
     PageStore store;
     PageId id = store.allocate();
-    auto page = store.read(id);
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(id, &page).isOk());
     for (uint8_t b : page) {
         ASSERT_EQ(b, 0);
     }
@@ -34,7 +36,8 @@ TEST(PageStoreTest, WriteReadRoundTrip)
     std::vector<uint8_t> data(kPageSize);
     std::iota(data.begin(), data.end(), 0);
     store.write(id, data);
-    auto page = store.read(id);
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(id, &page).isOk());
     EXPECT_TRUE(std::equal(data.begin(), data.end(), page.begin()));
 }
 
@@ -46,7 +49,8 @@ TEST(PageStoreTest, PartialWriteKeepsTail)
     store.write(id, full);
     std::vector<uint8_t> head(16, 0x01);
     store.write(id, head);
-    auto page = store.read(id);
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(id, &page).isOk());
     EXPECT_EQ(page[0], 0x01);
     EXPECT_EQ(page[15], 0x01);
     EXPECT_EQ(page[16], 0xff);
@@ -57,7 +61,9 @@ TEST(PageStoreTest, MutablePageWritesThrough)
     PageStore store;
     PageId id = store.allocate();
     store.mutablePage(id)[100] = 0x42;
-    EXPECT_EQ(store.read(id)[100], 0x42);
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(id, &page).isOk());
+    EXPECT_EQ(page[100], 0x42);
 }
 
 TEST(PageStoreTest, PagesAreIndependent)
@@ -66,7 +72,21 @@ TEST(PageStoreTest, PagesAreIndependent)
     PageId a = store.allocate();
     PageId b = store.allocate();
     store.mutablePage(a)[0] = 1;
-    EXPECT_EQ(store.read(b)[0], 0);
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(b, &page).isOk());
+    EXPECT_EQ(page[0], 0);
+}
+
+TEST(PageStoreTest, OutOfRangeReadReturnsInvalidArgument)
+{
+    PageStore store;
+    std::span<const uint8_t> page;
+    EXPECT_EQ(store.read(0, &page).code(), StatusCode::kInvalidArgument);
+    PageId id = store.allocate();
+    EXPECT_TRUE(store.contains(id));
+    EXPECT_FALSE(store.contains(id + 1));
+    EXPECT_EQ(store.read(id + 1, &page).code(),
+              StatusCode::kInvalidArgument);
 }
 
 } // namespace

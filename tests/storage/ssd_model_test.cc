@@ -17,7 +17,7 @@ TEST(SsdModelTest, BatchReadMovesData)
 
     std::vector<uint8_t> out;
     std::vector<PageId> ids{a, b};
-    ssd.readBatch(ids, Link::kInternal, &out);
+    ASSERT_TRUE(ssd.readBatch(ids, Link::kInternal, &out).isOk());
     ASSERT_EQ(out.size(), 2 * kPageSize);
     EXPECT_EQ(out[0], 1);
     EXPECT_EQ(out[kPageSize], 2);
@@ -69,13 +69,14 @@ TEST(SsdModelTest, MeteredReadsAdvanceClockAndStats)
 
     std::vector<uint8_t> out;
     std::vector<PageId> ids{a};
-    ssd.readBatch(ids, Link::kExternal, &out);
+    ASSERT_TRUE(ssd.readBatch(ids, Link::kExternal, &out).isOk());
     EXPECT_GT(ssd.elapsed().ps(), 0u);
     EXPECT_EQ(ssd.stats().get("pages_read"), 1u);
     EXPECT_EQ(ssd.stats().get("bytes_read"), kPageSize);
 
-    auto view = ssd.readChained(a, Link::kExternal);
-    EXPECT_EQ(view[0], 7);
+    std::vector<uint8_t> chained;
+    ASSERT_TRUE(ssd.readChained(a, Link::kExternal, &chained).isOk());
+    EXPECT_EQ(chained[0], 7);
     EXPECT_EQ(ssd.stats().get("chained_reads"), 1u);
 }
 

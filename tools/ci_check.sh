@@ -6,9 +6,11 @@
 # Runs, in order (stopping at the first failure):
 #   1. werror build      full tree, -Wall -Wextra -Werror
 #   2. unit + bench tests ctest over the werror build
-#   3. domain lint       tools/mithril_lint.py (and its self-test)
-#   4. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#   5. ubsan build+test  full tree under -fsanitize=undefined
+#   3. fault matrix      tools/fault_matrix.sh — end-to-end queries
+#      under corruption/timeout/mixed fault plans stay exactly correct
+#   4. domain lint       tools/mithril_lint.py (and its self-test)
+#   5. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#   6. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -30,6 +32,10 @@ cmake --build --preset werror -j "$JOBS"
 
 step "unit + bench tests"
 ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+
+step "fault matrix (tools/fault_matrix.sh)"
+tools/fault_matrix.sh build-werror/examples/mithril_cli \
+    build-werror/fault_matrix_ci
 
 step "domain lint (mithril_lint.py + selftest)"
 python3 tools/mithril_lint.py

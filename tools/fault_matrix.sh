@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Fault-matrix acceptance gate.
+#
+# Runs one end-to-end query (generate -> ingest -> query) under a
+# matrix of deterministic fault plans — clean, silent corruption,
+# command timeouts, and a mixed plan — and asserts:
+#
+#   1. every faulted run reports exactly the clean run's match count
+#      (retry + CRC-reread recovery, or a documented degraded path —
+#      never silently wrong results);
+#   2. the faulted runs' --metrics-out snapshots carry the fault.*
+#      injection counters and the degradation counters the robustness
+#      layer promises;
+#   3. the clean run draws no faults at all (null-plan hot path).
+#
+# Usage: fault_matrix.sh <path-to-mithril_cli> [workdir]
+set -euo pipefail
+
+CLI="$1"
+WORK="${2:-$(mktemp -d)}"
+QUERY="error"
+mkdir -p "$WORK"
+
+"$CLI" generate Spirit2 2 "$WORK/fm.log" > /dev/null
+"$CLI" ingest "$WORK/fm.log" "$WORK/fm.img" > /dev/null
+
+# run_query <name> <plan-spec-or-empty>  -> prints the match count
+run_query() {
+    local name="$1" plan="$2"
+    local args=("query" "$WORK/fm.img" "$QUERY"
+                "--metrics-out=$WORK/$name.json")
+    if [[ -n "$plan" ]]; then
+        args+=("--fault-plan=$plan")
+    fi
+    "$CLI" "${args[@]}" > "$WORK/$name.out"
+    awk 'NR==1 { print $1 }' "$WORK/$name.out"
+}
+
+# counter <name> <key>  -> value from the run's metrics snapshot
+counter() {
+    python3 -c '
+import json, sys
+snap = json.load(open(sys.argv[1]))
+print(int(snap["counters"].get(sys.argv[2], 0)))
+' "$WORK/$1.json" "$2"
+}
+
+clean=$(run_query clean "")
+corruption=$(run_query corruption "seed=3,ber=1e-6,garble=0.002")
+timeout=$(run_query timeout "seed=5,timeout=0.01")
+mixed=$(run_query mixed "seed=7,ber=1e-6,ecc=0.002,timeout=0.01,garble=0.001")
+
+echo "matches: clean=$clean corruption=$corruption" \
+     "timeout=$timeout mixed=$mixed"
+
+fail=0
+for name in corruption timeout mixed; do
+    got=$(eval echo "\$$name")
+    if [[ "$got" != "$clean" ]]; then
+        echo "FAIL: $name plan returned $got matches, clean=$clean"
+        fail=1
+    fi
+    draws=$(counter "$name" fault.draws)
+    if [[ "$draws" -eq 0 ]]; then
+        echo "FAIL: $name plan drew no faults (plan not attached?)"
+        fail=1
+    fi
+    for key in fault.timeouts fault.uncorrectable fault.bits_flipped \
+               fault.blocks_garbled ssd.read_retries \
+               core.degraded_index_scans core.degraded_software_scans \
+               core.pages_dropped; do
+        python3 -c '
+import json, sys
+snap = json.load(open(sys.argv[1]))
+sys.exit(0 if sys.argv[2] in snap["counters"] else 1)
+' "$WORK/$name.json" "$key" || {
+            echo "FAIL: $name metrics missing $key"
+            fail=1
+        }
+    done
+done
+
+# Injection must actually have happened somewhere in the matrix.
+injected=$(( $(counter timeout fault.timeouts) \
+           + $(counter corruption fault.bits_flipped) \
+           + $(counter corruption fault.blocks_garbled) \
+           + $(counter mixed fault.uncorrectable) ))
+if [[ "$injected" -eq 0 ]]; then
+    echo "FAIL: matrix injected nothing; rates or seeds are broken"
+    fail=1
+fi
+
+if [[ $(counter clean fault.draws) -ne 0 ]]; then
+    echo "FAIL: clean run drew faults without a plan"
+    fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "fault matrix OK ($clean matches under every plan)"

@@ -19,6 +19,12 @@ repo-specific invariants no generic tool knows about:
                      containers or smart pointers.
   cast-outside-bits  reinterpret_cast/const_cast only inside the audited
                      helpers in src/common/bits.h.
+  fault-gating       fault-injection hooks must only be reachable
+                     through an attached mithril::fault::FaultPlan —
+                     no #ifdef fault gates, no static mutable fault
+                     toggles, no drawRead() outside a plan object —
+                     so a build with no plan attached is provably
+                     fault-free and every injection is seed-replayable.
   header-guard       include guards must be MITHRIL_<PATH>_H.
   include-order      a .cc includes its own header first; no "../"
                      uplevel includes; <system> before "project" blocks.
@@ -58,6 +64,8 @@ ALLOW = {
         "tests/obs/",
     ),
     "banned-rand-time": ("src/common/rng.h",),
+    # The fault subsystem itself declares/implements the hooks.
+    "fault-gating": ("src/fault/",),
     "raw-new-delete": ("arena",),  # any file with arena in its name
     "cast-outside-bits": ("src/common/bits.h",),
 }
@@ -75,6 +83,9 @@ RULE_HINTS = {
                       "allocation in a file named *arena*",
     "cast-outside-bits": "use asChars()/asByteSpan() from common/bits.h "
                          "or add an audited helper there",
+    "fault-gating": "inject faults only through an attached "
+                    "fault::FaultPlan (see fault/fault_plan.h); no "
+                    "#ifdef gates or global toggles",
     "header-guard": "guard must be MITHRIL_<PATH>_H (path relative to "
                     "src/, or to the repo root outside src/)",
     "include-order": "own header first in a .cc; no \"../\" paths; "
@@ -206,6 +217,37 @@ def check_cast_outside_bits(relpath, code):
             yield (i, "cast-outside-bits",
                    "reinterpret_cast/const_cast outside "
                    "src/common/bits.h")
+
+
+# "fault"/"inject" in any case, but not the "fault" inside "default"
+# (kDefaultCapacity and friends are not fault toggles).
+_FAULT_WORD = r"(?:(?<![Dd][Ee])[Ff][Aa][Uu][Ll][Tt]|[Ii][Nn][Jj][Ee][Cc][Tt])"
+_FAULT_PP_RE = re.compile(
+    rf"^\s*#\s*(?:el)?if(?:n?def)?\b.*{_FAULT_WORD}")
+# A namespace-scope/static mutable named like a fault switch. const and
+# constexpr are immutable and therefore not toggles.
+_FAULT_TOGGLE_RE = re.compile(
+    rf"^\s*static\s+(?!const\b|constexpr\b)[\w:<>\s*&]*?"
+    rf"\b\w*{_FAULT_WORD}\w*\s*(?:=|;|\{{)")
+_DRAW_READ_RE = re.compile(r"(?:(\w+)\s*(?:\.|->)\s*)?\bdrawRead\s*\(")
+
+
+def check_fault_gating(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _FAULT_PP_RE.search(line):
+            yield (i, "fault-gating",
+                   "preprocessor-gated fault hook; builds must not "
+                   "differ in fault behavior")
+        if _FAULT_TOGGLE_RE.search(line):
+            yield (i, "fault-gating",
+                   "static mutable fault toggle; attach a FaultPlan "
+                   "instead")
+        for m in _DRAW_READ_RE.finditer(line):
+            receiver = m.group(1) or ""
+            if "plan" not in receiver.lower():
+                yield (i, "fault-gating",
+                       "drawRead() not reached through a FaultPlan "
+                       "object")
 
 
 def expected_guard(relpath):
@@ -348,6 +390,7 @@ SIMPLE_RULES = (
     check_banned_rand_time,
     check_raw_new_delete,
     check_cast_outside_bits,
+    check_fault_gating,
     check_header_guard,
     check_include_order,
 )
@@ -358,6 +401,7 @@ RULE_OF_CHECK = {
     check_banned_rand_time: "banned-rand-time",
     check_raw_new_delete: "raw-new-delete",
     check_cast_outside_bits: "cast-outside-bits",
+    check_fault_gating: "fault-gating",
     check_header_guard: "header-guard",
     check_include_order: "include-order",
 }
