@@ -34,7 +34,7 @@ main(int argc, char **argv)
         BenchDataset ds = makeDataset(spec, 12 << 20);
         core::MithriLog system(obsConfig());
         expectOk(system.ingestText(ds.text), "ingest");
-        system.flush();
+        expectOk(system.flush(), "flush");
 
         std::vector<query::Query> q{ds.singles.empty()
                                         ? query::Query::allOf(

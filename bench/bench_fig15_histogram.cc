@@ -74,7 +74,7 @@ main(int argc, char **argv)
     db.ingest(ds.text);
     core::MithriLog system(obsConfig());
     expectOk(system.ingestText(ds.text), "ingest");
-    system.flush();
+    expectOk(system.flush(), "flush");
 
     std::printf("dataset %s, %zu template queries\n\n",
                 ds.spec.name.c_str(), ds.singles.size());

@@ -33,7 +33,7 @@ main(int argc, char **argv)
         splunk.ingest(ds.text);
         core::MithriLog system(obsConfig());
         expectOk(system.ingestText(ds.text), "ingest");
-        system.flush();
+        expectOk(system.flush(), "flush");
 
         std::printf("\ndataset %s  (columns: splunk_s mithrilog_s "
                     "splunk_buckets_scanned matched)\n",

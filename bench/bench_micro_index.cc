@@ -65,7 +65,11 @@ BM_MithriLogIngest(benchmark::State &state)
             state.SkipWithError(st.toString().c_str());
             return;
         }
-        system.flush();
+        st = system.flush();
+        if (!st.isOk()) {
+            state.SkipWithError(st.toString().c_str());
+            return;
+        }
         benchmark::DoNotOptimize(system.dataPageCount());
     }
     state.SetBytesProcessed(

@@ -29,7 +29,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "ingest failed\n");
         return 1;
     }
-    system.flush();
+    if (!system.flush().isOk()) {
+        std::fprintf(stderr, "flush failed\n");
+        return 1;
+    }
 
     std::printf("dataset %s: %llu lines, %llu pages\n",
                 ds.spec.name.c_str(),

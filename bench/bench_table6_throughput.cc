@@ -86,7 +86,7 @@ main(int argc, char **argv)
 
         core::MithriLog system(obsConfig());
         expectOk(system.ingestText(ds.text), "ingest");
-        system.flush();
+        expectOk(system.flush(), "flush");
 
         scan_rows[d] = {scanDbAvgTput(db, ds.singles, 10),
                         scanDbAvgTput(db, ds.pairs, 6),

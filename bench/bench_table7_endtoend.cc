@@ -42,7 +42,7 @@ main(int argc, char **argv)
 
         core::MithriLog system(obsConfig());
         expectOk(system.ingestText(ds.text), "ingest");
-        system.flush();
+        expectOk(system.flush(), "flush");
 
         // All singles (capped) + all combinations, same set for both.
         std::vector<query::Query> queries;

@@ -37,7 +37,7 @@ main(int argc, char **argv)
     db.ingest(ds.text);
     core::MithriLog system(obsConfig());
     expectOk(system.ingestText(ds.text), "ingest");
-    system.flush();
+    expectOk(system.flush(), "flush");
 
     double sw_tput = 0, accel_tput = 0;
     size_t n = std::min<size_t>(8, ds.singles.size());

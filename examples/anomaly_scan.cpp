@@ -29,10 +29,9 @@ main(int argc, char **argv)
     std::string text = gen.generate(4 << 20);
 
     core::MithriLog system;
-    if (!system.ingestText(text).isOk()) {
+    if (!system.ingestText(text).isOk() || !system.flush().isOk()) {
         return 1;
     }
-    system.flush();
     std::printf("scanning %s of %s-like logs for anomalies\n\n",
                 humanBytes(static_cast<double>(system.rawBytes())).c_str(),
                 name.c_str());

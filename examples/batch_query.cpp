@@ -25,10 +25,9 @@ main()
     std::string text = gen.generate(8 << 20);
 
     core::MithriLog system;
-    if (!system.ingestText(text).isOk()) {
+    if (!system.ingestText(text).isOk() || !system.flush().isOk()) {
         return 1;
     }
-    system.flush();
     std::printf("ingested %s (%llu lines), LZAH ratio %.2fx\n",
                 humanBytes(static_cast<double>(system.rawBytes())).c_str(),
                 static_cast<unsigned long long>(system.lineCount()),

@@ -13,16 +13,29 @@
  *   --metrics-out=<path>   write a JSON metrics snapshot on exit
  *   --trace-out=<path>     write a Chrome-trace (Perfetto) span file
  *   --fault-plan=<spec>    attach a deterministic fault-injection plan
- *                          to the device before running (query only);
- *                          spec example: "seed=3,ber=1e-6,timeout=0.01"
- *                          (keys: seed ber ecc timeout garble retries
- *                          backoff_us)
+ *                          to the device before running (ingest and
+ *                          query); spec example:
+ *                          "seed=3,ber=1e-6,timeout=0.01"
+ *                          (keys: seed ber ecc timeout garble torn
+ *                          drop cut_after retries backoff_us)
+ *   --crash-at=<N>         (ingest) power-cut the device on its Nth
+ *                          page program; the dead device's NAND is
+ *                          dumped to <out.img> as a raw device image
+ *                          and `crash: acknowledged=<lines>` reports
+ *                          the durable prefix
+ *   --recover              (query/stat) mount <in.img> as a raw
+ *                          crash image via journal replay instead of
+ *                          loading a clean host image
  *
  * Example session:
  *   mithril_cli generate Spirit2 8 /tmp/spirit.log
  *   mithril_cli ingest /tmp/spirit.log /tmp/spirit.img
  *   mithril_cli query /tmp/spirit.img "error & !timeout" \
  *       --metrics-out=/tmp/m.json --trace-out=/tmp/t.json
+ *
+ * Crash drill:
+ *   mithril_cli ingest /tmp/spirit.log /tmp/crash.img --crash-at=7
+ *   mithril_cli query /tmp/crash.img "error" --recover
  */
 #include <cstdio>
 #include <cstring>
@@ -86,6 +99,8 @@ struct ObsOut {
 
 ObsOut g_obs;
 std::string g_fault_spec;
+uint64_t g_crash_at = 0;
+bool g_recover = false;
 
 int
 usage()
@@ -100,6 +115,10 @@ usage()
                  "flags: --metrics-out=<path>  --trace-out=<path>\n"
                  "       --fault-plan=<spec>   e.g. "
                  "\"seed=3,ber=1e-6,timeout=0.01\"\n"
+                 "       --crash-at=<N>        (ingest) power cut on "
+                 "the Nth page program\n"
+                 "       --recover             (query/stat) mount a "
+                 "raw crash image\n"
                  "datasets: BGL2 Liberty2 Spirit2 Thunderbird\n");
     return 2;
 }
@@ -146,8 +165,47 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
         return 1;
     }
     core::MithriLog system;
+    // The write-side plan must attach *before* ingest so page programs
+    // and the --crash-at power cut hit the durable commit protocol.
+    std::unique_ptr<fault::FaultPlan> plan;
+    if (!g_fault_spec.empty() || g_crash_at > 0) {
+        fault::FaultPlanConfig fc;
+        Status ps = fault::FaultPlan::parse(g_fault_spec, &fc);
+        if (!ps.isOk()) {
+            std::fprintf(stderr, "fault-plan: %s\n",
+                         ps.toString().c_str());
+            return 2;
+        }
+        if (g_crash_at > 0) {
+            fc.power_cut_after_writes = g_crash_at;
+        }
+        plan = std::make_unique<fault::FaultPlan>(fc);
+        system.ssd().attachFaultPlan(plan.get());
+    }
     WallTimer timer;
     Status st = system.ingestText(text);
+    if (st.isOk()) {
+        st = system.seal();
+    }
+    if (st.code() == StatusCode::kUnavailable) {
+        // Power cut mid-ingest: dump the dead device's NAND so recovery
+        // can be exercised, and report the acknowledged durable prefix.
+        Status dump = system.saveDeviceImage(img_path);
+        if (!dump.isOk()) {
+            std::fprintf(stderr, "device dump: %s\n",
+                         dump.toString().c_str());
+            return 1;
+        }
+        std::printf("crash: acknowledged=%llu\n",
+                    static_cast<unsigned long long>(
+                        system.durableLineCount()));
+        obs::JsonRecord("cli_crash")
+            .field("cut_after", g_crash_at)
+            .field("acknowledged_lines", system.durableLineCount())
+            .field("device_pages", system.ssd().store().pageCount())
+            .emit();
+        return g_obs.write(system);
+    }
     if (!st.isOk()) {
         std::fprintf(stderr, "ingest: %s\n", st.toString().c_str());
         return 1;
@@ -157,20 +215,73 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
         std::fprintf(stderr, "save: %s\n", st.toString().c_str());
         return 1;
     }
+    uint64_t flushes = system.metrics().counter("ssd.flushes").value();
+    uint64_t journal_writes =
+        system.metrics().counter("journal.page_writes").value();
+    // Journaling overhead: the durability barriers plus the journal's
+    // own page programs, in modeled device time.
+    uint64_t overhead_ps =
+        flushes * system.ssd().config().flush_latency.ps() +
+        journal_writes *
+            SimTime::transfer(storage::kPageSize,
+                              system.ssd().config().internal_bw_bps)
+                .ps();
     std::printf("ingested %llu lines -> %llu pages (LZAH %.2fx) in "
                 "%.2fs; image at %s\n",
                 static_cast<unsigned long long>(system.lineCount()),
                 static_cast<unsigned long long>(system.dataPageCount()),
                 system.compressionRatio(), timer.seconds(),
                 img_path.c_str());
-    return 0;
+    obs::JsonRecord("cli_ingest")
+        .field("lines", system.lineCount())
+        .field("data_pages", system.dataPageCount())
+        .field("device_writes",
+               system.metrics().counter("ssd.pages_written").value())
+        .field("journal_records",
+               system.metrics().counter("journal.records").value())
+        .field("barriers", flushes)
+        .field("journal_overhead_ps", overhead_ps)
+        .field("wall_seconds", timer.seconds())
+        .emit();
+    return g_obs.write(system);
+}
+
+/** Mounts an image: journal-replay recovery (--recover) or a clean
+ *  host-image load. Emits the crash_recovery BENCH_JSON record so the
+ *  recovery cost is tracked across PRs. */
+Status
+mountImage(core::MithriLog *system, const std::string &img_path)
+{
+    if (!g_recover) {
+        return system->loadImage(img_path);
+    }
+    WallTimer timer;
+    Status st = system->recover(img_path);
+    if (!st.isOk()) {
+        return st;
+    }
+    obs::MetricsRegistry &m = system->metrics();
+    obs::JsonRecord("crash_recovery")
+        .field("wall_seconds", timer.seconds())
+        .field("modeled_ps",
+               m.counter("recovery.modeled_ps").value())
+        .field("lines_recovered",
+               m.counter("recovery.lines_recovered").value())
+        .field("pages_committed",
+               m.counter("recovery.pages_committed").value())
+        .field("pages_discarded",
+               m.counter("recovery.pages_discarded").value())
+        .field("records_replayed",
+               m.counter("recovery.records_replayed").value())
+        .emit();
+    return Status::ok();
 }
 
 int
 cmdQuery(const std::string &img_path, const std::string &query_text)
 {
     core::MithriLog system;
-    Status st = system.loadImage(img_path);
+    Status st = mountImage(&system, img_path);
     if (!st.isOk()) {
         std::fprintf(stderr, "load: %s\n", st.toString().c_str());
         return 1;
@@ -244,7 +355,7 @@ int
 cmdStat(const std::string &img_path)
 {
     core::MithriLog system;
-    Status st = system.loadImage(img_path);
+    Status st = mountImage(&system, img_path);
     if (!st.isOk()) {
         std::fprintf(stderr, "load: %s\n", st.toString().c_str());
         return 1;
@@ -284,6 +395,11 @@ main(int argc, char **argv)
             g_obs.trace_path = a.substr(strlen("--trace-out="));
         } else if (a.rfind("--fault-plan=", 0) == 0) {
             g_fault_spec = a.substr(strlen("--fault-plan="));
+        } else if (a.rfind("--crash-at=", 0) == 0) {
+            g_crash_at = std::stoull(
+                std::string(a.substr(strlen("--crash-at="))));
+        } else if (a == "--recover") {
+            g_recover = true;
         } else {
             args.push_back(argv[i]);
         }

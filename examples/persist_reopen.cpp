@@ -69,10 +69,10 @@ main(int argc, char **argv)
 
     // Phase 3: the reopened store keeps accepting logs.
     if (!reopened.ingestText("post-restart sentinel line PROOF\n")
-             .isOk()) {
+             .isOk() ||
+        !reopened.flush().isOk()) {
         return 1;
     }
-    reopened.flush();
     st = reopened.run("PROOF", &r);
     if (st.isOk() && r.matched_lines == 1) {
         std::printf("post-restart ingest works: sentinel found\n");

@@ -51,7 +51,12 @@ main(int argc, char **argv)
                      st.toString().c_str());
         return 1;
     }
-    system.flush();
+    st = system.flush();
+    if (!st.isOk()) {
+        std::fprintf(stderr, "flush failed: %s\n",
+                     st.toString().c_str());
+        return 1;
+    }
     std::printf("ingested %llu lines into %llu pages "
                 "(compression %.2fx, index memory %s)\n",
                 static_cast<unsigned long long>(system.lineCount()),

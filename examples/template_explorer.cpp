@@ -56,10 +56,9 @@ main(int argc, char **argv)
 
     // Ingest and run template queries on the accelerator.
     core::MithriLog system;
-    if (!system.ingestText(text).isOk()) {
+    if (!system.ingestText(text).isOk() || !system.flush().isOk()) {
         return 1;
     }
-    system.flush();
 
     std::printf("\nper-template retrieval (first 5):\n");
     for (size_t i = 0; i < tpls.size() && i < 5; ++i) {

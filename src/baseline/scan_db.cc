@@ -162,7 +162,7 @@ ScanDb::ingest(std::string_view text)
     if (mode_ == ScanDbMode::kCompressedText) {
         std::string block_text;
         uint32_t block_lines = 0;
-        auto seal = [&]() {
+        auto sealBlock = [&]() {
             if (block_lines == 0) {
                 return;
             }
@@ -182,10 +182,10 @@ ScanDb::ingest(std::string_view text)
             ++line_count_;
             raw_bytes_ += line.size() + 1;
             if (block_lines >= kBlockLines) {
-                seal();
+                sealBlock();
             }
         });
-        seal();
+        sealBlock();
         return;
     }
 
@@ -193,7 +193,7 @@ ScanDb::ingest(std::string_view text)
     std::vector<uint8_t> ids;
     uint32_t block_lines = 0;
     uint32_t block_raw = 0;
-    auto seal = [&]() {
+    auto sealBlock = [&]() {
         if (block_lines == 0) {
             return;
         }
@@ -221,10 +221,10 @@ ScanDb::ingest(std::string_view text)
         raw_bytes_ += line.size() + 1;
         block_raw += static_cast<uint32_t>(line.size() + 1);
         if (block_lines >= kBlockLines) {
-            seal();
+            sealBlock();
         }
     });
-    seal();
+    sealBlock();
 }
 
 ScanResult

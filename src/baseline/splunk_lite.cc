@@ -19,7 +19,7 @@ SplunkLite::ingest(std::string_view text)
     uint32_t bucket_lines = 0;
     std::set<std::string, std::less<>> bucket_tokens;
 
-    auto seal = [&]() {
+    auto sealBucket = [&]() {
         if (bucket_lines == 0) {
             return;
         }
@@ -49,10 +49,10 @@ SplunkLite::ingest(std::string_view text)
             return true;
         });
         if (bucket_lines >= kBucketLines) {
-            seal();
+            sealBucket();
         }
     });
-    seal();
+    sealBucket();
 }
 
 uint64_t

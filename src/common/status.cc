@@ -14,6 +14,7 @@ statusCodeName(StatusCode code)
       case StatusCode::kUnsupported: return "UNSUPPORTED";
       case StatusCode::kInternal: return "INTERNAL";
       case StatusCode::kDataLoss: return "DATA_LOSS";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
 }

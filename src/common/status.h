@@ -29,6 +29,7 @@ enum class StatusCode {
     kUnsupported,       ///< valid request outside this engine's abilities
     kInternal,          ///< unexpected internal condition
     kDataLoss,          ///< bytes unrecoverable after retry/ECC exhausted
+    kUnavailable,       ///< device not serving requests (power lost)
 };
 
 /** Human-readable name for a status code. */
@@ -96,6 +97,12 @@ class [[nodiscard]] Status
     dataLoss(std::string msg)
     {
         return Status(StatusCode::kDataLoss, std::move(msg));
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return Status(StatusCode::kUnavailable, std::move(msg));
     }
 
     [[nodiscard]] bool isOk() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/bits.h"
+#include "common/hash.h"
 #include "common/text.h"
 #include "common/wall_timer.h"
 #include "obs/json.h"
@@ -16,7 +17,7 @@ using storage::Link;
 using storage::PageId;
 
 MithriLog::MithriLog(MithriLogConfig config)
-    : config_(config), ssd_(config.ssd),
+    : config_(config), ssd_(config.ssd), journal_(&ssd_),
       index_(std::make_unique<index::InvertedIndex>(&ssd_, config.index)),
       accel_(config.accel)
 {
@@ -33,6 +34,7 @@ MithriLog::MithriLog(MithriLogConfig config)
         tracer_ = owned_tracer_.get();
     }
     ssd_.bindMetrics(metrics_);
+    journal_.bindMetrics(metrics_);
     index_->bindMetrics(metrics_);
     accel_.bindMetrics(metrics_);
 
@@ -64,6 +66,13 @@ MithriLog::MithriLog(MithriLogConfig config)
 Status
 MithriLog::ingestLine(std::string_view line)
 {
+    if (sealed_) {
+        return Status::invalidArgument("store is sealed");
+    }
+    if (dead_) {
+        return Status::unavailable(
+            "device lost power; recover() the image on a fresh system");
+    }
     if (line.size() > compress::LzahPageEncoder::kMaxLineBytes) {
         if (!config_.truncate_long_lines) {
             return Status::invalidArgument("line exceeds page limit");
@@ -76,8 +85,9 @@ MithriLog::ingestLine(std::string_view line)
     MITHRIL_ASSERT(r != compress::AddLineResult::kRejected);
     if (r == compress::AddLineResult::kSealedAndAppended) {
         // The sealed page holds the lines before this one; this line
-        // opened the next page and its tokens belong there.
-        sealPendingPage();
+        // opened the next page and its tokens belong there. A commit
+        // failure means this line was never acknowledged.
+        MITHRIL_RETURN_IF_ERROR(sealPendingPage());
     }
     forEachToken(line, [&](std::string_view tok, uint32_t) {
         if (!pending_tokens_.count(tok)) {
@@ -104,15 +114,40 @@ MithriLog::ingestText(std::string_view text)
     return status;
 }
 
-void
+Status
 MithriLog::sealPendingPage()
 {
     MITHRIL_ASSERT(!encoder_.pages().empty());
     compress::Bytes page = std::move(encoder_.pages().back());
     encoder_.pages().pop_back();
 
-    PageId id = ssd_.allocate();
-    ssd_.writePage(id, page);
+    // Commit protocol (order is the crash-safety argument):
+    //   1. journal layout exists (lazy format on the first commit);
+    //   2. program the data page;
+    //   3. journal the commit record, whose barrier is the ack point —
+    //      a crash before it loses only unacknowledged lines, a crash
+    //      after it loses nothing;
+    //   4. index the page (unjournaled: the index is rebuilt from
+    //      committed data pages at recovery).
+    Status st = Status::ok();
+    if (!journal_.formatted()) {
+        st = journal_.format();
+    }
+    PageId id = storage::kInvalidPage;
+    if (st.isOk()) {
+        id = ssd_.allocate();
+        st = ssd_.writePage(id, page);
+    }
+    if (st.isOk()) {
+        st = journal_.appendPageCommit(
+            id, crc32(page.data(), page.size()), lines_, raw_bytes_);
+    }
+    if (!st.isOk()) {
+        dead_ = true;
+        return st;
+    }
+    committed_lines_ = lines_;
+    committed_raw_ = raw_bytes_;
     data_pages_.push_back(id);
 
     std::vector<std::string_view> tokens;
@@ -124,17 +159,48 @@ MithriLog::sealPendingPage()
     pending_tokens_.clear();
     counters_.pages_sealed->add();
     counters_.lzah_bytes_out->add(storage::kPageSize);
+    return Status::ok();
 }
 
-void
+Status
 MithriLog::flush()
 {
+    if (dead_) {
+        return Status::unavailable(
+            "device lost power; recover() the image on a fresh system");
+    }
     encoder_.flush();
     if (!encoder_.pages().empty()) {
-        sealPendingPage();
+        MITHRIL_RETURN_IF_ERROR(sealPendingPage());
     }
     index_->flush();
     metrics_->gauge("lzah.ratio").set(compressionRatio());
+    return Status::ok();
+}
+
+Status
+MithriLog::seal()
+{
+    if (sealed_) {
+        return Status::ok(); // idempotent
+    }
+    if (dead_) {
+        return Status::unavailable(
+            "device lost power; recover() the image on a fresh system");
+    }
+    obs::Span span = tracer_->span("ingest.seal", "core");
+    MITHRIL_RETURN_IF_ERROR(flush());
+    if (journal_.formatted()) {
+        Status st = journal_.appendSeal(lines_, raw_bytes_);
+        if (!st.isOk()) {
+            dead_ = true;
+            return st;
+        }
+    }
+    // An empty store never formatted a journal; sealing it is purely
+    // an in-memory transition (recovery of an empty device is a no-op).
+    sealed_ = true;
+    return Status::ok();
 }
 
 double
@@ -589,15 +655,20 @@ MithriLog::run(std::string_view query_text, QueryResult *out)
 
 namespace {
 constexpr uint32_t kImageMagic = 0x474f4c4d;  // "MLOG"
-/** v2: LZAH page headers and index nodes carry CRC-32 fields; v1
- *  images would fail every page verification, so they are rejected. */
-constexpr uint32_t kImageVersion = 2;
+/** v3: adds the durable-commit state (committed lines/bytes, sealed
+ *  flag) and the journal cursor; v2 images predate the journal layout
+ *  (their page 0 is a data page), so they are rejected. */
+constexpr uint32_t kImageVersion = 3;
+
+/** Raw device dump header (saveDeviceImage / recover). */
+constexpr uint32_t kDeviceMagic = 0x5645444d;  // "MDEV"
+constexpr uint32_t kDeviceVersion = 1;
 } // namespace
 
 Status
 MithriLog::saveImage(const std::string &path)
 {
-    flush();
+    MITHRIL_RETURN_IF_ERROR(flush());
 
     std::vector<uint8_t> blob;
     putLe<uint32_t>(blob, kImageMagic);
@@ -605,6 +676,9 @@ MithriLog::saveImage(const std::string &path)
     putLe<uint64_t>(blob, lines_);
     putLe<uint64_t>(blob, raw_bytes_);
     putLe<uint64_t>(blob, truncated_lines_);
+    putLe<uint64_t>(blob, committed_lines_);
+    putLe<uint64_t>(blob, committed_raw_);
+    putLe<uint64_t>(blob, sealed_ ? 1 : 0);
     putLe<uint64_t>(blob, data_pages_.size());
     for (PageId p : data_pages_) {
         putLe<uint64_t>(blob, p);
@@ -614,6 +688,8 @@ MithriLog::saveImage(const std::string &path)
     index_->serialize(&index_blob);
     putLe<uint64_t>(blob, index_blob.size());
     blob.insert(blob.end(), index_blob.begin(), index_blob.end());
+
+    journal_.serialize(&blob);
 
     uint64_t pages = ssd_.store().pageCount();
     putLe<uint64_t>(blob, pages);
@@ -662,12 +738,15 @@ MithriLog::loadImage(const std::string &path)
         return Status::corruptData("bad image header");
     }
     pos = 8;
-    if (!need(4 * 8)) {
+    if (!need(7 * 8)) {
         return Status::corruptData("image truncated");
     }
     lines_ = get64();
     raw_bytes_ = get64();
     truncated_lines_ = get64();
+    committed_lines_ = get64();
+    committed_raw_ = get64();
+    sealed_ = get64() != 0;
     uint64_t n_data_pages = get64();
     if (!need(n_data_pages * 8 + 8)) {
         return Status::corruptData("image data-page list truncated");
@@ -677,24 +756,189 @@ MithriLog::loadImage(const std::string &path)
         data_pages_.push_back(get64());
     }
     uint64_t index_size = get64();
-    if (!need(index_size + 8)) {
+    if (!need(index_size)) {
         return Status::corruptData("image index blob truncated");
     }
     std::span<const uint8_t> index_blob(blob.data() + pos, index_size);
     pos += index_size;
+    // The journal cursor references the current journal page image, so
+    // it deserializes only after the pages below are in the store.
+    size_t cursor_pos = pos;
+    constexpr size_t kCursorBytes = 7 * 8;
+    if (!need(kCursorBytes + 8)) {
+        return Status::corruptData("image journal cursor truncated");
+    }
+    pos += kCursorBytes;
     uint64_t pages = get64();
     if (!need(pages * storage::kPageSize)) {
         return Status::corruptData("image pages truncated");
     }
     for (uint64_t p = 0; p < pages; ++p) {
         PageId id = ssd_.allocate();
-        ssd_.store().write(
+        MITHRIL_RETURN_IF_ERROR(ssd_.store().write(
             id, std::span<const uint8_t>(
                     blob.data() + pos + p * storage::kPageSize,
-                    storage::kPageSize));
+                    storage::kPageSize)));
     }
+    size_t consumed = 0;
+    MITHRIL_RETURN_IF_ERROR(journal_.deserialize(
+        blob.data() + cursor_pos, kCursorBytes, &consumed));
     MITHRIL_RETURN_IF_ERROR(index_->deserialize(index_blob));
     ssd_.resetClock();
+    return Status::ok();
+}
+
+Status
+MithriLog::saveDeviceImage(const std::string &path) const
+{
+    std::vector<uint8_t> header;
+    putLe<uint32_t>(header, kDeviceMagic);
+    putLe<uint32_t>(header, kDeviceVersion);
+    uint64_t pages = ssd_.store().pageCount();
+    putLe<uint64_t>(header, pages);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        return Status::invalidArgument("cannot open " + path);
+    }
+    bool ok =
+        std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    for (PageId p = 0; ok && p < pages; ++p) {
+        std::span<const uint8_t> view;
+        ok = ssd_.store().read(p, &view).isOk() &&
+             std::fwrite(view.data(), 1, view.size(), f) == view.size();
+    }
+    if (std::fclose(f) != 0 || !ok) {
+        return Status::internal("short write to " + path);
+    }
+    return Status::ok();
+}
+
+Status
+MithriLog::recover(const std::string &path)
+{
+    if (lines_ != 0 || ssd_.store().pageCount() != 0) {
+        return Status::invalidArgument("recover requires a fresh system");
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        return Status::invalidArgument("cannot open " + path);
+    }
+    std::vector<uint8_t> blob;
+    uint8_t chunk[65536];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+        blob.insert(blob.end(), chunk, chunk + n);
+    }
+    std::fclose(f);
+    if (blob.size() < 16 ||
+        getLe<uint32_t>(blob.data()) != kDeviceMagic ||
+        getLe<uint32_t>(blob.data() + 4) != kDeviceVersion) {
+        return Status::corruptData("bad device image header");
+    }
+    uint64_t pages = getLe<uint64_t>(blob.data() + 8);
+    if (blob.size() < 16 + pages * storage::kPageSize) {
+        return Status::corruptData("device image pages truncated");
+    }
+    // Host-side restore of the NAND contents: not metered device
+    // traffic (the bytes never crossed the modeled links).
+    for (uint64_t p = 0; p < pages; ++p) {
+        PageId id = ssd_.allocate();
+        MITHRIL_RETURN_IF_ERROR(ssd_.store().write(
+            id, std::span<const uint8_t>(
+                    blob.data() + 16 + p * storage::kPageSize,
+                    storage::kPageSize)));
+    }
+    ssd_.resetClock();
+
+    obs::Span span = tracer_->span("recover", "core");
+
+    // Step 1: replay the journal (metered chained reads).
+    obs::Span replay_span = tracer_->span("recover.journal_replay",
+                                          "core");
+    storage::Journal::ReplayResult rr;
+    Status replayed = journal_.replay(&rr);
+    replay_span.end();
+    MITHRIL_RETURN_IF_ERROR(replayed);
+
+    // Step 2: verify every committed data page against its journaled
+    // CRC and decode it. Verification failures (a lying device tore or
+    // dropped an acked program) cut the recovered dataset to the
+    // longest clean prefix — cumulative line counts only make sense
+    // for a prefix, and a mid-stream hole could turn into phantom or
+    // missing matches silently.
+    obs::Span verify_span = tracer_->span("recover.verify_pages",
+                                          "core");
+    struct Survivor {
+        storage::Journal::CommittedPage cp;
+        compress::Bytes text;
+    };
+    std::vector<Survivor> survivors;
+    survivors.reserve(rr.pages.size());
+    for (const storage::Journal::CommittedPage &cp : rr.pages) {
+        compress::Bytes buf;
+        if (!ssd_.readOverlapped(cp.page, Link::kInternal, &buf)
+                 .isOk() ||
+            crc32(buf.data(), buf.size()) != cp.crc ||
+            !compress::lzahVerifyPage(buf).isOk()) {
+            break;
+        }
+        compress::Bytes text;
+        if (!compress::lzahDecodePage(buf, /*padded=*/false, &text)
+                 .isOk()) {
+            break;
+        }
+        survivors.push_back(Survivor{cp, std::move(text)});
+    }
+    uint64_t discarded = rr.pages.size() - survivors.size();
+    verify_span.end();
+
+    // Step 3: rebuild the index from the surviving pages (the index is
+    // unjournaled by design; committed data pages are the source of
+    // truth).
+    obs::Span index_span = tracer_->span("recover.index_rebuild",
+                                         "core");
+    for (const Survivor &s : survivors) {
+        std::set<std::string, std::less<>> tokens;
+        forEachLine(asChars(s.text), [&](std::string_view line) {
+            forEachToken(line, [&](std::string_view tok, uint32_t) {
+                if (!tokens.count(tok)) {
+                    tokens.emplace(tok);
+                }
+                return true;
+            });
+        });
+        std::vector<std::string_view> token_views;
+        token_views.reserve(tokens.size());
+        for (const std::string &tok : tokens) {
+            token_views.push_back(tok);
+        }
+        // Timestamps are ingest line sequence numbers; the cumulative
+        // count at commit time reproduces the original stamps.
+        index_->addPage(s.cp.page, token_views, s.cp.lines);
+        data_pages_.push_back(s.cp.page);
+    }
+    index_->flush();
+    index_span.end();
+
+    if (!survivors.empty()) {
+        lines_ = survivors.back().cp.lines;
+        raw_bytes_ = survivors.back().cp.raw_bytes;
+    }
+    committed_lines_ = lines_;
+    committed_raw_ = raw_bytes_;
+    // A recovered store is immutable: the journal cursor died with the
+    // device, and append-after-recovery is future work (ROADMAP).
+    sealed_ = true;
+
+    metrics_->counter("recovery.journal_pages_replayed")
+        .add(rr.journal_pages);
+    metrics_->counter("recovery.records_replayed").add(rr.records);
+    metrics_->counter("recovery.pages_committed").add(rr.pages.size());
+    metrics_->counter("recovery.pages_discarded").add(discarded);
+    metrics_->counter("recovery.lines_recovered").add(lines_);
+    metrics_->counter("recovery.modeled_ps").add(ssd_.elapsed().ps());
+    span.end();
     return Status::ok();
 }
 

@@ -38,6 +38,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/query.h"
+#include "storage/journal.h"
 #include "storage/ssd_model.h"
 
 namespace mithril::core {
@@ -160,14 +161,38 @@ class MithriLog
 
     // ---- ingest --------------------------------------------------------
 
-    /** Ingests one line (without trailing newline). */
+    /**
+     * Ingests one line (without trailing newline).
+     *
+     * Durability contract: a line is *acknowledged* once the page
+     * holding it seals — data page programmed, commit record journaled,
+     * durability barrier passed (see durableLineCount()). Lines still
+     * in the open page are durable only after flush()/seal().
+     * @retval kInvalidArgument the store was sealed by seal().
+     * @retval kUnavailable the device lost power (a fault-plan power
+     *         cut); the caller's only move is saveDeviceImage() +
+     *         recover() on a fresh system.
+     */
     [[nodiscard]] Status ingestLine(std::string_view line);
 
     /** Ingests newline-separated text. */
     [[nodiscard]] Status ingestText(std::string_view text);
 
-    /** Seals the open page and flushes the index (end of ingest). */
-    void flush();
+    /**
+     * Seals the open page and flushes the index — a repeatable
+     * checkpoint (ingest may continue afterwards). On return every
+     * ingested line is journaled and crash-durable.
+     */
+    [[nodiscard]] Status flush();
+
+    /**
+     * Terminal durability barrier: flush(), then append the journal's
+     * seal record and publish the sealed superblock. Idempotent; after
+     * it returns ok the store is immutable (ingestLine fails with
+     * kInvalidArgument) and a crash at any later point recovers the
+     * complete dataset.
+     */
+    [[nodiscard]] Status seal();
 
     // ---- dataset statistics -------------------------------------------
 
@@ -175,6 +200,21 @@ class MithriLog
     uint64_t rawBytes() const { return raw_bytes_; }
     uint64_t dataPageCount() const { return data_pages_.size(); }
     uint64_t truncatedLines() const { return truncated_lines_; }
+
+    /** Lines covered by a journaled commit + durability barrier: the
+     *  prefix of the ingest stream guaranteed to survive a crash. */
+    uint64_t durableLineCount() const { return committed_lines_; }
+
+    /** True after seal() (or after recovering any store; recovery
+     *  always yields a sealed, immutable store). */
+    bool sealed() const { return sealed_; }
+
+    /** Data pages in ingest order (tests and ablations; the journal
+     *  owns the device's leading pages, so "page 0" is not data). */
+    const std::vector<storage::PageId> &dataPages() const
+    {
+        return data_pages_;
+    }
 
     /** raw bytes / compressed data page bytes. */
     double compressionRatio() const;
@@ -225,6 +265,29 @@ class MithriLog
      * @retval kCorruptData unreadable, malformed, or mismatched image.
      */
     [[nodiscard]] Status loadImage(const std::string &path);
+
+    /**
+     * Dumps the raw NAND contents (every page, no host-side state) to
+     * @p path. Unlike saveImage this works on a device that lost
+     * power — it reads the store directly, exactly what pulling the
+     * flash out of a dead device would yield. Input for recover().
+     */
+    [[nodiscard]] Status saveDeviceImage(const std::string &path) const;
+
+    /**
+     * Mount-time crash recovery. Loads a raw device image (from
+     * saveDeviceImage) into this freshly constructed system, replays
+     * the journal, verifies every committed data page against its
+     * journaled CRC, discards torn/uncommitted pages (always a clean
+     * *prefix* cut: the recovered store is exactly the first
+     * durableLineCount() lines of the original ingest stream), and
+     * rebuilds the index from the surviving pages. The recovered store
+     * is sealed. Every step is counted (`recovery.*` metrics) and
+     * spanned (`recover.*`); modeled device time accrues into SimTime.
+     * A device with no valid superblock (crash before the first commit
+     * completed) recovers to a valid empty store.
+     */
+    [[nodiscard]] Status recover(const std::string &path);
 
     // ---- component access (benches, tests, ablations) ------------------
 
@@ -289,7 +352,11 @@ class MithriLog
      *  cannot prune enough to pay for itself. */
     bool plannerPrefersScan(std::span<const query::Query> queries) const;
 
-    void sealPendingPage();
+    /** Durable page commit: program the data page, journal the commit
+     *  record, pass the barrier (ack point), then index the page. Any
+     *  failure marks the system dead_ (in-memory state no longer
+     *  matches the media). */
+    Status sealPendingPage();
 
     /** Fills QueryResult::breakdown, closes the query span, and
      *  records the per-query counters. @p index_pruned says whether
@@ -325,6 +392,7 @@ class MithriLog
         obs::Counter *ssd_read_retries = nullptr;
     } counters_;
     storage::SsdModel ssd_;
+    storage::Journal journal_;
     std::unique_ptr<index::InvertedIndex> index_;
     accel::Accelerator accel_;
 
@@ -333,6 +401,16 @@ class MithriLog
     uint64_t lines_ = 0;
     uint64_t raw_bytes_ = 0;
     uint64_t truncated_lines_ = 0;
+    /** Cumulative lines / raw bytes covered by the last durable
+     *  commit (the acknowledged prefix). */
+    uint64_t committed_lines_ = 0;
+    uint64_t committed_raw_ = 0;
+    /** seal() ran: the store is immutable. */
+    bool sealed_ = false;
+    /** A commit failed mid-protocol (power cut or device error): the
+     *  in-memory state no longer matches the media, so every mutating
+     *  call fails until the image is recovered on a fresh system. */
+    bool dead_ = false;
     std::vector<storage::PageId> data_pages_;
 };
 

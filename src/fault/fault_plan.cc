@@ -17,7 +17,15 @@ enum ObsSlot {
     kObsUncorrectable,
     kObsBitsFlipped,
     kObsBlocksGarbled,
+    kObsWriteDraws,
+    kObsTornWrites,
+    kObsDroppedWrites,
+    kObsPowerCuts,
 };
+
+/** Domain separator so write draws use an RNG stream independent of
+ *  the read draws for the same (seed, page). */
+constexpr uint64_t kWriteStream = 0x57524954u;  // "WRIT"
 
 /**
  * Geometric(p) gap: clean bits to skip before the next flipped bit.
@@ -75,6 +83,10 @@ FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config)
     MITHRIL_ASSERT(config_.timeout_rate >= 0 && config_.timeout_rate <= 1);
     MITHRIL_ASSERT(config_.block_garble_rate >= 0 &&
                    config_.block_garble_rate <= 1);
+    MITHRIL_ASSERT(config_.torn_write_rate >= 0 &&
+                   config_.torn_write_rate <= 1);
+    MITHRIL_ASSERT(config_.dropped_write_rate >= 0 &&
+                   config_.dropped_write_rate <= 1);
 }
 
 Status
@@ -113,6 +125,15 @@ FaultPlan::parse(std::string_view spec, FaultPlanConfig *out)
         } else if (key == "garble") {
             MITHRIL_RETURN_IF_ERROR(parseDouble(
                 key, value, 0.0, 1.0, &cfg.block_garble_rate));
+        } else if (key == "torn") {
+            MITHRIL_RETURN_IF_ERROR(parseDouble(
+                key, value, 0.0, 1.0, &cfg.torn_write_rate));
+        } else if (key == "drop") {
+            MITHRIL_RETURN_IF_ERROR(parseDouble(
+                key, value, 0.0, 1.0, &cfg.dropped_write_rate));
+        } else if (key == "cut_after") {
+            MITHRIL_RETURN_IF_ERROR(
+                parseU64(key, value, &cfg.power_cut_after_writes));
         } else if (key == "retries") {
             uint64_t v = 0;
             MITHRIL_RETURN_IF_ERROR(parseU64(key, value, &v));
@@ -142,6 +163,10 @@ FaultPlan::bindMetrics(obs::MetricsRegistry *metrics)
     obs_[kObsUncorrectable] = &metrics->counter("fault.uncorrectable");
     obs_[kObsBitsFlipped] = &metrics->counter("fault.bits_flipped");
     obs_[kObsBlocksGarbled] = &metrics->counter("fault.blocks_garbled");
+    obs_[kObsWriteDraws] = &metrics->counter("fault.write_draws");
+    obs_[kObsTornWrites] = &metrics->counter("fault.torn_writes");
+    obs_[kObsDroppedWrites] = &metrics->counter("fault.dropped_writes");
+    obs_[kObsPowerCuts] = &metrics->counter("fault.power_cuts");
 }
 
 ReadFault
@@ -197,6 +222,54 @@ FaultPlan::drawRead(uint64_t page_id, size_t page_bytes)
         if (obs_[kObsBitsFlipped] != nullptr &&
             !fault.flipped_bits.empty()) {
             obs_[kObsBitsFlipped]->add(fault.flipped_bits.size());
+        }
+    }
+    return fault;
+}
+
+WriteFault
+FaultPlan::drawWrite(uint64_t page_id, size_t page_bytes)
+{
+    WriteFault fault;
+    ++counters_.write_draws;
+    if (obs_[kObsWriteDraws] != nullptr) {
+        obs_[kObsWriteDraws]->add();
+    }
+    // Independent stream per (plan seed, page, write ordinal); the
+    // kWriteStream separator keeps it disjoint from read draws so the
+    // same plan replays the same crash point regardless of how many
+    // read retries happened in between.
+    Rng rng(mix64(mix64(config_.seed ^ page_id ^ kWriteStream) +
+                  counters_.write_draws));
+
+    if (config_.power_cut_after_writes > 0 &&
+        counters_.write_draws == config_.power_cut_after_writes) {
+        fault.power_cut = true;
+        fault.persisted_bytes =
+            static_cast<uint32_t>(rng.below(page_bytes + 1));
+        ++counters_.power_cuts;
+        if (obs_[kObsPowerCuts] != nullptr) {
+            obs_[kObsPowerCuts]->add();
+        }
+        return fault;
+    }
+    if (config_.torn_write_rate > 0 &&
+        rng.chance(config_.torn_write_rate)) {
+        fault.torn = true;
+        fault.persisted_bytes =
+            static_cast<uint32_t>(rng.below(page_bytes + 1));
+        ++counters_.torn_writes;
+        if (obs_[kObsTornWrites] != nullptr) {
+            obs_[kObsTornWrites]->add();
+        }
+        return fault;
+    }
+    if (config_.dropped_write_rate > 0 &&
+        rng.chance(config_.dropped_write_rate)) {
+        fault.dropped = true;
+        ++counters_.dropped_writes;
+        if (obs_[kObsDroppedWrites] != nullptr) {
+            obs_[kObsDroppedWrites]->add();
         }
     }
     return fault;

@@ -27,6 +27,17 @@
  *   - garble:         the tail of the returned block is replaced with
  *                     deterministic noise, modeling a torn/truncated
  *                     compressed block.
+ *
+ * Write-side fault classes (ISSUE 4, crash consistency):
+ *   - torn write:     the page program stops after a deterministic
+ *                     prefix; the device still acks (a lying device —
+ *                     detected at mount by journaled page CRCs);
+ *   - dropped write:  the program never reaches the media but the
+ *                     device acks (detected the same way);
+ *   - power cut:      the Nth write draw halts the device mid-program:
+ *                     a deterministic prefix persists, the command
+ *                     fails with kUnavailable, and every later command
+ *                     fails until the store is remounted via recovery.
  */
 #ifndef MITHRIL_FAULT_FAULT_PLAN_H
 #define MITHRIL_FAULT_FAULT_PLAN_H
@@ -55,6 +66,13 @@ struct FaultPlanConfig {
     double timeout_rate = 0.0;
     /** Probability the returned block comes back torn/garbled (silent). */
     double block_garble_rate = 0.0;
+    /** Probability a page program persists only a prefix (silent). */
+    double torn_write_rate = 0.0;
+    /** Probability a page program never reaches the media (silent). */
+    double dropped_write_rate = 0.0;
+    /** Power cut fires on exactly this write draw ordinal (1-based);
+     *  0 disables. The in-flight program persists a drawn prefix. */
+    uint64_t power_cut_after_writes = 0;
     /** Read re-issues the device attempts before declaring data loss. */
     unsigned max_retries = 4;
     /** Extra modeled delay before each re-issued command. */
@@ -79,6 +97,23 @@ struct ReadFault {
     bool corrupts() const { return garble || !flipped_bits.empty(); }
 };
 
+/** Outcome of one fault draw for one page program (write). */
+struct WriteFault {
+    /** Program stopped after persisted_bytes; the device still acks. */
+    bool torn = false;
+    /** Program never reached the media; the device still acks. */
+    bool dropped = false;
+    /** Power failed mid-program: persisted_bytes land, then the device
+     *  goes dark (every later command fails kUnavailable). */
+    bool power_cut = false;
+    /** Bytes of the program that reached the media (valid when torn or
+     *  power_cut). */
+    uint32_t persisted_bytes = 0;
+
+    /** The write did not persist the full payload. */
+    bool damages() const { return torn || dropped || power_cut; }
+};
+
 /** Deterministic tallies of every fault dealt; mirrors fault.* metrics. */
 struct FaultCounters {
     uint64_t draws = 0;
@@ -86,6 +121,10 @@ struct FaultCounters {
     uint64_t uncorrectable = 0;
     uint64_t bits_flipped = 0;
     uint64_t blocks_garbled = 0;
+    uint64_t write_draws = 0;
+    uint64_t torn_writes = 0;
+    uint64_t dropped_writes = 0;
+    uint64_t power_cuts = 0;
 };
 
 /**
@@ -104,9 +143,9 @@ class FaultPlan
     /**
      * Parses a plan spec like
      *   "seed=7,ber=1e-6,timeout=0.01,ecc=1e-4,garble=1e-4,retries=4"
-     * into @p out (keys: seed, ber, ecc, timeout, garble, retries,
-     * backoff_us). Unmentioned keys keep their defaults; an empty spec
-     * is a valid all-zero (null-fault) plan.
+     * into @p out (keys: seed, ber, ecc, timeout, garble, torn, drop,
+     * cut_after, retries, backoff_us). Unmentioned keys keep their
+     * defaults; an empty spec is a valid all-zero (null-fault) plan.
      */
     static Status parse(std::string_view spec, FaultPlanConfig *out);
 
@@ -124,6 +163,14 @@ class FaultPlan
      */
     ReadFault drawRead(uint64_t page_id, size_t page_bytes);
 
+    /**
+     * Draws the fault outcome for one page program of @p page_id with
+     * @p page_bytes payload bytes. Advances the write-draw counter (a
+     * separate ordinal stream from reads, so read retries never shift
+     * the power-cut point) and the fault counters.
+     */
+    WriteFault drawWrite(uint64_t page_id, size_t page_bytes);
+
     /** Applies bit flips and garbling from @p f to a page copy. */
     void applyCorruption(const ReadFault &f,
                          std::span<uint8_t> page) const;
@@ -131,7 +178,7 @@ class FaultPlan
   private:
     FaultPlanConfig config_;
     FaultCounters counters_;
-    obs::Counter *obs_[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
+    obs::Counter *obs_[9] = {};
 };
 
 } // namespace mithril::fault

@@ -1,0 +1,355 @@
+#include "storage/journal.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/bits.h"
+#include "common/hash.h"
+
+namespace mithril::storage {
+
+namespace {
+
+constexpr uint32_t kSuperMagic = 0x3142534du;    // "MSB1"
+constexpr uint32_t kJournalMagic = 0x314c4a4du;  // "MJL1"
+constexpr uint32_t kLayoutVersion = 1;
+
+constexpr size_t kHeaderBytes = 20;
+constexpr size_t kRecordBytes = 44;
+constexpr size_t kRecordsPerPage = (kPageSize - kHeaderBytes) / kRecordBytes;
+
+// Record kinds; kind 0 is deliberately invalid so a never-written
+// (zero-filled) record slot terminates replay without relying on the
+// CRC check alone.
+constexpr uint32_t kPageCommit = 1;
+constexpr uint32_t kLink = 2;
+constexpr uint32_t kSeal = 3;
+
+/** Superblock slot page for @p epoch (ping-pong between pages 0/1). */
+PageId
+superSlot(uint64_t epoch)
+{
+    return (epoch - 1) % 2;
+}
+
+/** Seed binding record CRCs to the journal incarnation. */
+uint32_t
+generationSeed(uint64_t generation)
+{
+    return crc32(&generation, sizeof(generation));
+}
+
+void
+encodeRecord(uint8_t *slot, uint32_t kind, uint64_t arg,
+             uint32_t page_crc, uint64_t lines, uint64_t raw_bytes,
+             uint64_t seq, uint64_t generation)
+{
+    std::vector<uint8_t> buf;
+    buf.reserve(kRecordBytes);
+    putLe(buf, kind);
+    putLe(buf, arg);
+    putLe(buf, page_crc);
+    putLe(buf, lines);
+    putLe(buf, raw_bytes);
+    putLe(buf, seq);
+    putLe(buf, crc32(buf.data(), buf.size(), generationSeed(generation)));
+    MITHRIL_ASSERT(buf.size() == kRecordBytes);
+    std::memcpy(slot, buf.data(), kRecordBytes);
+}
+
+} // namespace
+
+void
+Journal::bindMetrics(obs::MetricsRegistry *metrics)
+{
+    if (metrics != nullptr) {
+        obs_records_ = &metrics->counter("journal.records");
+        obs_page_writes_ = &metrics->counter("journal.page_writes");
+    } else {
+        obs_records_ = nullptr;
+        obs_page_writes_ = nullptr;
+    }
+}
+
+void
+Journal::initPageImage(std::vector<uint8_t> *image, uint32_t seq) const
+{
+    image->clear();
+    image->reserve(kPageSize);
+    putLe(*image, kJournalMagic);
+    putLe(*image, seq);
+    putLe(*image, generation_);
+    putLe(*image, crc32(image->data(), image->size()));
+    MITHRIL_ASSERT(image->size() == kHeaderBytes);
+    image->resize(kPageSize, 0);
+}
+
+Status
+Journal::writeCurrentPage()
+{
+    ++page_writes_;
+    if (obs_page_writes_ != nullptr) {
+        obs_page_writes_->add();
+    }
+    return ssd_->writePage(cur_, cur_image_);
+}
+
+Status
+Journal::writeSuperblock(uint64_t epoch, uint64_t flags)
+{
+    std::vector<uint8_t> sb;
+    sb.reserve(kPageSize);
+    putLe(sb, kSuperMagic);
+    putLe(sb, kLayoutVersion);
+    putLe(sb, epoch);
+    putLe(sb, head_);
+    putLe(sb, generation_);
+    putLe(sb, flags);
+    putLe(sb, crc32(sb.data(), sb.size()));
+    sb.resize(kPageSize, 0);
+    ++page_writes_;
+    if (obs_page_writes_ != nullptr) {
+        obs_page_writes_->add();
+    }
+    MITHRIL_RETURN_IF_ERROR(ssd_->writePage(superSlot(epoch), sb));
+    epoch_ = epoch;
+    return Status::ok();
+}
+
+Status
+Journal::format()
+{
+    MITHRIL_ASSERT(!formatted());
+    // The layout owns the device's first pages; formatting anything but
+    // an empty store would silently overlay data pages.
+    MITHRIL_ASSERT(ssd_->store().pageCount() == 0);
+    PageId slot_a = ssd_->allocate();
+    PageId slot_b = ssd_->allocate();
+    MITHRIL_ASSERT(slot_a == 0 && slot_b == 1);
+    head_ = cur_ = ssd_->allocate();
+    cur_seq_ = 0;
+    cur_count_ = 0;
+    next_seq_ = 1;
+    generation_ = 1;
+    initPageImage(&cur_image_, cur_seq_);
+    // Journal page first, superblock second: a cut between the two
+    // leaves no valid superblock, which replays as an empty store.
+    MITHRIL_RETURN_IF_ERROR(writeCurrentPage());
+    MITHRIL_RETURN_IF_ERROR(writeSuperblock(/*epoch=*/1, /*flags=*/0));
+    return ssd_->flushBarrier();
+}
+
+Status
+Journal::appendRecord(uint32_t kind, uint64_t arg, uint32_t page_crc,
+                      uint64_t lines, uint64_t raw_bytes)
+{
+    MITHRIL_ASSERT(formatted());
+    if (cur_count_ == kRecordsPerPage - 1 && kind != kLink) {
+        // Last slot is reserved for the link record that publishes the
+        // next page. Ordering is crash-safe in every window: the new
+        // page's header lands before the link that makes it reachable.
+        PageId next = ssd_->allocate();
+        std::vector<uint8_t> next_image;
+        initPageImage(&next_image, cur_seq_ + 1);
+        std::vector<uint8_t> saved = cur_image_;
+        PageId saved_page = cur_;
+        size_t saved_count = cur_count_;
+        cur_ = next;
+        cur_image_ = next_image;
+        ++cur_seq_;
+        cur_count_ = 0;
+        MITHRIL_RETURN_IF_ERROR(writeCurrentPage());
+        // Link record goes into the *old* page.
+        encodeRecord(saved.data() + kHeaderBytes +
+                         saved_count * kRecordBytes,
+                     kLink, next, 0, 0, 0, next_seq_, generation_);
+        ++next_seq_;
+        ++records_appended_;
+        if (obs_records_ != nullptr) {
+            obs_records_->add();
+        }
+        ++page_writes_;
+        if (obs_page_writes_ != nullptr) {
+            obs_page_writes_->add();
+        }
+        MITHRIL_RETURN_IF_ERROR(ssd_->writePage(saved_page, saved));
+    }
+    encodeRecord(cur_image_.data() + kHeaderBytes +
+                     cur_count_ * kRecordBytes,
+                 kind, arg, page_crc, lines, raw_bytes, next_seq_,
+                 generation_);
+    ++next_seq_;
+    ++cur_count_;
+    ++records_appended_;
+    if (obs_records_ != nullptr) {
+        obs_records_->add();
+    }
+    return writeCurrentPage();
+}
+
+Status
+Journal::appendPageCommit(PageId page, uint32_t page_crc, uint64_t lines,
+                          uint64_t raw_bytes)
+{
+    MITHRIL_RETURN_IF_ERROR(
+        appendRecord(kPageCommit, page, page_crc, lines, raw_bytes));
+    return ssd_->flushBarrier();
+}
+
+Status
+Journal::appendSeal(uint64_t lines, uint64_t raw_bytes)
+{
+    MITHRIL_RETURN_IF_ERROR(
+        appendRecord(kSeal, 0, 0, lines, raw_bytes));
+    // The seal record alone already replays as sealed; the epoch-2
+    // superblock just lets a mount skip the inference.
+    MITHRIL_RETURN_IF_ERROR(
+        writeSuperblock(epoch_ + 1, /*flags=*/1));
+    return ssd_->flushBarrier();
+}
+
+Status
+Journal::replay(ReplayResult *out)
+{
+    *out = ReplayResult{};
+    const PageStore &store = ssd_->store();
+
+    // Pick the valid superblock with the highest epoch.
+    uint64_t best_epoch = 0;
+    uint64_t journal_head = kInvalidPage;
+    uint64_t generation = 0;
+    for (PageId slot = 0; slot < 2 && slot < store.pageCount(); ++slot) {
+        std::vector<uint8_t> page;
+        Status s = ssd_->readChained(slot, Link::kInternal, &page);
+        if (!s.isOk()) {
+            continue; // unreadable slot: fall back to the other one
+        }
+        const uint8_t *p = page.data();
+        if (getLe<uint32_t>(p) != kSuperMagic ||
+            getLe<uint32_t>(p + 4) != kLayoutVersion) {
+            continue;
+        }
+        if (getLe<uint32_t>(p + 40) != crc32(p, 40)) {
+            continue; // torn superblock program
+        }
+        uint64_t epoch = getLe<uint64_t>(p + 8);
+        if (epoch > best_epoch) {
+            best_epoch = epoch;
+            journal_head = getLe<uint64_t>(p + 16);
+            generation = getLe<uint64_t>(p + 24);
+            out->sealed = (getLe<uint64_t>(p + 32) & 1) != 0;
+        }
+    }
+    if (best_epoch == 0) {
+        // Crash before format completed: an empty store is the whole
+        // durable state.
+        out->sealed = false;
+        return Status::ok();
+    }
+    out->found = true;
+
+    // Walk the chain; stop at the first record that fails validation —
+    // everything before it was covered by a durability barrier.
+    bool saw_seal = false;
+    PageId page_id = journal_head;
+    uint32_t expect_page_seq = 0;
+    uint64_t expect_seq = 1;
+    uint32_t seed = generationSeed(generation);
+    while (page_id != kInvalidPage) {
+        std::vector<uint8_t> page;
+        Status s = ssd_->readChained(page_id, Link::kInternal, &page);
+        if (!s.isOk()) {
+            break;
+        }
+        const uint8_t *p = page.data();
+        if (getLe<uint32_t>(p) != kJournalMagic ||
+            getLe<uint32_t>(p + 4) != expect_page_seq ||
+            getLe<uint64_t>(p + 8) != generation ||
+            getLe<uint32_t>(p + 16) != crc32(p, 16)) {
+            break;
+        }
+        ++out->journal_pages;
+        PageId next_page = kInvalidPage;
+        for (size_t i = 0; i < kRecordsPerPage; ++i) {
+            const uint8_t *r = p + kHeaderBytes + i * kRecordBytes;
+            uint32_t kind = getLe<uint32_t>(r);
+            if (kind != kPageCommit && kind != kLink && kind != kSeal) {
+                break;
+            }
+            if (getLe<uint32_t>(r + 40) != crc32(r, 40, seed)) {
+                break; // torn append: the newest record is damaged
+            }
+            if (getLe<uint64_t>(r + 32) != expect_seq) {
+                break; // stale bytes from an aborted rewrite
+            }
+            ++expect_seq;
+            ++out->records;
+            if (kind == kPageCommit) {
+                out->pages.push_back(CommittedPage{
+                    .page = getLe<uint64_t>(r + 4),
+                    .crc = getLe<uint32_t>(r + 12),
+                    .lines = getLe<uint64_t>(r + 16),
+                    .raw_bytes = getLe<uint64_t>(r + 24),
+                });
+            } else if (kind == kLink) {
+                next_page = getLe<uint64_t>(r + 4);
+                break;
+            } else { // kSeal
+                saw_seal = true;
+                break;
+            }
+        }
+        if (saw_seal) {
+            break;
+        }
+        page_id = next_page;
+        ++expect_page_seq;
+    }
+    // Sealed if either the seal record survived or the epoch-2
+    // superblock did (a lying device can tear the record yet ack it;
+    // the superblock still marks the store immutable).
+    out->sealed = out->sealed || saw_seal;
+    return Status::ok();
+}
+
+void
+Journal::serialize(std::vector<uint8_t> *out) const
+{
+    putLe(*out, head_);
+    putLe(*out, cur_);
+    putLe(*out, static_cast<uint64_t>(cur_seq_));
+    putLe(*out, static_cast<uint64_t>(cur_count_));
+    putLe(*out, next_seq_);
+    putLe(*out, epoch_);
+    putLe(*out, generation_);
+}
+
+Status
+Journal::deserialize(const uint8_t *data, size_t len, size_t *consumed)
+{
+    constexpr size_t kCursorBytes = 7 * sizeof(uint64_t);
+    if (len < kCursorBytes) {
+        return Status::corruptData("journal cursor truncated");
+    }
+    head_ = getLe<uint64_t>(data);
+    cur_ = getLe<uint64_t>(data + 8);
+    cur_seq_ = static_cast<uint32_t>(getLe<uint64_t>(data + 16));
+    cur_count_ = static_cast<size_t>(getLe<uint64_t>(data + 24));
+    next_seq_ = getLe<uint64_t>(data + 32);
+    epoch_ = getLe<uint64_t>(data + 40);
+    generation_ = getLe<uint64_t>(data + 48);
+    *consumed = kCursorBytes;
+    if (!formatted()) {
+        cur_image_.clear();
+        return Status::ok();
+    }
+    if (cur_count_ > kRecordsPerPage) {
+        return Status::corruptData("journal cursor: bad record count");
+    }
+    std::span<const uint8_t> view;
+    MITHRIL_RETURN_IF_ERROR(ssd_->store().read(cur_, &view));
+    cur_image_.assign(view.begin(), view.end());
+    return Status::ok();
+}
+
+} // namespace mithril::storage

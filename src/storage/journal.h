@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Write-ahead commit journal: the durable-ingest protocol's on-storage
+ * record of what the store has acknowledged.
+ *
+ * On-disk layout (all little-endian, building on PR 3's CRC framing):
+ *
+ *   page 0, page 1   superblock slots (ping-pong: epoch N lands in slot
+ *                    (N-1) % 2, so a torn superblock program can never
+ *                    destroy the previous good superblock)
+ *   page H, ...      journal pages, forward-linked by link records
+ *
+ * Superblock (one page, 44 bytes used):
+ *   magic u32 'MSB1' | version u32 | epoch u64 | journal_head u64 |
+ *   generation u64 | flags u64 (bit 0: sealed) | crc u32 (of the
+ *   preceding 40 bytes)
+ *
+ * Journal page := 20-byte header + up to 92 fixed 44-byte records:
+ *   header: magic u32 'MJL1' | seq u32 (position in chain) |
+ *           generation u64 | crc u32 (of the preceding 16 bytes)
+ *   record: kind u32 | arg u64 | page_crc u32 | lines u64 |
+ *           raw_bytes u64 | seq u64 (global, from 1) | crc u32 (of the
+ *           preceding 40 bytes, seeded with crc32(generation))
+ *
+ * Record kinds: kPageCommit (arg = data page id; page_crc covers the
+ * full 4 KB data page; lines / raw_bytes are cumulative totals through
+ * this page), kLink (arg = next journal page id), kSeal (store is
+ * complete and immutable).
+ *
+ * Crash-safety argument: records are only ever *appended*, so rewriting
+ * the current journal page has the identical-prefix property — a torn
+ * program can damage only the newest record, which then fails its CRC
+ * (or reads as kind 0) and replay stops exactly at the last durable
+ * record. Chain growth writes the new page's header before the link
+ * record that publishes it, so every crash window leaves a valid,
+ * replayable prefix.
+ */
+#ifndef MITHRIL_STORAGE_JOURNAL_H
+#define MITHRIL_STORAGE_JOURNAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+#include "storage/ssd_model.h"
+
+namespace mithril::storage {
+
+/** Write-ahead journal over an SsdModel; owns pages 0..1 + the chain. */
+class Journal
+{
+  public:
+    /** One durably committed data page, in commit order. */
+    struct CommittedPage {
+        PageId page = kInvalidPage;
+        uint32_t crc = 0;          ///< CRC32 of the full 4 KB data page
+        uint64_t lines = 0;        ///< cumulative lines through this page
+        uint64_t raw_bytes = 0;    ///< cumulative raw bytes ingested
+    };
+
+    /** What a mount-time replay of the journal found. */
+    struct ReplayResult {
+        std::vector<CommittedPage> pages;
+        bool found = false;        ///< a valid superblock existed
+        bool sealed = false;       ///< a seal record was replayed
+        uint64_t journal_pages = 0;
+        uint64_t records = 0;      ///< valid records replayed
+    };
+
+    explicit Journal(SsdModel *ssd) : ssd_(ssd) {}
+
+    /** Joins the unified metric namespace as `journal.*` counters. */
+    void bindMetrics(obs::MetricsRegistry *metrics);
+
+    /** True once format() ran (or a cursor was deserialized). */
+    bool formatted() const { return head_ != kInvalidPage; }
+
+    /**
+     * Lays out the journal on an *empty* device (asserted): reserves
+     * the two superblock slots and the first journal page, then
+     * publishes superblock epoch 1. Ends with a durability barrier.
+     */
+    Status format();
+
+    /**
+     * Appends a commit record for data page @p page (whole-page CRC
+     * @p page_crc, cumulative totals @p lines / @p raw_bytes) and ends
+     * with a durability barrier: when this returns ok, the commit — and
+     * every earlier record — is crash-durable.
+     */
+    Status appendPageCommit(PageId page, uint32_t page_crc,
+                            uint64_t lines, uint64_t raw_bytes);
+
+    /**
+     * Appends the terminal seal record, publishes the sealed
+     * superblock (epoch 2), and ends with a durability barrier.
+     */
+    Status appendSeal(uint64_t lines, uint64_t raw_bytes);
+
+    /**
+     * Mount-time replay: reads both superblock slots, picks the valid
+     * one with the highest epoch, and walks the journal chain until
+     * the first invalid record. All reads are metered device traffic.
+     * A device with no valid superblock yields found=false and ok —
+     * recovering to an empty store is the correct answer for a crash
+     * before format completed.
+     */
+    Status replay(ReplayResult *out);
+
+    /** Appends the journal cursor to @p out (for the host image). */
+    void serialize(std::vector<uint8_t> *out) const;
+
+    /**
+     * Restores the cursor from @p data (written by serialize) and
+     * re-reads the current journal page image from the store. Sets
+     * @p consumed to the bytes read from @p data.
+     */
+    Status deserialize(const uint8_t *data, size_t len,
+                       size_t *consumed);
+
+    /** Records appended since construction (not counting replay). */
+    uint64_t recordsAppended() const { return records_appended_; }
+
+    /** Journal/superblock page programs issued since construction. */
+    uint64_t pageWrites() const { return page_writes_; }
+
+  private:
+    Status appendRecord(uint32_t kind, uint64_t arg, uint32_t page_crc,
+                        uint64_t lines, uint64_t raw_bytes);
+    Status writeCurrentPage();
+    Status writeSuperblock(uint64_t epoch, uint64_t flags);
+    void initPageImage(std::vector<uint8_t> *image, uint32_t seq) const;
+
+    SsdModel *ssd_;
+    PageId head_ = kInvalidPage;  ///< first journal page
+    PageId cur_ = kInvalidPage;   ///< journal page being appended to
+    uint32_t cur_seq_ = 0;        ///< chain position of cur_
+    size_t cur_count_ = 0;        ///< records already in cur_
+    uint64_t next_seq_ = 1;       ///< next global record seq
+    uint64_t epoch_ = 0;          ///< last superblock epoch published
+    uint64_t generation_ = 0;     ///< journal incarnation stamp
+    std::vector<uint8_t> cur_image_;
+    uint64_t records_appended_ = 0;
+    uint64_t page_writes_ = 0;
+    obs::Counter *obs_records_ = nullptr;
+    obs::Counter *obs_page_writes_ = nullptr;
+};
+
+} // namespace mithril::storage
+
+#endif // MITHRIL_STORAGE_JOURNAL_H

@@ -13,12 +13,21 @@ PageStore::allocate()
     return id;
 }
 
-void
+Status
 PageStore::write(PageId id, std::span<const uint8_t> data)
 {
-    MITHRIL_ASSERT(id < pageCount());
-    MITHRIL_ASSERT(data.size() <= kPageSize);
+    if (!contains(id)) {
+        return Status::invalidArgument(
+            "page id " + std::to_string(id) + " out of range (" +
+            std::to_string(pageCount()) + " pages allocated)");
+    }
+    if (data.size() > kPageSize) {
+        return Status::invalidArgument(
+            "write of " + std::to_string(data.size()) +
+            " bytes exceeds page size " + std::to_string(kPageSize));
+    }
     std::memcpy(pages_.data() + id * kPageSize, data.data(), data.size());
+    return Status::ok();
 }
 
 Status

@@ -37,8 +37,12 @@ class PageStore
     /**
      * Overwrites page @p id starting at byte 0 with @p data
      * (data.size() <= kPageSize); the remainder keeps its old contents.
+     *
+     * Returns kInvalidArgument for an out-of-range @p id or an oversized
+     * payload, mirroring the read-path contract so the device model can
+     * surface bad programs as errors instead of aborting.
      */
-    void write(PageId id, std::span<const uint8_t> data);
+    [[nodiscard]] Status write(PageId id, std::span<const uint8_t> data);
 
     /**
      * Read-only view of a full page.

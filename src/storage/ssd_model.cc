@@ -106,13 +106,52 @@ SsdModel::timeBatchWrite(uint64_t pages) const
            SimTime::transfer(pages * kPageSize, config_.internal_bw_bps);
 }
 
-void
+Status
 SsdModel::writePage(PageId id, std::span<const uint8_t> data)
 {
-    store_.write(id, data);
+    if (power_lost_) {
+        return Status::unavailable("device power lost");
+    }
+    if (!store_.contains(id) || data.size() > kPageSize) {
+        // Validate before charging time or drawing a fault so a bad
+        // call never perturbs the deterministic fault stream.
+        return Status::invalidArgument(
+            "bad page program: id " + std::to_string(id) + ", " +
+            std::to_string(data.size()) + " bytes");
+    }
     clock_ += SimTime::transfer(kPageSize, config_.internal_bw_bps);
     stats_.add("pages_written");
     stats_.add("bytes_written", data.size());
+    if (fault_plan_ != nullptr) {
+        fault::WriteFault f = fault_plan_->drawWrite(id, data.size());
+        if (f.power_cut) {
+            // The in-flight program lands a prefix, then the device
+            // goes dark: this command and every later one fail.
+            MITHRIL_RETURN_IF_ERROR(
+                store_.write(id, data.first(f.persisted_bytes)));
+            power_lost_ = true;
+            return Status::unavailable(
+                "power cut during program of page " + std::to_string(id));
+        }
+        if (f.dropped) {
+            return Status::ok(); // acked, never reached the media
+        }
+        if (f.torn) {
+            return store_.write(id, data.first(f.persisted_bytes));
+        }
+    }
+    return store_.write(id, data);
+}
+
+Status
+SsdModel::flushBarrier()
+{
+    if (power_lost_) {
+        return Status::unavailable("device power lost");
+    }
+    clock_ += config_.flush_latency;
+    stats_.add("flushes");
+    return Status::ok();
 }
 
 /**
@@ -126,6 +165,9 @@ SsdModel::writePage(PageId id, std::span<const uint8_t> data)
 Status
 SsdModel::fetchPage(PageId id, std::vector<uint8_t> *out)
 {
+    if (power_lost_) {
+        return Status::unavailable("device power lost");
+    }
     std::span<const uint8_t> view;
     MITHRIL_RETURN_IF_ERROR(store_.read(id, &view));
     if (fault_plan_ == nullptr) {

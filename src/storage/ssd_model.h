@@ -51,6 +51,11 @@ struct SsdConfig {
      *  Sized so 4 KB commands at 100 us latency sustain the internal
      *  bandwidth: 256 x 4 KB / 100 us ~ 10 GB/s of headroom. */
     unsigned parallel_commands = 256;
+    /** Cost of a durability barrier (flushBarrier): drain in-flight
+     *  programs and wait for the NAND to confirm. Modeled after a full
+     *  channel round-trip plus program time (~400 us, the ballpark of a
+     *  NAND page program plus command overhead). */
+    SimTime flush_latency = SimTime::microseconds(400);
 };
 
 /** Comparison-platform storage (Section 7.2): RAID-0 of two NVMe SSDs. */
@@ -143,8 +148,31 @@ class SsdModel
     /** Allocates a page (no modeled cost; allocation is bookkeeping). */
     PageId allocate() { return store_.allocate(); }
 
-    /** Writes @p data to @p id and accrues modeled write time. */
-    void writePage(PageId id, std::span<const uint8_t> data);
+    /**
+     * Writes @p data to @p id and accrues modeled write time.
+     *
+     * Fails with kInvalidArgument for an out-of-range id or oversized
+     * payload and kUnavailable once power is lost. With a fault plan
+     * attached every program consults it: a power cut persists a drawn
+     * prefix, kills the device (powerLost()), and surfaces as
+     * kUnavailable; torn and dropped programs persist a prefix or
+     * nothing but still return ok — a lying device whose damage upper
+     * layers detect at mount time via journaled CRCs.
+     */
+    [[nodiscard]] Status writePage(PageId id,
+                                   std::span<const uint8_t> data);
+
+    /**
+     * Durability barrier: drains in-flight programs so every write
+     * acked before this call is on the media. Charges the config's
+     * flush_latency into the clock and counts `ssd.flushes`. Fails
+     * with kUnavailable once power is lost.
+     */
+    [[nodiscard]] Status flushBarrier();
+
+    /** True once a power-cut fault killed the device; every later
+     *  command fails kUnavailable until the image is remounted. */
+    bool powerLost() const { return power_lost_; }
 
     /**
      * Reads a batch of independent pages over @p link, appending their
@@ -186,6 +214,7 @@ class SsdModel
     PageStore store_;
     SimTime clock_;
     StatSet stats_;
+    bool power_lost_ = false;
     fault::FaultPlan *fault_plan_ = nullptr;
     obs::MetricsRegistry *metrics_ = nullptr;
     obs::Counter *link_busy_[2] = {nullptr, nullptr};

@@ -40,7 +40,7 @@ class CrossEngineTest : public ::testing::Test
 
         system_ = std::make_unique<MithriLog>();
         ASSERT_TRUE(system_->ingestText(*text_).isOk());
-        system_->flush();
+        EXPECT_TRUE(system_->flush().isOk());
 
         scan_db_ = std::make_unique<baseline::ScanDb>();
         scan_db_->ingest(*text_);

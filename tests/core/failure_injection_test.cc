@@ -43,7 +43,7 @@ TEST(FailureInjectionTest, CorruptedPageDegradesGracefully)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(corpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     ASSERT_GT(system.dataPageCount(), 1u);
 
     // Baseline before damage.
@@ -55,7 +55,8 @@ TEST(FailureInjectionTest, CorruptedPageDegradesGracefully)
     // Smash the first data page's header: its damage is persistent
     // (no fault plan), so the page is dropped — the query must still
     // succeed and answer from the readable remainder.
-    auto page = system.ssd().store().mutablePage(0);
+    auto page =
+        system.ssd().store().mutablePage(system.dataPages().front());
     for (size_t i = 0; i < 16; ++i) {
         page[i] ^= 0xa5;
     }
@@ -79,11 +80,11 @@ TEST(FailureInjectionTest, RandomPayloadCorruptionNeverCrashes)
     for (int trial = 0; trial < 20; ++trial) {
         MithriLog system;
         ASSERT_TRUE(system.ingestText(corpus()).isOk());
-        system.flush();
+        EXPECT_TRUE(system.flush().isOk());
         uint64_t pages = system.dataPageCount();
         for (int flips = 0; flips < 8; ++flips) {
             auto page = system.ssd().store().mutablePage(
-                rng.below(pages));
+                system.dataPages()[rng.below(pages)]);
             page[rng.below(page.size())] ^=
                 static_cast<uint8_t>(1 + rng.below(255));
         }
@@ -143,7 +144,7 @@ TEST(FailureInjectionTest, RandomBytesAsPageRejected)
 TEST(FailureInjectionTest, QueriesOnEmptySystem)
 {
     MithriLog system;
-    system.flush();  // nothing pending: must be a no-op
+    EXPECT_TRUE(system.flush().isOk());  // nothing pending: must be a no-op
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("anything"), &r).isOk());
     EXPECT_EQ(r.matched_lines, 0u);
@@ -154,9 +155,9 @@ TEST(FailureInjectionTest, DoubleFlushIsIdempotent)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText("one line here\n").isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     uint64_t pages = system.dataPageCount();
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     EXPECT_EQ(system.dataPageCount(), pages);
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("one"), &r).isOk());
@@ -167,9 +168,9 @@ TEST(FailureInjectionTest, IngestAfterFlushKeepsWorking)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText("first era alpha\n").isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     ASSERT_TRUE(system.ingestText("second era beta\n").isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("alpha | beta"), &r).isOk());
     EXPECT_EQ(r.matched_lines, 2u);

@@ -43,7 +43,7 @@ TEST(MithriLogTest, IngestAccountsLinesAndPages)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     EXPECT_EQ(system.lineCount(), 3000u);
     EXPECT_GT(system.dataPageCount(), 0u);
     EXPECT_GT(system.compressionRatio(), 1.5);
@@ -53,7 +53,7 @@ TEST(MithriLogTest, QueryCountsMatchCorpusStructure)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
 
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("KERNEL & INFO"), &r).isOk());
@@ -74,7 +74,7 @@ TEST(MithriLogTest, IndexPrunesPages)
     text += "needle UNIQUETOKEN in haystack\n";
     text += smallCorpus();
     ASSERT_TRUE(system.ingestText(text).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
 
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("UNIQUETOKEN"), &r).isOk());
@@ -88,7 +88,7 @@ TEST(MithriLogTest, QueryTimeBreakdownIsConsistent)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("KERNEL"), &r).isOk());
     EXPECT_GE(r.total_time.ps(),
@@ -100,7 +100,7 @@ TEST(MithriLogTest, FullScanTouchesAllPages)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     std::vector<query::Query> queries{mustParse("INFO")};
     QueryResult r;
     ASSERT_TRUE(system.runFullScan(queries, &r).isOk());
@@ -112,7 +112,7 @@ TEST(MithriLogTest, BatchedQueriesShareOnePass)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     std::vector<query::Query> queries{mustParse("INFO"),
                                       mustParse("APP & FATAL")};
     QueryResult r;
@@ -127,7 +127,7 @@ TEST(MithriLogTest, FallbackOnNonOffloadableQuery)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     // 9 union sets exceed the 8 flag pairs -> software fallback.
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse(
@@ -141,7 +141,7 @@ TEST(MithriLogTest, TextQueryInterface)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText("alpha beta\ngamma delta\n").isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run("alpha & beta", &r).isOk());
     EXPECT_EQ(r.matched_lines, 1u);
@@ -153,7 +153,7 @@ TEST(MithriLogTest, LongLinesTruncatedWithCounter)
     MithriLog system;
     std::string giant(10000, 'x');
     ASSERT_TRUE(system.ingestLine(giant).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     EXPECT_EQ(system.truncatedLines(), 1u);
     EXPECT_EQ(system.lineCount(), 1u);
     // The same count is visible in the unified metric namespace.
@@ -177,7 +177,7 @@ TEST(MithriLogTest, NoIndexConfigScansEverything)
     cfg.use_index = false;
     MithriLog system(cfg);
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("INFO"), &r).isOk());
     EXPECT_EQ(r.pages_scanned, r.pages_total);
@@ -195,7 +195,7 @@ TEST(MithriLogTest, PlannerSkipsTraversalForCommonTokens)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
 
     // "RAS" occurs on every line: entry counters predict no pruning,
     // so the planner goes straight to a full scan (no traversal time).
@@ -220,7 +220,7 @@ TEST(MithriLogTest, PlannerCanBeDisabled)
     cfg.planner_scan_threshold = 1.0;
     MithriLog system(cfg);
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("RAS"), &r).isOk());
     EXPECT_FALSE(r.planned_full_scan);
@@ -240,7 +240,7 @@ TEST(MithriLogTest, TimeRangeQueryBoundsPages)
     std::string text = gen.generate(4 << 20);
     std::vector<std::string_view> lines = splitLines(text);
     ASSERT_TRUE(system.ingestText(text).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     ASSERT_GT(system.index().snapshots().size(), 2u);
 
     query::Query q = mustParse("error | failed");
@@ -272,7 +272,7 @@ TEST(MithriLogTest, TimeRangeWholeRangeEqualsFullQuery)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     query::Query q = mustParse("FATAL");
     QueryResult full, ranged;
     ASSERT_TRUE(system.run(q, &full).isOk());
@@ -284,7 +284,7 @@ TEST(MithriLogTest, KeptLinesAreRealLines)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText("keep me now\ndrop me\n").isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("keep"), &r).isOk());
     ASSERT_EQ(r.lines.size(), 1u);
@@ -298,7 +298,7 @@ TEST(MithriLogTest, QueryBreakdownMatchesScalars)
     text += "needle UNIQUETOKEN in haystack\n";
     text += smallCorpus();
     ASSERT_TRUE(system.ingestText(text).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
 
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("UNIQUETOKEN"), &r).isOk());
@@ -325,7 +325,7 @@ TEST(MithriLogTest, QueryDatapathFeedsMetricsAndSpans)
 {
     MithriLog system;
     ASSERT_TRUE(system.ingestText(smallCorpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     QueryResult r;
     ASSERT_TRUE(system.run(mustParse("seq42"), &r).isOk());
 
@@ -369,7 +369,7 @@ TEST(MithriLogTest, SimDomainTelemetryIsDeterministic)
     auto run = [] {
         MithriLog system;
         EXPECT_TRUE(system.ingestText(smallCorpus()).isOk());
-        system.flush();
+        EXPECT_TRUE(system.flush().isOk());
         QueryResult r;
         EXPECT_TRUE(system.run(mustParse("KERNEL & INFO"), &r).isOk());
         obs::MetricsSnapshot snap = system.metrics().snapshot();
@@ -396,7 +396,7 @@ TEST(MithriLogTest, ExternalRegistryIsShared)
     cfg.tracer = &tracer;
     MithriLog system(cfg);
     ASSERT_TRUE(system.ingestText("alpha beta\n").isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
     EXPECT_EQ(&system.metrics(), &registry);
     EXPECT_EQ(&system.tracer(), &tracer);
     EXPECT_EQ(registry.counterValue("core.lines_ingested"), 1u);

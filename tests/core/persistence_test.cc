@@ -81,7 +81,7 @@ TEST_F(PersistenceTest, IngestContinuesAfterRestore)
     MithriLog restored;
     ASSERT_TRUE(restored.loadImage(path_).isOk());
     ASSERT_TRUE(restored.ingestText("after load beta\n").isOk());
-    restored.flush();
+    EXPECT_TRUE(restored.flush().isOk());
 
     QueryResult r;
     ASSERT_TRUE(restored.run(mustParse("alpha | beta"), &r).isOk());
@@ -97,7 +97,7 @@ TEST_F(PersistenceTest, LoadRequiresFreshSystem)
 
     MithriLog dirty;
     ASSERT_TRUE(dirty.ingestText("already has data\n").isOk());
-    dirty.flush();
+    EXPECT_TRUE(dirty.flush().isOk());
     EXPECT_EQ(dirty.loadImage(path_).code(),
               StatusCode::kInvalidArgument);
 }

@@ -59,7 +59,7 @@ runSequence(const fault::FaultPlanConfig &plan_cfg)
 {
     MithriLog system;
     EXPECT_TRUE(system.ingestText(corpus()).isOk());
-    system.flush();
+    EXPECT_TRUE(system.flush().isOk());
 
     fault::FaultPlan plan(plan_cfg);
     system.ssd().attachFaultPlan(&plan);
@@ -146,11 +146,11 @@ TEST(FaultDeterminismTest, QueriesStayCorrectUnderAcceptanceRates)
     // CRC re-reads, or answered via a documented degraded path).
     MithriLog clean_system;
     ASSERT_TRUE(clean_system.ingestText(corpus()).isOk());
-    clean_system.flush();
+    EXPECT_TRUE(clean_system.flush().isOk());
 
     MithriLog faulted_system;
     ASSERT_TRUE(faulted_system.ingestText(corpus()).isOk());
-    faulted_system.flush();
+    EXPECT_TRUE(faulted_system.flush().isOk());
     fault::FaultPlanConfig cfg;
     cfg.seed = 42;
     cfg.bit_error_rate = 1e-6;

@@ -174,6 +174,110 @@ TEST(FaultPlanTest, GarbleReplacesTailDeterministically)
     EXPECT_EQ(plan.counters().blocks_garbled, 1u);
 }
 
+TEST(FaultPlanParseTest, WriteFaultKeysRoundTrip)
+{
+    FaultPlanConfig cfg;
+    ASSERT_TRUE(
+        FaultPlan::parse("seed=9,torn=0.25,drop=0.125,cut_after=42", &cfg)
+            .isOk());
+    EXPECT_EQ(cfg.seed, 9u);
+    EXPECT_DOUBLE_EQ(cfg.torn_write_rate, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.dropped_write_rate, 0.125);
+    EXPECT_EQ(cfg.power_cut_after_writes, 42u);
+    EXPECT_FALSE(FaultPlan::parse("torn=nope", &cfg).isOk());
+    EXPECT_FALSE(FaultPlan::parse("cut_after=1x", &cfg).isOk());
+}
+
+TEST(FaultPlanTest, NullPlanNeverFaultsWrites)
+{
+    FaultPlan plan{FaultPlanConfig{}};
+    for (uint64_t page = 0; page < 64; ++page) {
+        WriteFault f = plan.drawWrite(page, kPage);
+        EXPECT_FALSE(f.damages());
+        EXPECT_FALSE(f.power_cut);
+    }
+    EXPECT_EQ(plan.counters().write_draws, 64u);
+    EXPECT_EQ(plan.counters().torn_writes, 0u);
+    EXPECT_EQ(plan.counters().dropped_writes, 0u);
+    EXPECT_EQ(plan.counters().power_cuts, 0u);
+}
+
+TEST(FaultPlanTest, PowerCutFiresOnExactWriteOrdinal)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 13;
+    cfg.power_cut_after_writes = 5;
+    FaultPlan plan(cfg);
+    for (uint64_t i = 1; i <= 8; ++i) {
+        WriteFault f = plan.drawWrite(/*page_id=*/100 + i, kPage);
+        EXPECT_EQ(f.power_cut, i == 5) << "write ordinal " << i;
+        if (f.power_cut) {
+            EXPECT_LE(f.persisted_bytes, kPage);
+        }
+    }
+    EXPECT_EQ(plan.counters().write_draws, 8u);
+    EXPECT_EQ(plan.counters().power_cuts, 1u);
+}
+
+TEST(FaultPlanTest, WriteDrawSequencesAreDeterministic)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 19;
+    cfg.torn_write_rate = 0.3;
+    cfg.dropped_write_rate = 0.2;
+    cfg.power_cut_after_writes = 400;
+    FaultPlan plan_a(cfg);
+    FaultPlan plan_b(cfg);
+    for (uint64_t page = 0; page < 500; ++page) {
+        WriteFault fa = plan_a.drawWrite(page, kPage);
+        WriteFault fb = plan_b.drawWrite(page, kPage);
+        EXPECT_EQ(fa.torn, fb.torn);
+        EXPECT_EQ(fa.dropped, fb.dropped);
+        EXPECT_EQ(fa.power_cut, fb.power_cut);
+        EXPECT_EQ(fa.persisted_bytes, fb.persisted_bytes);
+    }
+    EXPECT_EQ(plan_a.counters().torn_writes,
+              plan_b.counters().torn_writes);
+    EXPECT_EQ(plan_a.counters().dropped_writes,
+              plan_b.counters().dropped_writes);
+    EXPECT_EQ(plan_a.counters().power_cuts, 1u);
+    EXPECT_EQ(plan_b.counters().power_cuts, 1u);
+}
+
+TEST(FaultPlanTest, ReadDrawsDoNotShiftThePowerCutPoint)
+{
+    // Read retries draw from a separate ordinal stream, so a plan that
+    // also injects read faults must cut power at the same write.
+    FaultPlanConfig cfg;
+    cfg.seed = 21;
+    cfg.power_cut_after_writes = 3;
+    FaultPlan quiet_plan(cfg);
+    cfg.timeout_rate = 0.5;  // noisy read stream
+    FaultPlan noisy_plan(cfg);
+    for (uint64_t i = 0; i < 32; ++i) {
+        noisy_plan.drawRead(i, kPage);
+    }
+    for (uint64_t i = 1; i <= 4; ++i) {
+        EXPECT_EQ(quiet_plan.drawWrite(i, kPage).power_cut, i == 3);
+        EXPECT_EQ(noisy_plan.drawWrite(i, kPage).power_cut, i == 3);
+    }
+}
+
+TEST(FaultPlanTest, WriteMetricsMirrorCounters)
+{
+    obs::MetricsRegistry metrics;
+    FaultPlanConfig cfg;
+    cfg.seed = 31;
+    cfg.torn_write_rate = 1.0;
+    FaultPlan plan(cfg);
+    plan.bindMetrics(&metrics);
+    for (uint64_t page = 0; page < 6; ++page) {
+        plan.drawWrite(page, kPage);
+    }
+    EXPECT_EQ(metrics.counter("fault.write_draws").value(), 6u);
+    EXPECT_EQ(metrics.counter("fault.torn_writes").value(), 6u);
+}
+
 TEST(FaultPlanTest, MetricsMirrorCounters)
 {
     obs::MetricsRegistry metrics;

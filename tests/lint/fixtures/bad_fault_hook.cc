@@ -9,6 +9,7 @@ void
 corruptRead(Device *device)
 {
     device->drawRead(9, 4096);  // line 11: drawRead outside a plan
+    device->drawWrite(9, 4096);  // line 12: drawWrite outside a plan
 }
 
 #endif

@@ -81,6 +81,7 @@ expect(rc == 1, "bad_fault_hook.cc exits 1")
 expect_finding(out, "bad_fault_hook.cc", 5, "fault-gating")
 expect_finding(out, "bad_fault_hook.cc", 6, "fault-gating")
 expect_finding(out, "bad_fault_hook.cc", 11, "fault-gating")
+expect_finding(out, "bad_fault_hook.cc", 12, "fault-gating")
 
 rc, out = run_lint("bad_guard.h")
 expect(rc == 1, "bad_guard.h exits 1")

@@ -35,7 +35,7 @@ TEST(PageStoreTest, WriteReadRoundTrip)
     PageId id = store.allocate();
     std::vector<uint8_t> data(kPageSize);
     std::iota(data.begin(), data.end(), 0);
-    store.write(id, data);
+    ASSERT_TRUE(store.write(id, data).isOk());
     std::span<const uint8_t> page;
     ASSERT_TRUE(store.read(id, &page).isOk());
     EXPECT_TRUE(std::equal(data.begin(), data.end(), page.begin()));
@@ -46,9 +46,9 @@ TEST(PageStoreTest, PartialWriteKeepsTail)
     PageStore store;
     PageId id = store.allocate();
     std::vector<uint8_t> full(kPageSize, 0xff);
-    store.write(id, full);
+    ASSERT_TRUE(store.write(id, full).isOk());
     std::vector<uint8_t> head(16, 0x01);
-    store.write(id, head);
+    ASSERT_TRUE(store.write(id, head).isOk());
     std::span<const uint8_t> page;
     ASSERT_TRUE(store.read(id, &page).isOk());
     EXPECT_EQ(page[0], 0x01);
@@ -74,6 +74,23 @@ TEST(PageStoreTest, PagesAreIndependent)
     store.mutablePage(a)[0] = 1;
     std::span<const uint8_t> page;
     ASSERT_TRUE(store.read(b, &page).isOk());
+    EXPECT_EQ(page[0], 0);
+}
+
+TEST(PageStoreTest, OutOfRangeWriteReturnsInvalidArgument)
+{
+    PageStore store;
+    std::vector<uint8_t> data(16, 0xab);
+    EXPECT_EQ(store.write(0, data).code(), StatusCode::kInvalidArgument);
+    PageId id = store.allocate();
+    EXPECT_EQ(store.write(id + 1, data).code(),
+              StatusCode::kInvalidArgument);
+    std::vector<uint8_t> oversized(kPageSize + 1, 0);
+    EXPECT_EQ(store.write(id, oversized).code(),
+              StatusCode::kInvalidArgument);
+    // The failed writes must not have touched the page.
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(id, &page).isOk());
     EXPECT_EQ(page[0], 0);
 }
 

@@ -12,8 +12,8 @@ TEST(SsdModelTest, BatchReadMovesData)
     PageId b = ssd.allocate();
     std::vector<uint8_t> ones(kPageSize, 1);
     std::vector<uint8_t> twos(kPageSize, 2);
-    ssd.writePage(a, ones);
-    ssd.writePage(b, twos);
+    ASSERT_TRUE(ssd.writePage(a, ones).isOk());
+    ASSERT_TRUE(ssd.writePage(b, twos).isOk());
 
     std::vector<uint8_t> out;
     std::vector<PageId> ids{a, b};
@@ -64,7 +64,7 @@ TEST(SsdModelTest, MeteredReadsAdvanceClockAndStats)
     SsdModel ssd;
     PageId a = ssd.allocate();
     std::vector<uint8_t> data(kPageSize, 7);
-    ssd.writePage(a, data);
+    ASSERT_TRUE(ssd.writePage(a, data).isOk());
     ssd.resetClock();
 
     std::vector<uint8_t> out;
@@ -85,11 +85,101 @@ TEST(SsdModelTest, ResetClockZeroesElapsedOnly)
     SsdModel ssd;
     PageId a = ssd.allocate();
     std::vector<uint8_t> data(16, 1);
-    ssd.writePage(a, data);
+    ASSERT_TRUE(ssd.writePage(a, data).isOk());
     EXPECT_GT(ssd.elapsed().ps(), 0u);
     ssd.resetClock();
     EXPECT_EQ(ssd.elapsed().ps(), 0u);
     EXPECT_EQ(ssd.stats().get("pages_written"), 1u);
+}
+
+TEST(SsdModelTest, OutOfRangeWriteReturnsInvalidArgument)
+{
+    SsdModel ssd;
+    std::vector<uint8_t> data(kPageSize, 1);
+    uint64_t before = ssd.elapsed().ps();
+    EXPECT_EQ(ssd.writePage(5, data).code(),
+              StatusCode::kInvalidArgument);
+    // A rejected program charges no time and counts nothing.
+    EXPECT_EQ(ssd.elapsed().ps(), before);
+    EXPECT_EQ(ssd.stats().get("pages_written"), 0u);
+}
+
+TEST(SsdModelTest, FlushBarrierChargesConfiguredLatency)
+{
+    SsdModel ssd;
+    ASSERT_TRUE(ssd.flushBarrier().isOk());
+    EXPECT_EQ(ssd.elapsed().ps(), ssd.config().flush_latency.ps());
+    EXPECT_EQ(ssd.stats().get("flushes"), 1u);
+}
+
+TEST(SsdModelTest, PowerCutKillsDeviceUntilRemount)
+{
+    SsdModel ssd;
+    fault::FaultPlanConfig cfg;
+    cfg.power_cut_after_writes = 2;
+    fault::FaultPlan plan(cfg);
+    ssd.attachFaultPlan(&plan);
+
+    PageId a = ssd.allocate();
+    PageId b = ssd.allocate();
+    std::vector<uint8_t> data(kPageSize, 9);
+    ASSERT_TRUE(ssd.writePage(a, data).isOk());
+    EXPECT_FALSE(ssd.powerLost());
+    EXPECT_EQ(ssd.writePage(b, data).code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(ssd.powerLost());
+    // Every later command fails until the image is remounted.
+    EXPECT_EQ(ssd.writePage(a, data).code(), StatusCode::kUnavailable);
+    EXPECT_EQ(ssd.flushBarrier().code(), StatusCode::kUnavailable);
+    std::vector<uint8_t> out;
+    EXPECT_EQ(ssd.readChained(a, Link::kInternal, &out).code(),
+              StatusCode::kUnavailable);
+    // The dead device's NAND contents stay directly dumpable.
+    std::span<const uint8_t> view;
+    ASSERT_TRUE(ssd.store().read(a, &view).isOk());
+    EXPECT_EQ(view[0], 9);
+}
+
+TEST(SsdModelTest, TornWriteAcksButPersistsPrefix)
+{
+    SsdModel ssd;
+    fault::FaultPlanConfig cfg;
+    cfg.seed = 3;
+    cfg.torn_write_rate = 1.0; // every program tears
+    fault::FaultPlan plan(cfg);
+    ssd.attachFaultPlan(&plan);
+
+    PageId a = ssd.allocate();
+    std::vector<uint8_t> data(kPageSize, 0x5a);
+    ASSERT_TRUE(ssd.writePage(a, data).isOk()); // the device lies
+    EXPECT_EQ(plan.counters().torn_writes, 1u);
+    std::span<const uint8_t> view;
+    ASSERT_TRUE(ssd.store().read(a, &view).isOk());
+    size_t persisted = 0;
+    while (persisted < view.size() && view[persisted] == 0x5a) {
+        ++persisted;
+    }
+    // The tail (if any) kept its old contents (zeros).
+    for (size_t i = persisted; i < view.size(); ++i) {
+        EXPECT_EQ(view[i], 0);
+    }
+}
+
+TEST(SsdModelTest, DroppedWriteAcksButPersistsNothing)
+{
+    SsdModel ssd;
+    fault::FaultPlanConfig cfg;
+    cfg.seed = 5;
+    cfg.dropped_write_rate = 1.0;
+    fault::FaultPlan plan(cfg);
+    ssd.attachFaultPlan(&plan);
+
+    PageId a = ssd.allocate();
+    std::vector<uint8_t> data(kPageSize, 0x77);
+    ASSERT_TRUE(ssd.writePage(a, data).isOk());
+    EXPECT_EQ(plan.counters().dropped_writes, 1u);
+    std::span<const uint8_t> view;
+    ASSERT_TRUE(ssd.store().read(a, &view).isOk());
+    EXPECT_EQ(view[0], 0);
 }
 
 TEST(SsdModelTest, ComparisonConfigHasSingleFastLink)

@@ -8,9 +8,12 @@
 #   2. unit + bench tests ctest over the werror build
 #   3. fault matrix      tools/fault_matrix.sh — end-to-end queries
 #      under corruption/timeout/mixed fault plans stay exactly correct
-#   4. domain lint       tools/mithril_lint.py (and its self-test)
-#   5. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#   6. ubsan build+test  full tree under -fsanitize=undefined
+#   4. crash matrix      tools/crash_matrix.sh — power-cut at every
+#      device program; recovery never loses acknowledged data and
+#      never fabricates a match
+#   5. domain lint       tools/mithril_lint.py (and its self-test)
+#   6. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#   7. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -36,6 +39,10 @@ ctest --test-dir build-werror --output-on-failure -j "$JOBS"
 step "fault matrix (tools/fault_matrix.sh)"
 tools/fault_matrix.sh build-werror/examples/mithril_cli \
     build-werror/fault_matrix_ci
+
+step "crash matrix (tools/crash_matrix.sh)"
+tools/crash_matrix.sh build-werror/examples/mithril_cli \
+    build-werror/crash_matrix_ci
 
 step "domain lint (mithril_lint.py + selftest)"
 python3 tools/mithril_lint.py

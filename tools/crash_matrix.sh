@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Crash-matrix acceptance gate for the durable commit protocol.
+#
+# Ingests a fixed corpus and power-cuts the device at EVERY write-level
+# injection point (cut_after = 1 .. W, where W is the clean run's total
+# device program count), dumps the dead device's NAND, recovers it at
+# mount time, and asserts the crash-consistency contract:
+#
+#   1. durability:  recovered lines R >= acknowledged lines A — no
+#      acknowledged line is ever lost;
+#   2. integrity:   a query over the recovered store returns exactly the
+#      clean-prefix oracle's match count over the first R corpus lines —
+#      no phantom and no corrupt match;
+#   3. determinism: re-running one cut point reproduces A, R, and the
+#      match count bit-for-bit from the plan seed;
+#   4. completion:  a cut point past the last write never fires and the
+#      run ingests the full corpus.
+#
+# Usage: crash_matrix.sh <path-to-mithril_cli> [workdir]
+set -euo pipefail
+
+CLI="$1"
+WORK="${2:-$(mktemp -d)}"
+# Mid-frequency token in the Spirit2 corpus: the prefix oracle changes
+# value as the recovered prefix grows, so phantom AND missing matches
+# both register.
+QUERY="packet"
+LINES=600
+mkdir -p "$WORK"
+
+# counter <name> <key>  -> value from the run's metrics snapshot
+counter() {
+    python3 -c '
+import json, sys
+snap = json.load(open(sys.argv[1]))
+print(int(snap["counters"].get(sys.argv[2], 0)))
+' "$WORK/$1.json" "$2"
+}
+
+# matches <out-file>  -> the match count from a query run's stdout,
+# skipping any BENCH_JSON telemetry lines.
+matches() {
+    grep -v '^BENCH_JSON' "$1" | awk 'NR==1 { print $1 }'
+}
+
+"$CLI" generate Spirit2 1 "$WORK/full.log" > /dev/null
+head -n "$LINES" "$WORK/full.log" > "$WORK/cm.log"
+
+# Clean run: learn the total device program count W (every program the
+# ingest issues is a crash point) and the full-corpus oracle. A no-op
+# fault plan is attached so fault.write_draws counts the programs
+# without perturbing anything — ssd.pages_written would overcount (the
+# index meters its leaf-page programs into that stat without issuing
+# faultable writePage commands).
+"$CLI" ingest "$WORK/cm.log" "$WORK/clean.img" --fault-plan=seed=1 \
+    --metrics-out="$WORK/clean_ingest.json" > /dev/null
+W=$(counter clean_ingest fault.write_draws)
+if [[ "$W" -lt 4 ]]; then
+    echo "FAIL: clean ingest issued only $W device programs"
+    exit 1
+fi
+"$CLI" query "$WORK/clean.img" "$QUERY" > "$WORK/clean_query.out"
+full_oracle=$(matches "$WORK/clean_query.out")
+echo "corpus: $LINES lines, $W device programs," \
+     "full oracle: $full_oracle matches"
+
+# oracle <R>  -> match count over the first R corpus lines (cached)
+declare -A ORACLE
+oracle() {
+    local r="$1"
+    if [[ -z "${ORACLE[$r]:-}" ]]; then
+        head -n "$r" "$WORK/cm.log" > "$WORK/pref.log"
+        "$CLI" ingest "$WORK/pref.log" "$WORK/pref.img" > /dev/null
+        "$CLI" query "$WORK/pref.img" "$QUERY" > "$WORK/pref.out"
+        ORACLE[$r]=$(matches "$WORK/pref.out")
+    fi
+    echo "${ORACLE[$r]}"
+}
+
+# crash_run <k>  -> "A:R:M" for a cut at write k, asserting the
+# contract along the way (sets fail=1 on violation, never exits early).
+fail=0
+crash_run() {
+    local k="$1"
+    "$CLI" ingest "$WORK/cm.log" "$WORK/crash.img" --crash-at="$k" \
+        > "$WORK/crash.out"
+    if ! grep -q '^crash: acknowledged=' "$WORK/crash.out"; then
+        echo "FAIL: cut_after=$k did not crash (W=$W)"
+        fail=1
+        echo "-:-:-"
+        return
+    fi
+    local a r m
+    a=$(sed -n 's/^crash: acknowledged=//p' "$WORK/crash.out")
+    "$CLI" query "$WORK/crash.img" "$QUERY" --recover \
+        --metrics-out="$WORK/rec.json" > "$WORK/rec.out"
+    r=$(counter rec recovery.lines_recovered)
+    m=$(matches "$WORK/rec.out")
+    if [[ "$r" -lt "$a" ]]; then
+        echo "FAIL: cut_after=$k lost acknowledged data" \
+             "(acknowledged=$a recovered=$r)"
+        fail=1
+    fi
+    if [[ "$r" -gt "$LINES" ]]; then
+        echo "FAIL: cut_after=$k recovered $r lines from a" \
+             "$LINES-line corpus"
+        fail=1
+    fi
+    local want
+    if [[ "$r" -eq 0 ]]; then
+        want=0
+    else
+        want=$(oracle "$r")
+    fi
+    if [[ "$m" != "$want" ]]; then
+        echo "FAIL: cut_after=$k recovered store returned $m matches," \
+             "prefix oracle over $r lines says $want"
+        fail=1
+    fi
+    echo "$a:$r:$m"
+}
+
+declare -A RESULT
+for (( k = 1; k <= W; k++ )); do
+    RESULT[$k]=$(crash_run "$k")
+done
+echo "matrix: all $W cut points recovered" \
+     "(last: acknowledged:recovered:matches = ${RESULT[$W]})"
+
+# Determinism: one mid-matrix cut point must replay bit-for-bit.
+mid=$(( (W + 1) / 2 ))
+replay=$(crash_run "$mid")
+if [[ "$replay" != "${RESULT[$mid]}" ]]; then
+    echo "FAIL: cut_after=$mid not deterministic:" \
+         "first=${RESULT[$mid]} replay=$replay"
+    fail=1
+fi
+
+# Completion: a cut point past the last write never fires.
+"$CLI" ingest "$WORK/cm.log" "$WORK/done.img" --crash-at=$(( W + 5 )) \
+    > "$WORK/done.out"
+if grep -q '^crash:' "$WORK/done.out"; then
+    echo "FAIL: cut_after=$(( W + 5 )) fired on a $W-write run"
+    fail=1
+else
+    "$CLI" query "$WORK/done.img" "$QUERY" > "$WORK/done_query.out"
+    got=$(matches "$WORK/done_query.out")
+    if [[ "$got" != "$full_oracle" ]]; then
+        echo "FAIL: un-fired cut plan changed results:" \
+             "$got vs $full_oracle"
+        fail=1
+    fi
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "crash matrix OK ($W cut points, durability + integrity +" \
+     "determinism + completion)"

@@ -22,7 +22,8 @@ repo-specific invariants no generic tool knows about:
   fault-gating       fault-injection hooks must only be reachable
                      through an attached mithril::fault::FaultPlan —
                      no #ifdef fault gates, no static mutable fault
-                     toggles, no drawRead() outside a plan object —
+                     toggles, no drawRead()/drawWrite() outside a
+                     plan object —
                      so a build with no plan attached is provably
                      fault-free and every injection is seed-replayable.
   header-guard       include guards must be MITHRIL_<PATH>_H.
@@ -229,7 +230,8 @@ _FAULT_PP_RE = re.compile(
 _FAULT_TOGGLE_RE = re.compile(
     rf"^\s*static\s+(?!const\b|constexpr\b)[\w:<>\s*&]*?"
     rf"\b\w*{_FAULT_WORD}\w*\s*(?:=|;|\{{)")
-_DRAW_READ_RE = re.compile(r"(?:(\w+)\s*(?:\.|->)\s*)?\bdrawRead\s*\(")
+_DRAW_HOOK_RE = re.compile(
+    r"(?:(\w+)\s*(?:\.|->)\s*)?\bdraw(?:Read|Write)\s*\(")
 
 
 def check_fault_gating(relpath, code):
@@ -242,12 +244,12 @@ def check_fault_gating(relpath, code):
             yield (i, "fault-gating",
                    "static mutable fault toggle; attach a FaultPlan "
                    "instead")
-        for m in _DRAW_READ_RE.finditer(line):
+        for m in _DRAW_HOOK_RE.finditer(line):
             receiver = m.group(1) or ""
             if "plan" not in receiver.lower():
                 yield (i, "fault-gating",
-                       "drawRead() not reached through a FaultPlan "
-                       "object")
+                       "drawRead()/drawWrite() not reached through a "
+                       "FaultPlan object")
 
 
 def expected_guard(relpath):
