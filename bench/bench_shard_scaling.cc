@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Shard/thread scaling for the service layer (mithril::svc).
+ *
+ * The paper's device hosts four independent filter pipelines; the
+ * service layer mirrors that with N independent MithriLog shards fed
+ * by M workers. This bench sweeps (shards, threads) over one dataset
+ * and reports, per configuration:
+ *
+ *   - modeled ingest throughput: rawBytes / max-over-shards device
+ *     time — the paper-domain number (shards are independent devices
+ *     running in parallel), deterministic and host-independent;
+ *   - host wall-clock ingest throughput, for reference (on a 1-core
+ *     runner the wall numbers cannot scale; the modeled ones must);
+ *   - query p50/p99 over the template library, in modeled
+ *     milliseconds (max-over-shards per query, i.e. fan-out latency);
+ *   - shard imbalance (100 * (1 - mean/max) of per-shard query time);
+ *   - a match fingerprint — hash over the sorted merged result lines
+ *     of the full query sweep. Every configuration must produce the
+ *     same fingerprint; the bench aborts on divergence.
+ *
+ * BENCH_JSON: one `shard_scaling` record per configuration with
+ * `speedup_vs_serial` on the modeled ingest number.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "common/wall_timer.h"
+#include "obs/report.h"
+#include "svc/log_service.h"
+
+namespace mithril::bench {
+namespace {
+
+struct ConfigResult {
+    size_t shards = 0;
+    size_t threads = 0;
+    double modeled_gbps = 0.0;
+    double wall_gbps = 0.0;
+    double query_p50_ms = 0.0;
+    double query_p99_ms = 0.0;
+    double imbalance_pct = 0.0;
+    uint64_t matched = 0;
+    uint64_t fingerprint = 0;
+};
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+}
+
+ConfigResult
+runConfig(const BenchDataset &ds, size_t shards, size_t threads)
+{
+    svc::LogServiceConfig cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.queue_depth = 16;
+    cfg.shard = obsConfig();
+    cfg.metrics = &benchMetrics();
+    cfg.tracer = &benchTracer();
+    svc::LogService service(cfg);
+
+    WallTimer wall;
+    size_t start = 0;
+    while (start < ds.text.size()) {
+        size_t end = ds.text.find('\n', start);
+        if (end == std::string::npos) {
+            end = ds.text.size();
+        }
+        std::string_view line(ds.text.data() + start, end - start);
+        Status st = service.append(line);
+        if (!st.isOk()) {
+            // Backpressure: let the backlog clear, retry same line.
+            service.drain();
+            continue;
+        }
+        start = end + 1;
+    }
+    expectOk(service.flush(), "flush");
+    double ingest_wall = wall.seconds();
+
+    // Modeled ingest time: each shard is an independent device, so
+    // the service-level figure is the slowest shard's device clock.
+    double modeled_s = 0.0;
+    for (size_t i = 0; i < service.shardCount(); ++i) {
+        modeled_s = std::max(
+            modeled_s, service.shard(i).ssd().elapsed().toSeconds());
+    }
+
+    ConfigResult out;
+    out.shards = shards;
+    out.threads = threads;
+    double gb = static_cast<double>(service.rawBytes()) / 1e9;
+    out.modeled_gbps = modeled_s > 0 ? gb / modeled_s : 0.0;
+    out.wall_gbps = ingest_wall > 0 ? gb / ingest_wall : 0.0;
+
+    // Query sweep: the template library singles plus the fixed random
+    // pairs — enough samples for a stable p50/p99.
+    std::vector<double> modeled_ms;
+    std::vector<std::string> kept;
+    double imbalance_sum = 0.0;
+    size_t imbalance_n = 0;
+    auto sweep = [&](const std::vector<query::Query> &queries,
+                     size_t limit) {
+        for (size_t i = 0; i < queries.size() && i < limit; ++i) {
+            svc::ServiceQueryResult r;
+            expectOk(service.query(queries[i], &r), "query");
+            modeled_ms.push_back(r.total_time.toSeconds() * 1e3);
+            out.matched += r.matched_lines;
+            for (const accel::KeptLine &line : r.lines) {
+                kept.push_back(line.text);
+            }
+            imbalance_sum += r.shardImbalancePct();
+            ++imbalance_n;
+        }
+    };
+    sweep(ds.singles, 16);
+    sweep(ds.pairs, 8);
+
+    out.query_p50_ms = percentile(modeled_ms, 0.50);
+    out.query_p99_ms = percentile(modeled_ms, 0.99);
+    out.imbalance_pct =
+        imbalance_n > 0 ? imbalance_sum / imbalance_n : 0.0;
+
+    // Canonical fingerprint: shard count changes the merge interleave
+    // but never the match *set*, so hash the sorted lines.
+    std::sort(kept.begin(), kept.end());
+    uint64_t h = 0x5ca11e5ull;
+    for (const std::string &line : kept) {
+        h = mix64(h ^ hash64(line));
+    }
+    out.fingerprint = h;
+    return out;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    initBench(argc, argv);
+    banner("Shard scaling: N service shards x M worker threads",
+           "the four-pipeline scaling argument (Sections 4 and 6)");
+
+    BenchDataset ds = makeDataset(loggen::hpc4Datasets()[1]);
+    std::printf("dataset %s: %.1f MB, %zu templates\n\n",
+                ds.spec.name.c_str(),
+                static_cast<double>(ds.text.size()) / 1e6,
+                ds.singles.size());
+
+    const size_t sweep[][2] = {{1, 1}, {2, 2}, {4, 4}, {4, 8}};
+    std::printf("%7s %8s %14s %12s %10s %10s %10s\n", "shards",
+                "threads", "modeled GB/s", "wall GB/s", "p50 ms",
+                "p99 ms", "imbal %");
+
+    std::vector<ConfigResult> results;
+    for (const auto &c : sweep) {
+        results.push_back(runConfig(ds, c[0], c[1]));
+        const ConfigResult &r = results.back();
+        std::printf("%7zu %8zu %14.3f %12.3f %10.3f %10.3f %10.1f\n",
+                    r.shards, r.threads, r.modeled_gbps, r.wall_gbps,
+                    r.query_p50_ms, r.query_p99_ms, r.imbalance_pct);
+    }
+
+    const ConfigResult &serial = results.front();
+    for (const ConfigResult &r : results) {
+        if (r.fingerprint != serial.fingerprint ||
+            r.matched != serial.matched) {
+            std::fprintf(stderr,
+                         "FATAL: %zux%zu query results diverge from "
+                         "1x1 (fingerprint %016llx vs %016llx)\n",
+                         r.shards, r.threads,
+                         static_cast<unsigned long long>(r.fingerprint),
+                         static_cast<unsigned long long>(
+                             serial.fingerprint));
+            return 1;
+        }
+        double speedup = serial.modeled_gbps > 0
+                             ? r.modeled_gbps / serial.modeled_gbps
+                             : 0.0;
+        obs::JsonRecord record("shard_scaling");
+        record.field("shards", static_cast<uint64_t>(r.shards))
+            .field("threads", static_cast<uint64_t>(r.threads))
+            .field("modeled_ingest_gbps", r.modeled_gbps)
+            .field("wall_ingest_gbps", r.wall_gbps)
+            .field("query_p50_ms", r.query_p50_ms)
+            .field("query_p99_ms", r.query_p99_ms)
+            .field("shard_imbalance_pct", r.imbalance_pct)
+            .field("matched_lines", r.matched)
+            .field("speedup_vs_serial", speedup)
+            .field("results_identical", true);
+        emitRecord(&record);
+    }
+
+    double scaling = results[2].modeled_gbps / serial.modeled_gbps;
+    std::printf("\n4x4 over 1x1 modeled ingest speedup: %.2fx\n",
+                scaling);
+    if (scaling < 2.5) {
+        std::fprintf(stderr,
+                     "FATAL: 4-shard modeled ingest speedup %.2fx "
+                     "below the 2.5x floor\n",
+                     scaling);
+        return 1;
+    }
+
+    finishBench();
+    return 0;
+}
+
+} // namespace mithril::bench
+
+int
+main(int argc, char **argv)
+{
+    return mithril::bench::run(argc, argv);
+}

@@ -6,10 +6,15 @@
  *   generate <dataset> <MB> <out.log>    synthesize a dataset to a file
  *   ingest   <in.log> <out.img>          build a device image from logs
  *   query    <in.img> "<query>"          run one query over an image
+ *   svc      <in.log> "<query>"          sharded service: concurrent
+ *                                        ingest into N shards, query
+ *                                        fan-out, deterministic merge
  *   templates <in.log> [N]               FT-tree library (top N shown)
  *   stat     <in.img>                    image statistics
  *
  * Global flags (any subcommand; most useful with `query`):
+ *   --shards=<N>           (svc) independent MithriLog partitions
+ *   --threads=<M>          (svc) worker threads in the service pool
  *   --metrics-out=<path>   write a JSON metrics snapshot on exit
  *   --trace-out=<path>     write a Chrome-trace (Perfetto) span file
  *   --fault-plan=<spec>    attach a deterministic fault-injection plan
@@ -52,6 +57,7 @@
 #include "fault/fault_plan.h"
 #include "loggen/log_generator.h"
 #include "obs/report.h"
+#include "svc/log_service.h"
 #include "templates/ft_tree.h"
 
 using namespace mithril;
@@ -68,10 +74,16 @@ struct ObsOut {
     int
     write(const core::MithriLog &system) const
     {
+        return write(system.metrics(), system.tracer());
+    }
+
+    int
+    write(const obs::MetricsRegistry &metrics,
+          const obs::Tracer &tracer) const
+    {
         int rc = 0;
         if (!metrics_path.empty()) {
-            Status st = obs::writeMetricsJson(system.metrics(),
-                                              metrics_path);
+            Status st = obs::writeMetricsJson(metrics, metrics_path);
             if (!st.isOk()) {
                 std::fprintf(stderr, "metrics-out: %s\n",
                              st.toString().c_str());
@@ -82,7 +94,7 @@ struct ObsOut {
             }
         }
         if (!trace_path.empty()) {
-            Status st = system.tracer().writeChromeTrace(trace_path);
+            Status st = tracer.writeChromeTrace(trace_path);
             if (!st.isOk()) {
                 std::fprintf(stderr, "trace-out: %s\n",
                              st.toString().c_str());
@@ -101,6 +113,8 @@ ObsOut g_obs;
 std::string g_fault_spec;
 uint64_t g_crash_at = 0;
 bool g_recover = false;
+size_t g_shards = 4;
+size_t g_threads = 4;
 
 int
 usage()
@@ -110,9 +124,12 @@ usage()
                  "  mithril_cli generate <dataset> <MB> <out.log>\n"
                  "  mithril_cli ingest <in.log> <out.img>\n"
                  "  mithril_cli query <in.img> \"<query>\"\n"
+                 "  mithril_cli svc <in.log> \"<query>\"\n"
                  "  mithril_cli templates <in.log> [N]\n"
                  "  mithril_cli stat <in.img>\n"
                  "flags: --metrics-out=<path>  --trace-out=<path>\n"
+                 "       --shards=<N> --threads=<M>  (svc) service "
+                 "shape, default 4x4\n"
                  "       --fault-plan=<spec>   e.g. "
                  "\"seed=3,ber=1e-6,timeout=0.01\"\n"
                  "       --crash-at=<N>        (ingest) power cut on "
@@ -328,6 +345,99 @@ cmdQuery(const std::string &img_path, const std::string &query_text)
     return g_obs.write(system);
 }
 
+/** End-to-end pass through the service layer: concurrent ingest of
+ *  the log file into --shards partitions, one query fanned out over
+ *  all of them, deterministic merge. */
+int
+cmdSvc(const std::string &log_path, const std::string &query_text)
+{
+    std::string text;
+    if (!readFile(log_path, &text)) {
+        return 1;
+    }
+    svc::LogServiceConfig cfg;
+    cfg.shards = g_shards;
+    cfg.threads = g_threads;
+    cfg.fault_spec = g_fault_spec;
+    if (!g_fault_spec.empty()) {
+        // Validate up front: LogService asserts on a malformed spec.
+        fault::FaultPlanConfig fc;
+        Status ps = fault::FaultPlan::parse(g_fault_spec, &fc);
+        if (!ps.isOk()) {
+            std::fprintf(stderr, "fault-plan: %s\n",
+                         ps.toString().c_str());
+            return 2;
+        }
+    }
+    svc::LogService service(cfg);
+
+    WallTimer timer;
+    size_t start = 0;
+    uint64_t backpressure_waits = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos) {
+            end = text.size();
+        }
+        std::string_view line(text.data() + start, end - start);
+        Status st = service.append(line);
+        if (st.code() == StatusCode::kResourceExhausted) {
+            ++backpressure_waits;
+            service.drain(); // admission reopens once applied
+            continue;        // retry the same line
+        }
+        if (!st.isOk()) {
+            std::fprintf(stderr, "append: %s\n", st.toString().c_str());
+            return 1;
+        }
+        start = end + 1;
+    }
+    Status st = service.flush();
+    if (!st.isOk()) {
+        std::fprintf(stderr, "flush: %s\n", st.toString().c_str());
+        return 1;
+    }
+    double ingest_seconds = timer.seconds();
+
+    svc::ServiceQueryResult r;
+    st = service.query(query_text, &r);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "query: %s\n", st.toString().c_str());
+        return 1;
+    }
+    std::printf("service %zu shards x %zu threads: ingested %llu "
+                "lines in %.2fs (%llu backpressure waits)\n",
+                service.shardCount(), service.threadCount(),
+                static_cast<unsigned long long>(service.lineCount()),
+                ingest_seconds,
+                static_cast<unsigned long long>(backpressure_waits));
+    std::printf("%llu matches (%llu/%llu pages over all shards); "
+                "modeled fan-out %.3f ms, imbalance %.1f%%\n",
+                static_cast<unsigned long long>(r.matched_lines),
+                static_cast<unsigned long long>(r.pages_scanned),
+                static_cast<unsigned long long>(r.pages_total),
+                r.total_time.toSeconds() * 1e3, r.shardImbalancePct());
+    for (size_t i = 0; i < r.lines.size() && i < 10; ++i) {
+        std::printf("%s\n", r.lines[i].text.c_str());
+    }
+    if (r.lines.size() > 10) {
+        std::printf("... and %zu more\n", r.lines.size() - 10);
+    }
+    obs::JsonRecord("cli_svc")
+        .field("shards", static_cast<uint64_t>(service.shardCount()))
+        .field("threads", static_cast<uint64_t>(service.threadCount()))
+        .field("lines", service.lineCount())
+        .field("ingest_wall_seconds", ingest_seconds)
+        .field("backpressure_waits", backpressure_waits)
+        .field("matched_lines", r.matched_lines)
+        .field("fanout_modeled_ps", r.total_time.ps())
+        .field("shard_imbalance_pct", r.shardImbalancePct())
+        .field("readonly_shards",
+               static_cast<uint64_t>(service.readonlyShards()))
+        .emit();
+    return g_obs.write(service.metrics(), service.tracer());
+}
+
 int
 cmdTemplates(const std::string &log_path, size_t show)
 {
@@ -400,6 +510,12 @@ main(int argc, char **argv)
                 std::string(a.substr(strlen("--crash-at="))));
         } else if (a == "--recover") {
             g_recover = true;
+        } else if (a.rfind("--shards=", 0) == 0) {
+            g_shards = std::stoull(
+                std::string(a.substr(strlen("--shards="))));
+        } else if (a.rfind("--threads=", 0) == 0) {
+            g_threads = std::stoull(
+                std::string(a.substr(strlen("--threads="))));
         } else {
             args.push_back(argv[i]);
         }
@@ -419,6 +535,9 @@ main(int argc, char **argv)
     }
     if (cmd == "query" && argc == 4) {
         return cmdQuery(argv[2], argv[3]);
+    }
+    if (cmd == "svc" && argc == 4) {
+        return cmdSvc(argv[2], argv[3]);
     }
     if (cmd == "templates" && (argc == 3 || argc == 4)) {
         return cmdTemplates(argv[2],

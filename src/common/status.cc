@@ -15,6 +15,8 @@ statusCodeName(StatusCode code)
       case StatusCode::kInternal: return "INTERNAL";
       case StatusCode::kDataLoss: return "DATA_LOSS";
       case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     }
     return "UNKNOWN";
 }

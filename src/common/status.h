@@ -30,6 +30,8 @@ enum class StatusCode {
     kInternal,          ///< unexpected internal condition
     kDataLoss,          ///< bytes unrecoverable after retry/ECC exhausted
     kUnavailable,       ///< device not serving requests (power lost)
+    kResourceExhausted, ///< admission control: queue/backlog full, retry
+    kFailedPrecondition,///< valid request against the wrong object state
 };
 
 /** Human-readable name for a status code. */
@@ -103,6 +105,18 @@ class [[nodiscard]] Status
     unavailable(std::string msg)
     {
         return Status(StatusCode::kUnavailable, std::move(msg));
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(msg));
+    }
+
+    static Status
+    failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(msg));
     }
 
     [[nodiscard]] bool isOk() const { return code_ == StatusCode::kOk; }

@@ -930,6 +930,7 @@ MithriLog::recover(const std::string &path)
     // A recovered store is immutable: the journal cursor died with the
     // device, and append-after-recovery is future work (ROADMAP).
     sealed_ = true;
+    recovered_ = true;
 
     metrics_->counter("recovery.journal_pages_replayed")
         .add(rr.journal_pages);

@@ -21,6 +21,11 @@
  * the paper's platform parameters); QueryResult separates index,
  * storage, and compute time so benches can report the same breakdowns
  * the paper discusses.
+ *
+ * Thread safety: none — a MithriLog is single-threaded by design and
+ * the thread-ownership lint keeps it that way. Concurrent use goes
+ * through svc::LogService, which owns one store per shard and
+ * serializes all access to each (src/svc/log_service.h).
  */
 #ifndef MITHRIL_CORE_MITHRILOG_H
 #define MITHRIL_CORE_MITHRILOG_H
@@ -208,6 +213,14 @@ class MithriLog
     /** True after seal() (or after recovering any store; recovery
      *  always yields a sealed, immutable store). */
     bool sealed() const { return sealed_; }
+
+    /** True when this store was produced by recover(): it is sealed
+     *  *because* the journal cursor died with the crashed device
+     *  (ROADMAP "append-after-recovery"), not because the caller chose
+     *  to seal. Service layers use this to answer ingest against a
+     *  recovered shard with kFailedPrecondition instead of a generic
+     *  sealed-store error. */
+    bool recovered() const { return recovered_; }
 
     /** Data pages in ingest order (tests and ablations; the journal
      *  owns the device's leading pages, so "page 0" is not data). */
@@ -407,6 +420,8 @@ class MithriLog
     uint64_t committed_raw_ = 0;
     /** seal() ran: the store is immutable. */
     bool sealed_ = false;
+    /** recover() produced this store (sealed_ is then implied). */
+    bool recovered_ = false;
     /** A commit failed mid-protocol (power cut or device error): the
      *  in-memory state no longer matches the media, so every mutating
      *  call fails until the image is recovered on a fresh system. */

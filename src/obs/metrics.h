@@ -193,6 +193,8 @@ class MetricsRegistry : public CounterSink
                                 std::initializer_list<Label> labels);
 
   private:
+    // Registry lookups are the cross-thread meeting point every
+    // mithril-lint: allow(thread-ownership) subsystem reports into obs
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
         counters_;

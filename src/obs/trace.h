@@ -120,6 +120,8 @@ class Tracer
     uint64_t nowNs() const;
     void record(TraceEvent event);
 
+    // The span ring is shared by every tracing thread; obs is
+    // mithril-lint: allow(thread-ownership) documented thread-safe
     mutable std::mutex mu_;
     std::vector<TraceEvent> ring_;
     size_t capacity_;

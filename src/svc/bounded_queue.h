@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bounded MPMC queue for the service layer's worker pool.
+ *
+ * A deliberately simple mutex + condition-variable queue: every svc
+ * concurrency test runs under the ThreadSanitizer tier, and a queue
+ * whose correctness is obvious under a single lock is worth more here
+ * than a lock-free one whose memory ordering must be re-argued every
+ * PR. Throughput is not queue-bound: each popped item is a whole
+ * ingest batch or a per-shard query, thousands of times the cost of
+ * one lock handoff.
+ *
+ * close() wakes every waiter; after it, push() fails and pop() drains
+ * the remaining items before reporting exhaustion.
+ */
+#ifndef MITHRIL_SVC_BOUNDED_QUEUE_H
+#define MITHRIL_SVC_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mithril::svc {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /** Blocks until space is available; false if the queue is closed. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_) {
+            return false;
+        }
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push; false when full or closed (item untouched
+     *  in that case — the caller keeps ownership). */
+    bool
+    tryPush(T &item)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || items_.size() >= capacity_) {
+            return false;
+        }
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Blocks until an item arrives; empty optional once the queue is
+     *  closed *and* drained. */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /** Wakes every producer and consumer; push() fails from now on. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace mithril::svc
+
+#endif // MITHRIL_SVC_BOUNDED_QUEUE_H

@@ -32,6 +32,10 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes)
     EXPECT_EQ(Status::unsupported("x").code(), StatusCode::kUnsupported);
     EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
     EXPECT_EQ(Status::dataLoss("x").code(), StatusCode::kDataLoss);
+    EXPECT_EQ(Status::resourceExhausted("x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
 }
 
 Status
@@ -55,6 +59,10 @@ TEST(StatusTest, CodeNames)
     EXPECT_STREQ(statusCodeName(StatusCode::kCapacityExceeded),
                  "CAPACITY_EXCEEDED");
     EXPECT_STREQ(statusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+    EXPECT_STREQ(statusCodeName(StatusCode::kResourceExhausted),
+                 "RESOURCE_EXHAUSTED");
+    EXPECT_STREQ(statusCodeName(StatusCode::kFailedPrecondition),
+                 "FAILED_PRECONDITION");
 }
 
 } // namespace

@@ -1,0 +1,21 @@
+// Known-bad fixture: concurrency primitives created outside src/svc/.
+#include <future>
+#include <mutex>
+#include <thread>
+
+std::mutex g_mu;  // line 6: thread-ownership (mutex creation)
+
+int
+spawn()
+{
+    std::thread worker([] {});  // line 11: thread-ownership
+    worker.join();
+    auto f = std::async([] { return 1; });  // line 13: thread-ownership
+    std::condition_variable cv;  // line 14: thread-ownership
+    (void)cv;
+    // Using someone else's lock is fine: guards and this_thread are
+    // consumption, not creation.
+    std::lock_guard<std::mutex> lock(g_mu);  // not flagged
+    std::this_thread::yield();               // not flagged
+    return f.get();
+}

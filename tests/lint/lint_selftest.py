@@ -83,6 +83,17 @@ expect_finding(out, "bad_fault_hook.cc", 6, "fault-gating")
 expect_finding(out, "bad_fault_hook.cc", 11, "fault-gating")
 expect_finding(out, "bad_fault_hook.cc", 12, "fault-gating")
 
+rc, out = run_lint("bad_thread.cc")
+expect(rc == 1, "bad_thread.cc exits 1")
+expect_finding(out, "bad_thread.cc", 6, "thread-ownership")
+expect_finding(out, "bad_thread.cc", 11, "thread-ownership")
+expect_finding(out, "bad_thread.cc", 13, "thread-ownership")
+expect_finding(out, "bad_thread.cc", 14, "thread-ownership")
+expect("bad_thread.cc:18" not in out,
+       "lock_guard over an existing mutex is not flagged")
+expect("bad_thread.cc:19" not in out,
+       "std::this_thread is not flagged")
+
 rc, out = run_lint("bad_guard.h")
 expect(rc == 1, "bad_guard.h exits 1")
 expect_finding(out, "bad_guard.h", 2, "header-guard")

@@ -31,6 +31,7 @@ TEST(MetricsRegistry, ConcurrentIncrementsLoseNoUpdates)
     MetricsRegistry m;
     constexpr int kThreads = 8;
     constexpr uint64_t kPerThread = 50000;
+    // mithril-lint: allow(thread-ownership) hammers the registry's own thread-safety contract
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t) {

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Concurrency tests for the service layer — the primary targets of the
+ * TSan tier (`ctest -L svc` under the tsan preset). Each test drives
+ * real cross-thread interleavings: multi-producer ingest, queries
+ * racing ingest, pool shutdown with a backlog. Assertions are kept
+ * schedule-independent (totals, statuses) — the interesting property
+ * here is "no data race / no deadlock", which the sanitizer checks.
+ */
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/bounded_queue.h"
+#include "svc/log_service.h"
+
+namespace mithril::svc {
+namespace {
+
+TEST(BoundedQueueTest, MpmcTransfersEverythingExactlyOnce)
+{
+    BoundedQueue<int> queue(8);
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 2000;
+
+    std::atomic<long long> sum{0};
+    std::atomic<int> popped{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&queue, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(queue.push(p * kPerProducer + i));
+            }
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (std::optional<int> item = queue.pop()) {
+                sum.fetch_add(*item);
+                popped.fetch_add(1);
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) {
+        threads[p].join();
+    }
+    queue.close(); // consumers drain the tail, then exit
+    for (int c = 0; c < kConsumers; ++c) {
+        threads[kProducers + c].join();
+    }
+    const long long n = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaiters)
+{
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(1)); // fill to capacity
+    // Nothing ever pops before close(), so whether this push blocks
+    // first or observes the close first, it must return false.
+    std::thread blocked_producer([&] { EXPECT_FALSE(queue.push(2)); });
+    queue.close();
+    blocked_producer.join();
+    // A closed queue still drains what it holds, then reports
+    // exhaustion and rejects new work.
+    ASSERT_TRUE(queue.pop().has_value());
+    EXPECT_FALSE(queue.pop().has_value());
+    EXPECT_FALSE(queue.push(3));
+
+    // And a consumer waiting on an empty queue is released by close()
+    // (or sees it immediately) — never left blocked.
+    BoundedQueue<int> empty(1);
+    std::thread blocked_consumer(
+        [&] { EXPECT_FALSE(empty.pop().has_value()); });
+    empty.close();
+    blocked_consumer.join();
+}
+
+TEST(SvcConcurrencyTest, MultiProducerIngestLosesNothing)
+{
+    LogServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.threads = 4;
+    cfg.batch_lines = 32;
+    LogService service(cfg);
+
+    constexpr int kProducers = 8;
+    constexpr int kPerProducer = 500;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&service, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                std::string line = "producer" + std::to_string(p) +
+                                   " payload seq" + std::to_string(i);
+                Status st = service.append(line);
+                while (!st.isOk() &&
+                       st.code() == StatusCode::kResourceExhausted) {
+                    service.drain();
+                    st = service.append(line);
+                }
+                ASSERT_TRUE(st.isOk()) << st.toString();
+            }
+        });
+    }
+    for (std::thread &t : producers) {
+        t.join();
+    }
+    ASSERT_TRUE(service.flush().isOk());
+    EXPECT_EQ(service.lineCount(),
+              static_cast<uint64_t>(kProducers) * kPerProducer);
+
+    ServiceQueryResult r;
+    ASSERT_TRUE(service.query("payload", &r).isOk());
+    EXPECT_EQ(r.matched_lines,
+              static_cast<uint64_t>(kProducers) * kPerProducer);
+    ASSERT_TRUE(service.query("producer3 & seq42", &r).isOk());
+    EXPECT_EQ(r.matched_lines, 1u);
+}
+
+TEST(SvcConcurrencyTest, QueriesRaceIngestSafely)
+{
+    LogServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.threads = 4;
+    cfg.batch_lines = 16;
+    LogService service(cfg);
+    // Pre-populate so early queries see committed pages.
+    for (int i = 0; i < 512; ++i) {
+        ASSERT_TRUE(
+            service.append("warm start seq" + std::to_string(i))
+                .isOk());
+    }
+    ASSERT_TRUE(service.flush().isOk());
+
+    std::atomic<bool> stop{false};
+    std::thread ingester([&] {
+        int i = 0;
+        while (!stop.load()) {
+            Status st = service.append("live traffic seq" +
+                                       std::to_string(i++));
+            if (!st.isOk()) {
+                ASSERT_EQ(st.code(), StatusCode::kResourceExhausted)
+                    << st.toString();
+                service.drain();
+            }
+        }
+    });
+
+    std::vector<std::thread> queriers;
+    for (int t = 0; t < 3; ++t) {
+        queriers.emplace_back([&service] {
+            for (int i = 0; i < 20; ++i) {
+                ServiceQueryResult r;
+                Status st = service.query("seq7 | warm", &r);
+                ASSERT_TRUE(st.isOk()) << st.toString();
+                // The warm prefix is committed; live traffic may or
+                // may not be visible — monotone lower bound only.
+                EXPECT_GE(r.matched_lines, 512u);
+            }
+        });
+    }
+    for (std::thread &t : queriers) {
+        t.join();
+    }
+    stop.store(true);
+    ingester.join();
+    ASSERT_TRUE(service.flush().isOk());
+
+    ServiceQueryResult r;
+    ASSERT_TRUE(service.query("warm & start", &r).isOk());
+    EXPECT_EQ(r.matched_lines, 512u);
+}
+
+TEST(SvcConcurrencyTest, ConcurrentFlushesAndReadsAreSafe)
+{
+    LogServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.threads = 2;
+    cfg.batch_lines = 8;
+    LogService service(cfg);
+
+    std::thread producer([&] {
+        for (int i = 0; i < 2000; ++i) {
+            Status st =
+                service.append("mixed load seq" + std::to_string(i));
+            if (!st.isOk()) {
+                service.drain();
+            }
+        }
+    });
+    std::thread flusher([&] {
+        for (int i = 0; i < 10; ++i) {
+            EXPECT_TRUE(service.flush().isOk());
+        }
+    });
+    std::thread reader([&] {
+        uint64_t last = 0;
+        for (int i = 0; i < 50; ++i) {
+            uint64_t now = service.lineCount();
+            EXPECT_GE(now, last); // committed count never regresses
+            last = now;
+        }
+    });
+    producer.join();
+    flusher.join();
+    reader.join();
+    ASSERT_TRUE(service.flush().isOk());
+    EXPECT_LE(service.lineCount(), 2000u);
+    EXPECT_GT(service.lineCount(), 0u);
+}
+
+TEST(SvcConcurrencyTest, DestructorDrainsQueuedBatchesCleanly)
+{
+    // Tear the service down with work still queued: the pool must
+    // finish every already-queued batch (pop() drains after close)
+    // and join without deadlock; only unbatched open lines may drop.
+    LogServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.threads = 2;
+    cfg.batch_lines = 4;
+    {
+        LogService service(cfg);
+        for (int i = 0; i < 1000; ++i) {
+            Status st =
+                service.append("teardown seq" + std::to_string(i));
+            if (!st.isOk()) {
+                service.drain();
+            }
+        }
+        // No drain/flush: destructor races the backlog.
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mithril::svc

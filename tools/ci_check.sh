@@ -11,9 +11,11 @@
 #   4. crash matrix      tools/crash_matrix.sh — power-cut at every
 #      device program; recovery never loses acknowledged data and
 #      never fabricates a match
-#   5. domain lint       tools/mithril_lint.py (and its self-test)
-#   6. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#   7. ubsan build+test  full tree under -fsanitize=undefined
+#   5. tsan tier         the svc-labelled concurrency tests under
+#      -fsanitize=thread (skipped where the toolchain lacks TSan)
+#   6. domain lint       tools/mithril_lint.py (and its self-test)
+#   7. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#   8. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -43,6 +45,21 @@ tools/fault_matrix.sh build-werror/examples/mithril_cli \
 step "crash matrix (tools/crash_matrix.sh)"
 tools/crash_matrix.sh build-werror/examples/mithril_cli \
     build-werror/crash_matrix_ci
+
+step "tsan tier (svc concurrency tests, preset: tsan)"
+# Probe the toolchain the same way lint_tidy handles a missing
+# clang-tidy: a graceful SKIP (exit 77 convention) where the sanitizer
+# runtime is not shipped, a hard gate where it is.
+if echo 'int main(){return 0;}' \
+    | c++ -x c++ -fsanitize=thread -o /tmp/ci_tsan_probe.$$ - \
+        > /dev/null 2>&1; then
+    rm -f "/tmp/ci_tsan_probe.$$"
+    cmake --preset tsan > /dev/null
+    cmake --build --preset tsan -j "$JOBS" --target svc_test
+    ctest --test-dir build-tsan -L svc --output-on-failure -j "$JOBS"
+else
+    echo "thread sanitizer unavailable: SKIPPED (77)"
+fi
 
 step "domain lint (mithril_lint.py + selftest)"
 python3 tools/mithril_lint.py

@@ -26,6 +26,11 @@ repo-specific invariants no generic tool knows about:
                      plan object —
                      so a build with no plan attached is provably
                      fault-free and every injection is seed-replayable.
+  thread-ownership   threads, mutexes, and condition variables may only
+                     be created inside src/svc/ (the service layer owns
+                     all concurrency; core stays single-threaded by
+                     construction) and tests/svc/; elsewhere requires a
+                     justified allow().
   header-guard       include guards must be MITHRIL_<PATH>_H.
   include-order      a .cc includes its own header first; no "../"
                      uplevel includes; <system> before "project" blocks.
@@ -69,6 +74,9 @@ ALLOW = {
     "fault-gating": ("src/fault/",),
     "raw-new-delete": ("arena",),  # any file with arena in its name
     "cast-outside-bits": ("src/common/bits.h",),
+    # The service layer owns all thread/lock creation; its tests drive
+    # real interleavings under the TSan tier.
+    "thread-ownership": ("src/svc/", "tests/svc/"),
 }
 
 RULE_HINTS = {
@@ -87,6 +95,9 @@ RULE_HINTS = {
     "fault-gating": "inject faults only through an attached "
                     "fault::FaultPlan (see fault/fault_plan.h); no "
                     "#ifdef gates or global toggles",
+    "thread-ownership": "create threads/mutexes/condvars only in "
+                        "src/svc/ (see svc/log_service.h for the "
+                        "concurrency model) or justify the allow()",
     "header-guard": "guard must be MITHRIL_<PATH>_H (path relative to "
                     "src/, or to the repo root outside src/)",
     "include-order": "own header first in a .cc; no \"../\" paths; "
@@ -252,6 +263,26 @@ def check_fault_gating(relpath, code):
                        "FaultPlan object")
 
 
+# Creation sites only: declaring a thread/jthread (including inside a
+# container type), launching std::async, or declaring a mutex/condvar
+# variable. Deliberately NOT matched: std::this_thread (sleep/yield),
+# lock guards over someone else's mutex (std::lock_guard<std::mutex>),
+# and mutex *references* in parameter lists (`std::mutex &m`) — those
+# use concurrency, they don't create it.
+_THREAD_RE = re.compile(
+    r"std::(?:jthread|thread)\b(?!\s*::)|"
+    r"std::async\s*\(|"
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+\w|"
+    r"std::condition_variable(?:_any)?\s+\w")
+
+
+def check_thread_ownership(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _THREAD_RE.search(line):
+            yield (i, "thread-ownership",
+                   "thread/mutex/condvar created outside src/svc/")
+
+
 def expected_guard(relpath):
     rel = relpath[4:] if relpath.startswith("src/") else relpath
     return "MITHRIL_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper()
@@ -393,6 +424,7 @@ SIMPLE_RULES = (
     check_raw_new_delete,
     check_cast_outside_bits,
     check_fault_gating,
+    check_thread_ownership,
     check_header_guard,
     check_include_order,
 )
@@ -404,6 +436,7 @@ RULE_OF_CHECK = {
     check_raw_new_delete: "raw-new-delete",
     check_cast_outside_bits: "cast-outside-bits",
     check_fault_gating: "fault-gating",
+    check_thread_ownership: "thread-ownership",
     check_header_guard: "header-guard",
     check_include_order: "include-order",
 }
