@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Open-loop soak: sustained mixed traffic against the service layer,
+ * with tail-latency SLO enforcement.
+ *
+ * Every other bench here is closed-loop — it offers work only as fast
+ * as the system completes it, so queueing never builds and the tail
+ * never shows. This bench drives soak::SoakDriver instead: a seeded
+ * arrival schedule (ingest lines + queries) over a virtual clock,
+ * played against a real svc::LogService, with per-shard modeled
+ * service times feeding an open-loop queueing model (DESIGN.md §12).
+ *
+ * Calibration: the offered ingest rate defaults to ~70% of the
+ * measured closed-loop capacity (soak::estimateIngestCapacity), so the
+ * run is loaded but stable — the regime where p99/p999 are meaningful.
+ *
+ * Output:
+ *   - one `soak_snapshot` record per time-series point;
+ *   - one `soak_slo` record: offered/accepted/dropped load, drop rate,
+ *     per-stage sim-domain quantiles, end-to-end ingest and query
+ *     p50/p99/p999, and the SLO verdict.
+ *
+ * Everything in the record is in the SimTime domain and derived from
+ * the seed: the same seed and flags reproduce the record byte for
+ * byte. The SLO assertion is self-enforcing — the bench exits 1 when
+ * end-to-end ingest p99 exceeds the bound, and `--slo-p99-ms=` can
+ * tighten the bound below the measured p99 to prove the gate fires
+ * (the CI fixture does exactly that).
+ *
+ * Flags (besides the shared --json-out/--metrics-out/--trace-out):
+ *   --shape=steady|bursty|diurnal   arrival shape        [steady]
+ *   --duration=<virtual seconds>    schedule length      [0.25]
+ *   --seed=<n>                      schedule seed        [1]
+ *   --qps=<queries per second>      offered query rate   [40]
+ *   --load-frac=<f>                 offered ingest rate as a fraction
+ *                                   of measured capacity [0.7]
+ *   --slo-p99-ms=<ms>               end-to-end ingest p99 bound in
+ *                                   modeled milliseconds [5.0]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "bench_util.h"
+#include "obs/report.h"
+#include "soak/soak_driver.h"
+
+namespace mithril::bench {
+namespace {
+
+struct SoakArgs {
+    soak::SoakConfig config;
+    double load_frac = 0.7;
+    double slo_p99_ms = 5.0;
+};
+
+bool
+parseSoakArgs(int argc, char **argv, SoakArgs *out)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view a = argv[i];
+        auto value = [&](std::string_view prefix,
+                         std::string_view *v) {
+            if (a.rfind(prefix, 0) == 0) {
+                *v = a.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string_view v;
+        if (value("--shape=", &v)) {
+            Status st = soak::parseShape(v, &out->config.shape);
+            if (!st.isOk()) {
+                std::fprintf(stderr, "%s\n", st.toString().c_str());
+                return false;
+            }
+        } else if (value("--duration=", &v)) {
+            out->config.duration_s = std::atof(std::string(v).c_str());
+        } else if (value("--seed=", &v)) {
+            out->config.seed = static_cast<uint64_t>(
+                std::atoll(std::string(v).c_str()));
+        } else if (value("--qps=", &v)) {
+            out->config.query_qps = std::atof(std::string(v).c_str());
+        } else if (value("--load-frac=", &v)) {
+            out->load_frac = std::atof(std::string(v).c_str());
+        } else if (value("--slo-p99-ms=", &v)) {
+            out->slo_p99_ms = std::atof(std::string(v).c_str());
+        }
+    }
+    return true;
+}
+
+/** Per-stage sim-domain quantiles from the run's registry snapshot. */
+void
+stageFields(const obs::MetricsSnapshot &snap, std::string_view stage,
+            obs::JsonRecord *record)
+{
+    auto it = snap.quantile_histograms.find(
+        std::string(stage) + ".sim_ps");
+    if (it == snap.quantile_histograms.end()) {
+        return;
+    }
+    std::string base(stage);
+    record->field(base + "_p50_ps", it->second.quantiles.p50)
+        .field(base + "_p99_ps", it->second.quantiles.p99)
+        .field(base + "_p999_ps", it->second.quantiles.p999);
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    initBench(argc, argv);
+    SoakArgs args;
+    if (!parseSoakArgs(argc, argv, &args)) {
+        return 2;
+    }
+    banner("Open-loop soak: sustained mixed traffic, tail-latency SLO",
+           "the sustained-ingest claims (Sections 6 and 7)");
+
+    // Calibrate offered load against measured closed-loop capacity so
+    // the run lands in the loaded-but-stable regime on any model
+    // parameters.
+    double capacity = 0.0;
+    expectOk(soak::estimateIngestCapacity(args.config, &capacity),
+             "capacity probe");
+    args.config.ingest_lps = capacity * args.load_frac;
+    std::printf("capacity %.0f lines/s (modeled), offering %.0f "
+                "(%.0f%%), shape %s, %.2fs virtual, seed %llu\n\n",
+                capacity, args.config.ingest_lps,
+                args.load_frac * 100.0,
+                std::string(soak::shapeName(args.config.shape)).c_str(),
+                args.config.duration_s,
+                static_cast<unsigned long long>(args.config.seed));
+
+    args.config.metrics = &benchMetrics();
+    args.config.tracer = &benchTracer();
+    soak::SoakDriver driver(args.config);
+    soak::SoakReport report;
+    expectOk(driver.run(&report), "soak run");
+
+    std::printf("%10s %10s %10s %8s %8s %14s\n", "t_ms", "offered",
+                "accepted", "dropped", "queries", "ingest p99 us");
+    for (const soak::SoakSnapshot &s : report.series) {
+        std::printf("%10.1f %10llu %10llu %8llu %8llu %14.1f\n",
+                    static_cast<double>(s.t_ps) / 1e9,
+                    static_cast<unsigned long long>(s.offered_lines),
+                    static_cast<unsigned long long>(s.accepted_lines),
+                    static_cast<unsigned long long>(s.dropped_lines),
+                    static_cast<unsigned long long>(s.queries_done),
+                    static_cast<double>(s.ingest_p99_ps) / 1e6);
+        obs::JsonRecord snap_record("soak_snapshot");
+        snap_record.field("t_ps", s.t_ps)
+            .field("offered_lines", s.offered_lines)
+            .field("accepted_lines", s.accepted_lines)
+            .field("dropped_lines", s.dropped_lines)
+            .field("queries_done", s.queries_done)
+            .field("ingest_p99_ps", s.ingest_p99_ps);
+        emitRecord(&snap_record);
+    }
+
+    std::printf("\ningest e2e p50/p99/p999: %.1f / %.1f / %.1f us "
+                "(modeled)\n",
+                static_cast<double>(report.ingest_e2e_ps.p50) / 1e6,
+                static_cast<double>(report.ingest_e2e_ps.p99) / 1e6,
+                static_cast<double>(report.ingest_e2e_ps.p999) / 1e6);
+    std::printf("query  e2e p50/p99/p999: %.1f / %.1f / %.1f us "
+                "(modeled)\n",
+                static_cast<double>(report.query_e2e_ps.p50) / 1e6,
+                static_cast<double>(report.query_e2e_ps.p99) / 1e6,
+                static_cast<double>(report.query_e2e_ps.p999) / 1e6);
+    std::printf("offered %llu accepted %llu dropped %llu "
+                "(drop rate %.2f%%), %llu queries, %llu matches\n",
+                static_cast<unsigned long long>(report.offered_lines),
+                static_cast<unsigned long long>(report.accepted_lines),
+                static_cast<unsigned long long>(report.dropped_lines),
+                report.drop_rate * 100.0,
+                static_cast<unsigned long long>(
+                    report.completed_queries),
+                static_cast<unsigned long long>(report.matched_lines));
+
+    const uint64_t slo_ps =
+        static_cast<uint64_t>(args.slo_p99_ms * 1e9);
+    const bool slo_pass = report.ingest_e2e_ps.p99 <= slo_ps;
+
+    obs::MetricsSnapshot snap = benchMetrics().snapshot();
+    obs::JsonRecord record("soak_slo");
+    record.field("seed", args.config.seed)
+        .field("shape", soak::shapeName(args.config.shape))
+        .field("duration_s", args.config.duration_s)
+        .field("shards", static_cast<uint64_t>(args.config.shards))
+        .field("threads", static_cast<uint64_t>(args.config.threads))
+        .field("capacity_lps", capacity)
+        .field("offered_lps", args.config.ingest_lps)
+        .field("offered_lines", report.offered_lines)
+        .field("accepted_lines", report.accepted_lines)
+        .field("dropped_lines", report.dropped_lines)
+        .field("drop_rate", report.drop_rate)
+        .field("offered_queries", report.offered_queries)
+        .field("completed_queries", report.completed_queries)
+        .field("matched_lines", report.matched_lines)
+        .field("ingest_e2e_p50_ps", report.ingest_e2e_ps.p50)
+        .field("ingest_e2e_p99_ps", report.ingest_e2e_ps.p99)
+        .field("ingest_e2e_p999_ps", report.ingest_e2e_ps.p999)
+        .field("query_e2e_p50_ps", report.query_e2e_ps.p50)
+        .field("query_e2e_p99_ps", report.query_e2e_ps.p99)
+        .field("query_e2e_p999_ps", report.query_e2e_ps.p999);
+    stageFields(snap, "svc.batch_apply", &record);
+    stageFields(snap, "journal.commit", &record);
+    stageFields(snap, "svc.shard_query", &record);
+    stageFields(snap, "svc.query_fanout", &record);
+    record.field("slo_p99_ps", slo_ps).field("slo_pass", slo_pass);
+    emitRecord(&record);
+
+    finishBench();
+
+    if (!slo_pass) {
+        std::fprintf(stderr,
+                     "FATAL: ingest e2e p99 %.3f ms exceeds the "
+                     "%.3f ms SLO\n",
+                     static_cast<double>(report.ingest_e2e_ps.p99) /
+                         1e9,
+                     args.slo_p99_ms);
+        return 1;
+    }
+    std::printf("\nSLO: ingest e2e p99 %.3f ms <= %.3f ms bound — "
+                "pass\n",
+                static_cast<double>(report.ingest_e2e_ps.p99) / 1e9,
+                args.slo_p99_ms);
+    return 0;
+}
+
+} // namespace mithril::bench
+
+int
+main(int argc, char **argv)
+{
+    return mithril::bench::run(argc, argv);
+}

@@ -11,10 +11,18 @@
  *                                        fan-out, deterministic merge
  *   templates <in.log> [N]               FT-tree library (top N shown)
  *   stat     <in.img>                    image statistics
+ *   soak                                 open-loop soak: seeded mixed
+ *                                        ingest+query traffic against
+ *                                        the service, SLO quantiles
  *
  * Global flags (any subcommand; most useful with `query`):
- *   --shards=<N>           (svc) independent MithriLog partitions
- *   --threads=<M>          (svc) worker threads in the service pool
+ *   --shards=<N>           (svc/soak) independent MithriLog partitions
+ *   --threads=<M>          (svc/soak) worker threads in the pool
+ *   --shape=<s>            (soak) arrival shape:
+ *                          steady|bursty|diurnal
+ *   --duration=<sec>       (soak) virtual seconds of offered traffic
+ *   --seed=<n>             (soak) arrival-schedule seed
+ *   --qps=<n>              (soak) offered query rate (virtual)
  *   --metrics-out=<path>   write a JSON metrics snapshot on exit
  *   --trace-out=<path>     write a Chrome-trace (Perfetto) span file
  *   --fault-plan=<spec>    attach a deterministic fault-injection plan
@@ -57,6 +65,7 @@
 #include "fault/fault_plan.h"
 #include "loggen/log_generator.h"
 #include "obs/report.h"
+#include "soak/soak_driver.h"
 #include "svc/log_service.h"
 #include "templates/ft_tree.h"
 
@@ -115,6 +124,10 @@ uint64_t g_crash_at = 0;
 bool g_recover = false;
 size_t g_shards = 4;
 size_t g_threads = 4;
+std::string g_soak_shape = "steady";
+double g_soak_duration = 0.1;
+uint64_t g_soak_seed = 1;
+double g_soak_qps = 40.0;
 
 int
 usage()
@@ -127,9 +140,13 @@ usage()
                  "  mithril_cli svc <in.log> \"<query>\"\n"
                  "  mithril_cli templates <in.log> [N]\n"
                  "  mithril_cli stat <in.img>\n"
+                 "  mithril_cli soak\n"
                  "flags: --metrics-out=<path>  --trace-out=<path>\n"
-                 "       --shards=<N> --threads=<M>  (svc) service "
-                 "shape, default 4x4\n"
+                 "       --shards=<N> --threads=<M>  (svc/soak) "
+                 "service shape, default 4x4\n"
+                 "       --shape=steady|bursty|diurnal --duration=<s>\n"
+                 "       --seed=<n> --qps=<n>  (soak) arrival "
+                 "schedule\n"
                  "       --fault-plan=<spec>   e.g. "
                  "\"seed=3,ber=1e-6,timeout=0.01\"\n"
                  "       --crash-at=<N>        (ingest) power cut on "
@@ -438,6 +455,93 @@ cmdSvc(const std::string &log_path, const std::string &query_text)
     return g_obs.write(service.metrics(), service.tracer());
 }
 
+/** Open-loop soak run: a seeded arrival schedule of mixed ingest and
+ *  query traffic against the service layer, reported as modeled
+ *  (SimTime-domain) tail quantiles — deterministic for a given seed,
+ *  shape, and service shape. */
+int
+cmdSoak()
+{
+    soak::SoakConfig cfg;
+    Status st = soak::parseShape(g_soak_shape, &cfg.shape);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "shape: %s\n", st.toString().c_str());
+        return 2;
+    }
+    cfg.seed = g_soak_seed;
+    cfg.duration_s = g_soak_duration;
+    cfg.query_qps = g_soak_qps;
+    cfg.shards = g_shards;
+    cfg.threads = g_threads;
+
+    // Calibrate the offered rate to the measured closed-loop capacity
+    // so the run is loaded but stable on any model parameters.
+    double capacity = 0.0;
+    st = soak::estimateIngestCapacity(cfg, &capacity);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "capacity: %s\n", st.toString().c_str());
+        return 1;
+    }
+    cfg.ingest_lps = capacity * 0.7;
+
+    soak::SoakDriver driver(cfg);
+    soak::SoakReport report;
+    st = driver.run(&report);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "soak: %s\n", st.toString().c_str());
+        return 1;
+    }
+
+    std::printf("soak %s %.2fs seed %llu, %zu shards x %zu threads, "
+                "offered %.0f lines/s + %.0f q/s\n",
+                g_soak_shape.c_str(), cfg.duration_s,
+                static_cast<unsigned long long>(cfg.seed), cfg.shards,
+                cfg.threads, cfg.ingest_lps, cfg.query_qps);
+    std::printf("offered %llu accepted %llu dropped %llu (drop rate "
+                "%.2f%%), %llu queries, %llu matches\n",
+                static_cast<unsigned long long>(report.offered_lines),
+                static_cast<unsigned long long>(report.accepted_lines),
+                static_cast<unsigned long long>(report.dropped_lines),
+                report.drop_rate * 100.0,
+                static_cast<unsigned long long>(
+                    report.completed_queries),
+                static_cast<unsigned long long>(report.matched_lines));
+    std::printf("ingest e2e p50/p99/p999: %.1f / %.1f / %.1f us "
+                "(modeled)\n",
+                static_cast<double>(report.ingest_e2e_ps.p50) / 1e6,
+                static_cast<double>(report.ingest_e2e_ps.p99) / 1e6,
+                static_cast<double>(report.ingest_e2e_ps.p999) / 1e6);
+    std::printf("query  e2e p50/p99/p999: %.1f / %.1f / %.1f us "
+                "(modeled)\n",
+                static_cast<double>(report.query_e2e_ps.p50) / 1e6,
+                static_cast<double>(report.query_e2e_ps.p99) / 1e6,
+                static_cast<double>(report.query_e2e_ps.p999) / 1e6);
+
+    obs::JsonRecord("cli_soak")
+        .field("shape", g_soak_shape)
+        .field("duration_s", cfg.duration_s)
+        .field("seed", cfg.seed)
+        .field("shards", static_cast<uint64_t>(cfg.shards))
+        .field("threads", static_cast<uint64_t>(cfg.threads))
+        .field("capacity_lps", capacity)
+        .field("offered_lps", cfg.ingest_lps)
+        .field("query_qps", cfg.query_qps)
+        .field("offered_lines", report.offered_lines)
+        .field("accepted_lines", report.accepted_lines)
+        .field("dropped_lines", report.dropped_lines)
+        .field("drop_rate", report.drop_rate)
+        .field("completed_queries", report.completed_queries)
+        .field("matched_lines", report.matched_lines)
+        .field("ingest_e2e_p50_ps", report.ingest_e2e_ps.p50)
+        .field("ingest_e2e_p99_ps", report.ingest_e2e_ps.p99)
+        .field("ingest_e2e_p999_ps", report.ingest_e2e_ps.p999)
+        .field("query_e2e_p50_ps", report.query_e2e_ps.p50)
+        .field("query_e2e_p99_ps", report.query_e2e_ps.p99)
+        .field("query_e2e_p999_ps", report.query_e2e_ps.p999)
+        .emit();
+    return g_obs.write(driver.metrics(), driver.service().tracer());
+}
+
 int
 cmdTemplates(const std::string &log_path, size_t show)
 {
@@ -516,6 +620,17 @@ main(int argc, char **argv)
         } else if (a.rfind("--threads=", 0) == 0) {
             g_threads = std::stoull(
                 std::string(a.substr(strlen("--threads="))));
+        } else if (a.rfind("--shape=", 0) == 0) {
+            g_soak_shape = a.substr(strlen("--shape="));
+        } else if (a.rfind("--duration=", 0) == 0) {
+            g_soak_duration = std::stod(
+                std::string(a.substr(strlen("--duration="))));
+        } else if (a.rfind("--seed=", 0) == 0) {
+            g_soak_seed = std::stoull(
+                std::string(a.substr(strlen("--seed="))));
+        } else if (a.rfind("--qps=", 0) == 0) {
+            g_soak_qps = std::stod(
+                std::string(a.substr(strlen("--qps="))));
         } else {
             args.push_back(argv[i]);
         }
@@ -545,6 +660,9 @@ main(int argc, char **argv)
     }
     if (cmd == "stat" && argc == 3) {
         return cmdStat(argv[2]);
+    }
+    if (cmd == "soak" && argc == 2) {
+        return cmdSoak();
     }
     return usage();
 }

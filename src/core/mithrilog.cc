@@ -61,6 +61,12 @@ MithriLog::MithriLog(MithriLogConfig config)
         &metrics_->counter("core.crc_failed_pages");
     counters_.pages_dropped = &metrics_->counter("core.pages_dropped");
     counters_.ssd_read_retries = &metrics_->counter("ssd.read_retries");
+
+    stages_.lzah_encode = obs::StageLatency(metrics_, "lzah.encode");
+    stages_.journal_commit =
+        obs::StageLatency(metrics_, "journal.commit");
+    stages_.query_compile =
+        obs::StageLatency(metrics_, "query.compile");
 }
 
 Status
@@ -81,7 +87,9 @@ MithriLog::ingestLine(std::string_view line)
         ++truncated_lines_;
         counters_.lines_truncated->add();
     }
+    obs::StageTimer encode_timer(&stages_.lzah_encode);
     compress::AddLineResult r = encoder_.addLine(line);
+    encode_timer.end();
     MITHRIL_ASSERT(r != compress::AddLineResult::kRejected);
     if (r == compress::AddLineResult::kSealedAndAppended) {
         // The sealed page holds the lines before this one; this line
@@ -129,6 +137,8 @@ MithriLog::sealPendingPage()
     //      after it loses nothing;
     //   4. index the page (unjournaled: the index is rebuilt from
     //      committed data pages at recovery).
+    obs::StageTimer commit_timer(&stages_.journal_commit);
+    uint64_t commit_start_ps = ssd_.elapsed().ps();
     Status st = Status::ok();
     if (!journal_.formatted()) {
         st = journal_.format();
@@ -142,6 +152,10 @@ MithriLog::sealPendingPage()
         st = journal_.appendPageCommit(
             id, crc32(page.data(), page.size()), lines_, raw_bytes_);
     }
+    SimTime commit_busy =
+        SimTime::picoseconds(ssd_.elapsed().ps() - commit_start_ps);
+    commit_timer.setSimDuration(commit_busy);
+    commit_timer.end();
     if (!st.isOk()) {
         dead_ = true;
         return st;
@@ -358,7 +372,9 @@ MithriLog::execute(std::span<const PageId> pages,
                    std::span<const query::Query> queries, QueryResult *out)
 {
     obs::Span compile_span = tracer_->span("query.compile", "core");
+    obs::StageTimer compile_timer(&stages_.query_compile);
     Status compiled = accel_.configure(queries);
+    compile_timer.end();
     compile_span.end();
     if (compiled.code() == StatusCode::kCapacityExceeded ||
         compiled.code() == StatusCode::kUnsupported) {
@@ -938,6 +954,7 @@ MithriLog::recover(const std::string &path)
     metrics_->counter("recovery.pages_committed").add(rr.pages.size());
     metrics_->counter("recovery.pages_discarded").add(discarded);
     metrics_->counter("recovery.lines_recovered").add(lines_);
+    // mithril-lint: allow(adhoc-latency) one-shot mount-time total, not a latency sample
     metrics_->counter("recovery.modeled_ps").add(ssd_.elapsed().ps());
     span.end();
     return Status::ok();

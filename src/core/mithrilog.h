@@ -404,6 +404,13 @@ class MithriLog
         obs::Counter *pages_dropped = nullptr;
         obs::Counter *ssd_read_retries = nullptr;
     } counters_;
+    /** Per-stage latency histograms (obs/histogram.h), dual-domain
+     *  where the stage has a modeled cost. */
+    struct CoreStages {
+        obs::StageLatency lzah_encode;     ///< per-line encode (wall)
+        obs::StageLatency journal_commit;  ///< page commit + barrier
+        obs::StageLatency query_compile;   ///< cuckoo compile (wall)
+    } stages_;
     storage::SsdModel ssd_;
     storage::Journal journal_;
     std::unique_ptr<index::InvertedIndex> index_;

@@ -1,0 +1,100 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace mithril::obs {
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t i = 0; i < kBuckets; ++i) {
+        uint64_t c = other.counts_[i].load(std::memory_order_relaxed);
+        if (c != 0) {
+            counts_[i].fetch_add(c, std::memory_order_relaxed);
+        }
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    if (other.count() != 0) {
+        relaxMin(min_, other.min_.load(std::memory_order_relaxed));
+        relaxMax(max_, other.max_.load(std::memory_order_relaxed));
+    }
+}
+
+uint64_t
+Histogram::min() const
+{
+    uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == ~0ull ? 0 : m;
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0) {
+        return 0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based: ceil(q*n), at least 1.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<uint64_t>(rank, 1, n);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i].load(std::memory_order_relaxed);
+        if (seen >= rank) {
+            return bucketLo(i);
+        }
+    }
+    // Racing writers bumped count_ before the bucket slot; the highest
+    // non-empty bucket is still the right answer for reporting.
+    return max();
+}
+
+Quantiles
+Histogram::quantiles() const
+{
+    Quantiles out;
+    const uint64_t n = count();
+    if (n == 0) {
+        return out;
+    }
+    const double qs[4] = {0.50, 0.90, 0.99, 0.999};
+    uint64_t *slots[4] = {&out.p50, &out.p90, &out.p99, &out.p999};
+    uint64_t ranks[4];
+    for (int k = 0; k < 4; ++k) {
+        uint64_t r = static_cast<uint64_t>(
+            std::ceil(qs[k] * static_cast<double>(n)));
+        ranks[k] = std::clamp<uint64_t>(r, 1, n);
+        *slots[k] = max();  // fallback under racing writers
+    }
+    uint64_t seen = 0;
+    int next = 0;
+    for (size_t i = 0; i < kBuckets && next < 4; ++i) {
+        seen += counts_[i].load(std::memory_order_relaxed);
+        while (next < 4 && seen >= ranks[next]) {
+            *slots[next] = bucketLo(i);
+            ++next;
+        }
+    }
+    return out;
+}
+
+StageLatency::StageLatency(MetricsRegistry *metrics,
+                           std::string_view stage)
+{
+    if (metrics == nullptr) {
+        return;
+    }
+    std::string base(stage);
+    wall_ns_ = &metrics->quantileHistogram(base + ".wall_ns");
+    sim_ps_ = &metrics->quantileHistogram(base + ".sim_ps");
+}
+
+} // namespace mithril::obs

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mithril::obs {
 
@@ -60,6 +62,41 @@ class JsonWriter
  * @param err if non-null, receives a short description on failure.
  */
 bool jsonValid(std::string_view text, std::string *err = nullptr);
+
+/**
+ * Parsed JSON document (a small DOM), for the schema checks the
+ * syntax-only validator cannot express — e.g. json_check verifying
+ * that a metrics snapshot's histogram quantiles are internally
+ * consistent. Numbers are held as double (every value the
+ * observability layer emits fits), object members keep insertion
+ * order, and lookup is linear — fine at telemetry sizes.
+ */
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;                            ///< kArray
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+    bool isObject() const { return kind == Kind::kObject; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+
+    /** Member lookup; null when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+    /** The member's number, or @p fallback when absent/non-numeric. */
+    double numberOr(std::string_view key, double fallback) const;
+};
+
+/**
+ * Parses one complete JSON document into @p out.
+ * @param err if non-null, receives a short description on failure.
+ */
+bool jsonParse(std::string_view text, JsonValue *out,
+               std::string *err = nullptr);
 
 } // namespace mithril::obs
 

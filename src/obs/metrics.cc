@@ -80,6 +80,18 @@ MetricsRegistry::histogram(std::string_view name,
     return findOrCreate(histograms_, mu_, fullName(name, labels), make);
 }
 
+Histogram &
+MetricsRegistry::quantileHistogram(std::string_view name,
+                                   std::initializer_list<Label> labels)
+{
+    auto make = [] { return std::make_unique<Histogram>(); };
+    if (labels.size() == 0) {
+        return findOrCreate(quantile_histograms_, mu_, name, make);
+    }
+    return findOrCreate(quantile_histograms_, mu_,
+                        fullName(name, labels), make);
+}
+
 uint64_t
 MetricsRegistry::counterValue(std::string_view name) const
 {
@@ -110,6 +122,21 @@ MetricsRegistry::snapshot() const
             }
         }
         snap.histograms.emplace(name, std::move(data));
+    }
+    for (const auto &[name, h] : quantile_histograms_) {
+        MetricsSnapshot::QuantileHistogramData data;
+        data.count = h->count();
+        data.sum = h->sum();
+        data.min = h->min();
+        data.max = h->max();
+        data.quantiles = h->quantiles();
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            uint64_t c = h->bucketCount(i);
+            if (c != 0) {
+                data.buckets.emplace_back(Histogram::bucketLo(i), c);
+            }
+        }
+        snap.quantile_histograms.emplace(name, std::move(data));
     }
     return snap;
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/histogram.h"
 
 namespace mithril::obs {
 
@@ -146,9 +147,21 @@ struct MetricsSnapshot {
         std::vector<std::pair<uint64_t, uint64_t>> buckets;
     };
 
+    /** Quantile histogram (obs::Histogram) with extracted tail. */
+    struct QuantileHistogramData {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+        Quantiles quantiles;
+        /** (bucket lower bound, count) for non-empty buckets only. */
+        std::vector<std::pair<uint64_t, uint64_t>> buckets;
+    };
+
     std::map<std::string, uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramData> histograms;
+    std::map<std::string, QuantileHistogramData> quantile_histograms;
 };
 
 /**
@@ -177,6 +190,12 @@ class MetricsRegistry : public CounterSink
     LogHistogram &histogram(std::string_view name,
                             std::initializer_list<Label> labels = {});
 
+    /** Returns (creating on first use) the named quantile histogram —
+     *  the tail-latency instrument (obs/histogram.h). Snapshot under
+     *  the `quantiles` section with p50/p90/p99/p999 extracted. */
+    Histogram &quantileHistogram(std::string_view name,
+                                 std::initializer_list<Label> labels = {});
+
     /** Current value of a counter; 0 if it was never touched. */
     uint64_t counterValue(std::string_view name) const;
 
@@ -201,6 +220,8 @@ class MetricsRegistry : public CounterSink
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
     std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
         histograms_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        quantile_histograms_;
 };
 
 } // namespace mithril::obs

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mithril::obs {
 
@@ -28,6 +29,10 @@ namespace mithril::obs {
  *   "gauges":     {"lzah.ratio": 2.1, ...},
  *   "histograms": {"ssd.batch_pages":
  *                    {"count": n, "sum": s,
+ *                     "buckets": [{"lo": 1, "count": 4}, ...]}, ...},
+ *   "quantiles":  {"svc.queue_wait.sim_ps":
+ *                    {"count": n, "sum": s, "min": m, "max": M,
+ *                     "p50": ..., "p90": ..., "p99": ..., "p999": ...,
  *                     "buckets": [{"lo": 1, "count": 4}, ...]}, ...}
  * }
  */
@@ -36,6 +41,21 @@ std::string metricsToJson(const MetricsRegistry &registry);
 
 /** Writes metricsToJson(registry) to @p path. */
 Status writeMetricsJson(const MetricsRegistry &registry,
+                        const std::string &path);
+
+/**
+ * Chrome-trace export carrying the registry's latency quantiles along
+ * with the span buffer: the tracer's own JSON plus one counter-track
+ * event (`"ph":"C"`, pid 3 "latency quantiles") per quantile
+ * histogram, so a trace opened in Perfetto shows the tail next to the
+ * spans that produced it.
+ */
+std::string chromeTraceWithQuantiles(const Tracer &tracer,
+                                     const MetricsRegistry &registry);
+
+/** Writes chromeTraceWithQuantiles() to @p path. */
+Status writeChromeTrace(const Tracer &tracer,
+                        const MetricsRegistry &registry,
                         const std::string &path);
 
 /**

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * mithril::soak — the open-loop soak harness (tail-latency SLOs).
+ *
+ * Every other bench in the repo is closed-loop: it offers the next
+ * line only after the previous one finished, so the system is never
+ * meaningfully behind and the tail never shows. Production log stores
+ * are judged the other way around — traffic arrives on its own
+ * schedule whether the store is ready or not, and the question is what
+ * p99/p999 latency looks like at a sustained offered load. This
+ * driver models exactly that:
+ *
+ *   schedule   — a seeded, deterministic arrival schedule (ingest
+ *                lines + queries) over a *virtual* clock, with three
+ *                load shapes: steady, bursty (periodic on/off cycles),
+ *                diurnal (slow triangular swell);
+ *   service    — events are played against a real svc::LogService;
+ *                modeled device time (SimTime) measured per batch at
+ *                drain points provides the deterministic service-time
+ *                distribution;
+ *   queueing   — per-shard `busy_until` bookkeeping turns those
+ *                service times into an open-loop queueing model:
+ *                a batch starts at max(arrival, shard busy), ends at
+ *                start + modeled cost; each line's end-to-end latency
+ *                is completion minus its own arrival;
+ *   admission  — a line whose shard's modeled backlog exceeds
+ *                `admission_max_lag` is dropped at the door (counted,
+ *                never queued) — admission control layered above the
+ *                service's own kResourceExhausted backpressure, which
+ *                the driver absorbs by drain-and-retry so the accepted
+ *                line sequence stays schedule-independent;
+ *   reporting  — end-to-end and per-stage latencies land in
+ *                obs::Histogram quantile metrics; periodic snapshots
+ *                form a time series over the virtual clock.
+ *
+ * Determinism: every latency in the report is in the SimTime domain
+ * (modeled), every arrival comes from the seed, and batch/query
+ * visibility is quiesced at event boundaries — the same seed and
+ * config reproduce the report bit-for-bit at any worker count.
+ */
+#ifndef MITHRIL_SOAK_SOAK_DRIVER_H
+#define MITHRIL_SOAK_SOAK_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simtime.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "svc/log_service.h"
+
+namespace mithril::soak {
+
+/** Shape of the offered-load curve over the virtual clock. */
+enum class ArrivalShape {
+    kSteady,   ///< flat rate
+    kBursty,   ///< periodic bursts: 3x rate 20% of the time, 0.5x rest
+    kDiurnal,  ///< slow triangular swell between 0.5x and 1.5x
+};
+
+/** Parses "steady" / "bursty" / "diurnal". */
+[[nodiscard]] Status parseShape(std::string_view name,
+                                ArrivalShape *out);
+std::string_view shapeName(ArrivalShape shape);
+
+/** Soak run configuration. */
+struct SoakConfig {
+    uint64_t seed = 1;
+    ArrivalShape shape = ArrivalShape::kSteady;
+    /** Virtual seconds of offered traffic. */
+    double duration_s = 0.25;
+    /** Mean offered ingest rate (lines per virtual second). */
+    double ingest_lps = 100000.0;
+    /** Mean offered query rate (queries per virtual second). */
+    double query_qps = 40.0;
+
+    /** Service shape (routing is fixed to round-robin: the driver
+     *  mirrors it to model per-shard backlog). */
+    size_t shards = 4;
+    size_t threads = 4;
+    size_t batch_lines = 64;
+    size_t queue_depth = 8;
+
+    /** Admission control: drop an arriving line when its shard's
+     *  modeled backlog exceeds this lag. */
+    SimTime admission_max_lag = SimTime::microseconds(2000);
+
+    /** Virtual time between time-series snapshots. */
+    double snapshot_every_s = 0.05;
+
+    /** Shared registry/tracer; when null the driver owns private
+     *  instances (reachable via metrics()/service()). */
+    obs::MetricsRegistry *metrics = nullptr;
+    obs::Tracer *tracer = nullptr;
+};
+
+/** One point of the soak time series (virtual clock, cumulative). */
+struct SoakSnapshot {
+    uint64_t t_ps = 0;
+    uint64_t offered_lines = 0;
+    uint64_t accepted_lines = 0;
+    uint64_t dropped_lines = 0;
+    uint64_t queries_done = 0;
+    /** Running ingest end-to-end p99 (SimTime ps). */
+    uint64_t ingest_p99_ps = 0;
+};
+
+/** Deterministic outcome of one soak run. */
+struct SoakReport {
+    uint64_t offered_lines = 0;
+    uint64_t accepted_lines = 0;
+    uint64_t dropped_lines = 0;
+    uint64_t offered_queries = 0;
+    uint64_t completed_queries = 0;
+    /** dropped / offered (0 when nothing was offered). */
+    double drop_rate = 0.0;
+    /** End-to-end modeled latency: line arrival -> batch durable. */
+    obs::Quantiles ingest_e2e_ps;
+    /** End-to-end modeled latency: query arrival -> merged result. */
+    obs::Quantiles query_e2e_ps;
+    /** Total matches returned across all queries (work proof). */
+    uint64_t matched_lines = 0;
+    std::vector<SoakSnapshot> series;
+};
+
+/**
+ * Estimates the service's closed-loop ingest capacity (accepted lines
+ * per modeled second) for @p config's shard shape by ingesting a
+ * fixed probe corpus and reading the busiest shard's modeled clock.
+ * Deterministic. The soak bench calibrates its offered load as a
+ * fraction of this.
+ */
+[[nodiscard]] Status estimateIngestCapacity(const SoakConfig &config,
+                                            double *lines_per_s);
+
+/** The open-loop soak driver. Single-threaded event loop; the service
+ *  underneath runs its real worker pool. */
+class SoakDriver
+{
+  public:
+    explicit SoakDriver(SoakConfig config);
+
+    /** Plays the whole schedule and fills @p out. */
+    [[nodiscard]] Status run(SoakReport *out);
+
+    obs::MetricsRegistry &metrics() { return *metrics_; }
+    svc::LogService &service() { return *service_; }
+
+  private:
+    uint64_t shapedGapPs(Rng *rng, double base_rate,
+                         uint64_t now_ps) const;
+
+    SoakConfig config_;
+    std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    std::unique_ptr<svc::LogService> service_;
+};
+
+} // namespace mithril::soak
+
+#endif // MITHRIL_SOAK_SOAK_DRIVER_H

@@ -55,7 +55,14 @@ LogService::LogService(LogServiceConfig config)
     counters_.shard_queries = &metrics_->counter("svc.shard_queries");
     counters_.batch_lines = &metrics_->histogram("svc.batch_lines");
     counters_.queue_depth = &metrics_->histogram("svc.queue_depth");
-    counters_.fanout_us = &metrics_->histogram("svc.fanout_us");
+    stages_.queue_wait = obs::StageLatency(metrics_, "svc.queue_wait");
+    stages_.batch_apply =
+        obs::StageLatency(metrics_, "svc.batch_apply");
+    stages_.shard_query =
+        obs::StageLatency(metrics_, "svc.shard_query");
+    stages_.query_fanout =
+        obs::StageLatency(metrics_, "svc.query_fanout");
+    stages_.merge = obs::StageLatency(metrics_, "svc.merge");
     metrics_->gauge("svc.shards")
         .set(static_cast<double>(config_.shards));
     metrics_->gauge("svc.threads")
@@ -178,7 +185,8 @@ LogService::append(std::string_view line)
         s.open.emplace_back(line);
         if (s.open.size() >= config_.batch_lines) {
             counters_.queue_depth->record(s.batches.size());
-            s.batches.push_back(std::move(s.open));
+            s.batches.push_back(
+                Shard::QueuedBatch{std::move(s.open), WallTimer()});
             s.open = std::vector<std::string>();
             counters_.batches_enqueued->add();
             noteBatchEnqueued();
@@ -235,7 +243,10 @@ LogService::drainShard(size_t si)
                 s.draining = false;
                 return;
             }
-            batch = std::move(s.batches.front());
+            double waited = s.batches.front().waited.seconds();
+            stages_.queue_wait.recordWallNs(
+                static_cast<uint64_t>(waited * 1e9));
+            batch = std::move(s.batches.front().lines);
             s.batches.pop_front();
             // A shard that already failed (or went read-only) skips
             // its remaining backlog — the device is dead or the store
@@ -249,6 +260,8 @@ LogService::drainShard(size_t si)
         if (!skip) {
             std::lock_guard<std::mutex> log_lock(s.log_mu);
             obs::Span span = tracer_->span("svc.ingest_batch", "svc");
+            obs::StageTimer apply_timer(&stages_.batch_apply);
+            uint64_t busy_start_ps = s.log->ssd().elapsed().ps();
             for (const std::string &line : batch) {
                 Status st = s.log->ingestLine(line);
                 if (!st.isOk()) {
@@ -256,6 +269,11 @@ LogService::drainShard(size_t si)
                     break;
                 }
             }
+            uint64_t busy_end_ps = s.log->ssd().elapsed().ps();
+            SimTime apply_busy =
+                SimTime::picoseconds(busy_end_ps - busy_start_ps);
+            apply_timer.setSimDuration(apply_busy);
+            span.setSimDuration(apply_busy);
         }
         if (!batch_error.isOk()) {
             counters_.ingest_errors->add();
@@ -321,7 +339,8 @@ LogService::flush()
                 continue;
             }
             counters_.queue_depth->record(s.batches.size());
-            s.batches.push_back(std::move(s.open));
+            s.batches.push_back(
+                Shard::QueuedBatch{std::move(s.open), WallTimer()});
             s.open = std::vector<std::string>();
             counters_.batches_enqueued->add();
             noteBatchEnqueued();
@@ -387,6 +406,7 @@ LogService::query(const query::Query &q, ServiceQueryResult *out)
     *out = ServiceQueryResult{};
     WallTimer wall;
     obs::Span fanout = tracer_->span("svc.query_fanout", "svc");
+    obs::StageTimer fanout_timer(&stages_.query_fanout);
     counters_.queries->add();
 
     size_t n = shards_.size();
@@ -404,9 +424,11 @@ LogService::query(const query::Query &q, ServiceQueryResult *out)
             {
                 std::lock_guard<std::mutex> log_lock(s.log_mu);
                 obs::Span span = tracer_->span("svc.shard_query", "svc");
+                obs::StageTimer shard_timer(&stages_.shard_query);
                 counters_.shard_queries->add();
                 statuses[i] = s.log->run(q, &results[i]);
                 span.setSimDuration(results[i].total_time);
+                shard_timer.setSimDuration(results[i].total_time);
             }
             std::lock_guard<std::mutex> lock(done_mu);
             if (++done == n) {
@@ -422,11 +444,11 @@ LogService::query(const query::Query &q, ServiceQueryResult *out)
     }
 
     double seconds = wall.seconds();
-    counters_.fanout_us->record(
-        static_cast<uint64_t>(seconds * 1e6));
     mergeResults(results, seconds, out);
     fanout.setSimDuration(out->total_time);
     fanout.end();
+    fanout_timer.setSimDuration(out->total_time);
+    fanout_timer.end();
 
     for (const Status &st : statuses) {
         MITHRIL_RETURN_IF_ERROR(st);
@@ -449,6 +471,7 @@ LogService::mergeResults(std::vector<core::QueryResult> &shard_results,
                          double wall_seconds, ServiceQueryResult *out)
 {
     obs::Span span = tracer_->span("svc.merge", "svc");
+    obs::StageTimer merge_timer(&stages_.merge);
     out->per_shard.reserve(shard_results.size());
     for (core::QueryResult &r : shard_results) {
         // Deterministic merge: shard index order, shard-local order

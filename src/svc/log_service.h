@@ -58,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/wall_timer.h"
 #include "core/mithrilog.h"
 #include "fault/fault_plan.h"
 #include "svc/bounded_queue.h"
@@ -232,9 +233,15 @@ class LogService
         std::mutex log_mu;
         /** Lines accumulating toward the next batch. */
         std::vector<std::string> open;
+        /** One queued batch, timestamped at enqueue so the drain can
+         *  attribute its queue wait (`svc.queue_wait.wall_ns`). */
+        struct QueuedBatch {
+            std::vector<std::string> lines;
+            WallTimer waited;
+        };
         /** Full batches awaiting a worker, FIFO, bounded by
          *  queue_depth. */
-        std::deque<std::vector<std::string>> batches;
+        std::deque<QueuedBatch> batches;
         /** A drain task for this shard is queued or running. */
         bool draining = false;
         /** Recovered read-only shard (kFailedPrecondition on ingest). */
@@ -280,8 +287,18 @@ class LogService
         obs::Counter *shard_queries = nullptr;
         obs::LogHistogram *batch_lines = nullptr;
         obs::LogHistogram *queue_depth = nullptr;
-        obs::LogHistogram *fanout_us = nullptr;
     } counters_;
+
+    /** Per-stage latency histograms (obs/histogram.h): the request
+     *  path from enqueue to merge. Wall-only stages (queue wait,
+     *  merge) have no modeled cost; the rest carry both domains. */
+    struct SvcStages {
+        obs::StageLatency queue_wait;   ///< batch enqueue -> dequeue
+        obs::StageLatency batch_apply;  ///< batch ingest into the shard
+        obs::StageLatency shard_query;  ///< one shard's query run
+        obs::StageLatency query_fanout; ///< fan-out + merge, end to end
+        obs::StageLatency merge;        ///< deterministic result merge
+    } stages_;
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<uint64_t> next_shard_{0};

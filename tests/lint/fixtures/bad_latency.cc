@@ -1,0 +1,22 @@
+// Known-bad fixture: ad-hoc duration arithmetic fed into scalar
+// metrics instead of the obs::Histogram / span APIs.
+#include "common/wall_timer.h"
+#include "obs/metrics.h"
+
+namespace mithril {
+
+void
+timeSomething(obs::MetricsRegistry &metrics)
+{
+    WallTimer timer;
+    doWork();
+    metrics.counter("stage.wall_us").add(timer.seconds() * 1e6);  // 13
+    metrics.gauge("stage.sim_ps").set(device.elapsed().ps());     // 14
+    latency_hist.record(timer.seconds() * 1e9);                   // 15
+    // The StageLatency/StageTimer verbs are the sanctioned path:
+    stages.commit.recordWallNs(42);         // line 17: not flagged
+    stages.commit.recordSim(elapsedSim());  // line 18: not flagged
+    timer_raii.setSimDuration(busy);        // line 19: not flagged
+}
+
+} // namespace mithril

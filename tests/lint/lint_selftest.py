@@ -94,6 +94,18 @@ expect("bad_thread.cc:18" not in out,
 expect("bad_thread.cc:19" not in out,
        "std::this_thread is not flagged")
 
+rc, out = run_lint("bad_latency.cc")
+expect(rc == 1, "bad_latency.cc exits 1")
+expect_finding(out, "bad_latency.cc", 13, "adhoc-latency")
+expect_finding(out, "bad_latency.cc", 14, "adhoc-latency")
+expect_finding(out, "bad_latency.cc", 15, "adhoc-latency")
+expect("bad_latency.cc:17" not in out,
+       "StageLatency recordWallNs() is not flagged")
+expect("bad_latency.cc:18" not in out,
+       "StageLatency recordSim() is not flagged")
+expect("bad_latency.cc:19" not in out,
+       "StageTimer setSimDuration() is not flagged")
+
 rc, out = run_lint("bad_guard.h")
 expect(rc == 1, "bad_guard.h exits 1")
 expect_finding(out, "bad_guard.h", 2, "header-guard")

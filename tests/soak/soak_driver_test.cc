@@ -1,0 +1,167 @@
+/**
+ * @file
+ * soak::SoakDriver — determinism (the property the SLO gate rests
+ * on), admission-control accounting, shape parsing, and capacity
+ * estimation.
+ */
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "soak/soak_driver.h"
+
+namespace mithril::soak {
+namespace {
+
+/** Serializes every observable field so two reports can be compared
+ *  byte for byte. */
+std::string
+serialize(const SoakReport &r)
+{
+    std::ostringstream out;
+    out << r.offered_lines << '|' << r.accepted_lines << '|'
+        << r.dropped_lines << '|' << r.offered_queries << '|'
+        << r.completed_queries << '|' << r.drop_rate << '|'
+        << r.ingest_e2e_ps.p50 << '|' << r.ingest_e2e_ps.p90 << '|'
+        << r.ingest_e2e_ps.p99 << '|' << r.ingest_e2e_ps.p999 << '|'
+        << r.query_e2e_ps.p50 << '|' << r.query_e2e_ps.p90 << '|'
+        << r.query_e2e_ps.p99 << '|' << r.query_e2e_ps.p999 << '|'
+        << r.matched_lines << '\n';
+    for (const SoakSnapshot &s : r.series) {
+        out << s.t_ps << ',' << s.offered_lines << ','
+            << s.accepted_lines << ',' << s.dropped_lines << ','
+            << s.queries_done << ',' << s.ingest_p99_ps << '\n';
+    }
+    return out.str();
+}
+
+SoakConfig
+shortConfig(ArrivalShape shape, uint64_t seed)
+{
+    SoakConfig cfg;
+    cfg.seed = seed;
+    cfg.shape = shape;
+    cfg.duration_s = 0.02;
+    cfg.ingest_lps = 300000.0;
+    cfg.query_qps = 200.0;
+    cfg.shards = 2;
+    cfg.threads = 2;
+    cfg.batch_lines = 32;
+    cfg.snapshot_every_s = 0.005;
+    return cfg;
+}
+
+TEST(SoakDriver, SameSeedReproducesReportByteForByte)
+{
+    for (ArrivalShape shape : {ArrivalShape::kSteady,
+                               ArrivalShape::kBursty,
+                               ArrivalShape::kDiurnal}) {
+        SoakDriver a(shortConfig(shape, 5));
+        SoakDriver b(shortConfig(shape, 5));
+        SoakReport ra, rb;
+        ASSERT_TRUE(a.run(&ra).isOk());
+        ASSERT_TRUE(b.run(&rb).isOk());
+        EXPECT_GT(ra.offered_lines, 0u);
+        EXPECT_EQ(serialize(ra), serialize(rb))
+            << "shape " << shapeName(shape);
+    }
+}
+
+TEST(SoakDriver, WorkerCountDoesNotChangeTheReport)
+{
+    SoakConfig one = shortConfig(ArrivalShape::kBursty, 9);
+    one.threads = 1;
+    SoakConfig many = shortConfig(ArrivalShape::kBursty, 9);
+    many.threads = 4;
+    SoakDriver a(one), b(many);
+    SoakReport ra, rb;
+    ASSERT_TRUE(a.run(&ra).isOk());
+    ASSERT_TRUE(b.run(&rb).isOk());
+    EXPECT_EQ(serialize(ra), serialize(rb));
+}
+
+TEST(SoakDriver, DifferentSeedsProduceDifferentSchedules)
+{
+    SoakDriver a(shortConfig(ArrivalShape::kSteady, 1));
+    SoakDriver b(shortConfig(ArrivalShape::kSteady, 2));
+    SoakReport ra, rb;
+    ASSERT_TRUE(a.run(&ra).isOk());
+    ASSERT_TRUE(b.run(&rb).isOk());
+    EXPECT_NE(serialize(ra), serialize(rb));
+}
+
+TEST(SoakDriver, AccountingIsConsistent)
+{
+    SoakDriver driver(shortConfig(ArrivalShape::kBursty, 3));
+    SoakReport r;
+    ASSERT_TRUE(driver.run(&r).isOk());
+    EXPECT_EQ(r.offered_lines, r.accepted_lines + r.dropped_lines);
+    EXPECT_GE(r.offered_queries, r.completed_queries);
+    EXPECT_GE(r.drop_rate, 0.0);
+    EXPECT_LE(r.drop_rate, 1.0);
+    // Every accepted line got an end-to-end sample.
+    EXPECT_EQ(driver.metrics()
+                  .quantileHistogram("soak.ingest_e2e.sim_ps")
+                  .count(),
+              r.accepted_lines);
+    // The service really ingested what the driver accepted.
+    EXPECT_EQ(driver.service().lineCount(), r.accepted_lines);
+    // Quantiles are monotone and the snapshot series is cumulative.
+    EXPECT_LE(r.ingest_e2e_ps.p50, r.ingest_e2e_ps.p99);
+    EXPECT_LE(r.ingest_e2e_ps.p99, r.ingest_e2e_ps.p999);
+    uint64_t prev = 0;
+    for (const SoakSnapshot &s : r.series) {
+        EXPECT_GE(s.offered_lines, prev);
+        prev = s.offered_lines;
+        EXPECT_EQ(s.offered_lines,
+                  s.accepted_lines + s.dropped_lines);
+    }
+}
+
+TEST(SoakDriver, OverloadTriggersAdmissionDrops)
+{
+    SoakConfig cfg = shortConfig(ArrivalShape::kSteady, 4);
+    // Offer far beyond any plausible capacity with a tight lag bound:
+    // admission control must shed rather than queue unboundedly.
+    cfg.ingest_lps = 1e9;
+    cfg.admission_max_lag = SimTime::microseconds(100);
+    SoakDriver driver(cfg);
+    SoakReport r;
+    ASSERT_TRUE(driver.run(&r).isOk());
+    EXPECT_GT(r.dropped_lines, 0u);
+    EXPECT_GT(r.drop_rate, 0.5);
+    EXPECT_GT(r.accepted_lines, 0u) << "some lines still land";
+}
+
+TEST(SoakShape, ParsesKnownNamesAndRejectsUnknown)
+{
+    ArrivalShape shape = ArrivalShape::kSteady;
+    EXPECT_TRUE(parseShape("bursty", &shape).isOk());
+    EXPECT_EQ(shape, ArrivalShape::kBursty);
+    EXPECT_TRUE(parseShape("diurnal", &shape).isOk());
+    EXPECT_EQ(shape, ArrivalShape::kDiurnal);
+    EXPECT_TRUE(parseShape("steady", &shape).isOk());
+    EXPECT_EQ(shape, ArrivalShape::kSteady);
+    Status st = parseShape("sinusoidal", &shape);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    for (ArrivalShape s : {ArrivalShape::kSteady, ArrivalShape::kBursty,
+                           ArrivalShape::kDiurnal}) {
+        ArrivalShape round = ArrivalShape::kSteady;
+        EXPECT_TRUE(parseShape(shapeName(s), &round).isOk());
+        EXPECT_EQ(round, s);
+    }
+}
+
+TEST(SoakCapacity, EstimateIsPositiveAndDeterministic)
+{
+    SoakConfig cfg = shortConfig(ArrivalShape::kSteady, 6);
+    double a = 0.0, b = 0.0;
+    ASSERT_TRUE(estimateIngestCapacity(cfg, &a).isOk());
+    ASSERT_TRUE(estimateIngestCapacity(cfg, &b).isOk());
+    EXPECT_GT(a, 0.0);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace mithril::soak

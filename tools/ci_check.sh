@@ -13,9 +13,12 @@
 #      never fabricates a match
 #   5. tsan tier         the svc-labelled concurrency tests under
 #      -fsanitize=thread (skipped where the toolchain lacks TSan)
-#   6. domain lint       tools/mithril_lint.py (and its self-test)
-#   7. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#   8. ubsan build+test  full tree under -fsanitize=undefined
+#   6. soak SLO smoke    a short deterministic open-loop soak run whose
+#      soak_slo record must repeat byte-identically and pass its
+#      end-to-end p99 gate
+#   7. domain lint       tools/mithril_lint.py (and its self-test)
+#   8. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#   9. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -60,6 +63,26 @@ if echo 'int main(){return 0;}' \
 else
     echo "thread sanitizer unavailable: SKIPPED (77)"
 fi
+
+step "soak SLO smoke (bench_soak_slo, deterministic)"
+SOAK_DIR="build-werror/soak_ci"
+mkdir -p "$SOAK_DIR"
+SOAK_FLAGS="--shape=bursty --duration=0.05 --seed=7 --qps=30"
+# shellcheck disable=SC2086  # flags are intentionally word-split
+build-werror/bench/bench_soak_slo $SOAK_FLAGS \
+    --json-out="$SOAK_DIR/records_a.json" \
+    --metrics-out="$SOAK_DIR/metrics.json" > /dev/null
+# shellcheck disable=SC2086
+build-werror/bench/bench_soak_slo $SOAK_FLAGS \
+    --json-out="$SOAK_DIR/records_b.json" > /dev/null
+cmp "$SOAK_DIR/records_a.json" "$SOAK_DIR/records_b.json" \
+    || { echo "soak records differ across identical runs"; exit 1; }
+build-werror/bench/json_check "$SOAK_DIR/metrics.json" \
+    soak.ingest_e2e.sim_ps soak.query_e2e.sim_ps \
+    svc.batch_apply.sim_ps journal.commit.sim_ps
+build-werror/bench/json_check "$SOAK_DIR/records_a.json" \
+    soak_slo ingest_e2e_p99_ps slo_pass
+echo "soak SLO smoke: deterministic, schema-clean, SLO pass"
 
 step "domain lint (mithril_lint.py + selftest)"
 python3 tools/mithril_lint.py

@@ -31,6 +31,12 @@ repo-specific invariants no generic tool knows about:
                      all concurrency; core stays single-threaded by
                      construction) and tests/svc/; elsewhere requires a
                      justified allow().
+  adhoc-latency      datapath latency samples must go through the
+                     obs::Histogram / span APIs (StageLatency,
+                     StageTimer, setSimDuration); feeding elapsed()/
+                     seconds()/WallTimer arithmetic straight into a
+                     counter or gauge loses the distribution and the
+                     quantile exporters never see it.
   header-guard       include guards must be MITHRIL_<PATH>_H.
   include-order      a .cc includes its own header first; no "../"
                      uplevel includes; <system> before "project" blocks.
@@ -77,6 +83,9 @@ ALLOW = {
     # The service layer owns all thread/lock creation; its tests drive
     # real interleavings under the TSan tier.
     "thread-ownership": ("src/svc/", "tests/svc/"),
+    # The histogram layer itself is where durations legitimately meet
+    # record(); its tests feed synthetic durations on purpose.
+    "adhoc-latency": ("src/obs/", "tests/obs/"),
 }
 
 RULE_HINTS = {
@@ -98,6 +107,9 @@ RULE_HINTS = {
     "thread-ownership": "create threads/mutexes/condvars only in "
                         "src/svc/ (see svc/log_service.h for the "
                         "concurrency model) or justify the allow()",
+    "adhoc-latency": "record latency through obs::StageLatency/"
+                     "StageTimer (obs/histogram.h) so the sample lands "
+                     "in a quantile histogram, not a scalar",
     "header-guard": "guard must be MITHRIL_<PATH>_H (path relative to "
                     "src/, or to the repo root outside src/)",
     "include-order": "own header first in a .cc; no \"../\" paths; "
@@ -283,6 +295,26 @@ def check_thread_ownership(relpath, code):
                    "thread/mutex/condvar created outside src/svc/")
 
 
+# A scalar-metric mutation (`add(`/`set(`/`record(`; the histogram
+# layer's own verbs recordWallNs/recordSim/setSimDuration deliberately
+# do not match) on a line that also computes a duration — elapsed(),
+# seconds(), or a WallTimer mention. Keeping the computation on its own
+# line is not a loophole worth closing: the rule targets the idiom of
+# collapsing a latency sample into a scalar in one breath, which is how
+# every ad-hoc datapath timing has been written here.
+_ADHOC_CALL_RE = re.compile(r"\b(?:add|set|record)\s*\(")
+_ADHOC_TIME_RE = re.compile(
+    r"\belapsed\s*\(|\bseconds\s*\(|\bWallTimer\b")
+
+
+def check_adhoc_latency(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _ADHOC_CALL_RE.search(line) and _ADHOC_TIME_RE.search(line):
+            yield (i, "adhoc-latency",
+                   "duration arithmetic fed into a scalar metric; "
+                   "latency belongs in a quantile histogram")
+
+
 def expected_guard(relpath):
     rel = relpath[4:] if relpath.startswith("src/") else relpath
     return "MITHRIL_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper()
@@ -425,6 +457,7 @@ SIMPLE_RULES = (
     check_cast_outside_bits,
     check_fault_gating,
     check_thread_ownership,
+    check_adhoc_latency,
     check_header_guard,
     check_include_order,
 )
@@ -437,6 +470,7 @@ RULE_OF_CHECK = {
     check_cast_outside_bits: "cast-outside-bits",
     check_fault_gating: "fault-gating",
     check_thread_ownership: "thread-ownership",
+    check_adhoc_latency: "adhoc-latency",
     check_header_guard: "header-guard",
     check_include_order: "include-order",
 }
