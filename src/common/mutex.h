@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Annotated locking primitives: mithril::Mutex / MutexLock / CondVar.
+ *
+ * Thin wrappers over the standard primitives that carry the clang
+ * capability annotations from common/thread_annotations.h, so
+ * `-Wthread-safety` (the `tsa` preset / `lint_tsa` gate, DESIGN.md
+ * §13) can prove at compile time that every MITHRIL_GUARDED_BY field
+ * is only touched under its lock and every MITHRIL_REQUIRES method is
+ * only called with the lock held.
+ *
+ * This header is the only place in the tree where the raw std
+ * primitives may appear — the `raw-mutex` domain lint enforces that —
+ * because a lock the analysis cannot see is a lock it cannot check.
+ * The wrappers add no state and no behavior beyond the annotations:
+ *
+ *   Mutex      std::mutex with CAPABILITY + ACQUIRE/RELEASE verbs.
+ *   MutexLock  scoped lock_guard equivalent (SCOPED_CAPABILITY).
+ *   CondVar    std::condition_variable_any waiting directly on a
+ *              Mutex; wait() REQUIRES the mutex, so a wait outside
+ *              the lock is a compile error, and the canonical use is
+ *              an explicit while-loop over the predicate (which also
+ *              satisfies bugprone-spuriously-wake-up-functions).
+ *
+ * Who may create these: anywhere with a justified need — the
+ * capability annotations check *how* they are used wherever they
+ * live. Thread creation stays restricted to src/svc/ by the
+ * thread-ownership lint; locks moved from a location rule to this
+ * compile-checked one.
+ */
+#ifndef MITHRIL_COMMON_MUTEX_H
+#define MITHRIL_COMMON_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mithril {
+
+/** Annotated exclusive lock. Prefer MutexLock over manual
+ *  lock()/unlock() pairs — scoped acquisition is what the analysis
+ *  reasons about best (and what exceptions cannot leak past). */
+class MITHRIL_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() MITHRIL_ACQUIRE() { mu_.lock(); }
+    void unlock() MITHRIL_RELEASE() { mu_.unlock(); }
+    bool tryLock() MITHRIL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/** Scoped acquisition (the lock_guard of the annotated world). */
+class MITHRIL_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) MITHRIL_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() MITHRIL_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable waiting directly on a Mutex.
+ *
+ * wait() REQUIRES the mutex: callers hold it (normally via a
+ * MutexLock in the enclosing scope) and re-test their predicate in a
+ * while-loop — the std wait(pred) overload is deliberately not
+ * exposed, because a lambda predicate cannot carry the REQUIRES
+ * annotation for the guarded fields it reads:
+ *
+ *     MutexLock lock(mu_);
+ *     while (!ready_) {
+ *         cv_.wait(mu_);
+ *     }
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically releases @p mu and blocks; re-holds @p mu on
+     *  return. Spurious wakeups happen: loop over the predicate. */
+    void wait(Mutex &mu) MITHRIL_REQUIRES(mu) { cv_.wait(mu); }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace mithril
+
+#endif // MITHRIL_COMMON_MUTEX_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Clang thread-safety-analysis (capability) annotations.
+ *
+ * Layer 0 of the concurrency-safety gate (DESIGN.md §13): every lock
+ * and every lock-guarded field in the tree is annotated with these
+ * macros, and the `tsa` preset / `lint_tsa` ctest compile the tree
+ * with `-Wthread-safety -Werror=thread-safety`, turning "forgot the
+ * lock", "called without the required lock", and "acquired twice"
+ * into compile errors instead of TSan findings that depend on which
+ * interleavings the tests happen to hit.
+ *
+ * The macros expand to Clang `__attribute__`s under Clang and to
+ * nothing elsewhere, so GCC builds (including the TSan tier, which
+ * checks the same code dynamically) are unaffected. Use them through
+ * the annotated primitives in common/mutex.h — raw std::mutex is
+ * banned tree-wide by the `raw-mutex` domain lint precisely because
+ * the analysis can only see locks that carry these attributes.
+ */
+#ifndef MITHRIL_COMMON_THREAD_ANNOTATIONS_H
+#define MITHRIL_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define MITHRIL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MITHRIL_THREAD_ANNOTATION_(x)
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define MITHRIL_CAPABILITY(x) MITHRIL_THREAD_ANNOTATION_(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in its
+ *  dtor (MutexLock). */
+#define MITHRIL_SCOPED_CAPABILITY \
+    MITHRIL_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Field may only be read/written while holding the given mutex. */
+#define MITHRIL_GUARDED_BY(x) MITHRIL_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointer field whose *pointee* is guarded by the given mutex (the
+ *  pointer itself may be read freely once set). */
+#define MITHRIL_PT_GUARDED_BY(x) \
+    MITHRIL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Function acquires the capability and holds it on return. */
+#define MITHRIL_ACQUIRE(...) \
+    MITHRIL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability; caller must hold it. */
+#define MITHRIL_RELEASE(...) \
+    MITHRIL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns the given value. */
+#define MITHRIL_TRY_ACQUIRE(...) \
+    MITHRIL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must already hold the capability (un-locked helper). */
+#define MITHRIL_REQUIRES(...) \
+    MITHRIL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (the function takes it). */
+#define MITHRIL_EXCLUDES(...) \
+    MITHRIL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Declared lock-order edges, checked by the analysis. */
+#define MITHRIL_ACQUIRED_BEFORE(...) \
+    MITHRIL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MITHRIL_ACQUIRED_AFTER(...) \
+    MITHRIL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/** Function returns a reference to the given capability. */
+#define MITHRIL_RETURN_CAPABILITY(x) \
+    MITHRIL_THREAD_ANNOTATION_(lock_returned(x))
+
+/** Escape hatch: the function's locking is deliberately outside the
+ *  analysis (quiesced-only accessors). Every use carries a comment
+ *  saying why, the same contract as a lint allow(). */
+#define MITHRIL_NO_THREAD_SAFETY_ANALYSIS \
+    MITHRIL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // MITHRIL_COMMON_THREAD_ANNOTATIONS_H

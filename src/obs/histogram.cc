@@ -10,17 +10,21 @@ namespace mithril::obs {
 void
 Histogram::merge(const Histogram &other)
 {
+    // relaxed: merge runs on quiesced histograms (header contract);
+    // every cell is an independent counter, order never matters.
     for (size_t i = 0; i < kBuckets; ++i) {
         uint64_t c = other.counts_[i].load(std::memory_order_relaxed);
         if (c != 0) {
             counts_[i].fetch_add(c, std::memory_order_relaxed);
         }
     }
+    // relaxed: same quiesced-merge contract as the bucket loop above.
     count_.fetch_add(other.count_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
     if (other.count() != 0) {
+        // relaxed: standalone extremum cells, see relaxMin/relaxMax.
         relaxMin(min_, other.min_.load(std::memory_order_relaxed));
         relaxMax(max_, other.max_.load(std::memory_order_relaxed));
     }
@@ -29,6 +33,7 @@ Histogram::merge(const Histogram &other)
 uint64_t
 Histogram::min() const
 {
+    // relaxed: reporting-side read of an independent cell.
     uint64_t m = min_.load(std::memory_order_relaxed);
     return m == ~0ull ? 0 : m;
 }
@@ -47,6 +52,8 @@ Histogram::quantile(double q) const
     rank = std::clamp<uint64_t>(rank, 1, n);
     uint64_t seen = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
+        // relaxed: rank walk over independent counters; racing
+        // writers are handled by the max() fallback below.
         seen += counts_[i].load(std::memory_order_relaxed);
         if (seen >= rank) {
             return bucketLo(i);
@@ -77,6 +84,7 @@ Histogram::quantiles() const
     uint64_t seen = 0;
     int next = 0;
     for (size_t i = 0; i < kBuckets && next < 4; ++i) {
+        // relaxed: rank walk, same contract as quantile() above.
         seen += counts_[i].load(std::memory_order_relaxed);
         while (next < 4 && seen >= ranks[next]) {
             *slots[next] = bucketLo(i);

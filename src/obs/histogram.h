@@ -75,6 +75,8 @@ class Histogram
     void
     record(uint64_t value)
     {
+        // relaxed: each cell is an independent monotonic counter;
+        // readers tolerate bucket/count/sum tearing (header note).
         counts_[indexFor(value)].fetch_add(1,
                                            std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
@@ -129,19 +131,23 @@ class Histogram
     uint64_t
     bucketCount(size_t i) const
     {
+        // relaxed: reporting-side read of an independent counter.
         return counts_.at(i).load(std::memory_order_relaxed);
     }
 
     uint64_t count() const
     {
+        // relaxed: reporting-side read of an independent counter.
         return count_.load(std::memory_order_relaxed);
     }
+    // relaxed: reporting-side read of an independent counter.
     uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
     /** Smallest / largest recorded sample; 0 when empty. */
     uint64_t min() const;
     uint64_t max() const
     {
+        // relaxed: reporting-side read of an independent cell.
         return max_.load(std::memory_order_relaxed);
     }
 
@@ -157,6 +163,8 @@ class Histogram
     static void
     relaxMin(std::atomic<uint64_t> &slot, uint64_t value)
     {
+        // relaxed: bounded CAS race on a standalone extremum cell —
+        // the winning value is the same under any ordering.
         uint64_t cur = slot.load(std::memory_order_relaxed);
         while (value < cur &&
                !slot.compare_exchange_weak(cur, value,
@@ -167,6 +175,8 @@ class Histogram
     static void
     relaxMax(std::atomic<uint64_t> &slot, uint64_t value)
     {
+        // relaxed: bounded CAS race on a standalone extremum cell —
+        // the winning value is the same under any ordering.
         uint64_t cur = slot.load(std::memory_order_relaxed);
         while (value > cur &&
                !slot.compare_exchange_weak(cur, value,

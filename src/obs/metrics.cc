@@ -4,23 +4,6 @@
 
 namespace mithril::obs {
 
-namespace {
-
-template <typename Map, typename Factory>
-auto &
-findOrCreate(Map &map, std::mutex &mu, std::string_view full,
-             Factory make)
-{
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = map.find(full);
-    if (it == map.end()) {
-        it = map.emplace(std::string(full), make()).first;
-    }
-    return *it->second;
-}
-
-} // namespace
-
 std::string
 MetricsRegistry::fullName(std::string_view name,
                           std::initializer_list<Label> labels)
@@ -49,24 +32,28 @@ Counter &
 MetricsRegistry::counter(std::string_view name,
                          std::initializer_list<Label> labels)
 {
+    MutexLock lock(mu_);
     if (labels.size() == 0) {
-        return findOrCreate(counters_, mu_, name,
-                            [] { return std::make_unique<Counter>(); });
+        return findOrCreateLocked(
+            counters_, name, [] { return std::make_unique<Counter>(); });
     }
-    return findOrCreate(counters_, mu_, fullName(name, labels),
-                        [] { return std::make_unique<Counter>(); });
+    return findOrCreateLocked(
+        counters_, fullName(name, labels),
+        [] { return std::make_unique<Counter>(); });
 }
 
 Gauge &
 MetricsRegistry::gauge(std::string_view name,
                        std::initializer_list<Label> labels)
 {
+    MutexLock lock(mu_);
     if (labels.size() == 0) {
-        return findOrCreate(gauges_, mu_, name,
-                            [] { return std::make_unique<Gauge>(); });
+        return findOrCreateLocked(
+            gauges_, name, [] { return std::make_unique<Gauge>(); });
     }
-    return findOrCreate(gauges_, mu_, fullName(name, labels),
-                        [] { return std::make_unique<Gauge>(); });
+    return findOrCreateLocked(
+        gauges_, fullName(name, labels),
+        [] { return std::make_unique<Gauge>(); });
 }
 
 LogHistogram &
@@ -74,10 +61,12 @@ MetricsRegistry::histogram(std::string_view name,
                            std::initializer_list<Label> labels)
 {
     auto make = [] { return std::make_unique<LogHistogram>(); };
+    MutexLock lock(mu_);
     if (labels.size() == 0) {
-        return findOrCreate(histograms_, mu_, name, make);
+        return findOrCreateLocked(histograms_, name, make);
     }
-    return findOrCreate(histograms_, mu_, fullName(name, labels), make);
+    return findOrCreateLocked(histograms_, fullName(name, labels),
+                              make);
 }
 
 Histogram &
@@ -85,17 +74,18 @@ MetricsRegistry::quantileHistogram(std::string_view name,
                                    std::initializer_list<Label> labels)
 {
     auto make = [] { return std::make_unique<Histogram>(); };
+    MutexLock lock(mu_);
     if (labels.size() == 0) {
-        return findOrCreate(quantile_histograms_, mu_, name, make);
+        return findOrCreateLocked(quantile_histograms_, name, make);
     }
-    return findOrCreate(quantile_histograms_, mu_,
-                        fullName(name, labels), make);
+    return findOrCreateLocked(quantile_histograms_,
+                              fullName(name, labels), make);
 }
 
 uint64_t
 MetricsRegistry::counterValue(std::string_view name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second->value();
 }
@@ -104,7 +94,7 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto &[name, c] : counters_) {
         snap.counters.emplace(name, c->value());
     }

@@ -30,13 +30,14 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace mithril::obs {
@@ -47,11 +48,14 @@ class Counter
   public:
     void add(uint64_t delta = 1)
     {
+        // relaxed: independent monotonic counter; snapshot readers
+        // tolerate a torn view across counters.
         value_.fetch_add(delta, std::memory_order_relaxed);
     }
 
     uint64_t value() const
     {
+        // relaxed: see add() — a count, not a publication.
         return value_.load(std::memory_order_relaxed);
     }
 
@@ -63,9 +67,11 @@ class Counter
 class Gauge
 {
   public:
+    // relaxed: last-write-wins scalar; no other data rides on it.
     void set(double v) { value_.store(v, std::memory_order_relaxed); }
     double value() const
     {
+        // relaxed: see set().
         return value_.load(std::memory_order_relaxed);
     }
 
@@ -87,6 +93,8 @@ class LogHistogram
 
     void record(uint64_t value)
     {
+        // relaxed: every cell is an independent monotonic counter;
+        // readers tolerate bucket/count/sum tearing mid-record.
         counts_[bucketFor(value)].fetch_add(1,
                                             std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
@@ -112,14 +120,17 @@ class LogHistogram
 
     uint64_t bucketCount(size_t i) const
     {
+        // relaxed: reporting-side read of an independent counter.
         return counts_.at(i).load(std::memory_order_relaxed);
     }
 
     uint64_t count() const
     {
+        // relaxed: reporting-side read of an independent counter.
         return count_.load(std::memory_order_relaxed);
     }
 
+    // relaxed: reporting-side read of an independent counter.
     uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
     double mean() const
@@ -212,16 +223,35 @@ class MetricsRegistry : public CounterSink
                                 std::initializer_list<Label> labels);
 
   private:
-    // Registry lookups are the cross-thread meeting point every
-    // mithril-lint: allow(thread-ownership) subsystem reports into obs
-    mutable std::mutex mu_;
+    /** Lookup-or-insert in one of the guarded maps. Callers (the
+     *  public accessors) hold mu_; keeping the lock at the call site
+     *  means the guarded maps are never passed around unlocked, which
+     *  is exactly what -Wthread-safety-reference checks. */
+    template <typename Map, typename Factory>
+    auto &
+    findOrCreateLocked(Map &map, std::string_view full, Factory make)
+        MITHRIL_REQUIRES(mu_)
+    {
+        auto it = map.find(full);
+        if (it == map.end()) {
+            it = map.emplace(std::string(full), make()).first;
+        }
+        return *it->second;
+    }
+
+    /** Registry lookups are the cross-thread meeting point: every
+     *  subsystem reports into obs, so the maps are guarded and the
+     *  returned handles (stable for the registry's lifetime) are
+     *  lock-free atomics. */
+    mutable Mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
-        counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+        counters_ MITHRIL_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+        gauges_ MITHRIL_GUARDED_BY(mu_);
     std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
-        histograms_;
+        histograms_ MITHRIL_GUARDED_BY(mu_);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        quantile_histograms_;
+        quantile_histograms_ MITHRIL_GUARDED_BY(mu_);
 };
 
 } // namespace mithril::obs

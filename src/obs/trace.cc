@@ -83,14 +83,14 @@ Tracer::nowNs() const
 SimTime
 Tracer::simCursor() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return SimTime::picoseconds(sim_cursor_ps_);
 }
 
 void
 Tracer::record(TraceEvent event)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     event.seq = next_seq_++;
     if (event.has_sim) {
         sim_cursor_ps_ = std::max(sim_cursor_ps_,
@@ -107,7 +107,7 @@ Tracer::record(TraceEvent event)
 std::vector<TraceEvent>
 Tracer::events() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<TraceEvent> out = ring_;
     std::sort(out.begin(), out.end(),
               [](const TraceEvent &a, const TraceEvent &b) {
@@ -119,14 +119,14 @@ Tracer::events() const
 uint64_t
 Tracer::dropped() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dropped_;
 }
 
 void
 Tracer::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ring_.clear();
     dropped_ = 0;
 }

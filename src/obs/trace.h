@@ -28,13 +28,14 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/simtime.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mithril::obs {
 
@@ -120,14 +121,14 @@ class Tracer
     uint64_t nowNs() const;
     void record(TraceEvent event);
 
-    // The span ring is shared by every tracing thread; obs is
-    // mithril-lint: allow(thread-ownership) documented thread-safe
-    mutable std::mutex mu_;
-    std::vector<TraceEvent> ring_;
-    size_t capacity_;
-    uint64_t next_seq_ = 0;
-    uint64_t dropped_ = 0;
-    uint64_t sim_cursor_ps_ = 0;
+    /** The span ring is shared by every tracing thread; everything
+     *  that moves after construction sits under one lock. */
+    mutable Mutex mu_;
+    std::vector<TraceEvent> ring_ MITHRIL_GUARDED_BY(mu_);
+    const size_t capacity_;
+    uint64_t next_seq_ MITHRIL_GUARDED_BY(mu_) = 0;
+    uint64_t dropped_ MITHRIL_GUARDED_BY(mu_) = 0;
+    uint64_t sim_cursor_ps_ MITHRIL_GUARDED_BY(mu_) = 0;
     std::chrono::steady_clock::time_point epoch_;
 };
 

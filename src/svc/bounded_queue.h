@@ -10,17 +10,23 @@
  * ingest batch or a per-shard query, thousands of times the cost of
  * one lock handoff.
  *
+ * The lock is an annotated mithril::Mutex and every piece of queue
+ * state is MITHRIL_GUARDED_BY it, so `-Wthread-safety` (DESIGN.md
+ * §13) proves statically that no method touches the deque or the
+ * closed flag outside the lock — the static complement to the TSan
+ * tier's dynamic check.
+ *
  * close() wakes every waiter; after it, push() fails and pop() drains
  * the remaining items before reporting exhaustion.
  */
 #ifndef MITHRIL_SVC_BOUNDED_QUEUE_H
 #define MITHRIL_SVC_BOUNDED_QUEUE_H
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace mithril::svc {
 
@@ -37,15 +43,15 @@ class BoundedQueue
     bool
     push(T item)
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        not_full_.wait(lock, [&] {
-            return closed_ || items_.size() < capacity_;
-        });
+        MutexLock lock(mu_);
+        while (!closed_ && items_.size() >= capacity_) {
+            not_full_.wait(mu_);
+        }
         if (closed_) {
             return false;
         }
         items_.push_back(std::move(item));
-        not_empty_.notify_one();
+        not_empty_.notifyOne();
         return true;
     }
 
@@ -54,12 +60,12 @@ class BoundedQueue
     bool
     tryPush(T &item)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (closed_ || items_.size() >= capacity_) {
             return false;
         }
         items_.push_back(std::move(item));
-        not_empty_.notify_one();
+        not_empty_.notifyOne();
         return true;
     }
 
@@ -68,14 +74,16 @@ class BoundedQueue
     std::optional<T>
     pop()
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        MutexLock lock(mu_);
+        while (!closed_ && items_.empty()) {
+            not_empty_.wait(mu_);
+        }
         if (items_.empty()) {
             return std::nullopt;
         }
         T item = std::move(items_.front());
         items_.pop_front();
-        not_full_.notify_one();
+        not_full_.notifyOne();
         return item;
     }
 
@@ -83,26 +91,26 @@ class BoundedQueue
     void
     close()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         closed_ = true;
-        not_empty_.notify_all();
-        not_full_.notify_all();
+        not_empty_.notifyAll();
+        not_full_.notifyAll();
     }
 
     size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return items_.size();
     }
 
   private:
     const size_t capacity_;
-    mutable std::mutex mu_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    mutable Mutex mu_;
+    CondVar not_empty_;
+    CondVar not_full_;
+    std::deque<T> items_ MITHRIL_GUARDED_BY(mu_);
+    bool closed_ MITHRIL_GUARDED_BY(mu_) = false;
 };
 
 } // namespace mithril::svc

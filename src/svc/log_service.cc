@@ -93,6 +93,7 @@ LogService::LogService(LogServiceConfig config)
             fault::FaultPlanConfig fc = fault_config;
             fc.seed ^= mix64(static_cast<uint64_t>(i) + 1);
             shard->fault = std::make_unique<fault::FaultPlan>(fc);
+            MutexLock log_lock(shard->log_mu);
             shard->log->ssd().attachFaultPlan(shard->fault.get());
         }
         shards_.push_back(std::move(shard));
@@ -129,6 +130,8 @@ LogService::routeLine(std::string_view line)
 {
     if (config_.routing == RoutingPolicy::kRoundRobin ||
         shards_.size() == 1) {
+        // relaxed: pure rotation counter — no data is published
+        // through this increment, only the slot number matters.
         return next_shard_.fetch_add(1, std::memory_order_relaxed) %
                shards_.size();
     }
@@ -153,7 +156,7 @@ LogService::append(std::string_view line)
     Shard &s = *shards_[si];
     bool need_schedule = false;
     {
-        std::lock_guard<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         if (s.readonly) {
             return Status::failedPrecondition(
                 "shard " + std::to_string(si) +
@@ -175,6 +178,7 @@ LogService::append(std::string_view line)
                 // page boundary — schedule-dependent. Returning it
                 // keeps routing a pure function of the accepted line
                 // sequence.
+                // relaxed: same rotation counter as routeLine().
                 next_shard_.fetch_sub(1, std::memory_order_relaxed);
             }
             return Status::resourceExhausted(
@@ -223,7 +227,7 @@ LogService::scheduleDrain(size_t si)
     if (!tasks_.push(std::move(task))) {
         // Pool shut down mid-ingest (destructor racing a producer);
         // un-mark the shard so state stays consistent.
-        std::lock_guard<std::mutex> lock(shards_[si]->mu);
+        MutexLock lock(shards_[si]->mu);
         shards_[si]->draining = false;
     }
 }
@@ -238,7 +242,7 @@ LogService::drainShard(size_t si)
         std::vector<std::string> batch;
         bool skip;
         {
-            std::unique_lock<std::mutex> lock(s.mu);
+            MutexLock lock(s.mu);
             if (s.batches.empty()) {
                 s.draining = false;
                 return;
@@ -258,7 +262,7 @@ LogService::drainShard(size_t si)
         // holds: this is the shard's single drainer (`draining` flag).
         Status batch_error = Status::ok();
         if (!skip) {
-            std::lock_guard<std::mutex> log_lock(s.log_mu);
+            MutexLock log_lock(s.log_mu);
             obs::Span span = tracer_->span("svc.ingest_batch", "svc");
             obs::StageTimer apply_timer(&stages_.batch_apply);
             uint64_t busy_start_ps = s.log->ssd().elapsed().ps();
@@ -277,7 +281,7 @@ LogService::drainShard(size_t si)
         }
         if (!batch_error.isOk()) {
             counters_.ingest_errors->add();
-            std::lock_guard<std::mutex> lock(s.mu);
+            MutexLock lock(s.mu);
             if (s.error.isOk()) {
                 // Sticky: reported on the next append() to this shard.
                 s.error = batch_error;
@@ -289,7 +293,7 @@ LogService::drainShard(size_t si)
     }
     bool more;
     {
-        std::lock_guard<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         more = !s.batches.empty();
         if (!more) {
             s.draining = false;
@@ -303,25 +307,27 @@ LogService::drainShard(size_t si)
 void
 LogService::noteBatchEnqueued()
 {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     ++pending_batches_;
 }
 
 void
 LogService::noteBatchDone()
 {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     --pending_batches_;
     if (pending_batches_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.notifyAll();
     }
 }
 
 void
 LogService::drain()
 {
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [&] { return pending_batches_ == 0; });
+    MutexLock lock(idle_mu_);
+    while (pending_batches_ != 0) {
+        idle_cv_.wait(idle_mu_);
+    }
 }
 
 Status
@@ -334,7 +340,7 @@ LogService::flush()
         Shard &s = *shards_[si];
         bool need_schedule = false;
         {
-            std::lock_guard<std::mutex> lock(s.mu);
+            MutexLock lock(s.mu);
             if (s.open.empty() || s.readonly || !s.error.isOk()) {
                 continue;
             }
@@ -358,14 +364,14 @@ LogService::flush()
     for (const std::unique_ptr<Shard> &shard : shards_) {
         Status st = Status::ok();
         {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            MutexLock lock(shard->mu);
             if (shard->readonly) {
                 continue;
             }
             st = shard->error;
         }
         if (st.isOk()) {
-            std::lock_guard<std::mutex> log_lock(shard->log_mu);
+            MutexLock log_lock(shard->log_mu);
             st = shard->log->flush();
         }
         if (!st.isOk() && first.isOk()) {
@@ -383,14 +389,14 @@ LogService::seal()
     for (const std::unique_ptr<Shard> &shard : shards_) {
         Status st = Status::ok();
         {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            MutexLock lock(shard->mu);
             if (shard->readonly) {
                 continue; // a recovered shard is already sealed
             }
             st = shard->error;
         }
         if (st.isOk()) {
-            std::lock_guard<std::mutex> log_lock(shard->log_mu);
+            MutexLock log_lock(shard->log_mu);
             st = shard->log->seal();
         }
         if (!st.isOk() && first.isOk()) {
@@ -412,8 +418,8 @@ LogService::query(const query::Query &q, ServiceQueryResult *out)
     size_t n = shards_.size();
     std::vector<core::QueryResult> results(n);
     std::vector<Status> statuses(n, Status::ok());
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVar done_cv;
     size_t done = 0;
 
     for (size_t i = 0; i < n; ++i) {
@@ -422,7 +428,7 @@ LogService::query(const query::Query &q, ServiceQueryResult *out)
                     &done_cv, &done] {
             Shard &s = *shards_[i];
             {
-                std::lock_guard<std::mutex> log_lock(s.log_mu);
+                MutexLock log_lock(s.log_mu);
                 obs::Span span = tracer_->span("svc.shard_query", "svc");
                 obs::StageTimer shard_timer(&stages_.shard_query);
                 counters_.shard_queries->add();
@@ -430,17 +436,19 @@ LogService::query(const query::Query &q, ServiceQueryResult *out)
                 span.setSimDuration(results[i].total_time);
                 shard_timer.setSimDuration(results[i].total_time);
             }
-            std::lock_guard<std::mutex> lock(done_mu);
+            MutexLock lock(done_mu);
             if (++done == n) {
-                done_cv.notify_all();
+                done_cv.notifyAll();
             }
         };
         bool pushed = tasks_.push(std::move(task));
         MITHRIL_ASSERT(pushed);
     }
     {
-        std::unique_lock<std::mutex> lock(done_mu);
-        done_cv.wait(lock, [&] { return done == n; });
+        MutexLock lock(done_mu);
+        while (done != n) {
+            done_cv.wait(done_mu);
+        }
     }
 
     double seconds = wall.seconds();
@@ -562,7 +570,7 @@ LogService::recoverShard(size_t shard, const std::string &device_image)
     // misuse shows up as a precondition error, not a race.
     Shard &s = *shards_[shard];
     {
-        std::lock_guard<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         if (!s.open.empty() || !s.batches.empty() || s.draining) {
             return Status::failedPrecondition(
                 "recoverShard requires an empty, quiesced shard");
@@ -570,7 +578,7 @@ LogService::recoverShard(size_t shard, const std::string &device_image)
     }
     bool recovered;
     {
-        std::lock_guard<std::mutex> log_lock(s.log_mu);
+        MutexLock log_lock(s.log_mu);
         if (s.log->lineCount() != 0) {
             return Status::failedPrecondition(
                 "recoverShard requires an empty, quiesced shard");
@@ -579,11 +587,13 @@ LogService::recoverShard(size_t shard, const std::string &device_image)
         recovered = s.log->recovered();
     }
     {
-        std::lock_guard<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         s.readonly = recovered;
         s.error = Status::ok();
     }
     if (recovered) {
+        // relaxed: monotonic count; readers only ever want a snapshot
+        // and the gauge below carries the published value.
         size_t now = readonly_count_.fetch_add(
                          1, std::memory_order_relaxed) + 1;
         metrics_->gauge("svc.shards_readonly")
@@ -597,7 +607,7 @@ LogService::lineCount() const
 {
     uint64_t total = 0;
     for (const std::unique_ptr<Shard> &shard : shards_) {
-        std::lock_guard<std::mutex> log_lock(shard->log_mu);
+        MutexLock log_lock(shard->log_mu);
         total += shard->log->lineCount();
     }
     return total;
@@ -608,7 +618,7 @@ LogService::rawBytes() const
 {
     uint64_t total = 0;
     for (const std::unique_ptr<Shard> &shard : shards_) {
-        std::lock_guard<std::mutex> log_lock(shard->log_mu);
+        MutexLock log_lock(shard->log_mu);
         total += shard->log->rawBytes();
     }
     return total;
@@ -617,6 +627,7 @@ LogService::rawBytes() const
 size_t
 LogService::readonlyShards() const
 {
+    // relaxed: monotonic counter snapshot; no associated data.
     return readonly_count_.load(std::memory_order_relaxed);
 }
 

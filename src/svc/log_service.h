@@ -26,13 +26,15 @@
  *             roll-up takes max-over-shards for the fanned-out phases
  *             (the shards run in parallel) while scalar counts sum.
  *
- * Thread-safety model (audited for the TSan tier):
+ * Thread-safety model (annotated for -Wthread-safety, DESIGN.md §13,
+ * and audited dynamically by the TSan tier):
  *   - each shard carries two locks, never held together: `mu` guards
  *     the producer-facing queue state (open batch, backlog, flags) so
  *     append() only ever pays a brief queue push, and `log_mu`
  *     serializes every touch of the shard's MithriLog (batch apply,
  *     query, flush, recovery) so the single-threaded core never sees
- *     two threads;
+ *     two threads; every guarded field carries MITHRIL_GUARDED_BY and
+ *     the lock-order lint's declared table pins which locks may nest;
  *   - per-shard FIFO apply order is guaranteed by a single-drainer
  *     flag (`draining`), not by lock order;
  *   - the shared obs::MetricsRegistry / obs::Tracer are internally
@@ -48,16 +50,16 @@
 #define MITHRIL_SVC_LOG_SERVICE_H
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/wall_timer.h"
 #include "core/mithrilog.h"
 #include "fault/fault_plan.h"
@@ -214,25 +216,36 @@ class LogService
     size_t readonlyShards() const;
 
     /** Direct shard access for tests and benches. Only valid while
-     *  the service is quiesced (drained, no concurrent append/query). */
-    core::MithriLog &shard(size_t i) { return *shards_[i]->log; }
+     *  the service is quiesced (drained, no concurrent append/query) —
+     *  which is why the guarded-pointee dereference is exempted from
+     *  the analysis here instead of taking log_mu. */
+    core::MithriLog &
+    shard(size_t i) MITHRIL_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return *shards_[i]->log;
+    }
 
     obs::MetricsRegistry &metrics() { return *metrics_; }
     obs::Tracer &tracer() { return *tracer_; }
 
   private:
     struct Shard {
-        std::unique_ptr<core::MithriLog> log;
-        std::unique_ptr<fault::FaultPlan> fault;
-
         /** Guards the queue state below (open/batches/draining/
          *  readonly/error). Never held across a log operation. */
-        std::mutex mu;
+        Mutex mu;
         /** Serializes all access to `log` (batch apply, query, flush,
-         *  recovery). Never acquired while holding `mu`. */
-        std::mutex log_mu;
+         *  recovery). Never acquired while holding `mu` — the
+         *  lock-order lint's declared table enforces that pair. */
+        Mutex log_mu;
+
+        /** The shard's store: the pointer is set once at construction,
+         *  the pointee is only ever touched under log_mu. */
+        std::unique_ptr<core::MithriLog> log
+            MITHRIL_PT_GUARDED_BY(log_mu);
+        std::unique_ptr<fault::FaultPlan> fault;
+
         /** Lines accumulating toward the next batch. */
-        std::vector<std::string> open;
+        std::vector<std::string> open MITHRIL_GUARDED_BY(mu);
         /** One queued batch, timestamped at enqueue so the drain can
          *  attribute its queue wait (`svc.queue_wait.wall_ns`). */
         struct QueuedBatch {
@@ -241,13 +254,13 @@ class LogService
         };
         /** Full batches awaiting a worker, FIFO, bounded by
          *  queue_depth. */
-        std::deque<QueuedBatch> batches;
+        std::deque<QueuedBatch> batches MITHRIL_GUARDED_BY(mu);
         /** A drain task for this shard is queued or running. */
-        bool draining = false;
+        bool draining MITHRIL_GUARDED_BY(mu) = false;
         /** Recovered read-only shard (kFailedPrecondition on ingest). */
-        bool readonly = false;
+        bool readonly MITHRIL_GUARDED_BY(mu) = false;
         /** First ingest failure; sticky until recovery. */
-        Status error = Status::ok();
+        Status error MITHRIL_GUARDED_BY(mu) = Status::ok();
     };
 
     /** One unit of pool work. */
@@ -309,10 +322,13 @@ class LogService
     BoundedQueue<Task> tasks_;
     std::vector<std::thread> workers_;
 
-    /** Ingest quiescence: queued-but-unapplied batches. */
-    std::mutex idle_mu_;
-    std::condition_variable idle_cv_;
-    uint64_t pending_batches_ = 0;
+    /** Ingest quiescence: queued-but-unapplied batches. idle_mu_ is
+     *  the one lock that may be acquired while a shard's `mu` is held
+     *  (noteBatchEnqueued() under append/flush) — the declared
+     *  shard-queue → svc-idle edge in the lock-order table. */
+    Mutex idle_mu_;
+    CondVar idle_cv_;
+    uint64_t pending_batches_ MITHRIL_GUARDED_BY(idle_mu_) = 0;
 };
 
 } // namespace mithril::svc

@@ -1,0 +1,19 @@
+// Fixture on the audited branch (the "audited_relaxed" name
+// fragment): inside the audited set every relaxed use still needs a
+// nearby justification comment.
+#include <atomic>
+
+std::atomic<int> g_hits{0};
+
+void
+bump_justified()
+{
+    // relaxed: independent monotonic counter, no data published.
+    g_hits.fetch_add(1, std::memory_order_relaxed);  // not flagged
+}
+
+int
+peek_unjustified()
+{
+    return g_hits.load(std::memory_order_relaxed);  // line 18: fires
+}

@@ -1,0 +1,30 @@
+// Known-bad fixture: MutexLock nesting outside the declared table —
+// a shard's queue mutex and its log mutex must never be held together.
+#include "common/mutex.h"
+
+struct Shard {
+    mithril::Mutex mu;
+    mithril::Mutex log_mu;
+    int queued = 0;
+    int applied = 0;
+};
+
+int
+bad_nested_apply(Shard &s)
+{
+    mithril::MutexLock lock(s.mu);
+    mithril::MutexLock log_lock(s.log_mu);  // line 16: lock-order
+    return s.queued + s.applied;
+}
+
+int
+good_sequential_apply(Shard &s)
+{
+    int queued;
+    {
+        mithril::MutexLock lock(s.mu);
+        queued = s.queued;
+    }
+    mithril::MutexLock log_lock(s.log_mu);  // not flagged: mu released
+    return queued + s.applied;
+}

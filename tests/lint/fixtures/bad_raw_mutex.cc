@@ -1,0 +1,22 @@
+// Known-bad fixture: raw std lock primitives outside common/mutex.h.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_reg_mu;               // line 5: raw-mutex
+std::condition_variable_any g_cv;  // line 6: raw-mutex
+
+int
+locked_get(int *slot)
+{
+    std::lock_guard<std::mutex> lock(g_reg_mu);  // line 11: raw-mutex
+    return *slot;
+}
+
+void
+locked_wait(bool *ready)
+{
+    std::unique_lock<std::mutex> lock(g_reg_mu);  // line 18: raw-mutex
+    while (!*ready) {
+        g_cv.wait(lock);  // not flagged: no raw std spelling here
+    }
+}

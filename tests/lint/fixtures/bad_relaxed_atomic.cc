@@ -1,0 +1,17 @@
+// Known-bad fixture: relaxed atomics outside the audited files.
+#include <atomic>
+
+std::atomic<int> g_hits{0};
+
+void
+bump()
+{
+    // relaxed: a justification cannot move a file into the audited set.
+    g_hits.fetch_add(1, std::memory_order_relaxed);  // line 10: fires
+}
+
+int
+peek()
+{
+    return g_hits.load(std::memory_order_relaxed);  // line 16: fires
+}

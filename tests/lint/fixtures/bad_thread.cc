@@ -1,21 +1,23 @@
-// Known-bad fixture: concurrency primitives created outside src/svc/.
+// Known-bad fixture: threads created outside src/svc/
+// (thread-ownership) and raw std lock primitives outside
+// common/mutex.h (raw-mutex).
 #include <future>
 #include <mutex>
 #include <thread>
 
-std::mutex g_mu;  // line 6: thread-ownership (mutex creation)
+std::mutex g_mu;  // line 8: raw-mutex
 
 int
 spawn()
 {
-    std::thread worker([] {});  // line 11: thread-ownership
+    std::thread worker([] {});  // line 13: thread-ownership
     worker.join();
-    auto f = std::async([] { return 1; });  // line 13: thread-ownership
-    std::condition_variable cv;  // line 14: thread-ownership
+    auto f = std::async([] { return 1; });  // line 15: thread-ownership
+    std::condition_variable cv;  // line 16: raw-mutex
     (void)cv;
-    // Using someone else's lock is fine: guards and this_thread are
-    // consumption, not creation.
-    std::lock_guard<std::mutex> lock(g_mu);  // not flagged
+    // Raw guards are findings too: a lock the analysis cannot see is
+    // a lock it cannot check.
+    std::lock_guard<std::mutex> lock(g_mu);  // line 20: raw-mutex
     std::this_thread::yield();               // not flagged
     return f.get();
 }

@@ -85,14 +85,46 @@ expect_finding(out, "bad_fault_hook.cc", 12, "fault-gating")
 
 rc, out = run_lint("bad_thread.cc")
 expect(rc == 1, "bad_thread.cc exits 1")
-expect_finding(out, "bad_thread.cc", 6, "thread-ownership")
-expect_finding(out, "bad_thread.cc", 11, "thread-ownership")
+expect_finding(out, "bad_thread.cc", 8, "raw-mutex")
 expect_finding(out, "bad_thread.cc", 13, "thread-ownership")
-expect_finding(out, "bad_thread.cc", 14, "thread-ownership")
-expect("bad_thread.cc:18" not in out,
-       "lock_guard over an existing mutex is not flagged")
-expect("bad_thread.cc:19" not in out,
+expect_finding(out, "bad_thread.cc", 15, "thread-ownership")
+expect_finding(out, "bad_thread.cc", 16, "raw-mutex")
+expect_finding(out, "bad_thread.cc", 20, "raw-mutex")
+expect("[thread-ownership]" not in
+       "\n".join(l for l in out.splitlines()
+                 if ":8:" in l or ":16:" in l or ":20:" in l),
+       "locks are raw-mutex findings, not thread-ownership")
+expect("bad_thread.cc:21" not in out,
        "std::this_thread is not flagged")
+
+rc, out = run_lint("bad_raw_mutex.cc")
+expect(rc == 1, "bad_raw_mutex.cc exits 1")
+expect_finding(out, "bad_raw_mutex.cc", 5, "raw-mutex")
+expect_finding(out, "bad_raw_mutex.cc", 6, "raw-mutex")
+expect_finding(out, "bad_raw_mutex.cc", 11, "raw-mutex")
+expect_finding(out, "bad_raw_mutex.cc", 18, "raw-mutex")
+expect("bad_raw_mutex.cc:20" not in out,
+       "waiting on an already-declared condvar is not flagged")
+
+rc, out = run_lint("bad_lock_order.cc")
+expect(rc == 1, "bad_lock_order.cc exits 1")
+expect_finding(out, "bad_lock_order.cc", 16, "lock-order")
+expect("bad_lock_order.cc:15" not in out,
+       "the outer (first) acquisition is not flagged")
+expect("bad_lock_order.cc:28" not in out,
+       "sequential (non-nested) acquisition is not flagged")
+
+rc, out = run_lint("bad_relaxed_atomic.cc")
+expect(rc == 1, "bad_relaxed_atomic.cc exits 1")
+expect_finding(out, "bad_relaxed_atomic.cc", 10, "atomics-discipline")
+expect_finding(out, "bad_relaxed_atomic.cc", 16, "atomics-discipline")
+
+rc, out = run_lint("audited_relaxed_atomic.cc")
+expect(rc == 1, "audited_relaxed_atomic.cc exits 1")
+expect_finding(out, "audited_relaxed_atomic.cc", 18,
+               "atomics-discipline")
+expect("audited_relaxed_atomic.cc:12" not in out,
+       "justified relaxed use in an audited file is not flagged")
 
 rc, out = run_lint("bad_latency.cc")
 expect(rc == 1, "bad_latency.cc exits 1")

@@ -56,6 +56,34 @@ TEST(HistogramConcurrency, ParallelRecordersLoseNothing)
     EXPECT_LE(q.p999, h.max());
 }
 
+TEST(MetricsConcurrency, ConcurrentIncrementsLoseNoUpdates)
+{
+    obs::MetricsRegistry m;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 50000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m] {
+            // Half resolve the counter fresh each time (exercising
+            // registry locking), half cache the handle (the hot-path
+            // pattern).
+            obs::Counter &cached = m.counter("test.hits");
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                if (i % 2 == 0) {
+                    m.counter("test.hits").add();
+                } else {
+                    cached.add();
+                }
+            }
+        });
+    }
+    for (auto &th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(m.counterValue("test.hits"), kThreads * kPerThread);
+}
+
 TEST(HistogramConcurrency, ConcurrentRegistryLookupsShareOneHistogram)
 {
     obs::MetricsRegistry metrics;
@@ -113,7 +141,7 @@ TEST(HistogramConcurrency, SvcWorkersRecordStageLatencies)
         });
     }
     std::thread querier([&service, &stop] {
-        while (!stop.load(std::memory_order_relaxed)) {
+        while (!stop.load()) {
             svc::ServiceQueryResult r;
             Status st = service.query("payload", &r);
             ASSERT_TRUE(st.isOk()) << st.toString();
@@ -122,7 +150,7 @@ TEST(HistogramConcurrency, SvcWorkersRecordStageLatencies)
     for (std::thread &t : producers) {
         t.join();
     }
-    stop.store(true, std::memory_order_relaxed);
+    stop.store(true);
     querier.join();
     ASSERT_TRUE(service.flush().isOk());
 

@@ -1,0 +1,20 @@
+// TSA fixture (WILL_FAIL): acquiring the same mutex twice in one
+// scope must be a -Wthread-safety error (for std::mutex it is
+// undefined behavior at runtime; the analysis catches it at compile
+// time).
+#include "common/mutex.h"
+
+int
+doubleAcquire(mithril::Mutex &mu, int value)
+{
+    mithril::MutexLock outer(mu);
+    mithril::MutexLock inner(mu);  // error: mu already held
+    return value;
+}
+
+int
+main()
+{
+    mithril::Mutex mu;
+    return doubleAcquire(mu, 0);
+}

@@ -1,0 +1,28 @@
+// TSA fixture (WILL_FAIL): writing a MITHRIL_GUARDED_BY field without
+// holding its mutex must be a -Wthread-safety error. Compiles clean
+// under gcc (the annotations expand to nothing) — the lint_tsa gate
+// skips on non-clang boxes, so this fixture is only ever compiled by
+// clang.
+#include "common/mutex.h"
+
+class Account
+{
+  public:
+    void
+    deposit(int amount)
+    {
+        balance_ += amount;  // error: write without holding mu_
+    }
+
+  private:
+    mithril::Mutex mu_;
+    int balance_ MITHRIL_GUARDED_BY(mu_) = 0;
+};
+
+int
+main()
+{
+    Account a;
+    a.deposit(1);
+    return 0;
+}

@@ -1,0 +1,31 @@
+// TSA fixture (WILL_FAIL): calling a MITHRIL_REQUIRES method without
+// the lock held must be a -Wthread-safety error — the exact mistake
+// the MetricsRegistry findOrCreateLocked() contract guards against.
+#include "common/mutex.h"
+
+class Registry
+{
+  public:
+    int
+    lookupLocked() MITHRIL_REQUIRES(mu_)
+    {
+        return entries_;
+    }
+
+    int
+    lookup()
+    {
+        return lookupLocked();  // error: mu_ not held
+    }
+
+  private:
+    mithril::Mutex mu_;
+    int entries_ MITHRIL_GUARDED_BY(mu_) = 0;
+};
+
+int
+main()
+{
+    Registry r;
+    return r.lookup();
+}

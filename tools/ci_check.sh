@@ -16,9 +16,12 @@
 #   6. soak SLO smoke    a short deterministic open-loop soak run whose
 #      soak_slo record must repeat byte-identically and pass its
 #      end-to-end p99 gate
-#   7. domain lint       tools/mithril_lint.py (and its self-test)
-#   8. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#   9. ubsan build+test  full tree under -fsanitize=undefined
+#   7. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
+#      src/, plus its fixture selftest (skipped where clang++ is not
+#      installed)
+#   8. domain lint       tools/mithril_lint.py (and its self-test)
+#   9. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#  10. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -83,6 +86,18 @@ build-werror/bench/json_check "$SOAK_DIR/metrics.json" \
 build-werror/bench/json_check "$SOAK_DIR/records_a.json" \
     soak_slo ingest_e2e_p99_ps slo_pass
 echo "soak SLO smoke: deterministic, schema-clean, SLO pass"
+
+step "thread-safety analysis (tools/run_tsa.sh)"
+if tools/run_tsa.sh; then
+    tools/run_tsa.sh --selftest
+else
+    rc=$?
+    if [ "$rc" -eq 77 ]; then
+        echo "clang++ unavailable: SKIPPED"
+    else
+        exit "$rc"
+    fi
+fi
 
 step "domain lint (mithril_lint.py + selftest)"
 python3 tools/mithril_lint.py

@@ -26,11 +26,28 @@ repo-specific invariants no generic tool knows about:
                      plan object —
                      so a build with no plan attached is provably
                      fault-free and every injection is seed-replayable.
-  thread-ownership   threads, mutexes, and condition variables may only
-                     be created inside src/svc/ (the service layer owns
-                     all concurrency; core stays single-threaded by
-                     construction) and tests/svc/; elsewhere requires a
-                     justified allow().
+  thread-ownership   threads may only be created inside src/svc/ (the
+                     service layer owns all concurrency; core stays
+                     single-threaded by construction) and tests/svc/;
+                     elsewhere requires a justified allow().
+  raw-mutex          raw std lock primitives (std::mutex, lock_guard,
+                     unique_lock, condition_variable, ...) only inside
+                     src/common/mutex.h; everything else uses the
+                     annotated mithril::Mutex/MutexLock/CondVar so
+                     -Wthread-safety (the lint_tsa gate) can see every
+                     lock. Locks moved from a location rule to this
+                     compile-checked one — an annotated Mutex may live
+                     anywhere, because the analysis checks its use.
+  lock-order         same-file nesting of MutexLock acquisitions (plus
+                     the declared transient noteBatch* calls) must
+                     match the declared lock-order table (DESIGN.md
+                     §13): a shard's queue mutex may take the svc idle
+                     mutex; no other pair may nest.
+  atomics-discipline memory_order_relaxed only inside the audited
+                     lock-free files (obs histograms/metrics handles,
+                     svc routing counters), and every relaxed line must
+                     carry a `relaxed:` justification comment on the
+                     line or within the 6 lines above.
   adhoc-latency      datapath latency samples must go through the
                      obs::Histogram / span APIs (StageLatency,
                      StageTimer, setSimDuration); feeding elapsed()/
@@ -59,7 +76,9 @@ import sys
 
 SCAN_DIRS = ("src", "bench", "examples", "tests", "tools")
 SOURCE_EXTS = (".cc", ".cpp", ".h", ".hpp")
-EXCLUDE_PARTS = ("tests/lint/fixtures",)  # known-bad lint fixtures
+# Known-bad fixtures: lint fixtures (fed explicitly by the selftest)
+# and the WILL_FAIL thread-safety-analysis fixtures.
+EXCLUDE_PARTS = ("tests/lint/fixtures", "tests/tsa/fixtures")
 
 ALLOW = {
     # SimTime itself and the device models own cycle->time conversion.
@@ -80,9 +99,12 @@ ALLOW = {
     "fault-gating": ("src/fault/",),
     "raw-new-delete": ("arena",),  # any file with arena in its name
     "cast-outside-bits": ("src/common/bits.h",),
-    # The service layer owns all thread/lock creation; its tests drive
+    # The service layer owns all thread creation; its tests drive
     # real interleavings under the TSan tier.
     "thread-ownership": ("src/svc/", "tests/svc/"),
+    # The annotated wrappers are the one audited home of the raw std
+    # primitives.
+    "raw-mutex": ("src/common/mutex.h",),
     # The histogram layer itself is where durations legitimately meet
     # record(); its tests feed synthetic durations on purpose.
     "adhoc-latency": ("src/obs/", "tests/obs/"),
@@ -104,9 +126,19 @@ RULE_HINTS = {
     "fault-gating": "inject faults only through an attached "
                     "fault::FaultPlan (see fault/fault_plan.h); no "
                     "#ifdef gates or global toggles",
-    "thread-ownership": "create threads/mutexes/condvars only in "
-                        "src/svc/ (see svc/log_service.h for the "
-                        "concurrency model) or justify the allow()",
+    "thread-ownership": "create threads only in src/svc/ (see "
+                        "svc/log_service.h for the concurrency model) "
+                        "or justify the allow()",
+    "raw-mutex": "use mithril::Mutex/MutexLock/CondVar from "
+                 "common/mutex.h so -Wthread-safety can check the "
+                 "lock (raw std primitives live only there)",
+    "lock-order": "only the declared pair (shard queue mutex -> svc "
+                  "idle mutex) may nest; restructure so other locks "
+                  "are never held together (DESIGN.md §13)",
+    "atomics-discipline": "keep relaxed atomics in the audited "
+                          "lock-free files and justify each use with "
+                          "a `relaxed:` comment nearby; default to "
+                          "seq_cst (or a mutex) elsewhere",
     "adhoc-latency": "record latency through obs::StageLatency/"
                      "StageTimer (obs/histogram.h) so the sample lands "
                      "in a quantile histogram, not a scalar",
@@ -275,24 +307,148 @@ def check_fault_gating(relpath, code):
                        "FaultPlan object")
 
 
-# Creation sites only: declaring a thread/jthread (including inside a
-# container type), launching std::async, or declaring a mutex/condvar
-# variable. Deliberately NOT matched: std::this_thread (sleep/yield),
-# lock guards over someone else's mutex (std::lock_guard<std::mutex>),
-# and mutex *references* in parameter lists (`std::mutex &m`) — those
-# use concurrency, they don't create it.
+# Thread-creation sites only: declaring a thread/jthread (including
+# inside a container type) or launching std::async. Deliberately NOT
+# matched: std::this_thread (sleep/yield). Locks and condvars are no
+# longer a location question — they are raw-mutex's: any file may hold
+# an annotated mithril::Mutex, because -Wthread-safety checks its use
+# wherever it lives.
 _THREAD_RE = re.compile(
     r"std::(?:jthread|thread)\b(?!\s*::)|"
-    r"std::async\s*\(|"
-    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+\w|"
-    r"std::condition_variable(?:_any)?\s+\w")
+    r"std::async\s*\(")
 
 
 def check_thread_ownership(relpath, code):
     for i, line in enumerate(code, start=1):
         if _THREAD_RE.search(line):
             yield (i, "thread-ownership",
-                   "thread/mutex/condvar created outside src/svc/")
+                   "thread created outside src/svc/")
+
+
+# Any spelling of the raw std lock primitives: declarations, template
+# arguments (std::lock_guard<std::mutex>), and waits. The annotated
+# wrappers in common/mutex.h are the one place these may appear —
+# everywhere else a raw lock is invisible to -Wthread-safety, which is
+# exactly the failure mode the capability layer exists to close.
+_RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b|"
+    r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"std::condition_variable(?:_any)?\b")
+
+
+def check_raw_mutex(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _RAW_MUTEX_RE.search(line):
+            yield (i, "raw-mutex",
+                   "raw std lock primitive outside common/mutex.h")
+
+
+# ---------------------------------------------------------------------------
+# lock-order: same-file scoped-lock nesting against the declared table.
+#
+# Lexical, per file: brace depth is tracked character-wise over the
+# stripped code, every `MutexLock name(expr)` pushes the lock class of
+# `expr` until its enclosing block closes, and every acquisition (or
+# declared transiently-acquiring call) checks the currently-held stack
+# against _LOCK_ORDER_OK. Cross-file nesting (e.g. a locked callee in
+# another translation unit) is out of lexical reach — that half is the
+# compile-time analysis' job; this rule pins the svc lock table.
+
+_MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*([^()]*?)\s*\)")
+
+# Lock classes by the variable's name fragment; anything else (`mu`,
+# `mu_`) is a generic queue/registry-style leaf lock.
+_LOCK_CLASSES = (
+    ("log_mu", "shard-log"),
+    ("idle_mu", "svc-idle"),
+    ("done_mu", "query-done"),
+)
+_LOCK_LEAF = "queue"
+
+# The declared table: the ONLY pair allowed to nest. append()/flush()
+# bump the idle counter while holding the shard queue mutex.
+_LOCK_ORDER_OK = {(_LOCK_LEAF, "svc-idle")}
+
+# Calls that transiently take a lock of their own while the caller may
+# be holding one (the cross-function edge of the table).
+_CALL_ACQUIRES = {
+    "noteBatchEnqueued": "svc-idle",
+    "noteBatchDone": "svc-idle",
+}
+_ACQUIRING_CALL_RE = re.compile(
+    r"\b(" + "|".join(_CALL_ACQUIRES) + r")\s*\(")
+
+
+def _lock_class(expr):
+    m = re.search(r"(\w+)\s*$", expr)
+    name = m.group(1) if m else expr
+    for frag, cls in _LOCK_CLASSES:
+        if frag in name:
+            return cls
+    return _LOCK_LEAF
+
+
+def check_lock_order(relpath, code):
+    held = []  # (class, brace depth at acquisition)
+    depth = 0
+    for i, line in enumerate(code, start=1):
+        events = [(m.start(), "acquire", _lock_class(m.group(1)))
+                  for m in _MUTEXLOCK_RE.finditer(line)]
+        events += [(m.start(), "transient", _CALL_ACQUIRES[m.group(1)])
+                   for m in _ACQUIRING_CALL_RE.finditer(line)]
+        events.sort()
+        pos = 0
+        for start, kind, cls in events:
+            depth += (line.count("{", pos, start) -
+                      line.count("}", pos, start))
+            pos = start
+            while held and depth < held[-1][1]:
+                held.pop()
+            for held_cls, _ in held:
+                if (held_cls, cls) not in _LOCK_ORDER_OK:
+                    yield (i, "lock-order",
+                           f"acquires {cls} lock while holding "
+                           f"{held_cls} lock; pair not in the declared "
+                           "lock-order table")
+            if kind == "acquire":
+                held.append((cls, depth))
+        depth += line.count("{", pos) - line.count("}", pos)
+        while held and depth < held[-1][1]:
+            held.pop()
+
+
+# ---------------------------------------------------------------------------
+# atomics-discipline: relaxed atomics stay in the audited lock-free
+# files, and every relaxed line carries a nearby `relaxed:` comment
+# saying why dropping the ordering is sound. Needs the RAW lines — the
+# justification lives in comments.
+
+_ATOMICS_AUDITED = (
+    "src/obs/histogram.",     # HDR histogram cells (wait-free record)
+    "src/obs/metrics.h",      # Counter/Gauge/LogHistogram handles
+    "src/svc/log_service.cc", # routing rotation + readonly count
+    "audited_relaxed",        # selftest fixture for this branch
+)
+_RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+_RELAXED_WINDOW = 6
+
+
+def check_atomics_discipline(relpath, raw):
+    audited = any(part in relpath for part in _ATOMICS_AUDITED)
+    for i, line in enumerate(raw, start=1):
+        if not _RELAXED_RE.search(line):
+            continue
+        if not audited:
+            yield (i, "atomics-discipline",
+                   "memory_order_relaxed outside the audited "
+                   "lock-free files")
+            continue
+        window = raw[max(0, i - 1 - _RELAXED_WINDOW):i]
+        if not any("relaxed:" in w for w in window):
+            yield (i, "atomics-discipline",
+                   "memory_order_relaxed without a `relaxed:` "
+                   "justification comment on the line or within "
+                   f"{_RELAXED_WINDOW} lines above")
 
 
 # A scalar-metric mutation (`add(`/`set(`/`record(`; the histogram
@@ -457,11 +613,17 @@ SIMPLE_RULES = (
     check_cast_outside_bits,
     check_fault_gating,
     check_thread_ownership,
+    check_raw_mutex,
+    check_lock_order,
+    check_atomics_discipline,
     check_adhoc_latency,
     check_header_guard,
     check_include_order,
 )
-_RAW_RULES = {check_header_guard, check_include_order}
+# Rules that need the raw text: code stripping blanks #include paths
+# (header/include rules) and comments (the `relaxed:` justifications).
+_RAW_RULES = {check_header_guard, check_include_order,
+              check_atomics_discipline}
 RULE_OF_CHECK = {
     check_cycle_to_time: "cycle-to-time",
     check_direct_statset: "direct-statset",
@@ -470,6 +632,9 @@ RULE_OF_CHECK = {
     check_cast_outside_bits: "cast-outside-bits",
     check_fault_gating: "fault-gating",
     check_thread_ownership: "thread-ownership",
+    check_raw_mutex: "raw-mutex",
+    check_lock_order: "lock-order",
+    check_atomics_discipline: "atomics-discipline",
     check_adhoc_latency: "adhoc-latency",
     check_header_guard: "header-guard",
     check_include_order: "include-order",

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Layer 4 of the static-analysis gate: Clang thread-safety analysis
+# (-Wthread-safety) over every first-party translation unit, proving
+# the capability annotations in common/thread_annotations.h hold —
+# every MITHRIL_GUARDED_BY field touched under its lock, every
+# MITHRIL_REQUIRES method called with the lock held (DESIGN.md §13).
+#
+# Usage: tools/run_tsa.sh                 # gate: whole tree must pass
+#        tools/run_tsa.sh --fixture FILE  # compile one file (exit =
+#                                         # compiler exit; WILL_FAIL
+#                                         # fixtures use this)
+#        tools/run_tsa.sh --selftest      # every tsa fixture must FAIL
+#
+# Syntax-only compile: the annotations are attributes, so no objects
+# are needed to check them. Only the thread-safety group is promoted
+# to errors (-Werror=thread-safety), deliberately not blanket -Werror:
+# the gcc -Werror tier already keeps general warnings at zero, and
+# clang-vs-gcc warning drift must not be able to break this gate.
+#
+# Exit codes:
+#   0   analysis clean (or, with --selftest, all fixtures rejected)
+#   1   findings / fixture compiled when it must not
+#   77  clang++ not installed — reported as SKIPPED by CTest
+#       (SKIP_RETURN_CODE), same contract as run_tidy.sh.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+CXX="${CLANGXX:-}"
+if [ -z "$CXX" ]; then
+    for candidate in clang++ clang++-18 clang++-17 clang++-16 \
+                     clang++-15 clang++-14; do
+        if command -v "$candidate" > /dev/null 2>&1; then
+            CXX="$candidate"
+            break
+        fi
+    done
+fi
+if [ -z "$CXX" ]; then
+    echo "run_tsa: clang++ not found (set CLANGXX=...); skipping" >&2
+    exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Wall -Wextra
+       -Wthread-safety -Werror=thread-safety -I src)
+
+mode="${1:-}"
+case "$mode" in
+--fixture)
+    file="${2:?usage: run_tsa.sh --fixture FILE}"
+    exec "$CXX" "${FLAGS[@]}" "$file"
+    ;;
+--selftest)
+    # Each fixture encodes one analysis failure mode; compiling clean
+    # would mean the gate can no longer see that mistake.
+    rc=0
+    for f in tests/tsa/fixtures/tsa_bad_*.cc; do
+        if "$CXX" "${FLAGS[@]}" "$f" > /dev/null 2>&1; then
+            echo "run_tsa: $f compiled but must be rejected" >&2
+            rc=1
+        else
+            echo "run_tsa: $f rejected (expected)"
+        fi
+    done
+    [ $rc -eq 0 ] && echo "run_tsa: selftest ok"
+    exit $rc
+    ;;
+"") ;;
+*)
+    echo "run_tsa: unknown option $mode" >&2
+    exit 2
+    ;;
+esac
+
+mapfile -t FILES < <(git ls-files 'src/**/*.cc')
+if [ "${#FILES[@]}" -eq 0 ]; then
+    echo "run_tsa: no source files found" >&2
+    exit 1
+fi
+
+echo "run_tsa: $CXX -Wthread-safety over ${#FILES[@]} files"
+rc=0
+for f in "${FILES[@]}"; do
+    "$CXX" "${FLAGS[@]}" "$f" || rc=1
+done
+if [ $rc -eq 0 ]; then
+    echo "run_tsa: clean"
+fi
+exit $rc
