@@ -35,10 +35,16 @@
  *                          page program; the dead device's NAND is
  *                          dumped to <out.img> as a raw device image
  *                          and `crash: acknowledged=<lines>` reports
- *                          the durable prefix
+ *                          the durable prefix. With --fault-plan
+ *                          write_base=<W>, N addresses the *global*
+ *                          write ordinal of a multi-life history.
  *   --recover              (query/stat) mount <in.img> as a raw
  *                          crash image via journal replay instead of
- *                          loading a clean host image
+ *                          loading a clean host image;
+ *                          (ingest) recover <out.img> first, re-open
+ *                          its journal under a fresh generation, and
+ *                          resume ingest into the recovered store —
+ *                          composes with --crash-at for a second cut
  *
  * Example session:
  *   mithril_cli generate Spirit2 8 /tmp/spirit.log
@@ -46,9 +52,11 @@
  *   mithril_cli query /tmp/spirit.img "error & !timeout" \
  *       --metrics-out=/tmp/m.json --trace-out=/tmp/t.json
  *
- * Crash drill:
+ * Crash drill (two generations):
  *   mithril_cli ingest /tmp/spirit.log /tmp/crash.img --crash-at=7
  *   mithril_cli query /tmp/crash.img "error" --recover
+ *   mithril_cli ingest /tmp/more.log /tmp/crash.img --recover
+ *   mithril_cli query /tmp/crash.img "error"
  */
 #include <cstdio>
 #include <cstring>
@@ -152,7 +160,9 @@ usage()
                  "       --crash-at=<N>        (ingest) power cut on "
                  "the Nth page program\n"
                  "       --recover             (query/stat) mount a "
-                 "raw crash image\n"
+                 "raw crash image;\n"
+                 "                             (ingest) recover, "
+                 "reopen, resume ingest\n"
                  "datasets: BGL2 Liberty2 Spirit2 Thunderbird\n");
     return 2;
 }
@@ -191,6 +201,40 @@ cmdGenerate(const std::string &dataset, const std::string &mb,
     return 0;
 }
 
+/** Mounts an image: journal-replay recovery (--recover) or a clean
+ *  host-image load. Emits the crash_recovery BENCH_JSON record so the
+ *  recovery cost is tracked across PRs. */
+Status
+mountImage(core::MithriLog *system, const std::string &img_path)
+{
+    if (!g_recover) {
+        return system->loadImage(img_path);
+    }
+    WallTimer timer;
+    Status st = system->recover(img_path);
+    if (!st.isOk()) {
+        return st;
+    }
+    obs::MetricsRegistry &m = system->metrics();
+    uint64_t generations = system->recoveredGenerations();
+    obs::JsonRecord("crash_recovery")
+        .field("wall_seconds", timer.seconds())
+        .field("modeled_ps",
+               m.counter("recovery.modeled_ps").value())
+        .field("lines_recovered",
+               m.counter("recovery.lines_recovered").value())
+        .field("pages_committed",
+               m.counter("recovery.pages_committed").value())
+        .field("pages_discarded",
+               m.counter("recovery.pages_discarded").value())
+        .field("records_replayed",
+               m.counter("recovery.records_replayed").value())
+        .field("generation", system->recoveredGeneration())
+        .field("reopens", generations > 0 ? generations - 1 : 0)
+        .emit();
+    return Status::ok();
+}
+
 int
 cmdIngest(const std::string &log_path, const std::string &img_path)
 {
@@ -199,8 +243,22 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
         return 1;
     }
     core::MithriLog system;
+    if (g_recover) {
+        // Resume-after-crash: <out.img> is an existing raw crash
+        // image. Replay its longest clean prefix, then fall through to
+        // normal ingest — reopen() below re-opens the journal under a
+        // fresh generation.
+        Status st = mountImage(&system, img_path);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "recover: %s\n", st.toString().c_str());
+            return 1;
+        }
+    }
     // The write-side plan must attach *before* ingest so page programs
-    // and the --crash-at power cut hit the durable commit protocol.
+    // and the --crash-at power cut hit the durable commit protocol —
+    // but *after* recovery, which replays the previous life's pages
+    // unfaulted (reopen's own journal programs are write draws 1, 2,
+    // or write_base+1, write_base+2 under a global ordinal base).
     std::unique_ptr<fault::FaultPlan> plan;
     if (!g_fault_spec.empty() || g_crash_at > 0) {
         fault::FaultPlanConfig fc;
@@ -217,7 +275,13 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
         system.ssd().attachFaultPlan(plan.get());
     }
     WallTimer timer;
-    Status st = system.ingestText(text);
+    Status st = Status::ok();
+    if (g_recover) {
+        st = system.reopen();
+    }
+    if (st.isOk()) {
+        st = system.ingestText(text);
+    }
     if (st.isOk()) {
         st = system.seal();
     }
@@ -237,6 +301,7 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
             .field("cut_after", g_crash_at)
             .field("acknowledged_lines", system.durableLineCount())
             .field("device_pages", system.ssd().store().pageCount())
+            .field("generation", system.journalGeneration())
             .emit();
         return g_obs.write(system);
     }
@@ -278,37 +343,6 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
         .field("wall_seconds", timer.seconds())
         .emit();
     return g_obs.write(system);
-}
-
-/** Mounts an image: journal-replay recovery (--recover) or a clean
- *  host-image load. Emits the crash_recovery BENCH_JSON record so the
- *  recovery cost is tracked across PRs. */
-Status
-mountImage(core::MithriLog *system, const std::string &img_path)
-{
-    if (!g_recover) {
-        return system->loadImage(img_path);
-    }
-    WallTimer timer;
-    Status st = system->recover(img_path);
-    if (!st.isOk()) {
-        return st;
-    }
-    obs::MetricsRegistry &m = system->metrics();
-    obs::JsonRecord("crash_recovery")
-        .field("wall_seconds", timer.seconds())
-        .field("modeled_ps",
-               m.counter("recovery.modeled_ps").value())
-        .field("lines_recovered",
-               m.counter("recovery.lines_recovered").value())
-        .field("pages_committed",
-               m.counter("recovery.pages_committed").value())
-        .field("pages_discarded",
-               m.counter("recovery.pages_discarded").value())
-        .field("records_replayed",
-               m.counter("recovery.records_replayed").value())
-        .emit();
-    return Status::ok();
 }
 
 int

@@ -671,10 +671,12 @@ MithriLog::run(std::string_view query_text, QueryResult *out)
 
 namespace {
 constexpr uint32_t kImageMagic = 0x474f4c4d;  // "MLOG"
-/** v3: adds the durable-commit state (committed lines/bytes, sealed
- *  flag) and the journal cursor; v2 images predate the journal layout
- *  (their page 0 is a data page), so they are rejected. */
-constexpr uint32_t kImageVersion = 3;
+/** v4: widens the journal cursor to 8 words (adds the chained flag for
+ *  reopened generation chains). v3 added the durable-commit state
+ *  (committed lines/bytes, sealed flag) and the journal cursor; v2
+ *  images predate the journal layout (their page 0 is a data page).
+ *  Older versions are rejected. */
+constexpr uint32_t kImageVersion = 4;
 
 /** Raw device dump header (saveDeviceImage / recover). */
 constexpr uint32_t kDeviceMagic = 0x5645444d;  // "MDEV"
@@ -780,7 +782,7 @@ MithriLog::loadImage(const std::string &path)
     // The journal cursor references the current journal page image, so
     // it deserializes only after the pages below are in the store.
     size_t cursor_pos = pos;
-    constexpr size_t kCursorBytes = 7 * 8;
+    constexpr size_t kCursorBytes = 8 * 8;
     if (!need(kCursorBytes + 8)) {
         return Status::corruptData("image journal cursor truncated");
     }
@@ -943,19 +945,64 @@ MithriLog::recover(const std::string &path)
     }
     committed_lines_ = lines_;
     committed_raw_ = raw_bytes_;
-    // A recovered store is immutable: the journal cursor died with the
-    // device, and append-after-recovery is future work (ROADMAP).
+    // A recovered store is read-only until reopen(): the journal cursor
+    // died with the device, and only a fresh generation (Journal::
+    // reopen) can accept new records. Stash what reopen() needs — the
+    // replay summary and the verification cut (the base-link budget).
     sealed_ = true;
     recovered_ = true;
+    journal_sealed_ = rr.sealed;
+    reopen_accepted_ =
+        survivors.empty() ? 0 : survivors.back().cp.record_seq;
+    reopen_rr_ = std::move(rr);
 
     metrics_->counter("recovery.journal_pages_replayed")
-        .add(rr.journal_pages);
-    metrics_->counter("recovery.records_replayed").add(rr.records);
-    metrics_->counter("recovery.pages_committed").add(rr.pages.size());
+        .add(reopen_rr_.journal_pages);
+    metrics_->counter("recovery.records_replayed")
+        .add(reopen_rr_.records);
+    metrics_->counter("recovery.pages_committed")
+        .add(reopen_rr_.pages.size());
     metrics_->counter("recovery.pages_discarded").add(discarded);
     metrics_->counter("recovery.lines_recovered").add(lines_);
+    metrics_->gauge("journal.generation")
+        .set(static_cast<double>(reopen_rr_.generation));
     // mithril-lint: allow(adhoc-latency) one-shot mount-time total, not a latency sample
     metrics_->counter("recovery.modeled_ps").add(ssd_.elapsed().ps());
+    span.end();
+    return Status::ok();
+}
+
+Status
+MithriLog::reopen()
+{
+    if (dead_) {
+        return Status::unavailable(
+            "device lost power; recover() the image on a fresh system");
+    }
+    if (!recovered_) {
+        return Status::failedPrecondition(
+            "reopen() requires a store produced by recover()");
+    }
+    if (journal_sealed_) {
+        return Status::failedPrecondition(
+            "store was sealed; seal is terminal across recovery");
+    }
+    obs::Span span = tracer_->span("recover.reopen", "core");
+    // An empty recovered device (crash before the first commit) has no
+    // chain to graft: leave the journal unformatted and let the first
+    // commit lay it out lazily, exactly like a fresh store.
+    if (ssd_.store().pageCount() > 0) {
+        Status st = journal_.reopen(reopen_rr_, reopen_accepted_);
+        if (!st.isOk()) {
+            // The reopen writes are faultable device programs: a power
+            // cut here is a real crash window (the pre-reopen state
+            // replays unchanged).
+            dead_ = true;
+            return st;
+        }
+    }
+    sealed_ = false;
+    recovered_ = false;
     span.end();
     return Status::ok();
 }

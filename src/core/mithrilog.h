@@ -210,16 +210,16 @@ class MithriLog
      *  prefix of the ingest stream guaranteed to survive a crash. */
     uint64_t durableLineCount() const { return committed_lines_; }
 
-    /** True after seal() (or after recovering any store; recovery
-     *  always yields a sealed, immutable store). */
+    /** True after seal(), or after recover() until reopen() clears it
+     *  (a freshly recovered store is read-only by default). */
     bool sealed() const { return sealed_; }
 
-    /** True when this store was produced by recover(): it is sealed
-     *  *because* the journal cursor died with the crashed device
-     *  (ROADMAP "append-after-recovery"), not because the caller chose
-     *  to seal. Service layers use this to answer ingest against a
-     *  recovered shard with kFailedPrecondition instead of a generic
-     *  sealed-store error. */
+    /** True when this store was produced by recover() and has not been
+     *  reopen()ed: it is sealed *because* the journal cursor died with
+     *  the crashed device, not because the caller chose to seal.
+     *  Service layers use this to answer ingest against a recovered
+     *  shard with kFailedPrecondition instead of a generic
+     *  sealed-store error, and to offer reopen() instead. */
     bool recovered() const { return recovered_; }
 
     /** Data pages in ingest order (tests and ablations; the journal
@@ -295,12 +295,42 @@ class MithriLog
      * *prefix* cut: the recovered store is exactly the first
      * durableLineCount() lines of the original ingest stream), and
      * rebuilds the index from the surviving pages. The recovered store
-     * is sealed. Every step is counted (`recovery.*` metrics) and
-     * spanned (`recover.*`); modeled device time accrues into SimTime.
-     * A device with no valid superblock (crash before the first commit
-     * completed) recovers to a valid empty store.
+     * is sealed until reopen() makes it writable again. Every step is
+     * counted (`recovery.*` metrics) and spanned (`recover.*`); modeled
+     * device time accrues into SimTime. A device with no valid
+     * superblock (crash before the first commit completed) recovers to
+     * a valid empty store.
      */
     [[nodiscard]] Status recover(const std::string &path);
+
+    /**
+     * Makes a recovered store writable again: re-opens the journal at
+     * the replayed tail under a fresh generation (Journal::reopen) and
+     * clears the recovery seal, so ingestLine() resumes through the
+     * normal durable commit protocol and the acknowledged prefix keeps
+     * growing past the crash. Only valid on a store produced by
+     * recover().
+     * @retval kFailedPrecondition the store is not recovered, or the
+     *         replayed journal carried a seal — seal() is terminal by
+     *         design and survives any number of crash/recover cycles.
+     * @retval kUnavailable the device died (reopen writes are faultable:
+     *         a power cut *during* reopen replays the pre-reopen state).
+     */
+    [[nodiscard]] Status reopen();
+
+    /** Generation of the newest chain the last recover() replayed
+     *  (0 when no valid superblock was found). */
+    uint64_t recoveredGeneration() const { return reopen_rr_.generation; }
+
+    /** Generation chains the last recover() replayed — 1 for a
+     *  never-reopened store, +1 per reopen in the image's history. */
+    uint64_t recoveredGenerations() const
+    {
+        return reopen_rr_.generations;
+    }
+
+    /** Live journal incarnation (0 before the first commit/reopen). */
+    uint64_t journalGeneration() const { return journal_.generation(); }
 
     // ---- component access (benches, tests, ablations) ------------------
 
@@ -427,8 +457,17 @@ class MithriLog
     uint64_t committed_raw_ = 0;
     /** seal() ran: the store is immutable. */
     bool sealed_ = false;
-    /** recover() produced this store (sealed_ is then implied). */
+    /** recover() produced this store and reopen() has not run yet
+     *  (sealed_ is then implied). */
     bool recovered_ = false;
+    /** The replayed journal carried a seal: the *original* store was
+     *  seal()ed, so reopen() must refuse — seal is terminal. */
+    bool journal_sealed_ = false;
+    /** Replay summary of the last recover(), kept for reopen(). */
+    storage::Journal::ReplayResult reopen_rr_;
+    /** Verification cut of the last recover(): global logical records
+     *  accepted (the base-link budget a reopen grafts). */
+    uint64_t reopen_accepted_ = 0;
     /** A commit failed mid-protocol (power cut or device error): the
      *  in-memory state no longer matches the media, so every mutating
      *  call fails until the image is recovered on a fresh system. */

@@ -87,6 +87,10 @@ FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config)
                    config_.torn_write_rate <= 1);
     MITHRIL_ASSERT(config_.dropped_write_rate >= 0 &&
                    config_.dropped_write_rate <= 1);
+    // Start the write-ordinal stream at the configured base so
+    // cut_after= can address ordinals of a multi-generation history
+    // (see FaultPlanConfig::write_draw_base).
+    counters_.write_draws = config_.write_draw_base;
 }
 
 Status
@@ -134,6 +138,9 @@ FaultPlan::parse(std::string_view spec, FaultPlanConfig *out)
         } else if (key == "cut_after") {
             MITHRIL_RETURN_IF_ERROR(
                 parseU64(key, value, &cfg.power_cut_after_writes));
+        } else if (key == "write_base") {
+            MITHRIL_RETURN_IF_ERROR(
+                parseU64(key, value, &cfg.write_draw_base));
         } else if (key == "retries") {
             uint64_t v = 0;
             MITHRIL_RETURN_IF_ERROR(parseU64(key, value, &v));

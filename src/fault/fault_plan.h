@@ -73,6 +73,19 @@ struct FaultPlanConfig {
     /** Power cut fires on exactly this write draw ordinal (1-based);
      *  0 disables. The in-flight program persists a drawn prefix. */
     uint64_t power_cut_after_writes = 0;
+    /**
+     * Pre-biases the write-draw counter, so that write ordinals — and
+     * with them power_cut_after_writes — stay *globally monotone*
+     * across a crash/recover/reopen cycle that spans processes: a
+     * second life attaching `write_base=<first life's draws at the
+     * cut>` numbers its programs as a continuation of the first, and
+     * `cut_after=` addresses any ordinal of the whole multi-generation
+     * history. (Within one process the counter never resets, so
+     * in-process reopen is monotone without this.) Note the per-draw
+     * RNG mixes the *global* ordinal, so the drawn persisted prefix is
+     * also a function of the whole history, not the life.
+     */
+    uint64_t write_draw_base = 0;
     /** Read re-issues the device attempts before declaring data loss. */
     unsigned max_retries = 4;
     /** Extra modeled delay before each re-issued command. */
@@ -144,8 +157,9 @@ class FaultPlan
      * Parses a plan spec like
      *   "seed=7,ber=1e-6,timeout=0.01,ecc=1e-4,garble=1e-4,retries=4"
      * into @p out (keys: seed, ber, ecc, timeout, garble, torn, drop,
-     * cut_after, retries, backoff_us). Unmentioned keys keep their
-     * defaults; an empty spec is a valid all-zero (null-fault) plan.
+     * cut_after, write_base, retries, backoff_us). Unmentioned keys
+     * keep their defaults; an empty spec is a valid all-zero
+     * (null-fault) plan.
      */
     static Status parse(std::string_view spec, FaultPlanConfig *out);
 

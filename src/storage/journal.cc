@@ -1,5 +1,6 @@
 #include "storage/journal.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -24,6 +25,15 @@ constexpr size_t kRecordsPerPage = (kPageSize - kHeaderBytes) / kRecordBytes;
 constexpr uint32_t kPageCommit = 1;
 constexpr uint32_t kLink = 2;
 constexpr uint32_t kSeal = 3;
+constexpr uint32_t kBaseLink = 4;
+
+// Superblock flag bits.
+constexpr uint64_t kFlagSealed = 1;   // store is complete and immutable
+constexpr uint64_t kFlagChained = 2;  // chain opens with a base link
+
+// Base links recurse strictly down the generations (validated), so any
+// chain deeper than this is a crafted image, not a real history.
+constexpr int kMaxChainDepth = 64;
 
 /** Superblock slot page for @p epoch (ping-pong between pages 0/1). */
 PageId
@@ -65,9 +75,14 @@ Journal::bindMetrics(obs::MetricsRegistry *metrics)
     if (metrics != nullptr) {
         obs_records_ = &metrics->counter("journal.records");
         obs_page_writes_ = &metrics->counter("journal.page_writes");
+        obs_reopens_ = &metrics->counter("journal.reopens");
+        obs_generation_ = &metrics->gauge("journal.generation");
+        obs_generation_->set(static_cast<double>(generation_));
     } else {
         obs_records_ = nullptr;
         obs_page_writes_ = nullptr;
+        obs_reopens_ = nullptr;
+        obs_generation_ = nullptr;
     }
 }
 
@@ -131,11 +146,66 @@ Journal::format()
     cur_count_ = 0;
     next_seq_ = 1;
     generation_ = 1;
+    chained_ = false;
+    if (obs_generation_ != nullptr) {
+        obs_generation_->set(static_cast<double>(generation_));
+    }
     initPageImage(&cur_image_, cur_seq_);
     // Journal page first, superblock second: a cut between the two
     // leaves no valid superblock, which replays as an empty store.
     MITHRIL_RETURN_IF_ERROR(writeCurrentPage());
     MITHRIL_RETURN_IF_ERROR(writeSuperblock(/*epoch=*/1, /*flags=*/0));
+    return ssd_->flushBarrier();
+}
+
+Status
+Journal::reopen(const ReplayResult &rr, uint64_t accepted_records)
+{
+    MITHRIL_ASSERT(!formatted());
+    MITHRIL_ASSERT(!rr.sealed);
+    // A crash before format() completed can leave the superblock slots
+    // unallocated; reserve them so the layout invariant (pages 0..1 are
+    // superblock slots) holds for the new generation too.
+    while (ssd_->store().pageCount() < 2) {
+        (void)ssd_->allocate();
+    }
+    head_ = cur_ = ssd_->allocate();
+    cur_seq_ = 0;
+    cur_count_ = 0;
+    next_seq_ = 1;
+    generation_ = rr.found ? rr.generation + 1 : 1;
+    chained_ = rr.found && accepted_records > 0;
+    initPageImage(&cur_image_, cur_seq_);
+    if (chained_) {
+        // First record of the new chain: the base link grafting exactly
+        // accepted_records logical records of the old chain tree (the
+        // reopen-time verification cut). Its CRC is seeded with the NEW
+        // generation, so old-generation bytes can never forge it.
+        encodeRecord(cur_image_.data() + kHeaderBytes, kBaseLink,
+                     rr.head, 0, rr.generation, accepted_records,
+                     next_seq_, generation_);
+        ++next_seq_;
+        ++cur_count_;
+        ++records_appended_;
+        if (obs_records_ != nullptr) {
+            obs_records_->add();
+        }
+    }
+    // New chain head first, superblock second: a cut between the two
+    // leaves the old superblock pointing at the old chain, and the old
+    // pages were never rewritten, so the pre-reopen state replays
+    // unchanged.
+    MITHRIL_RETURN_IF_ERROR(writeCurrentPage());
+    MITHRIL_RETURN_IF_ERROR(writeSuperblock(
+        (rr.found ? rr.epoch : 0) + 1,
+        chained_ ? kFlagChained : 0));
+    ++reopens_;
+    if (obs_reopens_ != nullptr) {
+        obs_reopens_->add();
+    }
+    if (obs_generation_ != nullptr) {
+        obs_generation_->set(static_cast<double>(generation_));
+    }
     return ssd_->flushBarrier();
 }
 
@@ -201,10 +271,11 @@ Journal::appendSeal(uint64_t lines, uint64_t raw_bytes)
 {
     MITHRIL_RETURN_IF_ERROR(
         appendRecord(kSeal, 0, 0, lines, raw_bytes));
-    // The seal record alone already replays as sealed; the epoch-2
-    // superblock just lets a mount skip the inference.
-    MITHRIL_RETURN_IF_ERROR(
-        writeSuperblock(epoch_ + 1, /*flags=*/1));
+    // The seal record alone already replays as sealed; the follow-up
+    // superblock just lets a mount skip the inference. Keep the chained
+    // bit so the sealed superblock still describes the chain shape.
+    MITHRIL_RETURN_IF_ERROR(writeSuperblock(
+        epoch_ + 1, kFlagSealed | (chained_ ? kFlagChained : 0)));
     return ssd_->flushBarrier();
 }
 
@@ -237,7 +308,7 @@ Journal::replay(ReplayResult *out)
             best_epoch = epoch;
             journal_head = getLe<uint64_t>(p + 16);
             generation = getLe<uint64_t>(p + 24);
-            out->sealed = (getLe<uint64_t>(p + 32) & 1) != 0;
+            out->sealed = (getLe<uint64_t>(p + 32) & kFlagSealed) != 0;
         }
     }
     if (best_epoch == 0) {
@@ -247,40 +318,91 @@ Journal::replay(ReplayResult *out)
         return Status::ok();
     }
     out->found = true;
+    out->epoch = best_epoch;
+    out->head = journal_head;
+    out->generation = generation;
 
-    // Walk the chain; stop at the first record that fails validation —
-    // everything before it was covered by a durability barrier.
+    // Walk the newest chain (recursing through base links into older
+    // generations first, so records land in logical order); stop at the
+    // first record that fails validation — everything before it was
+    // covered by a durability barrier.
     bool saw_seal = false;
-    PageId page_id = journal_head;
+    replayChain(journal_head, generation, /*ceiling=*/UINT64_MAX,
+                /*depth=*/0, out, &saw_seal);
+    // Sealed if either the seal record survived or the sealed
+    // superblock did (a lying device can tear the record yet ack it;
+    // the superblock still marks the store immutable).
+    out->sealed = out->sealed || saw_seal;
+    return Status::ok();
+}
+
+void
+Journal::replayChain(PageId head, uint64_t chain_generation,
+                     uint64_t ceiling, int depth, ReplayResult *out,
+                     bool *saw_seal)
+{
+    if (depth > kMaxChainDepth) {
+        return; // crafted image: refuse unbounded recursion
+    }
+    ++out->generations;
+    uint32_t seed = generationSeed(chain_generation);
+    PageId page_id = head;
     uint32_t expect_page_seq = 0;
-    uint64_t expect_seq = 1;
-    uint32_t seed = generationSeed(generation);
-    while (page_id != kInvalidPage) {
+    uint64_t expect_seq = 1; // chain-local record seq
+    while (page_id != kInvalidPage && !*saw_seal) {
         std::vector<uint8_t> page;
         Status s = ssd_->readChained(page_id, Link::kInternal, &page);
         if (!s.isOk()) {
-            break;
+            return;
         }
         const uint8_t *p = page.data();
         if (getLe<uint32_t>(p) != kJournalMagic ||
             getLe<uint32_t>(p + 4) != expect_page_seq ||
-            getLe<uint64_t>(p + 8) != generation ||
+            getLe<uint64_t>(p + 8) != chain_generation ||
             getLe<uint32_t>(p + 16) != crc32(p, 16)) {
-            break;
+            return;
         }
         ++out->journal_pages;
         PageId next_page = kInvalidPage;
         for (size_t i = 0; i < kRecordsPerPage; ++i) {
+            if (out->records >= ceiling) {
+                return; // base budget reached: the clean reopen cut
+            }
             const uint8_t *r = p + kHeaderBytes + i * kRecordBytes;
             uint32_t kind = getLe<uint32_t>(r);
-            if (kind != kPageCommit && kind != kLink && kind != kSeal) {
-                break;
+            if (kind != kPageCommit && kind != kLink &&
+                kind != kSeal && kind != kBaseLink) {
+                return;
             }
             if (getLe<uint32_t>(r + 40) != crc32(r, 40, seed)) {
-                break; // torn append: the newest record is damaged
+                return; // torn append: the newest record is damaged
             }
             if (getLe<uint64_t>(r + 32) != expect_seq) {
-                break; // stale bytes from an aborted rewrite
+                return; // stale bytes from an aborted rewrite
+            }
+            if (kind == kBaseLink) {
+                // Only ever valid as the very first record of a chain,
+                // pointing strictly down the generations, with a
+                // non-empty budget.
+                uint64_t base_gen = getLe<uint64_t>(r + 16);
+                uint64_t budget = getLe<uint64_t>(r + 24);
+                if (expect_seq != 1 || base_gen == 0 ||
+                    base_gen >= chain_generation || budget == 0) {
+                    return;
+                }
+                uint64_t sub_ceiling =
+                    std::min(out->records + budget, ceiling);
+                replayChain(getLe<uint64_t>(r + 4), base_gen,
+                            sub_ceiling, depth + 1, out, saw_seal);
+                if (*saw_seal || out->records != sub_ceiling) {
+                    // The base tree's clean prefix fell short of its
+                    // budget (or was crafted-sealed): nothing in this
+                    // newer generation may build on it.
+                    return;
+                }
+                if (out->records >= ceiling) {
+                    return; // the cut lands inside the base tree
+                }
             }
             ++expect_seq;
             ++out->records;
@@ -290,26 +412,19 @@ Journal::replay(ReplayResult *out)
                     .crc = getLe<uint32_t>(r + 12),
                     .lines = getLe<uint64_t>(r + 16),
                     .raw_bytes = getLe<uint64_t>(r + 24),
+                    .record_seq = out->records,
                 });
             } else if (kind == kLink) {
                 next_page = getLe<uint64_t>(r + 4);
                 break;
-            } else { // kSeal
-                saw_seal = true;
+            } else if (kind == kSeal) {
+                *saw_seal = true;
                 break;
             }
-        }
-        if (saw_seal) {
-            break;
         }
         page_id = next_page;
         ++expect_page_seq;
     }
-    // Sealed if either the seal record survived or the epoch-2
-    // superblock did (a lying device can tear the record yet ack it;
-    // the superblock still marks the store immutable).
-    out->sealed = out->sealed || saw_seal;
-    return Status::ok();
 }
 
 void
@@ -322,12 +437,13 @@ Journal::serialize(std::vector<uint8_t> *out) const
     putLe(*out, next_seq_);
     putLe(*out, epoch_);
     putLe(*out, generation_);
+    putLe(*out, chained_ ? uint64_t{1} : uint64_t{0});
 }
 
 Status
 Journal::deserialize(const uint8_t *data, size_t len, size_t *consumed)
 {
-    constexpr size_t kCursorBytes = 7 * sizeof(uint64_t);
+    constexpr size_t kCursorBytes = 8 * sizeof(uint64_t);
     if (len < kCursorBytes) {
         return Status::corruptData("journal cursor truncated");
     }
@@ -337,7 +453,13 @@ Journal::deserialize(const uint8_t *data, size_t len, size_t *consumed)
     cur_count_ = static_cast<size_t>(getLe<uint64_t>(data + 24));
     next_seq_ = getLe<uint64_t>(data + 32);
     epoch_ = getLe<uint64_t>(data + 40);
+    // Restores the persisted stamp; only format()/reopen() mint one.
+    // mithril-lint: allow(generation-bump) restoring a persisted cursor
     generation_ = getLe<uint64_t>(data + 48);
+    chained_ = (getLe<uint64_t>(data + 56) & 1) != 0;
+    if (obs_generation_ != nullptr) {
+        obs_generation_->set(static_cast<double>(generation_));
+    }
     *consumed = kCursorBytes;
     if (!formatted()) {
         cur_image_.clear();

@@ -25,15 +25,29 @@
  * Record kinds: kPageCommit (arg = data page id; page_crc covers the
  * full 4 KB data page; lines / raw_bytes are cumulative totals through
  * this page), kLink (arg = next journal page id), kSeal (store is
- * complete and immutable).
+ * complete and immutable), kBaseLink (only ever the first record of a
+ * reopened generation's chain: arg = previous chain's head page, the
+ * lines field carries the previous generation, and the raw_bytes field
+ * carries the *record budget* — exactly how many logical records of the
+ * previous chain tree were verified good at reopen time).
+ *
+ * Generation chain (append-after-recovery): reopen() starts a fresh
+ * chain at the replayed tail under generation G+1. Old-generation pages
+ * are never rewritten; the new chain's base-link record grafts the
+ * survivors by reference, and its CRC is seeded with the NEW generation
+ * so stale old-generation bytes can never be replayed as new records.
+ * Replay recurses through base links (oldest chain first), accepting at
+ * most the declared budget from each base tree, so records the reopen
+ * verification discarded stay discarded on every later mount.
  *
  * Crash-safety argument: records are only ever *appended*, so rewriting
  * the current journal page has the identical-prefix property — a torn
  * program can damage only the newest record, which then fails its CRC
  * (or reads as kind 0) and replay stops exactly at the last durable
  * record. Chain growth writes the new page's header before the link
- * record that publishes it, so every crash window leaves a valid,
- * replayable prefix.
+ * record that publishes it, and reopen() writes the new chain head
+ * before the superblock epoch that publishes it, so every crash window
+ * leaves a valid, replayable prefix (possibly the pre-reopen one).
  */
 #ifndef MITHRIL_STORAGE_JOURNAL_H
 #define MITHRIL_STORAGE_JOURNAL_H
@@ -58,6 +72,7 @@ class Journal
         uint32_t crc = 0;          ///< CRC32 of the full 4 KB data page
         uint64_t lines = 0;        ///< cumulative lines through this page
         uint64_t raw_bytes = 0;    ///< cumulative raw bytes ingested
+        uint64_t record_seq = 0;   ///< global replay position (from 1)
     };
 
     /** What a mount-time replay of the journal found. */
@@ -67,6 +82,10 @@ class Journal
         bool sealed = false;       ///< a seal record was replayed
         uint64_t journal_pages = 0;
         uint64_t records = 0;      ///< valid records replayed
+        uint64_t epoch = 0;        ///< epoch of the chosen superblock
+        PageId head = kInvalidPage; ///< newest chain's head page
+        uint64_t generation = 0;   ///< newest chain's generation
+        uint64_t generations = 0;  ///< chains replayed (1 + base links)
     };
 
     explicit Journal(SsdModel *ssd) : ssd_(ssd) {}
@@ -83,6 +102,23 @@ class Journal
      * publishes superblock epoch 1. Ends with a durability barrier.
      */
     Status format();
+
+    /**
+     * Lays out a *fresh generation* of the journal at the replayed tail
+     * of a recovered device: allocates a new chain head past the
+     * existing pages, bumps the generation past @p rr's, and — when the
+     * replay found survivors — opens the chain with a base-link record
+     * granting exactly @p accepted_records logical records from the old
+     * chain tree (the reopen-time verification cut; everything past it
+     * stays discarded forever). Publishes superblock epoch rr.epoch+1
+     * and ends with a durability barrier. Crash-safe in every window:
+     * the new head lands before the superblock that makes it reachable,
+     * and old-generation pages are never rewritten, so a cut replays
+     * either the pre-reopen or the post-reopen state, never a mix.
+     * The journal must not have a cursor yet (fresh mount) and @p rr
+     * must not be sealed — seal is terminal.
+     */
+    Status reopen(const ReplayResult &rr, uint64_t accepted_records);
 
     /**
      * Appends a commit record for data page @p page (whole-page CRC
@@ -126,26 +162,42 @@ class Journal
     /** Journal/superblock page programs issued since construction. */
     uint64_t pageWrites() const { return page_writes_; }
 
+    /** Current journal incarnation (0 until format/reopen/restore). */
+    uint64_t generation() const { return generation_; }
+
+    /** reopen() calls on this object (not counting replayed history). */
+    uint64_t reopens() const { return reopens_; }
+
+    /** True when this cursor's chain grafts an older generation. */
+    bool chained() const { return chained_; }
+
   private:
     Status appendRecord(uint32_t kind, uint64_t arg, uint32_t page_crc,
                         uint64_t lines, uint64_t raw_bytes);
+    void replayChain(PageId head, uint64_t chain_generation,
+                     uint64_t ceiling, int depth, ReplayResult *out,
+                     bool *saw_seal);
     Status writeCurrentPage();
     Status writeSuperblock(uint64_t epoch, uint64_t flags);
     void initPageImage(std::vector<uint8_t> *image, uint32_t seq) const;
 
     SsdModel *ssd_;
-    PageId head_ = kInvalidPage;  ///< first journal page
+    PageId head_ = kInvalidPage;  ///< newest chain's first journal page
     PageId cur_ = kInvalidPage;   ///< journal page being appended to
     uint32_t cur_seq_ = 0;        ///< chain position of cur_
     size_t cur_count_ = 0;        ///< records already in cur_
-    uint64_t next_seq_ = 1;       ///< next global record seq
+    uint64_t next_seq_ = 1;       ///< next chain-local record seq
     uint64_t epoch_ = 0;          ///< last superblock epoch published
     uint64_t generation_ = 0;     ///< journal incarnation stamp
+    bool chained_ = false;        ///< chain opens with a base link
+    uint64_t reopens_ = 0;
     std::vector<uint8_t> cur_image_;
     uint64_t records_appended_ = 0;
     uint64_t page_writes_ = 0;
     obs::Counter *obs_records_ = nullptr;
     obs::Counter *obs_page_writes_ = nullptr;
+    obs::Counter *obs_reopens_ = nullptr;
+    obs::Gauge *obs_generation_ = nullptr;
 };
 
 } // namespace mithril::storage

@@ -68,6 +68,9 @@ LogService::LogService(LogServiceConfig config)
     metrics_->gauge("svc.threads")
         .set(static_cast<double>(config_.threads));
     metrics_->gauge("svc.shards_readonly").set(0.0);
+    // Registered up front so a service that never reopens still
+    // publishes the counter at zero.
+    metrics_->counter("svc.shards_reopened");
 
     fault::FaultPlanConfig fault_config;
     bool with_faults = !config_.fault_spec.empty();
@@ -391,7 +394,10 @@ LogService::seal()
         {
             MutexLock lock(shard->mu);
             if (shard->readonly) {
-                continue; // a recovered shard is already sealed
+                // Still read-only from recovery: the journal is frozen
+                // until reopenShard(). A reopened shard has readonly
+                // cleared and seals below like a fresh one.
+                continue;
             }
             st = shard->error;
         }
@@ -599,6 +605,45 @@ LogService::recoverShard(size_t shard, const std::string &device_image)
         metrics_->gauge("svc.shards_readonly")
             .set(static_cast<double>(now));
     }
+    return Status::ok();
+}
+
+Status
+LogService::reopenShard(size_t shard)
+{
+    if (shard >= shards_.size()) {
+        return Status::invalidArgument("no shard " +
+                                       std::to_string(shard));
+    }
+    // Mount-time operation like recoverShard(): the caller quiesces
+    // the service around it. Each step still takes its own lock so a
+    // misuse surfaces as a precondition error, not a race.
+    Shard &s = *shards_[shard];
+    {
+        MutexLock lock(s.mu);
+        if (!s.readonly) {
+            return Status::failedPrecondition(
+                "reopenShard requires a recovered read-only shard");
+        }
+    }
+    {
+        MutexLock log_lock(s.log_mu);
+        // A sealed donor (terminal seal) or dead device refuses here;
+        // the shard stays read-only.
+        MITHRIL_RETURN_IF_ERROR(s.log->reopen());
+    }
+    {
+        MutexLock lock(s.mu);
+        s.readonly = false;
+        s.error = Status::ok();
+    }
+    // relaxed: snapshot count; the gauge below carries the published
+    // value, same discipline as recoverShard().
+    size_t now = readonly_count_.fetch_sub(
+                     1, std::memory_order_relaxed) - 1;
+    metrics_->gauge("svc.shards_readonly")
+        .set(static_cast<double>(now));
+    metrics_->counter("svc.shards_reopened").add();
     return Status::ok();
 }
 

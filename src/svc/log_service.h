@@ -157,7 +157,8 @@ class LogService
      *         (admission control) — nothing was accepted; retry after
      *         the backlog drains.
      * @retval kFailedPrecondition the target shard is a recovered,
-     *         read-only store (see recoverShard()).
+     *         read-only store (see recoverShard(); reopenShard()
+     *         re-admits it).
      * Any sticky shard ingest error (device fault mid-batch) is
      * reported on the next append() to that shard.
      */
@@ -173,7 +174,9 @@ class LogService
     [[nodiscard]] Status flush();
 
     /** Drains, then runs each shard's terminal durability barrier.
-     *  Recovered (already sealed) shards are skipped. */
+     *  Shards still in the recovered read-only state are skipped (their
+     *  journal is frozen until reopenShard()); a shard brought back
+     *  live by reopenShard() seals like a fresh one. */
     [[nodiscard]] Status seal();
 
     /** Blocks until every queued ingest batch has been applied. */
@@ -197,10 +200,26 @@ class LogService
      * sealed+recovered: it serves queries but answers ingest with
      * kFailedPrecondition, and counts into the `svc.shards_readonly`
      * gauge — a degraded-but-explicit state instead of a generic
-     * error from deep in the stack.
+     * error from deep in the stack. reopenShard() flips it back live.
      */
     [[nodiscard]] Status recoverShard(size_t shard,
                                       const std::string &device_image);
+
+    /**
+     * Brings a recovered read-only shard back live: re-opens its
+     * journal under a fresh generation (core::MithriLog::reopen(),
+     * DESIGN.md §10) and re-admits the shard to ingest. The shard was
+     * never taken out of the deterministic routing rotation — a
+     * read-only shard bounces its appends with kFailedPrecondition —
+     * so after reopen the accepted-line → shard assignment is again a
+     * pure function of the accepted sequence. Decrements the
+     * `svc.shards_readonly` gauge and counts into
+     * `svc.shards_reopened`.
+     * @retval kFailedPrecondition the shard is not in the recovered
+     *         read-only state, or its store carries a durable seal
+     *         (seal is terminal across recovery).
+     */
+    [[nodiscard]] Status reopenShard(size_t shard);
 
     // ---- introspection -------------------------------------------------
 

@@ -1,0 +1,31 @@
+// Known-bad fixture: bumps the journal generation outside the two
+// chain-head minters (format()/reopen()); fed explicitly by
+// tests/lint/lint_selftest.py.
+#include <cstdint>
+
+class Journal {
+    void replayChain();
+    void adoptHead();
+    uint64_t generation_ = 0; // declaration initializer: not flagged
+
+public:
+    void format();
+};
+
+void
+Journal::replayChain()
+{
+    generation_ = 7;
+}
+
+void
+Journal::format()
+{
+    generation_ = 1; // minter: not flagged
+}
+
+void
+Journal::adoptHead()
+{
+    ++generation_;
+}

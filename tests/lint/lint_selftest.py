@@ -126,6 +126,15 @@ expect_finding(out, "audited_relaxed_atomic.cc", 18,
 expect("audited_relaxed_atomic.cc:12" not in out,
        "justified relaxed use in an audited file is not flagged")
 
+rc, out = run_lint("bad_generation.cc")
+expect(rc == 1, "bad_generation.cc exits 1")
+expect_finding(out, "bad_generation.cc", 18, "generation-bump")
+expect_finding(out, "bad_generation.cc", 30, "generation-bump")
+expect("bad_generation.cc:9" not in out,
+       "the member declaration initializer is not flagged")
+expect("bad_generation.cc:24" not in out,
+       "Journal::format() may mint a generation")
+
 rc, out = run_lint("bad_latency.cc")
 expect(rc == 1, "bad_latency.cc exits 1")
 expect_finding(out, "bad_latency.cc", 13, "adhoc-latency")

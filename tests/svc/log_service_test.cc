@@ -256,6 +256,85 @@ TEST(LogServiceTest, RecoveredShardIsReadonlyButQueryable)
     EXPECT_TRUE(service.seal().isOk());
 }
 
+TEST(LogServiceTest, ReopenShardResumesIngestAndSealsLikeFresh)
+{
+    std::string img = tempPath("svc_reopen_shard.img");
+    {
+        core::MithriLog donor;
+        ASSERT_TRUE(donor
+                        .ingestText("golden alpha one\n"
+                                    "golden beta two\n"
+                                    "golden gamma three\n")
+                        .isOk());
+        ASSERT_TRUE(donor.flush().isOk());
+        ASSERT_TRUE(donor.saveDeviceImage(img).isOk());
+    }
+
+    LogServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.threads = 2;
+    cfg.batch_lines = 1;
+    LogService service(cfg);
+    ASSERT_TRUE(service.recoverShard(1, img).isOk());
+    ASSERT_TRUE(service.reopenShard(1).isOk());
+    EXPECT_EQ(service.readonlyShards(), 0u);
+    EXPECT_EQ(service.metrics().gauge("svc.shards_readonly").value(),
+              0.0);
+    EXPECT_EQ(service.metrics().counterValue("svc.shards_reopened"),
+              1u);
+
+    // Round-robin re-admits the reopened shard: line 0 -> shard 0,
+    // line 1 -> shard 1 on top of its three recovered lines.
+    ASSERT_TRUE(service.append("fresh line zero").isOk());
+    ASSERT_TRUE(service.append("fresh line one").isOk());
+    ASSERT_TRUE(service.flush().isOk());
+    EXPECT_EQ(service.shard(1).lineCount(), 4u);
+
+    ServiceQueryResult r;
+    ASSERT_TRUE(service.query("golden", &r).isOk());
+    EXPECT_EQ(r.matched_lines, 3u);
+    ASSERT_TRUE(service.query("fresh", &r).isOk());
+    EXPECT_EQ(r.matched_lines, 2u);
+
+    // Regression for the seal() skip logic: a reopened shard is no
+    // longer "recovered", so seal() must seal it like a fresh one
+    // instead of skipping it.
+    ASSERT_TRUE(service.seal().isOk());
+    EXPECT_TRUE(service.shard(1).sealed());
+}
+
+TEST(LogServiceTest, ReopenShardPreconditions)
+{
+    std::string sealed_img = tempPath("svc_reopen_sealed.img");
+    {
+        core::MithriLog donor;
+        ASSERT_TRUE(donor.ingestText("sealed donor line\n").isOk());
+        ASSERT_TRUE(donor.seal().isOk());
+        ASSERT_TRUE(donor.saveDeviceImage(sealed_img).isOk());
+    }
+    LogServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.threads = 1;
+    cfg.batch_lines = 1;
+    LogService service(cfg);
+    EXPECT_EQ(service.reopenShard(7).code(),
+              StatusCode::kInvalidArgument);
+    // A live shard that was never recovered has nothing to reopen.
+    EXPECT_EQ(service.reopenShard(0).code(),
+              StatusCode::kFailedPrecondition);
+
+    // A durably sealed donor recovers read-only but refuses reopen —
+    // seal is terminal across recovery — and stays read-only.
+    ASSERT_TRUE(service.recoverShard(1, sealed_img).isOk());
+    EXPECT_EQ(service.reopenShard(1).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(service.readonlyShards(), 1u);
+    EXPECT_EQ(service.metrics().gauge("svc.shards_readonly").value(),
+              1.0);
+    EXPECT_EQ(service.metrics().counterValue("svc.shards_reopened"),
+              0u);
+}
+
 TEST(LogServiceTest, RecoverShardPreconditions)
 {
     std::string img = tempPath("svc_recover_precond.img");

@@ -45,6 +45,25 @@ corpus()
     return text;
 }
 
+/** Device image of a small donor store, dumped the way a crash-
+ *  recovery mount would see it — the seed for a recovered shard. */
+std::string
+donorImage()
+{
+    std::string img =
+        std::string(::testing::TempDir()) + "svc_det_reopen_donor.img";
+    core::MithriLog donor;
+    EXPECT_TRUE(donor
+                    .ingestText("RAS KERNEL INFO recovered golden head "
+                                "seq-old0\n"
+                                "RAS KERNEL FATAL recovered golden head "
+                                "seq-old1\n")
+                    .isOk());
+    EXPECT_TRUE(donor.flush().isOk());
+    EXPECT_TRUE(donor.saveDeviceImage(img).isOk());
+    return img;
+}
+
 /** Everything that must be invariant across worker counts. */
 struct Fingerprint {
     std::string merged_lines;          ///< all kept lines, in order
@@ -63,7 +82,8 @@ struct Fingerprint {
 
 Fingerprint
 runOnce(size_t threads, RoutingPolicy routing,
-        const std::string &fault_spec)
+        const std::string &fault_spec,
+        const std::string *reopen_img = nullptr)
 {
     LogServiceConfig cfg;
     cfg.shards = 4;
@@ -72,6 +92,12 @@ runOnce(size_t threads, RoutingPolicy routing,
     cfg.batch_lines = 64;
     cfg.fault_spec = fault_spec;
     LogService service(cfg);
+    if (reopen_img != nullptr) {
+        // Shard 0 starts life as a recovered store brought back live:
+        // the rest of the run must not be able to tell.
+        EXPECT_TRUE(service.recoverShard(0, *reopen_img).isOk());
+        EXPECT_TRUE(service.reopenShard(0).isOk());
+    }
 
     std::string text = corpus();
     // Line-by-line with backpressure retries: the retry schedule
@@ -129,6 +155,27 @@ TEST(SvcDeterminismTest, WorkerCountInvariantHashRouting)
     Fingerprint one = runOnce(1, RoutingPolicy::kHashToken, "");
     Fingerprint eight = runOnce(8, RoutingPolicy::kHashToken, "");
     EXPECT_TRUE(one == eight);
+}
+
+TEST(SvcDeterminismTest, WorkerCountInvariantAfterShardReopen)
+{
+    // ISSUE 8 acceptance: a shard recovered from a crash image and
+    // reopened under a fresh journal generation behaves exactly like a
+    // fresh shard — merged results stay byte-identical across worker
+    // counts, and the reopened shard accepts live ingest on top of its
+    // recovered lines.
+    std::string img = donorImage();
+    Fingerprint one = runOnce(1, RoutingPolicy::kRoundRobin, "", &img);
+    Fingerprint two = runOnce(2, RoutingPolicy::kRoundRobin, "", &img);
+    Fingerprint eight =
+        runOnce(8, RoutingPolicy::kRoundRobin, "", &img);
+    EXPECT_GT(one.matched[0], 0u);
+    EXPECT_TRUE(one == two);
+    EXPECT_TRUE(one == eight);
+    // 6000 corpus lines round-robin over 4 live shards, plus the two
+    // recovered donor lines already on shard 0.
+    ASSERT_FALSE(one.shard_lines.empty());
+    EXPECT_EQ(one.shard_lines[0], 1500u + 2u);
 }
 
 TEST(SvcDeterminismTest, WorkerCountInvariantUnderReadFaults)

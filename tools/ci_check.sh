@@ -11,17 +11,21 @@
 #   4. crash matrix      tools/crash_matrix.sh — power-cut at every
 #      device program; recovery never loses acknowledged data and
 #      never fabricates a match
-#   5. tsan tier         the svc-labelled concurrency tests under
+#   5. mg crash matrix   tools/crash_matrix.sh --rounds=2 — resume the
+#      recovered store under a fresh journal generation, cut again,
+#      recover again; the contract holds at every (cut1, cut2) pair of
+#      the bounded grid
+#   6. tsan tier         the svc-labelled concurrency tests under
 #      -fsanitize=thread (skipped where the toolchain lacks TSan)
-#   6. soak SLO smoke    a short deterministic open-loop soak run whose
+#   7. soak SLO smoke    a short deterministic open-loop soak run whose
 #      soak_slo record must repeat byte-identically and pass its
 #      end-to-end p99 gate
-#   7. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
+#   8. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
 #      src/, plus its fixture selftest (skipped where clang++ is not
 #      installed)
-#   8. domain lint       tools/mithril_lint.py (and its self-test)
-#   9. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#  10. ubsan build+test  full tree under -fsanitize=undefined
+#   9. domain lint       tools/mithril_lint.py (and its self-test)
+#  10. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#  11. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -51,6 +55,10 @@ tools/fault_matrix.sh build-werror/examples/mithril_cli \
 step "crash matrix (tools/crash_matrix.sh)"
 tools/crash_matrix.sh build-werror/examples/mithril_cli \
     build-werror/crash_matrix_ci
+
+step "multi-generation crash matrix (crash_matrix.sh --rounds=2)"
+tools/crash_matrix.sh --rounds=2 build-werror/examples/mithril_cli \
+    build-werror/crash_matrix_mg_ci
 
 step "tsan tier (svc concurrency tests, preset: tsan)"
 # Probe the toolchain the same way lint_tidy handles a missing

@@ -16,9 +16,32 @@
 #   4. completion:  a cut point past the last write never fires and the
 #      run ingests the full corpus.
 #
-# Usage: crash_matrix.sh <path-to-mithril_cli> [workdir]
+# Multi-generation mode (--rounds=2): instead of the single-life
+# matrix, every surviving crash image is *resumed* — recovered, its
+# journal re-opened under a fresh generation, a second corpus ingested
+# — and power-cut again at a second write ordinal, then recovered
+# again. The same contract must hold at every (cut1, cut2) pair over
+# the concatenated two-corpus prefix, and repeated recoveries of one
+# image must be byte-identical. The per-commit grid is bounded to
+# {first, mid, last} ordinals per round; --full sweeps every pair
+# (the nightly grid).
+#
+# Usage: crash_matrix.sh [--rounds=N] [--full] <path-to-mithril_cli> [workdir]
 set -euo pipefail
 
+ROUNDS=1
+FULL=0
+while [[ "${1:-}" == --* ]]; do
+    case "$1" in
+        --rounds=*) ROUNDS="${1#--rounds=}" ;;
+        --full) FULL=1 ;;
+        *)
+            echo "crash_matrix.sh: unknown flag $1" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
 CLI="$1"
 WORK="${2:-$(mktemp -d)}"
 # Mid-frequency token in the Spirit2 corpus: the prefix oracle changes
@@ -27,6 +50,21 @@ WORK="${2:-$(mktemp -d)}"
 QUERY="packet"
 LINES=600
 mkdir -p "$WORK"
+# Schema validator for the crash_recovery BENCH_JSON record (skipped
+# gracefully where the bench tree is not built alongside the CLI).
+JSON_CHECK="$(dirname "$CLI")/../bench/json_check"
+
+# check_recovery_record <query-recover-stdout>  -> asserts the run's
+# crash_recovery record parses and carries the generation-chain fields.
+check_recovery_record() {
+    if [[ ! -x "$JSON_CHECK" ]]; then
+        return 0
+    fi
+    grep '^BENCH_JSON' "$1" | sed 's/^BENCH_JSON //' \
+        > "$WORK/rec_records.json"
+    "$JSON_CHECK" "$WORK/rec_records.json" crash_recovery \
+        lines_recovered records_replayed generation reopens > /dev/null
+}
 
 # counter <name> <key>  -> value from the run's metrics snapshot
 counter() {
@@ -120,40 +158,225 @@ crash_run() {
     echo "$a:$r:$m"
 }
 
-declare -A RESULT
-for (( k = 1; k <= W; k++ )); do
-    RESULT[$k]=$(crash_run "$k")
-done
-echo "matrix: all $W cut points recovered" \
-     "(last: acknowledged:recovered:matches = ${RESULT[$W]})"
-
-# Determinism: one mid-matrix cut point must replay bit-for-bit.
 mid=$(( (W + 1) / 2 ))
-replay=$(crash_run "$mid")
-if [[ "$replay" != "${RESULT[$mid]}" ]]; then
-    echo "FAIL: cut_after=$mid not deterministic:" \
-         "first=${RESULT[$mid]} replay=$replay"
-    fail=1
-fi
 
-# Completion: a cut point past the last write never fires.
-"$CLI" ingest "$WORK/cm.log" "$WORK/done.img" --crash-at=$(( W + 5 )) \
-    > "$WORK/done.out"
-if grep -q '^crash:' "$WORK/done.out"; then
-    echo "FAIL: cut_after=$(( W + 5 )) fired on a $W-write run"
-    fail=1
-else
-    "$CLI" query "$WORK/done.img" "$QUERY" > "$WORK/done_query.out"
-    got=$(matches "$WORK/done_query.out")
-    if [[ "$got" != "$full_oracle" ]]; then
-        echo "FAIL: un-fired cut plan changed results:" \
-             "$got vs $full_oracle"
+if [[ "$ROUNDS" -le 1 ]]; then
+    declare -A RESULT
+    for (( k = 1; k <= W; k++ )); do
+        RESULT[$k]=$(crash_run "$k")
+    done
+    echo "matrix: all $W cut points recovered" \
+         "(last: acknowledged:recovered:matches = ${RESULT[$W]})"
+    check_recovery_record "$WORK/rec.out"
+
+    # Determinism: one mid-matrix cut point must replay bit-for-bit.
+    replay=$(crash_run "$mid")
+    if [[ "$replay" != "${RESULT[$mid]}" ]]; then
+        echo "FAIL: cut_after=$mid not deterministic:" \
+             "first=${RESULT[$mid]} replay=$replay"
         fail=1
     fi
+
+    # Completion: a cut point past the last write never fires.
+    "$CLI" ingest "$WORK/cm.log" "$WORK/done.img" \
+        --crash-at=$(( W + 5 )) > "$WORK/done.out"
+    if grep -q '^crash:' "$WORK/done.out"; then
+        echo "FAIL: cut_after=$(( W + 5 )) fired on a $W-write run"
+        fail=1
+    else
+        "$CLI" query "$WORK/done.img" "$QUERY" > "$WORK/done_query.out"
+        got=$(matches "$WORK/done_query.out")
+        if [[ "$got" != "$full_oracle" ]]; then
+            echo "FAIL: un-fired cut plan changed results:" \
+                 "$got vs $full_oracle"
+            fail=1
+        fi
+    fi
+
+    if [[ "$fail" -ne 0 ]]; then
+        exit 1
+    fi
+    echo "crash matrix OK ($W cut points, durability + integrity +" \
+         "determinism + completion)"
+    exit 0
 fi
+
+# ---- multi-generation matrix (--rounds=2) ----------------------------
+#
+# Life 1 ingests corpus 1 and is cut at write ordinal k1. Life 2
+# recovers the dump, re-opens the journal (generation 2), resumes with
+# corpus 2 under write_base=k1 — so --crash-at addresses the *global*
+# ordinal k1+k2 — and is cut again. Recovery of the second dump must
+# hold the contract over head(R1, corpus1) + head(R-R1, corpus2).
+LINES2=300
+sed -n "$(( LINES + 1 )),$(( LINES + LINES2 ))p" "$WORK/full.log" \
+    > "$WORK/cm2.log"
+
+# oracle2 <n1> <n2>  -> match count over the first n1 lines of corpus 1
+# followed by the first n2 lines of corpus 2 (cached)
+declare -A ORACLE2
+oracle2() {
+    local key="$1:$2"
+    if [[ -z "${ORACLE2[$key]:-}" ]]; then
+        { head -n "$1" "$WORK/cm.log"; head -n "$2" "$WORK/cm2.log"; } \
+            > "$WORK/mix.log"
+        "$CLI" ingest "$WORK/mix.log" "$WORK/mix.img" > /dev/null
+        "$CLI" query "$WORK/mix.img" "$QUERY" > "$WORK/mix.out"
+        ORACLE2[$key]=$(matches "$WORK/mix.out")
+    fi
+    echo "${ORACLE2[$key]}"
+}
+
+# crash_run2 <k1> <r1> <k2>  -> "A:R:M" for a resume from the k1 crash
+# image cut again at global ordinal k1+k2, recovered twice (the pair's
+# repeated-recovery byte-identity check rides along).
+crash_run2() {
+    local k1="$1" r1="$2" k2="$3"
+    cp "$WORK/g1_$k1.img" "$WORK/crash2.img"
+    "$CLI" ingest "$WORK/cm2.log" "$WORK/crash2.img" --recover \
+        --fault-plan="seed=1,write_base=$k1" \
+        --crash-at=$(( k1 + k2 )) > "$WORK/crash2.out"
+    if ! grep -q '^crash: acknowledged=' "$WORK/crash2.out"; then
+        echo "FAIL: pair ($k1,$k2) did not crash"
+        fail=1
+        echo "-:-:-"
+        return
+    fi
+    local a r m r_again m_again
+    a=$(sed -n 's/^crash: acknowledged=//p' "$WORK/crash2.out")
+    "$CLI" query "$WORK/crash2.img" "$QUERY" --recover \
+        --metrics-out="$WORK/rec2.json" > "$WORK/rec2.out"
+    r=$(counter rec2 recovery.lines_recovered)
+    m=$(matches "$WORK/rec2.out")
+    # Repeated recovery of the same image must replay byte-identically.
+    "$CLI" query "$WORK/crash2.img" "$QUERY" --recover \
+        --metrics-out="$WORK/rec2b.json" > "$WORK/rec2b.out"
+    r_again=$(counter rec2b recovery.lines_recovered)
+    m_again=$(matches "$WORK/rec2b.out")
+    if [[ "$r:$m" != "$r_again:$m_again" ]]; then
+        echo "FAIL: pair ($k1,$k2) re-recovery diverged:" \
+             "$r:$m vs $r_again:$m_again"
+        fail=1
+    fi
+    if [[ "$r" -lt "$a" ]]; then
+        echo "FAIL: pair ($k1,$k2) lost acknowledged data" \
+             "(acknowledged=$a recovered=$r)"
+        fail=1
+    fi
+    if [[ "$r" -gt $(( LINES + LINES2 )) ]]; then
+        echo "FAIL: pair ($k1,$k2) recovered $r lines from a" \
+             "$(( LINES + LINES2 ))-line history"
+        fail=1
+    fi
+    # A cut during the reopen itself replays the pre-resume state, so
+    # the life-1 share of the prefix is capped at r1.
+    local n1=$(( r < r1 ? r : r1 ))
+    local n2=$(( r - n1 ))
+    local want
+    if [[ "$r" -eq 0 ]]; then
+        want=0
+    else
+        want=$(oracle2 "$n1" "$n2")
+    fi
+    if [[ "$m" != "$want" ]]; then
+        echo "FAIL: pair ($k1,$k2) recovered store returned $m" \
+             "matches, two-corpus oracle over $n1+$n2 lines says $want"
+        fail=1
+    fi
+    echo "$a:$r:$m"
+}
+
+if [[ "$FULL" -eq 1 ]]; then
+    grid1=$(seq 1 "$W")
+else
+    grid1="1 $mid $W"
+fi
+pairs=0
+for k1 in $grid1; do
+    # Life 1: cut at k1, keep the dump, learn its recovered prefix R1.
+    "$CLI" ingest "$WORK/cm.log" "$WORK/g1_$k1.img" --crash-at="$k1" \
+        > "$WORK/g1.out"
+    if ! grep -q '^crash: acknowledged=' "$WORK/g1.out"; then
+        echo "FAIL: cut_after=$k1 did not crash (W=$W)"
+        fail=1
+        continue
+    fi
+    "$CLI" query "$WORK/g1_$k1.img" "$QUERY" --recover \
+        --metrics-out="$WORK/r1.json" > "$WORK/r1.out"
+    r1=$(counter r1 recovery.lines_recovered)
+    check_recovery_record "$WORK/r1.out"
+
+    # Clean resume: learn the second life's program count W2 and check
+    # completion — the resumed, sealed store answers the full
+    # two-corpus oracle and its crash_recovery record carries the
+    # generation-chain fields. A cut late enough that life 1's *seal*
+    # became durable is not resumable by design (seal is terminal
+    # across recovery): the resume must refuse, and the store must
+    # still recover read-only to its oracle.
+    cp "$WORK/g1_$k1.img" "$WORK/done2.img"
+    if ! "$CLI" ingest "$WORK/cm2.log" "$WORK/done2.img" --recover \
+        --fault-plan="seed=1,write_base=$k1" \
+        --metrics-out="$WORK/g2_clean.json" > "$WORK/done2.out" \
+        2> "$WORK/done2.err"; then
+        if ! grep -q 'store was sealed' "$WORK/done2.err"; then
+            echo "FAIL: resume from k1=$k1 failed:" \
+                 "$(cat "$WORK/done2.err")"
+            fail=1
+            continue
+        fi
+        got=$(matches "$WORK/r1.out")
+        want=$(oracle "$r1")
+        if [[ "$r1" -eq 0 ]]; then want=0; fi
+        if [[ "$got" != "$want" ]]; then
+            echo "FAIL: sealed k1=$k1 store returned $got matches," \
+                 "prefix oracle over $r1 lines says $want"
+            fail=1
+        fi
+        echo "k1=$k1: durable seal survived the cut — resume refused" \
+             "(terminal), read-only recovery intact"
+        continue
+    fi
+    if grep -q '^crash:' "$WORK/done2.out"; then
+        echo "FAIL: clean resume from k1=$k1 crashed without a cut"
+        fail=1
+        continue
+    fi
+    W2=$(counter g2_clean fault.write_draws)
+    "$CLI" query "$WORK/done2.img" "$QUERY" > "$WORK/done2_query.out"
+    got=$(matches "$WORK/done2_query.out")
+    want=$(oracle2 "$r1" "$LINES2")
+    if [[ "$got" != "$want" ]]; then
+        echo "FAIL: resume from k1=$k1 completed with $got matches," \
+             "two-corpus oracle says $want"
+        fail=1
+    fi
+
+    if [[ "$FULL" -eq 1 ]]; then
+        grid2=$(seq 1 "$W2")
+    else
+        grid2="1 $(( (W2 + 1) / 2 )) $W2"
+    fi
+    declare -A RESULT2
+    for k2 in $grid2; do
+        RESULT2[$k2]=$(crash_run2 "$k1" "$r1" "$k2")
+        pairs=$(( pairs + 1 ))
+    done
+
+    # Determinism: one mid-grid pair must replay bit-for-bit
+    # end-to-end (cut, dump, and recovery).
+    mid2=$(( (W2 + 1) / 2 ))
+    replay2=$(crash_run2 "$k1" "$r1" "$mid2")
+    if [[ "$replay2" != "${RESULT2[$mid2]}" ]]; then
+        echo "FAIL: pair ($k1,$mid2) not deterministic:" \
+             "first=${RESULT2[$mid2]} replay=$replay2"
+        fail=1
+    fi
+    unset RESULT2
+done
 
 if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
-echo "crash matrix OK ($W cut points, durability + integrity +" \
+echo "multi-generation crash matrix OK ($pairs (cut1,cut2) pairs," \
+     "durability + integrity + repeated-recovery identity +" \
      "determinism + completion)"

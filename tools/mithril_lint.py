@@ -48,6 +48,11 @@ repo-specific invariants no generic tool knows about:
                      svc routing counters), and every relaxed line must
                      carry a `relaxed:` justification comment on the
                      line or within the 6 lines above.
+  generation-bump    the journal generation stamp may only be minted
+                     by the two chain-head writers, Journal::format()
+                     and Journal::reopen(); any other write would fork
+                     the generation chain that crash recovery's
+                     budget-pinned replay walks.
   adhoc-latency      datapath latency samples must go through the
                      obs::Histogram / span APIs (StageLatency,
                      StageTimer, setSimDuration); feeding elapsed()/
@@ -139,6 +144,9 @@ RULE_HINTS = {
                           "lock-free files and justify each use with "
                           "a `relaxed:` comment nearby; default to "
                           "seq_cst (or a mutex) elsewhere",
+    "generation-bump": "mint generations only in Journal::format()/"
+                       "Journal::reopen(); a restore site (cursor "
+                       "deserialize) needs a justified allow()",
     "adhoc-latency": "record latency through obs::StageLatency/"
                      "StageTimer (obs/histogram.h) so the sample lands "
                      "in a quantile histogram, not a scalar",
@@ -451,6 +459,45 @@ def check_atomics_discipline(relpath, raw):
                    f"{_RELAXED_WINDOW} lines above")
 
 
+# ---------------------------------------------------------------------------
+# generation-bump: the journal generation stamp may only be minted by
+# the two chain-head writers — Journal::format() (a fresh chain) and
+# Journal::reopen() (the next generation grafted onto the replayed
+# head). Any other write forks the generation chain that recovery's
+# budget-pinned replay walks. Member default initializers are
+# construction, not a bump; the cursor-restore site in deserialize()
+# carries an explicit allow().
+
+_GEN_WRITE_RE = re.compile(
+    r"\bgeneration_\s*(?:=(?!=)|\+=|-=)|"
+    r"(?:\+\+|--)\s*generation_\b|\bgeneration_\s*(?:\+\+|--)")
+# A member declaration with a default initializer: a type token
+# precedes the name.
+_GEN_DECL_RE = re.compile(r"^\s*(?:static\s+|const\s+|constexpr\s+)*"
+                          r"[A-Za-z_][\w:<>]*\s+generation_\s*[={]")
+# Out-of-class method definition; repo style puts the return type on
+# its own line, so the definition line starts with `Class::name(`.
+_METHOD_DEF_RE = re.compile(r"^(?P<cls>\w+)::(?P<name>~?\w+)\s*\(")
+_GEN_MINTERS = {("Journal", "format"), ("Journal", "reopen")}
+
+
+def check_generation_bump(relpath, code):
+    func = None
+    for i, line in enumerate(code, start=1):
+        m = _METHOD_DEF_RE.match(line)
+        if m is not None:
+            func = (m.group("cls"), m.group("name"))
+        if not _GEN_WRITE_RE.search(line):
+            continue
+        if _GEN_DECL_RE.match(line):
+            continue
+        if func in _GEN_MINTERS:
+            continue
+        yield (i, "generation-bump",
+               "journal generation written outside Journal::format()/"
+               "Journal::reopen()")
+
+
 # A scalar-metric mutation (`add(`/`set(`/`record(`; the histogram
 # layer's own verbs recordWallNs/recordSim/setSimDuration deliberately
 # do not match) on a line that also computes a duration — elapsed(),
@@ -616,6 +663,7 @@ SIMPLE_RULES = (
     check_raw_mutex,
     check_lock_order,
     check_atomics_discipline,
+    check_generation_bump,
     check_adhoc_latency,
     check_header_guard,
     check_include_order,
@@ -635,6 +683,7 @@ RULE_OF_CHECK = {
     check_raw_mutex: "raw-mutex",
     check_lock_order: "lock-order",
     check_atomics_discipline: "atomics-discipline",
+    check_generation_bump: "generation-bump",
     check_adhoc_latency: "adhoc-latency",
     check_header_guard: "header-guard",
     check_include_order: "include-order",
