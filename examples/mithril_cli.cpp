@@ -130,6 +130,7 @@ ObsOut g_obs;
 std::string g_fault_spec;
 uint64_t g_crash_at = 0;
 bool g_recover = false;
+uint64_t g_checkpoint_every = 0;
 size_t g_shards = 4;
 size_t g_threads = 4;
 std::string g_soak_shape = "steady";
@@ -148,6 +149,7 @@ usage()
                  "  mithril_cli svc <in.log> \"<query>\"\n"
                  "  mithril_cli templates <in.log> [N]\n"
                  "  mithril_cli stat <in.img>\n"
+                 "  mithril_cli checkpoint <in.img>\n"
                  "  mithril_cli soak\n"
                  "flags: --metrics-out=<path>  --trace-out=<path>\n"
                  "       --shards=<N> --threads=<M>  (svc/soak) "
@@ -159,6 +161,8 @@ usage()
                  "\"seed=3,ber=1e-6,timeout=0.01\"\n"
                  "       --crash-at=<N>        (ingest) power cut on "
                  "the Nth page program\n"
+                 "       --checkpoint-every=<N> (ingest/svc/soak) "
+                 "checkpoint per N data pages\n"
                  "       --recover             (query/stat) mount a "
                  "raw crash image;\n"
                  "                             (ingest) recover, "
@@ -229,6 +233,10 @@ mountImage(core::MithriLog *system, const std::string &img_path)
                m.counter("recovery.pages_discarded").value())
         .field("records_replayed",
                m.counter("recovery.records_replayed").value())
+        .field("snapshot_records", system->recoveredSnapshotRecords())
+        .field("chain_records", system->recoveredChainRecords())
+        .field("pages_swept",
+               m.counter("recovery.pages_swept").value())
         .field("generation", system->recoveredGeneration())
         .field("reopens", generations > 0 ? generations - 1 : 0)
         .emit();
@@ -242,7 +250,9 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
     if (!readFile(log_path, &text)) {
         return 1;
     }
-    core::MithriLog system;
+    core::MithriLogConfig mc;
+    mc.checkpoint_every_pages = g_checkpoint_every;
+    core::MithriLog system(mc);
     if (g_recover) {
         // Resume-after-crash: <out.img> is an existing raw crash
         // image. Replay its longest clean prefix, then fall through to
@@ -340,6 +350,11 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
                system.metrics().counter("journal.records").value())
         .field("barriers", flushes)
         .field("journal_overhead_ps", overhead_ps)
+        .field("checkpoints", system.checkpoints())
+        .field("chain_records", system.journalChainRecords())
+        .field("snapshot_records", system.journalSnapshotRecords())
+        .field("segments_freed",
+               system.ssd().store().segmentsFreed())
         .field("wall_seconds", timer.seconds())
         .emit();
     return g_obs.write(system);
@@ -410,6 +425,7 @@ cmdSvc(const std::string &log_path, const std::string &query_text)
     cfg.shards = g_shards;
     cfg.threads = g_threads;
     cfg.fault_spec = g_fault_spec;
+    cfg.checkpoint_every_pages = g_checkpoint_every;
     if (!g_fault_spec.empty()) {
         // Validate up front: LogService asserts on a malformed spec.
         fault::FaultPlanConfig fc;
@@ -485,6 +501,8 @@ cmdSvc(const std::string &log_path, const std::string &query_text)
         .field("shard_imbalance_pct", r.shardImbalancePct())
         .field("readonly_shards",
                static_cast<uint64_t>(service.readonlyShards()))
+        .field("checkpoints",
+               service.metrics().counter("svc.checkpoints").value())
         .emit();
     return g_obs.write(service.metrics(), service.tracer());
 }
@@ -507,6 +525,7 @@ cmdSoak()
     cfg.query_qps = g_soak_qps;
     cfg.shards = g_shards;
     cfg.threads = g_threads;
+    cfg.checkpoint_every_pages = g_checkpoint_every;
 
     // Calibrate the offered rate to the measured closed-loop capacity
     // so the run is loaded but stable on any model parameters.
@@ -599,6 +618,56 @@ cmdTemplates(const std::string &log_path, size_t show)
     return 0;
 }
 
+/** Offline storage maintenance on a saved image: load, run one
+ *  checkpoint (journal truncation + segment GC), save back in place.
+ *  Works on sealed ingest images — the seal survives via the
+ *  superblock flag — and bounds what a later --recover mount replays. */
+int
+cmdCheckpoint(const std::string &img_path)
+{
+    core::MithriLog system;
+    Status st = system.loadImage(img_path);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "load: %s\n", st.toString().c_str());
+        return 1;
+    }
+    uint64_t chain_before = system.journalChainRecords();
+    uint64_t segments_freed_before =
+        system.ssd().store().segmentsFreed();
+    WallTimer timer;
+    st = system.checkpoint();
+    if (!st.isOk()) {
+        std::fprintf(stderr, "checkpoint: %s\n",
+                     st.toString().c_str());
+        return 1;
+    }
+    st = system.saveImage(img_path);
+    if (!st.isOk()) {
+        std::fprintf(stderr, "save: %s\n", st.toString().c_str());
+        return 1;
+    }
+    uint64_t segments_freed =
+        system.ssd().store().segmentsFreed() - segments_freed_before;
+    std::printf("checkpointed %s: chain %llu -> %llu records "
+                "(snapshot %llu), %llu segment(s) reclaimed\n",
+                img_path.c_str(),
+                static_cast<unsigned long long>(chain_before),
+                static_cast<unsigned long long>(
+                    system.journalChainRecords()),
+                static_cast<unsigned long long>(
+                    system.journalSnapshotRecords()),
+                static_cast<unsigned long long>(segments_freed));
+    obs::JsonRecord("cli_checkpoint")
+        .field("chain_records_before", chain_before)
+        .field("chain_records_after", system.journalChainRecords())
+        .field("snapshot_records", system.journalSnapshotRecords())
+        .field("segments_freed", segments_freed)
+        .field("checkpoints", system.checkpoints())
+        .field("wall_seconds", timer.seconds())
+        .emit();
+    return g_obs.write(system);
+}
+
 int
 cmdStat(const std::string &img_path)
 {
@@ -648,6 +717,9 @@ main(int argc, char **argv)
                 std::string(a.substr(strlen("--crash-at="))));
         } else if (a == "--recover") {
             g_recover = true;
+        } else if (a.rfind("--checkpoint-every=", 0) == 0) {
+            g_checkpoint_every = std::stoull(
+                std::string(a.substr(strlen("--checkpoint-every="))));
         } else if (a.rfind("--shards=", 0) == 0) {
             g_shards = std::stoull(
                 std::string(a.substr(strlen("--shards="))));
@@ -694,6 +766,9 @@ main(int argc, char **argv)
     }
     if (cmd == "stat" && argc == 3) {
         return cmdStat(argv[2]);
+    }
+    if (cmd == "checkpoint" && argc == 3) {
+        return cmdCheckpoint(argv[2]);
     }
     if (cmd == "soak" && argc == 2) {
         return cmdSoak();

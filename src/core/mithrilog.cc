@@ -173,6 +173,12 @@ MithriLog::sealPendingPage()
     pending_tokens_.clear();
     counters_.pages_sealed->add();
     counters_.lzah_bytes_out->add(storage::kPageSize);
+    if (config_.checkpoint_every_pages > 0 &&
+        data_pages_.size() % config_.checkpoint_every_pages == 0) {
+        // The page above is already acknowledged (its barrier passed);
+        // a failure below is a device death, never a lost ack.
+        MITHRIL_RETURN_IF_ERROR(runCheckpoint());
+    }
     return Status::ok();
 }
 
@@ -215,6 +221,146 @@ MithriLog::seal()
     // an in-memory transition (recovery of an empty device is a no-op).
     sealed_ = true;
     return Status::ok();
+}
+
+Status
+MithriLog::checkpoint()
+{
+    if (recovered_) {
+        // A recovered mount is read-only and its journal cursor is not
+        // live; reopen() first, then checkpoint the writable store.
+        return Status::failedPrecondition(
+            "recovered store is read-only; reopen() before checkpoint");
+    }
+    if (dead_) {
+        return Status::unavailable(
+            "device lost power; recover() the image on a fresh system");
+    }
+    // Commit everything the caller has handed over first, so the
+    // snapshot covers the full acknowledged prefix at the truncation.
+    // A sealed store has nothing pending by construction; checkpoint
+    // is still allowed — it is maintenance (bounding mount replay for
+    // an archived image), not mutation, and the seal survives it.
+    if (!sealed_) {
+        MITHRIL_RETURN_IF_ERROR(flush());
+    }
+    return runCheckpoint();
+}
+
+Status
+MithriLog::runCheckpoint()
+{
+    if (!journal_.formatted()) {
+        // Nothing was ever committed: no chain to truncate, no segments
+        // worth cleaning. Succeeding as a no-op keeps the policy
+        // trigger and the CLI path trivially correct on empty stores.
+        return Status::ok();
+    }
+    obs::Span span = tracer_->span("checkpoint", "core");
+    obs::Span truncate_span =
+        tracer_->span("checkpoint.truncate", "core");
+    Status st = journal_.checkpoint(sealed_);
+    truncate_span.end();
+    if (!st.isOk()) {
+        // A cut inside the protocol is crash-safe on the media (replay
+        // lands on the old or the new superblock), but the in-memory
+        // cursor no longer matches it.
+        dead_ = true;
+        return st;
+    }
+    obs::Span clean_span = tracer_->span("checkpoint.clean", "core");
+    st = cleanSegments();
+    clean_span.end();
+    if (!st.isOk()) {
+        dead_ = true;
+        return st;
+    }
+    updateStorageGauges();
+    span.end();
+    return Status::ok();
+}
+
+Status
+MithriLog::cleanSegments()
+{
+    storage::PageStore &store = ssd_.store();
+    obs::Counter &migrations = metrics_->counter("storage.migrations");
+    obs::Counter &retries =
+        metrics_->counter("storage.migration_retries");
+    // Highest cold segment first: destinations are strictly below the
+    // victim, so a migrated page can never land back in it and every
+    // pass monotonically drains the top of the slot array.
+    for (uint64_t seg = store.segmentCount(); seg-- > 0;) {
+        uint64_t live = store.segmentLive(seg);
+        if (live == 0 || live * 2 > storage::kSegmentPages) {
+            continue; // hot (or already drained): not worth the copies
+        }
+        uint64_t seg_base = seg * storage::kSegmentPages;
+        for (PageId id = 0; live > 0 && id < store.pageCount(); ++id) {
+            uint64_t src_slot = store.physicalSlot(id);
+            if (src_slot == storage::kUnmappedSlot ||
+                src_slot / storage::kSegmentPages != seg) {
+                continue;
+            }
+            uint64_t dst_slot = 0;
+            if (!store.allocatePhysicalBelow(seg_base, &dst_slot)) {
+                // No free slot below the victim: this pass cannot shrink
+                // the device further. Nothing is half-moved.
+                return Status::ok();
+            }
+            std::span<const uint8_t> src;
+            MITHRIL_RETURN_IF_ERROR(store.read(id, &src));
+            // Stable copy of intent: the fault plan may tear the
+            // program, and the verify must compare against what the
+            // cleaner meant to write, not what landed.
+            std::vector<uint8_t> copy(src.begin(), src.end());
+            uint32_t crc = crc32(copy.data(), copy.size());
+            ssd_.chargeOverlappedRead(1, Link::kInternal);
+            // Copy -> journal the intent -> barrier -> verify -> remap.
+            // The map points at the old slot until the verify passes,
+            // so no window in this protocol loses acknowledged data.
+            Status st = ssd_.writePhysical(dst_slot, copy);
+            if (st.isOk()) {
+                st = journal_.appendMigrate(id, crc, src_slot, dst_slot);
+            }
+            if (!st.isOk()) {
+                return st; // power cut: the device is dead
+            }
+            bool verified = false;
+            for (int attempt = 0; attempt < 2 && !verified; ++attempt) {
+                if (attempt > 0) {
+                    retries.add();
+                    MITHRIL_RETURN_IF_ERROR(
+                        ssd_.writePhysical(dst_slot, copy));
+                }
+                std::span<const uint8_t> back;
+                MITHRIL_RETURN_IF_ERROR(
+                    ssd_.readPhysical(dst_slot, &back));
+                verified = crc32(back.data(), back.size()) == crc;
+            }
+            if (!verified) {
+                // Ladder rung 2: abandon the pass. The page stays where
+                // it was (live, covered by its journaled CRC); the next
+                // checkpoint re-schedules the segment.
+                store.freePhysical(dst_slot);
+                return Status::ok();
+            }
+            migrations.add();
+            MITHRIL_RETURN_IF_ERROR(store.remap(id, dst_slot));
+            --live;
+        }
+    }
+    return Status::ok();
+}
+
+void
+MithriLog::updateStorageGauges()
+{
+    const storage::PageStore &store = ssd_.store();
+    metrics_->gauge("storage.segments_live")
+        .set(static_cast<double>(store.segmentsLive()));
+    metrics_->gauge("storage.segments_freed")
+        .set(static_cast<double>(store.segmentsFreed()));
 }
 
 double
@@ -671,12 +817,14 @@ MithriLog::run(std::string_view query_text, QueryResult *out)
 
 namespace {
 constexpr uint32_t kImageMagic = 0x474f4c4d;  // "MLOG"
-/** v4: widens the journal cursor to 8 words (adds the chained flag for
- *  reopened generation chains). v3 added the durable-commit state
- *  (committed lines/bytes, sealed flag) and the journal cursor; v2
- *  images predate the journal layout (their page 0 is a data page).
- *  Older versions are rejected. */
-constexpr uint32_t kImageVersion = 4;
+/** v5: storage-lifecycle images — the journal cursor is length-prefixed
+ *  (it went variable: committed page table + chain/snapshot page lists)
+ *  and a freed-logical-id list restores the FTL free list, with freed
+ *  ids dumped as zero pages to keep the logical-order dump dense. v4
+ *  widened the cursor to 8 words; v3 added the durable-commit state and
+ *  the cursor; v2 images predate the journal layout. Older versions are
+ *  rejected. */
+constexpr uint32_t kImageVersion = 5;
 
 /** Raw device dump header (saveDeviceImage / recover). */
 constexpr uint32_t kDeviceMagic = 0x5645444d;  // "MDEV"
@@ -702,12 +850,29 @@ MithriLog::saveImage(const std::string &path)
         putLe<uint64_t>(blob, p);
     }
 
+    // Logical ids the lifecycle layer freed (old journal chains and
+    // snapshots): restored as burned ids whose slots rejoin the free
+    // list, so post-load allocation order matches the live store's.
+    std::vector<PageId> freed;
+    for (PageId p = 0; p < ssd_.store().pageCount(); ++p) {
+        if (!ssd_.store().contains(p)) {
+            freed.push_back(p);
+        }
+    }
+    putLe<uint64_t>(blob, freed.size());
+    for (PageId p : freed) {
+        putLe<uint64_t>(blob, p);
+    }
+
     std::vector<uint8_t> index_blob;
     index_->serialize(&index_blob);
     putLe<uint64_t>(blob, index_blob.size());
     blob.insert(blob.end(), index_blob.begin(), index_blob.end());
 
-    journal_.serialize(&blob);
+    std::vector<uint8_t> journal_blob;
+    journal_.serialize(&journal_blob);
+    putLe<uint64_t>(blob, journal_blob.size());
+    blob.insert(blob.end(), journal_blob.begin(), journal_blob.end());
 
     uint64_t pages = ssd_.store().pageCount();
     putLe<uint64_t>(blob, pages);
@@ -717,7 +882,15 @@ MithriLog::saveImage(const std::string &path)
         return Status::invalidArgument("cannot open " + path);
     }
     bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    static const uint8_t kZeroPage[storage::kPageSize] = {};
     for (PageId p = 0; ok && p < pages; ++p) {
+        if (!ssd_.store().contains(p)) {
+            // Freed id: its slot is gone, but the logical-order dump
+            // must stay dense for the positional load below.
+            ok = std::fwrite(kZeroPage, 1, sizeof kZeroPage, f) ==
+                 sizeof kZeroPage;
+            continue;
+        }
         std::span<const uint8_t> view;
         ok = ssd_.store().read(p, &view).isOk() &&
              std::fwrite(view.data(), 1, view.size(), f) == view.size();
@@ -773,20 +946,31 @@ MithriLog::loadImage(const std::string &path)
     for (uint64_t i = 0; i < n_data_pages; ++i) {
         data_pages_.push_back(get64());
     }
+    uint64_t n_freed = get64();
+    if (!need(n_freed * 8 + 8)) {
+        return Status::corruptData("image free list truncated");
+    }
+    std::vector<PageId> freed;
+    freed.reserve(n_freed);
+    for (uint64_t i = 0; i < n_freed; ++i) {
+        freed.push_back(get64());
+    }
     uint64_t index_size = get64();
-    if (!need(index_size)) {
+    if (!need(index_size + 8)) {
         return Status::corruptData("image index blob truncated");
     }
     std::span<const uint8_t> index_blob(blob.data() + pos, index_size);
     pos += index_size;
     // The journal cursor references the current journal page image, so
-    // it deserializes only after the pages below are in the store.
-    size_t cursor_pos = pos;
-    constexpr size_t kCursorBytes = 8 * 8;
-    if (!need(kCursorBytes + 8)) {
+    // it deserializes only after the pages below are in the store. It
+    // is variable-length (committed table + page lists): the prefix
+    // says how much to skip now and consume later.
+    uint64_t cursor_bytes = get64();
+    if (!need(cursor_bytes + 8)) {
         return Status::corruptData("image journal cursor truncated");
     }
-    pos += kCursorBytes;
+    size_t cursor_pos = pos;
+    pos += cursor_bytes;
     uint64_t pages = get64();
     if (!need(pages * storage::kPageSize)) {
         return Status::corruptData("image pages truncated");
@@ -798,10 +982,19 @@ MithriLog::loadImage(const std::string &path)
                     blob.data() + pos + p * storage::kPageSize,
                     storage::kPageSize)));
     }
+    // Re-burn the freed ids so the FTL state (free list, occupancy)
+    // matches the saving store's.
+    for (PageId p : freed) {
+        MITHRIL_RETURN_IF_ERROR(ssd_.store().free(p));
+    }
     size_t consumed = 0;
     MITHRIL_RETURN_IF_ERROR(journal_.deserialize(
-        blob.data() + cursor_pos, kCursorBytes, &consumed));
+        blob.data() + cursor_pos, cursor_bytes, &consumed));
+    if (consumed != cursor_bytes) {
+        return Status::corruptData("image journal cursor size mismatch");
+    }
     MITHRIL_RETURN_IF_ERROR(index_->deserialize(index_blob));
+    updateStorageGauges();
     ssd_.resetClock();
     return Status::ok();
 }
@@ -821,7 +1014,18 @@ MithriLog::saveDeviceImage(const std::string &path) const
     }
     bool ok =
         std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    static const uint8_t kZeroPage[storage::kPageSize] = {};
     for (PageId p = 0; ok && p < pages; ++p) {
+        if (!ssd_.store().contains(p)) {
+            // Freed id: dumped as a zero page. The raw dump is taken in
+            // logical order — the translation map is device metadata,
+            // like a real FTL's table — so physical migration and
+            // reclamation are invisible to crash recovery; replay never
+            // references a freed id, and recover() sweeps the garbage.
+            ok = std::fwrite(kZeroPage, 1, sizeof kZeroPage, f) ==
+                 sizeof kZeroPage;
+            continue;
+        }
         std::span<const uint8_t> view;
         ok = ssd_.store().read(p, &view).isOk() &&
              std::fwrite(view.data(), 1, view.size(), f) == view.size();
@@ -911,6 +1115,36 @@ MithriLog::recover(const std::string &path)
     uint64_t discarded = rr.pages.size() - survivors.size();
     verify_span.end();
 
+    // Step 2b: mark-sweep space reclamation. The journal footprint the
+    // replay walked (chain + snapshot pages), the superblock slots, and
+    // the surviving data pages are the only pages the recovered store
+    // can ever reference. Everything else — the crashed store's index
+    // pages, pages freed before the crash, data pages past the
+    // verification cut — is garbage the mount reclaims, so the index
+    // rebuild below reuses the slots deterministically.
+    obs::Span sweep_span = tracer_->span("recover.sweep", "core");
+    std::vector<bool> live(ssd_.store().pageCount(), false);
+    for (PageId p = 0; p < 2 && p < live.size(); ++p) {
+        live[p] = true; // superblock slots
+    }
+    for (PageId p : rr.chain_pages) {
+        live[p] = true;
+    }
+    for (PageId p : rr.snapshot_pages) {
+        live[p] = true;
+    }
+    for (const Survivor &s : survivors) {
+        live[s.cp.page] = true;
+    }
+    uint64_t swept = 0;
+    for (PageId p = 0; p < live.size(); ++p) {
+        if (!live[p]) {
+            MITHRIL_RETURN_IF_ERROR(ssd_.store().free(p));
+            ++swept;
+        }
+    }
+    sweep_span.end();
+
     // Step 3: rebuild the index from the surviving pages (the index is
     // unjournaled by design; committed data pages are the source of
     // truth).
@@ -963,9 +1197,16 @@ MithriLog::recover(const std::string &path)
     metrics_->counter("recovery.pages_committed")
         .add(reopen_rr_.pages.size());
     metrics_->counter("recovery.pages_discarded").add(discarded);
+    metrics_->counter("recovery.pages_swept").add(swept);
     metrics_->counter("recovery.lines_recovered").add(lines_);
+    // Total logical records this mount replayed (snapshot + tail): the
+    // quantity the checkpoint bounds, exposed for the bounded-replay
+    // gates.
+    metrics_->gauge("recovery.replay_records")
+        .set(static_cast<double>(reopen_rr_.records));
     metrics_->gauge("journal.generation")
         .set(static_cast<double>(reopen_rr_.generation));
+    updateStorageGauges();
     // mithril-lint: allow(adhoc-latency) one-shot mount-time total, not a latency sample
     metrics_->counter("recovery.modeled_ps").add(ssd_.elapsed().ps());
     span.end();
@@ -1003,6 +1244,9 @@ MithriLog::reopen()
     }
     sealed_ = false;
     recovered_ = false;
+    // A snapshot-bearing reopen collapses and reclaims the old journal
+    // footprint; republish the occupancy it changed.
+    updateStorageGauges();
     span.end();
     return Status::ok();
 }

@@ -67,6 +67,14 @@ struct MithriLogConfig {
      *  `core.lines_truncated` counter) instead of rejected. */
     bool truncate_long_lines = true;
     /**
+     * Background checkpoint policy: run checkpoint() after every N
+     * sealed data pages (0 disables). The trigger sits just past the
+     * commit barrier, so the page that tripped it is already
+     * acknowledged whatever the checkpoint does; a checkpoint failure
+     * is a device death, never a lost ack.
+     */
+    uint64_t checkpoint_every_pages = 0;
+    /**
      * External metric registry / tracer to report into (benches and
      * services aggregating several systems share one). When null the
      * system owns private instances, reachable via metrics()/tracer().
@@ -198,6 +206,40 @@ class MithriLog
      * complete dataset.
      */
     [[nodiscard]] Status seal();
+
+    /**
+     * Storage-lifecycle maintenance point (DESIGN.md §14): flushes
+     * pending lines, truncates the journal chain into a snapshot
+     * (Journal::checkpoint — bounded mount-time replay), then runs the
+     * segment cleaner (cleanSegments — crash-safe space reclamation).
+     * Committed data and the acknowledged prefix are exactly preserved;
+     * a crash anywhere inside replays either the pre- or the
+     * post-checkpoint state. No-op ok on a store that never committed.
+     * Allowed on a sealed store (the seal survives in the superblock
+     * flag — maintenance on an archived image, not mutation).
+     * @retval kFailedPrecondition the store is a read-only recovered
+     *         mount; reopen() first.
+     * @retval kUnavailable the device died mid-protocol (power cut);
+     *         recover() the image on a fresh system.
+     */
+    [[nodiscard]] Status checkpoint();
+
+    /** checkpoint() calls completed over this journal cursor. */
+    uint64_t checkpoints() const { return journal_.checkpoints(); }
+
+    /** Records in the live journal chain since the last checkpoint
+     *  (replay tail a crash right now would walk). */
+    uint64_t journalChainRecords() const
+    {
+        return journal_.chainRecords();
+    }
+
+    /** Records summarized by the live snapshot (0 when the chain has
+     *  never been truncated). */
+    uint64_t journalSnapshotRecords() const
+    {
+        return journal_.snapshotRecords();
+    }
 
     // ---- dataset statistics -------------------------------------------
 
@@ -332,6 +374,19 @@ class MithriLog
     /** Live journal incarnation (0 before the first commit/reopen). */
     uint64_t journalGeneration() const { return journal_.generation(); }
 
+    /** Of the records the last recover() replayed: how many came from
+     *  the checkpoint snapshot vs. the live chain tail. Their sum is
+     *  the `recovery.records_replayed` counter; the chain share is the
+     *  part checkpointing bounds. */
+    uint64_t recoveredSnapshotRecords() const
+    {
+        return reopen_rr_.snapshot_records;
+    }
+    uint64_t recoveredChainRecords() const
+    {
+        return reopen_rr_.records - reopen_rr_.snapshot_records;
+    }
+
     // ---- component access (benches, tests, ablations) ------------------
 
     storage::SsdModel &ssd() { return ssd_; }
@@ -400,6 +455,28 @@ class MithriLog
      *  failure marks the system dead_ (in-memory state no longer
      *  matches the media). */
     Status sealPendingPage();
+
+    /** checkpoint() minus the flush: journal truncation + segment
+     *  cleaning. The auto-policy calls this from inside the commit path
+     *  (where flush() would recurse); any failure marks dead_. */
+    Status runCheckpoint();
+
+    /**
+     * Segment cleaner (DESIGN.md §14): migrates live pages out of cold
+     * segments (occupancy <= half) into free slots in strictly earlier
+     * segments, so drained segments return to the allocator and the
+     * physical footprint shrinks. Per page: copy (faultable program),
+     * journal a migrate record, barrier, read back and CRC-verify, only
+     * then retarget the translation map. Degradation ladder: one
+     * rewrite retry per page, then the pass is abandoned (ok — the next
+     * checkpoint re-schedules); only a dead device surfaces an error.
+     * Never touches acknowledged data: the map points at the old slot
+     * until the copy verified.
+     */
+    Status cleanSegments();
+
+    /** Publishes `storage.segments_live` / `storage.segments_freed`. */
+    void updateStorageGauges();
 
     /** Fills QueryResult::breakdown, closes the query span, and
      *  records the per-query counters. @p index_pruned says whether

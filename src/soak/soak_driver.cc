@@ -145,6 +145,7 @@ SoakDriver::SoakDriver(SoakConfig config) : config_(config)
     sc.batch_lines = std::max<size_t>(1, config_.batch_lines);
     sc.queue_depth = std::max<size_t>(1, config_.queue_depth);
     sc.routing = svc::RoutingPolicy::kRoundRobin;
+    sc.checkpoint_every_pages = config_.checkpoint_every_pages;
     sc.metrics = metrics_;
     sc.tracer = config_.tracer;
     service_ = std::make_unique<svc::LogService>(sc);

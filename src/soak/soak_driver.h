@@ -91,6 +91,12 @@ struct SoakConfig {
     /** Virtual time between time-series snapshots. */
     double snapshot_every_s = 0.05;
 
+    /** Per-shard background checkpoint cadence, passed through to
+     *  svc::LogServiceConfig::checkpoint_every_pages (0 disables):
+     *  soaks with it on exercise journal truncation + segment GC under
+     *  sustained load. */
+    uint64_t checkpoint_every_pages = 0;
+
     /** Shared registry/tracer; when null the driver owns private
      *  instances (reachable via metrics()/service()). */
     obs::MetricsRegistry *metrics = nullptr;

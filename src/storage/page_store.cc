@@ -5,11 +5,42 @@
 
 namespace mithril::storage {
 
+uint64_t
+PageStore::takeSlot()
+{
+    uint64_t slot;
+    if (!free_slots_.empty()) {
+        // Lowest-first reuse keeps placement deterministic and packs the
+        // low segments, which is what lets the cleaner drain high ones.
+        slot = *free_slots_.begin();
+        free_slots_.erase(free_slots_.begin());
+        std::memset(slots_.data() + slot * kPageSize, 0, kPageSize);
+    } else {
+        slot = physicalSlotCount();
+        slots_.resize(slots_.size() + kPageSize, 0);
+    }
+    uint64_t seg = slot / kSegmentPages;
+    if (seg >= seg_live_.size())
+        seg_live_.resize(seg + 1, 0);
+    ++seg_live_[seg];
+    return slot;
+}
+
+void
+PageStore::releaseSlot(uint64_t slot)
+{
+    uint64_t seg = slot / kSegmentPages;
+    MITHRIL_ASSERT(seg < seg_live_.size() && seg_live_[seg] > 0);
+    MITHRIL_ASSERT(free_slots_.insert(slot).second);
+    if (--seg_live_[seg] == 0)
+        ++segments_freed_;
+}
+
 PageId
 PageStore::allocate()
 {
-    PageId id = pageCount();
-    pages_.resize(pages_.size() + kPageSize, 0);
+    PageId id = map_.size();
+    map_.push_back(takeSlot());
     return id;
 }
 
@@ -26,7 +57,8 @@ PageStore::write(PageId id, std::span<const uint8_t> data)
             "write of " + std::to_string(data.size()) +
             " bytes exceeds page size " + std::to_string(kPageSize));
     }
-    std::memcpy(pages_.data() + id * kPageSize, data.data(), data.size());
+    std::memcpy(slots_.data() + map_[id] * kPageSize, data.data(),
+                data.size());
     return Status::ok();
 }
 
@@ -38,15 +70,96 @@ PageStore::read(PageId id, std::span<const uint8_t> *out) const
             "page id " + std::to_string(id) + " out of range (" +
             std::to_string(pageCount()) + " pages allocated)");
     }
-    *out = {pages_.data() + id * kPageSize, kPageSize};
+    *out = {slots_.data() + map_[id] * kPageSize, kPageSize};
     return Status::ok();
 }
 
 std::span<uint8_t>
 PageStore::mutablePage(PageId id)
 {
-    MITHRIL_ASSERT(id < pageCount());
-    return {pages_.data() + id * kPageSize, kPageSize};
+    MITHRIL_ASSERT(contains(id));
+    return {slots_.data() + map_[id] * kPageSize, kPageSize};
+}
+
+Status
+PageStore::free(PageId id)
+{
+    if (!contains(id)) {
+        return Status::invalidArgument(
+            "free of unmapped page id " + std::to_string(id));
+    }
+    releaseSlot(map_[id]);
+    map_[id] = kUnmappedSlot;
+    return Status::ok();
+}
+
+bool
+PageStore::allocatePhysicalBelow(uint64_t limit_slot, uint64_t *slot)
+{
+    if (free_slots_.empty() || *free_slots_.begin() >= limit_slot)
+        return false;
+    *slot = *free_slots_.begin();
+    free_slots_.erase(free_slots_.begin());
+    std::memset(slots_.data() + *slot * kPageSize, 0, kPageSize);
+    uint64_t seg = *slot / kSegmentPages;
+    ++seg_live_[seg];
+    return true;
+}
+
+void
+PageStore::freePhysical(uint64_t slot)
+{
+    releaseSlot(slot);
+}
+
+Status
+PageStore::writePhysical(uint64_t slot, std::span<const uint8_t> data)
+{
+    if (slot >= physicalSlotCount() || free_slots_.count(slot)) {
+        return Status::invalidArgument(
+            "physical write to unallocated slot " + std::to_string(slot));
+    }
+    if (data.size() > kPageSize) {
+        return Status::invalidArgument(
+            "write of " + std::to_string(data.size()) +
+            " bytes exceeds page size " + std::to_string(kPageSize));
+    }
+    std::memcpy(slots_.data() + slot * kPageSize, data.data(), data.size());
+    return Status::ok();
+}
+
+Status
+PageStore::readPhysical(uint64_t slot, std::span<const uint8_t> *out) const
+{
+    if (slot >= physicalSlotCount() || free_slots_.count(slot)) {
+        return Status::invalidArgument(
+            "physical read of unallocated slot " + std::to_string(slot));
+    }
+    *out = {slots_.data() + slot * kPageSize, kPageSize};
+    return Status::ok();
+}
+
+Status
+PageStore::remap(PageId id, uint64_t slot)
+{
+    if (!contains(id) || slot >= physicalSlotCount() ||
+        free_slots_.count(slot)) {
+        return Status::invalidArgument(
+            "remap of page " + std::to_string(id) + " onto slot " +
+            std::to_string(slot));
+    }
+    releaseSlot(map_[id]);
+    map_[id] = slot;
+    return Status::ok();
+}
+
+uint64_t
+PageStore::segmentsLive() const
+{
+    uint64_t n = 0;
+    for (uint32_t live : seg_live_)
+        n += live > 0 ? 1 : 0;
+    return n;
 }
 
 } // namespace mithril::storage

@@ -6,11 +6,23 @@
  * bandwidth modeling on top. Keeping the two separate lets tests exercise
  * data-path correctness without a timing model, and lets the timing model
  * be validated without data.
+ *
+ * Since the storage-lifecycle work (DESIGN.md §14) the store is an FTL in
+ * miniature: callers address *logical* PageIds (dense, monotone, never
+ * reused), which map onto *physical* slots grouped into fixed-size
+ * segments. Freeing a logical page returns its slot to a free list;
+ * allocation reuses the lowest free slot first (deterministic), and the
+ * segment cleaner migrates live pages between slots via remap() without
+ * the logical id ever changing. Device dumps (saveDeviceImage) are taken
+ * in logical order — the map is device metadata, the way a real FTL
+ * persists its translation table — so physical migration is invisible to
+ * crash recovery.
  */
 #ifndef MITHRIL_STORAGE_PAGE_STORE_H
 #define MITHRIL_STORAGE_PAGE_STORE_H
 
 #include <cstdint>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -19,52 +31,130 @@
 
 namespace mithril::storage {
 
+/** Physical slots per segment: the cleaner's unit of reclamation. */
+constexpr uint64_t kSegmentPages = 32;
+
+/** Sentinel for "logical id has no physical slot" (freed page). */
+constexpr uint64_t kUnmappedSlot = ~0ull;
+
 /** In-memory array of fixed-size pages with append-style allocation. */
 class PageStore
 {
   public:
     PageStore() = default;
 
-    /** Allocates a zero-filled page and returns its id. */
+    /** Allocates a zero-filled page and returns its (logical) id.
+     *  Logical ids are dense and monotone; the physical slot behind a
+     *  fresh id is the lowest free slot, or a new one. */
     PageId allocate();
 
-    /** Number of allocated pages. */
-    uint64_t pageCount() const { return pages_.size() / kPageSize; }
+    /** Number of logical pages ever allocated (monotone; freed ids
+     *  still count — logical ids are never reused). */
+    uint64_t pageCount() const { return map_.size(); }
 
-    /** Total allocated bytes (pageCount * kPageSize). */
-    uint64_t sizeBytes() const { return pages_.size(); }
+    /** Total physical bytes backing the store (slots * kPageSize);
+     *  unlike pageCount() this reflects reclamation. */
+    uint64_t sizeBytes() const { return slots_.size(); }
 
     /**
      * Overwrites page @p id starting at byte 0 with @p data
      * (data.size() <= kPageSize); the remainder keeps its old contents.
      *
-     * Returns kInvalidArgument for an out-of-range @p id or an oversized
-     * payload, mirroring the read-path contract so the device model can
-     * surface bad programs as errors instead of aborting.
+     * Returns kInvalidArgument for an out-of-range or freed @p id or an
+     * oversized payload, mirroring the read-path contract so the device
+     * model can surface bad programs as errors instead of aborting.
      */
     [[nodiscard]] Status write(PageId id, std::span<const uint8_t> data);
 
     /**
      * Read-only view of a full page.
      *
-     * Returns kInvalidArgument for an out-of-range or never-allocated
-     * @p id (a corrupt on-storage pointer must surface as an error the
-     * degradation ladder can catch, not as UB or an abort).
+     * Returns kInvalidArgument for an out-of-range, never-allocated, or
+     * freed @p id (a corrupt on-storage pointer must surface as an error
+     * the degradation ladder can catch, not as UB or an abort).
      */
     Status read(PageId id, std::span<const uint8_t> *out) const;
 
-    /** True iff @p id names an allocated page. */
-    bool contains(PageId id) const { return id < pageCount(); }
+    /** True iff @p id names a live (allocated, not freed) page. */
+    bool contains(PageId id) const
+    {
+        return id < map_.size() && map_[id] != kUnmappedSlot;
+    }
 
     /** Mutable view of a full page (for in-place structures). The id
      *  must be valid: writers derive ids from allocate(), never from
      *  on-storage bytes, so this stays an invariant (asserted). */
     std::span<uint8_t> mutablePage(PageId id);
 
+    // ---- storage lifecycle (checkpointing + segment GC) --------------
+
+    /** Unmaps logical @p id and returns its physical slot to the free
+     *  list. The id stays burned (never reallocated); read/write on it
+     *  fail with kInvalidArgument afterwards. */
+    [[nodiscard]] Status free(PageId id);
+
+    /** Physical slot behind @p id, or kUnmappedSlot if freed/invalid. */
+    uint64_t physicalSlot(PageId id) const
+    {
+        return id < map_.size() ? map_[id] : kUnmappedSlot;
+    }
+
+    /** Takes the lowest free slot strictly below @p limit_slot without
+     *  binding it to a logical id (migration destination; the slot is
+     *  "in flight" until remap() or freePhysical()). Returns false when
+     *  no such slot exists. The slot is zero-filled. */
+    bool allocatePhysicalBelow(uint64_t limit_slot, uint64_t *slot);
+
+    /** Returns an in-flight physical slot (failed migration) to the
+     *  free list. */
+    void freePhysical(uint64_t slot);
+
+    /** Raw write/read on a physical slot (cleaner copy + verify path;
+     *  normal I/O goes through logical ids). */
+    [[nodiscard]] Status writePhysical(uint64_t slot,
+                                       std::span<const uint8_t> data);
+    Status readPhysical(uint64_t slot,
+                        std::span<const uint8_t> *out) const;
+
+    /** Retargets live logical @p id onto in-flight @p slot and frees the
+     *  old slot. The logical id — and therefore every on-storage pointer
+     *  and journal record naming it — is unchanged. */
+    [[nodiscard]] Status remap(PageId id, uint64_t slot);
+
+    // ---- occupancy (cleaner policy inputs + gauges) -------------------
+
+    uint64_t physicalSlotCount() const
+    {
+        return slots_.size() / kPageSize;
+    }
+    uint64_t freeSlotCount() const { return free_slots_.size(); }
+    uint64_t segmentCount() const { return seg_live_.size(); }
+    /** Live (non-free) slots inside segment @p seg. */
+    uint32_t segmentLive(uint64_t seg) const
+    {
+        return seg < seg_live_.size() ? seg_live_[seg] : 0;
+    }
+    /** Segments with at least one live slot. */
+    uint64_t segmentsLive() const;
+    /** Cumulative count of segments that drained to fully-free. */
+    uint64_t segmentsFreed() const { return segments_freed_; }
+
   private:
-    // One flat buffer keeps allocation cheap and cache behaviour sane for
-    // the multi-GB-scale (scaled-down) datasets the benches ingest.
-    std::vector<uint8_t> pages_;
+    uint64_t takeSlot();
+    void releaseSlot(uint64_t slot);
+
+    // Physical slot array; one flat buffer keeps allocation cheap and
+    // cache behaviour sane for the multi-GB-scale (scaled-down) datasets
+    // the benches ingest.
+    std::vector<uint8_t> slots_;
+    // Logical id -> physical slot (kUnmappedSlot once freed).
+    std::vector<uint64_t> map_;
+    // Free physical slots, reused lowest-first so allocation order is a
+    // pure function of the free/alloc history (determinism gates).
+    std::set<uint64_t> free_slots_;
+    // Live-slot count per segment (slot / kSegmentPages).
+    std::vector<uint32_t> seg_live_;
+    uint64_t segments_freed_ = 0;
 };
 
 } // namespace mithril::storage

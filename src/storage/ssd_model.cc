@@ -144,6 +144,56 @@ SsdModel::writePage(PageId id, std::span<const uint8_t> data)
 }
 
 Status
+SsdModel::writePhysical(uint64_t slot, std::span<const uint8_t> data)
+{
+    if (power_lost_) {
+        return Status::unavailable("device power lost");
+    }
+    if (slot >= store_.physicalSlotCount() || data.size() > kPageSize) {
+        // Validate before charging time or drawing a fault so a bad
+        // call never perturbs the deterministic fault stream.
+        return Status::invalidArgument(
+            "bad physical program: slot " + std::to_string(slot) + ", " +
+            std::to_string(data.size()) + " bytes");
+    }
+    clock_ += SimTime::transfer(kPageSize, config_.internal_bw_bps);
+    stats_.add("pages_written");
+    stats_.add("bytes_written", data.size());
+    if (fault_plan_ != nullptr) {
+        fault::WriteFault f = fault_plan_->drawWrite(slot, data.size());
+        if (f.power_cut) {
+            MITHRIL_RETURN_IF_ERROR(
+                store_.writePhysical(slot, data.first(f.persisted_bytes)));
+            power_lost_ = true;
+            return Status::unavailable(
+                "power cut during program of slot " + std::to_string(slot));
+        }
+        if (f.dropped) {
+            return Status::ok(); // acked, never reached the media
+        }
+        if (f.torn) {
+            return store_.writePhysical(slot, data.first(f.persisted_bytes));
+        }
+    }
+    return store_.writePhysical(slot, data);
+}
+
+Status
+SsdModel::readPhysical(uint64_t slot, std::span<const uint8_t> *out)
+{
+    if (power_lost_) {
+        return Status::unavailable("device power lost");
+    }
+    SimTime busy = SimTime::transfer(kPageSize, config_.internal_bw_bps);
+    clock_ += busy;
+    stats_.add("pages_read");
+    stats_.add("bytes_read", kPageSize);
+    stats_.add("overlapped_reads");
+    meterTransfer(1, busy, Link::kInternal);
+    return store_.readPhysical(slot, out);
+}
+
+Status
 SsdModel::flushBarrier()
 {
     if (power_lost_) {

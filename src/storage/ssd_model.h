@@ -163,6 +163,22 @@ class SsdModel
                                    std::span<const uint8_t> data);
 
     /**
+     * Programs a *physical* slot (segment-cleaner migration copy):
+     * metered and fault-drawn exactly like writePage — a power cut here
+     * is a crash point the checkpoint crash grid sweeps — but addressed
+     * physically, so the logical map only retargets after the copy is
+     * durable and verified (DESIGN.md §14).
+     */
+    [[nodiscard]] Status writePhysical(uint64_t slot,
+                                       std::span<const uint8_t> data);
+
+    /** Reads back a physical slot for post-copy verification: charges
+     *  transfer time (the verify read pipelines behind the migration
+     *  batch) and returns a read-only view of the media bytes, damage
+     *  included — that is the point of the verify. */
+    Status readPhysical(uint64_t slot, std::span<const uint8_t> *out);
+
+    /**
      * Durability barrier: drains in-flight programs so every write
      * acked before this call is on the media. Charges the config's
      * flush_latency into the clock and counts `ssd.flushes`. Fails

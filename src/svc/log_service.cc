@@ -53,6 +53,7 @@ LogService::LogService(LogServiceConfig config)
     counters_.ingest_errors = &metrics_->counter("svc.ingest_errors");
     counters_.queries = &metrics_->counter("svc.queries");
     counters_.shard_queries = &metrics_->counter("svc.shard_queries");
+    counters_.checkpoints = &metrics_->counter("svc.checkpoints");
     counters_.batch_lines = &metrics_->histogram("svc.batch_lines");
     counters_.queue_depth = &metrics_->histogram("svc.queue_depth");
     stages_.queue_wait = obs::StageLatency(metrics_, "svc.queue_wait");
@@ -281,6 +282,25 @@ LogService::drainShard(size_t si)
                 SimTime::picoseconds(busy_end_ps - busy_start_ps);
             apply_timer.setSimDuration(apply_busy);
             span.setSimDuration(apply_busy);
+            // Background checkpoint policy: between batches (never
+            // mid-batch), once the shard grew enough since its last
+            // checkpoint. A failure is a device death — sticky, like
+            // any other ingest error on this shard.
+            if (batch_error.isOk() &&
+                config_.checkpoint_every_pages > 0 &&
+                s.log->dataPageCount() - s.checkpointed_pages >=
+                    config_.checkpoint_every_pages) {
+                obs::Span ck_span =
+                    tracer_->span("svc.checkpoint", "svc");
+                uint64_t ck_start_ps = s.log->ssd().elapsed().ps();
+                batch_error = s.log->checkpoint();
+                ck_span.setSimDuration(SimTime::picoseconds(
+                    s.log->ssd().elapsed().ps() - ck_start_ps));
+                if (batch_error.isOk()) {
+                    s.checkpointed_pages = s.log->dataPageCount();
+                    counters_.checkpoints->add();
+                }
+            }
         }
         if (!batch_error.isOk()) {
             counters_.ingest_errors->add();

@@ -89,6 +89,15 @@ struct LogServiceConfig {
     /** Base configuration for every shard's MithriLog. The metrics /
      *  tracer fields here are overridden by the service-level ones. */
     core::MithriLogConfig shard{};
+    /**
+     * Per-shard background checkpoint policy: after a batch applies,
+     * the drainer checkpoints its shard once the shard has sealed this
+     * many data pages since its last checkpoint (0 disables). Runs
+     * under the shard's log_mu between batches — never mid-batch — so
+     * the ingest path observes checkpoint latency as ordinary apply
+     * time and the FIFO/durability invariants are untouched.
+     */
+    uint64_t checkpoint_every_pages = 0;
     /** Per-shard read/write fault plans, parsed from this FaultPlan
      *  spec with the seed re-derived per shard (seed ^ mix64(shard+1))
      *  so shards draw independent, reproducible fault streams. Empty =
@@ -276,6 +285,9 @@ class LogService
         std::deque<QueuedBatch> batches MITHRIL_GUARDED_BY(mu);
         /** A drain task for this shard is queued or running. */
         bool draining MITHRIL_GUARDED_BY(mu) = false;
+        /** Data pages in the shard at its last checkpoint (the policy
+         *  trigger's baseline); touched only by the drainer. */
+        uint64_t checkpointed_pages MITHRIL_GUARDED_BY(log_mu) = 0;
         /** Recovered read-only shard (kFailedPrecondition on ingest). */
         bool readonly MITHRIL_GUARDED_BY(mu) = false;
         /** First ingest failure; sticky until recovery. */
@@ -317,6 +329,7 @@ class LogService
         obs::Counter *ingest_errors = nullptr;
         obs::Counter *queries = nullptr;
         obs::Counter *shard_queries = nullptr;
+        obs::Counter *checkpoints = nullptr;
         obs::LogHistogram *batch_lines = nullptr;
         obs::LogHistogram *queue_depth = nullptr;
     } counters_;

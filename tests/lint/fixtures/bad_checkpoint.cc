@@ -1,0 +1,34 @@
+// Known-bad fixture: publishes the superblock epoch / snapshot head
+// outside the checkpoint protocol's own publishers (format/checkpoint/
+// reopen/writeSuperblock); fed explicitly by
+// tests/lint/lint_selftest.py.
+#include <cstdint>
+
+class Journal {
+    void replayChain();
+    void adoptSnapshot();
+    uint64_t epoch_ = 0;          // declaration initializer: not flagged
+    uint64_t snapshot_head_ = ~0ull; // declaration initializer too
+
+public:
+    void checkpoint();
+};
+
+void
+Journal::replayChain()
+{
+    epoch_ += 1;
+}
+
+void
+Journal::checkpoint()
+{
+    epoch_ = epoch_ + 1; // publisher: not flagged
+    snapshot_head_ = 42; // publisher: not flagged
+}
+
+void
+Journal::adoptSnapshot()
+{
+    snapshot_head_ = 7;
+}

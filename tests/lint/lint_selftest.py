@@ -135,6 +135,19 @@ expect("bad_generation.cc:9" not in out,
 expect("bad_generation.cc:24" not in out,
        "Journal::format() may mint a generation")
 
+rc, out = run_lint("bad_checkpoint.cc")
+expect(rc == 1, "bad_checkpoint.cc exits 1")
+expect_finding(out, "bad_checkpoint.cc", 20, "checkpoint-epoch")
+expect_finding(out, "bad_checkpoint.cc", 33, "checkpoint-epoch")
+expect("bad_checkpoint.cc:10" not in out,
+       "the epoch member declaration initializer is not flagged")
+expect("bad_checkpoint.cc:11" not in out,
+       "the snapshot-head declaration initializer is not flagged")
+expect("bad_checkpoint.cc:26" not in out,
+       "Journal::checkpoint() may bump the epoch")
+expect("bad_checkpoint.cc:27" not in out,
+       "Journal::checkpoint() may publish the snapshot head")
+
 rc, out = run_lint("bad_latency.cc")
 expect(rc == 1, "bad_latency.cc exits 1")
 expect_finding(out, "bad_latency.cc", 13, "adhoc-latency")

@@ -106,5 +106,128 @@ TEST(PageStoreTest, OutOfRangeReadReturnsInvalidArgument)
               StatusCode::kInvalidArgument);
 }
 
+// ---- storage lifecycle: free / reuse / migration (DESIGN.md §14) ----
+
+TEST(PageStoreTest, FreeBurnsTheLogicalIdForever)
+{
+    PageStore store;
+    PageId a = store.allocate();
+    PageId b = store.allocate();
+    ASSERT_TRUE(store.free(a).isOk());
+    EXPECT_FALSE(store.contains(a));
+    EXPECT_TRUE(store.contains(b));
+    EXPECT_EQ(store.physicalSlot(a), kUnmappedSlot);
+    // Logical ids are never reused: the count stays monotone and the
+    // next allocation gets a fresh id.
+    EXPECT_EQ(store.pageCount(), 2u);
+    EXPECT_EQ(store.allocate(), 2u);
+    // I/O on the freed id fails like any invalid id.
+    std::span<const uint8_t> page;
+    EXPECT_EQ(store.read(a, &page).code(),
+              StatusCode::kInvalidArgument);
+    std::vector<uint8_t> data(16, 0xab);
+    EXPECT_EQ(store.write(a, data).code(),
+              StatusCode::kInvalidArgument);
+    // Double free is an error, not a corruption.
+    EXPECT_FALSE(store.free(a).isOk());
+}
+
+TEST(PageStoreTest, FreedSlotsAreReusedLowestFirst)
+{
+    PageStore store;
+    PageId ids[4];
+    for (PageId &id : ids) {
+        id = store.allocate();
+    }
+    // Free two slots out of order; the next allocations must take the
+    // lowest ones first (deterministic allocation history).
+    ASSERT_TRUE(store.free(ids[2]).isOk());
+    ASSERT_TRUE(store.free(ids[0]).isOk());
+    EXPECT_EQ(store.freeSlotCount(), 2u);
+    PageId e = store.allocate();
+    EXPECT_EQ(store.physicalSlot(e), 0u);
+    PageId f = store.allocate();
+    EXPECT_EQ(store.physicalSlot(f), 2u);
+    // Reused slots come back zero-filled.
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(e, &page).isOk());
+    for (uint8_t b : page) {
+        ASSERT_EQ(b, 0);
+    }
+    // No physical growth: the footprint still spans 4 slots.
+    EXPECT_EQ(store.sizeBytes(), 4 * kPageSize);
+}
+
+TEST(PageStoreTest, RemapMovesBytesWithoutChangingTheId)
+{
+    PageStore store;
+    // Two segments' worth of pages so a below-limit destination exists.
+    std::vector<PageId> ids;
+    for (uint64_t i = 0; i < kSegmentPages + 2; ++i) {
+        ids.push_back(store.allocate());
+    }
+    PageId victim = ids.back();
+    ASSERT_TRUE(store.free(ids[3]).isOk()); // opens slot 3
+    std::vector<uint8_t> data(kPageSize, 0x5a);
+    ASSERT_TRUE(store.write(victim, data).isOk());
+
+    uint64_t old_slot = store.physicalSlot(victim);
+    uint64_t dst = kUnmappedSlot;
+    ASSERT_TRUE(store.allocatePhysicalBelow(kSegmentPages, &dst));
+    EXPECT_EQ(dst, 3u);
+    ASSERT_TRUE(store.writePhysical(dst, data).isOk());
+    ASSERT_TRUE(store.remap(victim, dst).isOk());
+
+    // Same logical id, same bytes, new slot; the old slot is free.
+    EXPECT_EQ(store.physicalSlot(victim), dst);
+    std::span<const uint8_t> page;
+    ASSERT_TRUE(store.read(victim, &page).isOk());
+    EXPECT_EQ(page[0], 0x5a);
+    EXPECT_EQ(store.freeSlotCount(), 1u); // old_slot came back
+    uint64_t reused = kUnmappedSlot;
+    ASSERT_TRUE(store.allocatePhysicalBelow(~0ull, &reused));
+    EXPECT_EQ(reused, old_slot);
+}
+
+TEST(PageStoreTest, AllocatePhysicalBelowRespectsTheLimit)
+{
+    PageStore store;
+    PageId a = store.allocate();
+    PageId b = store.allocate();
+    ASSERT_TRUE(store.free(b).isOk()); // slot 1 free
+    uint64_t slot = kUnmappedSlot;
+    // Only slot 1 is free, and it is not strictly below 1.
+    EXPECT_FALSE(store.allocatePhysicalBelow(1, &slot));
+    EXPECT_TRUE(store.allocatePhysicalBelow(2, &slot));
+    EXPECT_EQ(slot, 1u);
+    // An aborted migration returns the in-flight slot to the pool.
+    store.freePhysical(slot);
+    EXPECT_EQ(store.freeSlotCount(), 1u);
+    (void)a;
+}
+
+TEST(PageStoreTest, SegmentOccupancyTracksFreesAndDrains)
+{
+    PageStore store;
+    std::vector<PageId> ids;
+    for (uint64_t i = 0; i < kSegmentPages + 4; ++i) {
+        ids.push_back(store.allocate());
+    }
+    EXPECT_EQ(store.segmentCount(), 2u);
+    EXPECT_EQ(store.segmentLive(0), kSegmentPages);
+    EXPECT_EQ(store.segmentLive(1), 4u);
+    EXPECT_EQ(store.segmentsLive(), 2u);
+    EXPECT_EQ(store.segmentsFreed(), 0u);
+
+    // Drain segment 1 completely: live count hits zero and the drain
+    // registers in the cumulative reclaim stat.
+    for (uint64_t i = kSegmentPages; i < kSegmentPages + 4; ++i) {
+        ASSERT_TRUE(store.free(ids[i]).isOk());
+    }
+    EXPECT_EQ(store.segmentLive(1), 0u);
+    EXPECT_EQ(store.segmentsLive(), 1u);
+    EXPECT_EQ(store.segmentsFreed(), 1u);
+}
+
 } // namespace
 } // namespace mithril::storage

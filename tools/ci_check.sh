@@ -15,17 +15,21 @@
 #      recovered store under a fresh journal generation, cut again,
 #      recover again; the contract holds at every (cut1, cut2) pair of
 #      the bounded grid
-#   6. tsan tier         the svc-labelled concurrency tests under
+#   6. ckpt crash matrix tools/crash_matrix.sh --checkpoint — the same
+#      cut grid with the background checkpoint policy on, so cuts land
+#      inside snapshot writes, epoch bumps, and migrations; the final
+#      recovery must show bounded replay (snapshot + short chain tail)
+#   7. tsan tier         the svc-labelled concurrency tests under
 #      -fsanitize=thread (skipped where the toolchain lacks TSan)
-#   7. soak SLO smoke    a short deterministic open-loop soak run whose
+#   8. soak SLO smoke    a short deterministic open-loop soak run whose
 #      soak_slo record must repeat byte-identically and pass its
 #      end-to-end p99 gate
-#   8. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
+#   9. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
 #      src/, plus its fixture selftest (skipped where clang++ is not
 #      installed)
-#   9. domain lint       tools/mithril_lint.py (and its self-test)
-#  10. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#  11. ubsan build+test  full tree under -fsanitize=undefined
+#  10. domain lint       tools/mithril_lint.py (and its self-test)
+#  11. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#  12. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -59,6 +63,10 @@ tools/crash_matrix.sh build-werror/examples/mithril_cli \
 step "multi-generation crash matrix (crash_matrix.sh --rounds=2)"
 tools/crash_matrix.sh --rounds=2 build-werror/examples/mithril_cli \
     build-werror/crash_matrix_mg_ci
+
+step "checkpointed crash matrix (crash_matrix.sh --checkpoint)"
+tools/crash_matrix.sh --checkpoint build-werror/examples/mithril_cli \
+    build-werror/crash_matrix_ckpt_ci
 
 step "tsan tier (svc concurrency tests, preset: tsan)"
 # Probe the toolchain the same way lint_tidy handles a missing

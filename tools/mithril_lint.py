@@ -53,6 +53,12 @@ repo-specific invariants no generic tool knows about:
                      and Journal::reopen(); any other write would fork
                      the generation chain that crash recovery's
                      budget-pinned replay walks.
+  checkpoint-epoch   the superblock epoch and snapshot head may only
+                     be written by the checkpoint protocol's own
+                     publishers (Journal::format/checkpoint/reopen/
+                     writeSuperblock); any other write could publish a
+                     half-built snapshot or tear the ping-pong
+                     superblock's atomic epoch bump.
   adhoc-latency      datapath latency samples must go through the
                      obs::Histogram / span APIs (StageLatency,
                      StageTimer, setSimDuration); feeding elapsed()/
@@ -147,6 +153,10 @@ RULE_HINTS = {
     "generation-bump": "mint generations only in Journal::format()/"
                        "Journal::reopen(); a restore site (cursor "
                        "deserialize) needs a justified allow()",
+    "checkpoint-epoch": "publish the epoch/snapshot head only from "
+                        "Journal::format/checkpoint/reopen/"
+                        "writeSuperblock; a restore site (cursor "
+                        "deserialize) needs a justified allow()",
     "adhoc-latency": "record latency through obs::StageLatency/"
                      "StageTimer (obs/histogram.h) so the sample lands "
                      "in a quantile histogram, not a scalar",
@@ -498,6 +508,52 @@ def check_generation_bump(relpath, code):
                "Journal::reopen()")
 
 
+# ---------------------------------------------------------------------------
+# checkpoint-epoch: the ping-pong superblock's epoch and the snapshot
+# list head are the two cells whose single atomic publication makes
+# checkpoint truncation crash-safe (DESIGN.md §14). Only the protocol's
+# own publishers may write them — Journal::format() (epoch 1, no
+# snapshot), Journal::checkpoint() (the truncation bump),
+# Journal::reopen() (the collapse bump), and writeSuperblock() (the
+# single mint point both funnel through). Any other write could expose
+# a half-built snapshot or tear the old-or-new-never-a-mix guarantee.
+# Member default initializers are construction, not publication; the
+# cursor-restore sites in deserialize() carry explicit allow()s. The
+# rule binds to Journal's *methods*, not a path: other classes may own
+# an unrelated epoch_ (loggen's timestamp clock does), but only
+# Journal's cells carry this protocol.
+
+_CKPT_FIELDS = r"(?:epoch_|snapshot_head_)"
+_CKPT_WRITE_RE = re.compile(
+    rf"\b{_CKPT_FIELDS}\s*(?:=(?!=)|\+=|-=)|"
+    rf"(?:\+\+|--)\s*{_CKPT_FIELDS}\b|"
+    rf"\b{_CKPT_FIELDS}\s*(?:\+\+|--)")
+_CKPT_DECL_RE = re.compile(
+    rf"^\s*(?:static\s+|const\s+|constexpr\s+)*"
+    rf"[A-Za-z_][\w:<>]*\s+{_CKPT_FIELDS}\s*[={{]")
+_CKPT_MINTERS = {("Journal", "format"), ("Journal", "checkpoint"),
+                 ("Journal", "reopen"), ("Journal", "writeSuperblock")}
+
+
+def check_checkpoint_epoch(relpath, code):
+    func = None
+    for i, line in enumerate(code, start=1):
+        m = _METHOD_DEF_RE.match(line)
+        if m is not None:
+            func = (m.group("cls"), m.group("name"))
+        if not _CKPT_WRITE_RE.search(line):
+            continue
+        if func is None or func[0] != "Journal":
+            continue
+        if _CKPT_DECL_RE.match(line):
+            continue
+        if func in _CKPT_MINTERS:
+            continue
+        yield (i, "checkpoint-epoch",
+               "superblock epoch/snapshot head written outside the "
+               "checkpoint protocol's publishers")
+
+
 # A scalar-metric mutation (`add(`/`set(`/`record(`; the histogram
 # layer's own verbs recordWallNs/recordSim/setSimDuration deliberately
 # do not match) on a line that also computes a duration — elapsed(),
@@ -664,6 +720,7 @@ SIMPLE_RULES = (
     check_lock_order,
     check_atomics_discipline,
     check_generation_bump,
+    check_checkpoint_epoch,
     check_adhoc_latency,
     check_header_guard,
     check_include_order,
@@ -684,6 +741,7 @@ RULE_OF_CHECK = {
     check_lock_order: "lock-order",
     check_atomics_discipline: "atomics-discipline",
     check_generation_bump: "generation-bump",
+    check_checkpoint_epoch: "checkpoint-epoch",
     check_adhoc_latency: "adhoc-latency",
     check_header_guard: "header-guard",
     check_include_order: "include-order",
