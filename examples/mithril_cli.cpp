@@ -45,6 +45,16 @@
  *                          its journal under a fresh generation, and
  *                          resume ingest into the recovered store —
  *                          composes with --crash-at for a second cut
+ *   --ip=<addr|cidr>       (query/svc) AND a typed address predicate
+ *                          onto the query (incident-response tier,
+ *                          DESIGN.md §15); e.g. --ip=10.0.0.0/8
+ *   --id=<hex>             (query/svc) AND a typed hex-id predicate
+ *                          (8..64 nibbles, prefix match allowed)
+ *   --window=<t0>,<t1>     (query/svc) AND a typed time window;
+ *                          epoch seconds or RFC 3339 timestamps
+ *   --no-typed-index       (ingest/query) skip typed posting lists:
+ *                          typed predicates fall back to the exact
+ *                          full-scan baseline
  *
  * Example session:
  *   mithril_cli generate Spirit2 8 /tmp/spirit.log
@@ -128,6 +138,10 @@ struct ObsOut {
 
 ObsOut g_obs;
 std::string g_fault_spec;
+std::string g_flag_ip;
+std::string g_flag_id;
+std::string g_flag_window;
+bool g_no_typed_index = false;
 uint64_t g_crash_at = 0;
 bool g_recover = false;
 uint64_t g_checkpoint_every = 0;
@@ -167,8 +181,39 @@ usage()
                  "raw crash image;\n"
                  "                             (ingest) recover, "
                  "reopen, resume ingest\n"
+                 "       --ip=<addr|cidr> --id=<hex> "
+                 "--window=<t0>,<t1>\n"
+                 "                             (query/svc) AND typed "
+                 "predicates onto the query\n"
+                 "       --no-typed-index      (ingest/query) disable "
+                 "typed posting lists\n"
                  "datasets: BGL2 Liberty2 Spirit2 Thunderbird\n");
     return 2;
+}
+
+/** ANDs the --ip/--id/--window typed predicates onto the positional
+ *  query; an empty positional query with typed flags is a pure typed
+ *  lookup. */
+std::string
+withTypedFlags(const std::string &query_text)
+{
+    std::string q = query_text;
+    auto conjoin = [&q](const std::string &pred) {
+        if (!q.empty()) {
+            q += " & ";
+        }
+        q += pred;
+    };
+    if (!g_flag_ip.empty()) {
+        conjoin("ip:" + g_flag_ip);
+    }
+    if (!g_flag_id.empty()) {
+        conjoin("id:" + g_flag_id);
+    }
+    if (!g_flag_window.empty()) {
+        conjoin("time:[" + g_flag_window + "]");
+    }
+    return q;
 }
 
 bool
@@ -252,6 +297,7 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
     }
     core::MithriLogConfig mc;
     mc.checkpoint_every_pages = g_checkpoint_every;
+    mc.use_typed_index = !g_no_typed_index;
     core::MithriLog system(mc);
     if (g_recover) {
         // Resume-after-crash: <out.img> is an existing raw crash
@@ -363,7 +409,10 @@ cmdIngest(const std::string &log_path, const std::string &img_path)
 int
 cmdQuery(const std::string &img_path, const std::string &query_text)
 {
-    core::MithriLog system;
+    core::MithriLogConfig mc;
+    mc.use_typed_index = !g_no_typed_index;
+    core::MithriLog system(mc);
+    std::string effective = withTypedFlags(query_text);
     Status st = mountImage(&system, img_path);
     if (!st.isOk()) {
         std::fprintf(stderr, "load: %s\n", st.toString().c_str());
@@ -384,13 +433,13 @@ cmdQuery(const std::string &img_path, const std::string &query_text)
         system.ssd().attachFaultPlan(plan.get());
     }
     core::QueryResult r;
-    st = system.run(query_text, &r);
+    st = system.run(effective, &r);
     if (!st.isOk()) {
         std::fprintf(stderr, "query: %s\n", st.toString().c_str());
         return 1;
     }
-    std::printf("%llu matches (%llu/%llu pages%s%s%s%s); modeled %.3f ms, "
-                "effective %s\n",
+    std::printf("%llu matches (%llu/%llu pages%s%s%s%s%s); modeled "
+                "%.3f ms, effective %s\n",
                 static_cast<unsigned long long>(r.matched_lines),
                 static_cast<unsigned long long>(r.pages_scanned),
                 static_cast<unsigned long long>(r.pages_total),
@@ -398,6 +447,7 @@ cmdQuery(const std::string &img_path, const std::string &query_text)
                 r.used_fallback ? ", software fallback" : "",
                 r.degraded_index_scan ? ", degraded: index" : "",
                 r.degraded_software_scan ? ", degraded: software" : "",
+                r.degraded_typed_scan ? ", degraded: typed scan" : "",
                 r.total_time.toSeconds() * 1e3,
                 humanBandwidth(r.effectiveThroughput(system.rawBytes()))
                     .c_str());
@@ -467,7 +517,7 @@ cmdSvc(const std::string &log_path, const std::string &query_text)
     double ingest_seconds = timer.seconds();
 
     svc::ServiceQueryResult r;
-    st = service.query(query_text, &r);
+    st = service.query(withTypedFlags(query_text), &r);
     if (!st.isOk()) {
         std::fprintf(stderr, "query: %s\n", st.toString().c_str());
         return 1;
@@ -737,6 +787,14 @@ main(int argc, char **argv)
         } else if (a.rfind("--qps=", 0) == 0) {
             g_soak_qps = std::stod(
                 std::string(a.substr(strlen("--qps="))));
+        } else if (a.rfind("--ip=", 0) == 0) {
+            g_flag_ip = a.substr(strlen("--ip="));
+        } else if (a.rfind("--id=", 0) == 0) {
+            g_flag_id = a.substr(strlen("--id="));
+        } else if (a.rfind("--window=", 0) == 0) {
+            g_flag_window = a.substr(strlen("--window="));
+        } else if (a == "--no-typed-index") {
+            g_no_typed_index = true;
         } else {
             args.push_back(argv[i]);
         }
@@ -754,8 +812,14 @@ main(int argc, char **argv)
     if (cmd == "ingest" && argc == 4) {
         return cmdIngest(argv[2], argv[3]);
     }
-    if (cmd == "query" && argc == 4) {
-        return cmdQuery(argv[2], argv[3]);
+    if (cmd == "query" && (argc == 3 || argc == 4)) {
+        // With only typed flags the positional query may be omitted:
+        //   mithril_cli query in.img --ip=10.0.0.0/8
+        if (argc == 3 && g_flag_ip.empty() && g_flag_id.empty() &&
+            g_flag_window.empty()) {
+            return usage();
+        }
+        return cmdQuery(argv[2], argc == 4 ? argv[3] : "");
     }
     if (cmd == "svc" && argc == 4) {
         return cmdSvc(argv[2], argv[3]);

@@ -110,6 +110,13 @@ Accelerator::process(std::span<const compress::ByteView> pages, Mode mode,
             out->kept_per_query[q] += r.kept_per_query[q];
         }
         for (KeptLine &line : r.kept) {
+            // Undo the round-robin scatter: local page j of pipeline p
+            // is batch page j * P + p, so callers can attribute kept
+            // lines to the data pages they submitted.
+            line.page_index = static_cast<uint32_t>(
+                static_cast<size_t>(line.page_index)
+                    * pipelines_.size()
+                + p);
             out->kept.push_back(std::move(line));
         }
         out->text += r.text;

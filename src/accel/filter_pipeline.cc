@@ -125,6 +125,7 @@ FilterPipeline::process(std::span<const compress::ByteView> pages,
     compress::Bytes padded;
     std::vector<std::string> lines;
     size_t line_idx = 0;
+    uint32_t page_ord = 0;
     for (const auto &page : pages) {
         padded.clear();
         MITHRIL_RETURN_IF_ERROR(decompressor_.decodePage(page, &padded));
@@ -133,6 +134,7 @@ FilterPipeline::process(std::span<const compress::ByteView> pages,
         splitPaddedLines(padded, &lines);
         out->lines_in += lines.size();
         uint64_t kept_before = out->lines_kept;
+        uint32_t in_page = 0;
         for (const std::string &line : lines) {
             out->decompressed_bytes += line.size() + 1;
             size_t t = line_idx++ % kTokenizersPerPipeline;
@@ -149,13 +151,15 @@ FilterPipeline::process(std::span<const compress::ByteView> pages,
                     }
                 }
                 if (keep_lines) {
-                    out->kept.push_back({line, mask});
+                    out->kept.push_back({line, mask, page_ord, in_page});
                 }
             }
+            ++in_page;
         }
         if (out->lines_kept != kept_before) {
             ++out->pages_with_matches;
         }
+        ++page_ord;
     }
 
     uint64_t tok_stage = 0;

@@ -40,6 +40,13 @@ enum class Mode {
 struct KeptLine {
     std::string text;
     uint64_t query_mask;
+    /** Ordinal of the source page within this pipeline's batch;
+     *  Accelerator::process rewrites it to the ordinal within the full
+     *  submitted batch, so callers can attribute a kept line to its
+     *  data page (typed-query line numbering, DESIGN.md §15). */
+    uint32_t page_index = 0;
+    /** The line's index within its source page. */
+    uint32_t line_in_page = 0;
 };
 
 /** Per-batch output of one pipeline. */

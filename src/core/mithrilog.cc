@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "common/bits.h"
 #include "common/hash.h"
@@ -19,6 +20,7 @@ using storage::PageId;
 MithriLog::MithriLog(MithriLogConfig config)
     : config_(config), ssd_(config.ssd), journal_(&ssd_),
       index_(std::make_unique<index::InvertedIndex>(&ssd_, config.index)),
+      typed_index_(std::make_unique<typed::TypedIndex>(&ssd_)),
       accel_(config.accel)
 {
     if (config_.metrics != nullptr) {
@@ -36,6 +38,7 @@ MithriLog::MithriLog(MithriLogConfig config)
     ssd_.bindMetrics(metrics_);
     journal_.bindMetrics(metrics_);
     index_->bindMetrics(metrics_);
+    typed_index_->bindMetrics(metrics_);
     accel_.bindMetrics(metrics_);
 
     counters_.lines_ingested = &metrics_->counter("core.lines_ingested");
@@ -57,6 +60,9 @@ MithriLog::MithriLog(MithriLogConfig config)
         &metrics_->counter("core.degraded_index_scans");
     counters_.degraded_software_scans =
         &metrics_->counter("core.degraded_software_scans");
+    counters_.typed_queries = &metrics_->counter("core.typed_queries");
+    counters_.degraded_typed_scans =
+        &metrics_->counter("core.degraded_typed_scans");
     counters_.crc_failed_pages =
         &metrics_->counter("core.crc_failed_pages");
     counters_.pages_dropped = &metrics_->counter("core.pages_dropped");
@@ -103,6 +109,11 @@ MithriLog::ingestLine(std::string_view line)
         }
         return true;
     });
+    if (config_.use_typed_index) {
+        // Typed extraction rides the same tokenizer pass; `lines_` has
+        // not been bumped yet, so it is this line's 0-based number.
+        typed_index_->addLine(line, lines_);
+    }
     ++lines_;
     raw_bytes_ += line.size() + 1;
     counters_.lines_ingested->add();
@@ -160,6 +171,7 @@ MithriLog::sealPendingPage()
         dead_ = true;
         return st;
     }
+    uint64_t first_line = committed_lines_;
     committed_lines_ = lines_;
     committed_raw_ = raw_bytes_;
     data_pages_.push_back(id);
@@ -170,6 +182,11 @@ MithriLog::sealPendingPage()
         tokens.push_back(tok);
     }
     index_->addPage(id, tokens, lines_);
+    // Sealed-page directory entry (typed posting hits map back to data
+    // pages through it): this page covers [first_line, lines_).
+    // Unconditional — line numbering must work with the typed index off
+    // (the degraded-scan baseline still reports line numbers).
+    typed_index_->notePage(id, first_line, lines_ - first_line);
     pending_tokens_.clear();
     counters_.pages_sealed->add();
     counters_.lzah_bytes_out->add(storage::kPageSize);
@@ -194,6 +211,7 @@ MithriLog::flush()
         MITHRIL_RETURN_IF_ERROR(sealPendingPage());
     }
     index_->flush();
+    typed_index_->flush();
     metrics_->gauge("lzah.ratio").set(compressionRatio());
     return Status::ok();
 }
@@ -395,7 +413,9 @@ MithriLog::candidatePages(std::span<const query::Query> queries,
         for (const query::IntersectionSet &set : q.sets()) {
             std::vector<std::string> positives;
             for (const query::Term &t : set.terms) {
-                if (!t.negated) {
+                // Typed predicates have no keyword token; the typed
+                // tier (runTyped) prunes on them, never this path.
+                if (!t.negated && !t.isTyped()) {
                     positives.push_back(t.token);
                 }
             }
@@ -452,7 +472,7 @@ Status
 MithriLog::stagePages(std::span<const PageId> pages, Link link,
                       std::vector<compress::ByteView> *views,
                       std::vector<compress::Bytes> *storage,
-                      QueryResult *out)
+                      QueryResult *out, std::vector<PageId> *staged_ids)
 {
     fault::FaultPlan *plan = ssd_.faultPlan();
     views->reserve(pages.size());
@@ -471,6 +491,9 @@ MithriLog::stagePages(std::span<const PageId> pages, Link link,
                 continue;
             }
             views->push_back(view);
+            if (staged_ids != nullptr) {
+                staged_ids->push_back(id);
+            }
         }
         ssd_.chargeOverlappedRead(pages.size(), link);
         return Status::ok();
@@ -506,6 +529,9 @@ MithriLog::stagePages(std::span<const PageId> pages, Link link,
             continue;
         }
         storage->push_back(std::move(buf));
+        if (staged_ids != nullptr) {
+            staged_ids->push_back(id);
+        }
     }
     for (const compress::Bytes &b : *storage) {
         views->push_back(compress::ByteView(b.data(), b.size()));
@@ -680,11 +706,242 @@ MithriLog::softwareScan(std::span<const query::Query> queries,
 }
 
 Status
+MithriLog::typedScanPages(std::span<const PageId> pages,
+                          std::span<const query::Query> queries,
+                          QueryResult *out)
+{
+    // Candidate pages cross PCIe to the host matcher: the filter
+    // pipelines hash whole tokens and cannot compare CIDR blocks or
+    // time windows, so the typed tier's offload is the pruning and the
+    // match set is evaluated exactly here (DESIGN.md §15).
+    uint64_t stage_start_ps = ssd_.elapsed().ps();
+    std::vector<compress::ByteView> views;
+    std::vector<compress::Bytes> staged;
+    std::vector<PageId> staged_ids;
+    MITHRIL_RETURN_IF_ERROR(stagePages(pages, Link::kExternal, &views,
+                                       &staged, out, &staged_ids));
+    SimTime stage_busy =
+        SimTime::picoseconds(ssd_.elapsed().ps() - stage_start_ps);
+    out->storage_time =
+        out->storage_time +
+        SimTime::max(ssd_.timeBatchRead(pages.size(), Link::kExternal),
+                     stage_busy);
+
+    // First line of each staged page via the sealed-page directory, so
+    // every match carries its global ingest line number (the identity
+    // the oracle tests and the fan-out merge compare on).
+    std::map<PageId, uint64_t> first_line;
+    for (const typed::TypedIndex::PageSpan &s :
+         typed_index_->pageDirectory()) {
+        first_line[s.page] = s.first_line;
+    }
+
+    std::vector<query::SoftwareMatcher> matchers;
+    matchers.reserve(queries.size());
+    for (const query::Query &q : queries) {
+        matchers.emplace_back(q);
+    }
+    out->matched_per_query.assign(queries.size(), 0);
+
+    std::vector<std::pair<uint64_t, accel::KeptLine>> hits;
+    for (size_t v = 0; v < views.size(); ++v) {
+        compress::Bytes text;
+        if (!compress::lzahDecodePage(views[v], /*padded=*/false, &text)
+                 .isOk()) {
+            counters_.pages_dropped->add();
+            ++out->pages_dropped;
+            continue;
+        }
+        out->bytes_scanned += text.size();
+        auto it = first_line.find(staged_ids[v]);
+        MITHRIL_ASSERT(it != first_line.end());
+        uint64_t line_no = it->second;
+        uint32_t in_page = 0;
+        forEachLine(asChars(text), [&](std::string_view line) {
+            uint64_t mask = 0;
+            for (size_t q = 0; q < matchers.size(); ++q) {
+                if (matchers[q].matches(line)) {
+                    ++out->matched_per_query[q];
+                    if (q < 64) {
+                        mask |= 1ull << q;
+                    }
+                }
+            }
+            if (mask != 0) {
+                ++out->matched_lines;
+                hits.emplace_back(
+                    line_no,
+                    accel::KeptLine{config_.accel.keep_lines
+                                        ? std::string(line)
+                                        : std::string(),
+                                    mask, static_cast<uint32_t>(v),
+                                    in_page});
+            }
+            ++line_no;
+            ++in_page;
+        });
+    }
+    // Candidate sets arrive in page-id order, which segment cleaning
+    // can decouple from ingest order: sort by global line number so
+    // the pruned and full-scan paths report byte-identical results.
+    std::sort(hits.begin(), hits.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    out->line_numbers.reserve(hits.size());
+    out->lines.reserve(hits.size());
+    for (auto &[line_no, kept] : hits) {
+        out->line_numbers.push_back(line_no);
+        out->lines.push_back(std::move(kept));
+    }
+    out->pages_scanned += views.size();
+    out->pages_total = data_pages_.size();
+    return Status::ok();
+}
+
+Status
+MithriLog::runTyped(std::span<const query::Query> queries,
+                    QueryResult *out)
+{
+    WallTimer wall;
+    obs::Span qspan = tracer_->span("query", "core");
+    counters_.queries->add(queries.size());
+    counters_.typed_queries->add(queries.size());
+    uint64_t retries_before = counters_.ssd_read_retries->value();
+    QueryBreakdown &b = out->breakdown;
+    for (const query::Query &q : queries) {
+        b.typed_predicates += q.typedPredicateCount();
+    }
+
+    // Phase 1 — in-storage pruning: each set's typed posting lists are
+    // intersected to a line set, mapped to data pages, and further
+    // intersected with the keyword index's nomination where the set
+    // also carries positive keywords. Chains for different predicates
+    // overlap across channels exactly like token chains.
+    constexpr uint64_t kOverlap = 32;
+    SimTime max_lookup;
+    uint64_t sum_ps = 0;
+    bool lost = false;
+    bool need_all = false;
+    std::set<PageId> candidates;
+    if (config_.use_typed_index) {
+        obs::Span lookup_span =
+            tracer_->span("query.typed_lookup", "core");
+        for (const query::Query &q : queries) {
+            for (const query::IntersectionSet &set : q.sets()) {
+                std::vector<uint64_t> lines;
+                bool have_lines = false;
+                std::vector<std::string> positives;
+                for (const query::Term &t : set.terms) {
+                    if (t.isTyped()) {
+                        ssd_.resetClock();
+                        typed::LookupResult lr =
+                            typed_index_->lookup(t.typed);
+                        SimTime el = ssd_.elapsed();
+                        max_lookup = SimTime::max(max_lookup, el);
+                        sum_ps += el.ps();
+                        b.typed_index_pages += lr.pages_read;
+                        b.typed_index_bytes += lr.bytes_read;
+                        lost = lost || lr.integrity_lost;
+                        if (!have_lines) {
+                            lines = std::move(lr.lines);
+                            have_lines = true;
+                        } else {
+                            std::vector<uint64_t> merged;
+                            std::set_intersection(
+                                lines.begin(), lines.end(),
+                                lr.lines.begin(), lr.lines.end(),
+                                std::back_inserter(merged));
+                            lines = std::move(merged);
+                        }
+                    } else if (!t.negated) {
+                        positives.push_back(t.token);
+                    }
+                }
+                std::vector<PageId> set_pages;
+                bool have_pages = false;
+                if (have_lines) {
+                    set_pages = typed_index_->pagesForLines(lines);
+                    have_pages = true;
+                }
+                if (config_.use_index && !positives.empty()) {
+                    for (const std::string &tok : positives) {
+                        ssd_.resetClock();
+                        bool kw_lost = false;
+                        std::vector<PageId> tok_pages =
+                            index_->lookup(tok, &kw_lost);
+                        SimTime el = ssd_.elapsed();
+                        max_lookup = SimTime::max(max_lookup, el);
+                        sum_ps += el.ps();
+                        lost = lost || kw_lost;
+                        if (!have_pages) {
+                            set_pages = std::move(tok_pages);
+                            have_pages = true;
+                        } else {
+                            std::vector<PageId> merged;
+                            std::set_intersection(
+                                set_pages.begin(), set_pages.end(),
+                                tok_pages.begin(), tok_pages.end(),
+                                std::back_inserter(merged));
+                            set_pages = std::move(merged);
+                        }
+                        if (set_pages.empty()) {
+                            break;
+                        }
+                    }
+                }
+                if (!have_pages) {
+                    // Pure-negative set, or keyword-only set with the
+                    // keyword index bypassed: no pruning possible.
+                    need_all = true;
+                } else {
+                    candidates.insert(set_pages.begin(),
+                                      set_pages.end());
+                }
+            }
+        }
+        out->index_time = SimTime::max(
+            max_lookup, SimTime::picoseconds(sum_ps / kOverlap));
+        lookup_span.setSimDuration(out->index_time);
+        lookup_span.end();
+        ssd_.resetClock();
+    }
+
+    Status st;
+    if (!config_.use_typed_index || lost || need_all) {
+        if (lost) {
+            // The typed candidate set cannot be trusted to be
+            // complete; scan everything rather than silently miss
+            // matches. (The pruning traffic already spent stays in the
+            // breakdown — honest accounting.)
+            out->degraded_typed_scan = true;
+            counters_.degraded_typed_scans->add();
+            obs::Span degrade =
+                tracer_->span("query.degraded_typed_scan", "core");
+        }
+        st = typedScanPages(data_pages_, queries, out);
+    } else {
+        std::vector<PageId> pages(candidates.begin(), candidates.end());
+        b.candidate_pages = pages.size();
+        counters_.candidate_pages->add(pages.size());
+        st = typedScanPages(pages, queries, out);
+    }
+    out->total_time = out->index_time + out->storage_time +
+                      ssd_.config().read_latency;
+    finishQuery(out, &qspan, wall.seconds(), /*index_pruned=*/false,
+                retries_before);
+    return st;
+}
+
+Status
 MithriLog::runBatch(std::span<const query::Query> queries, QueryResult *out)
 {
     *out = QueryResult{};
     if (queries.empty()) {
         return Status::invalidArgument("empty query batch");
+    }
+    for (const query::Query &q : queries) {
+        if (q.hasTypedPredicates()) {
+            return runTyped(queries, out);
+        }
     }
     WallTimer wall;
     obs::Span qspan = tracer_->span("query", "core");
@@ -750,6 +1007,7 @@ MithriLog::finishQuery(QueryResult *out, obs::Span *span,
     b.planned_full_scan = out->planned_full_scan;
     b.degraded_index_scan = out->degraded_index_scan;
     b.degraded_software_scan = out->degraded_software_scan;
+    b.degraded_typed_scan = out->degraded_typed_scan;
     b.pages_dropped = out->pages_dropped;
     b.read_retries =
         counters_.ssd_read_retries->value() - retries_before;
@@ -817,14 +1075,17 @@ MithriLog::run(std::string_view query_text, QueryResult *out)
 
 namespace {
 constexpr uint32_t kImageMagic = 0x474f4c4d;  // "MLOG"
-/** v5: storage-lifecycle images — the journal cursor is length-prefixed
+/** v6: a length-prefixed typed-index blob (key directory + sealed-page
+ *  directory, DESIGN.md §15) follows the inverted-index blob; typed
+ *  posting pages travel in the page dump like index pages. v5:
+ *  storage-lifecycle images — the journal cursor is length-prefixed
  *  (it went variable: committed page table + chain/snapshot page lists)
  *  and a freed-logical-id list restores the FTL free list, with freed
  *  ids dumped as zero pages to keep the logical-order dump dense. v4
  *  widened the cursor to 8 words; v3 added the durable-commit state and
  *  the cursor; v2 images predate the journal layout. Older versions are
  *  rejected. */
-constexpr uint32_t kImageVersion = 5;
+constexpr uint32_t kImageVersion = 6;
 
 /** Raw device dump header (saveDeviceImage / recover). */
 constexpr uint32_t kDeviceMagic = 0x5645444d;  // "MDEV"
@@ -868,6 +1129,11 @@ MithriLog::saveImage(const std::string &path)
     index_->serialize(&index_blob);
     putLe<uint64_t>(blob, index_blob.size());
     blob.insert(blob.end(), index_blob.begin(), index_blob.end());
+
+    std::vector<uint8_t> typed_blob;
+    typed_index_->serialize(&typed_blob);
+    putLe<uint64_t>(blob, typed_blob.size());
+    blob.insert(blob.end(), typed_blob.begin(), typed_blob.end());
 
     std::vector<uint8_t> journal_blob;
     journal_.serialize(&journal_blob);
@@ -961,6 +1227,12 @@ MithriLog::loadImage(const std::string &path)
     }
     std::span<const uint8_t> index_blob(blob.data() + pos, index_size);
     pos += index_size;
+    uint64_t typed_size = get64();
+    if (!need(typed_size + 8)) {
+        return Status::corruptData("image typed blob truncated");
+    }
+    std::span<const uint8_t> typed_blob(blob.data() + pos, typed_size);
+    pos += typed_size;
     // The journal cursor references the current journal page image, so
     // it deserializes only after the pages below are in the store. It
     // is variable-length (committed table + page lists): the prefix
@@ -994,6 +1266,7 @@ MithriLog::loadImage(const std::string &path)
         return Status::corruptData("image journal cursor size mismatch");
     }
     MITHRIL_RETURN_IF_ERROR(index_->deserialize(index_blob));
+    MITHRIL_RETURN_IF_ERROR(typed_index_->deserialize(typed_blob));
     updateStorageGauges();
     ssd_.resetClock();
     return Status::ok();
@@ -1150,8 +1423,10 @@ MithriLog::recover(const std::string &path)
     // truth).
     obs::Span index_span = tracer_->span("recover.index_rebuild",
                                          "core");
+    uint64_t rebuilt_lines = 0;
     for (const Survivor &s : survivors) {
         std::set<std::string, std::less<>> tokens;
+        uint64_t line_no = rebuilt_lines;
         forEachLine(asChars(s.text), [&](std::string_view line) {
             forEachToken(line, [&](std::string_view tok, uint32_t) {
                 if (!tokens.count(tok)) {
@@ -1159,6 +1434,12 @@ MithriLog::recover(const std::string &path)
                 }
                 return true;
             });
+            // The typed index is unjournaled like the keyword index:
+            // re-extract from the verified survivors, same pass.
+            if (config_.use_typed_index) {
+                typed_index_->addLine(line, line_no);
+            }
+            ++line_no;
         });
         std::vector<std::string_view> token_views;
         token_views.reserve(tokens.size());
@@ -1168,9 +1449,13 @@ MithriLog::recover(const std::string &path)
         // Timestamps are ingest line sequence numbers; the cumulative
         // count at commit time reproduces the original stamps.
         index_->addPage(s.cp.page, token_views, s.cp.lines);
+        typed_index_->notePage(s.cp.page, rebuilt_lines,
+                               s.cp.lines - rebuilt_lines);
+        rebuilt_lines = s.cp.lines;
         data_pages_.push_back(s.cp.page);
     }
     index_->flush();
+    typed_index_->flush();
     index_span.end();
 
     if (!survivors.empty()) {
@@ -1256,6 +1541,14 @@ MithriLog::runTimeRange(const query::Query &q, uint64_t t0, uint64_t t1,
                         QueryResult *out)
 {
     *out = QueryResult{};
+    if (q.hasTypedPredicates()) {
+        // Typed batches carry their window as a time:[t0,t1] predicate
+        // and take the typed tier; mixing the two mechanisms would
+        // double-bound inconsistently.
+        return Status::unsupported(
+            "typed predicates take run()/runBatch() "
+            "(use time:[t0,t1] for the window)");
+    }
     WallTimer wall;
     obs::Span qspan = tracer_->span("query", "core");
     counters_.queries->add();
@@ -1313,6 +1606,20 @@ MithriLog::runFullScan(std::span<const query::Query> queries,
     obs::Span qspan = tracer_->span("query", "core");
     counters_.queries->add(queries.size());
     uint64_t retries_before = counters_.ssd_read_retries->value();
+    for (const query::Query &q : queries) {
+        if (q.hasTypedPredicates()) {
+            // The cuckoo program hashes whole tokens and cannot
+            // evaluate typed ranges: the exact full-scan analogue for
+            // a typed batch is the host typed scan over every page.
+            counters_.typed_queries->add(queries.size());
+            Status st = typedScanPages(data_pages_, queries, out);
+            out->total_time =
+                out->storage_time + ssd_.config().read_latency;
+            finishQuery(out, &qspan, wall.seconds(),
+                        /*index_pruned=*/false, retries_before);
+            return st;
+        }
+    }
     Status st = execute(data_pages_, queries, out);
     finishQuery(out, &qspan, wall.seconds(), /*index_pruned=*/false,
                 retries_before);
@@ -1357,6 +1664,14 @@ QueryBreakdown::toJson() const
     w.value(pages_dropped);
     w.key("read_retries");
     w.value(read_retries);
+    w.key("typed_predicates");
+    w.value(typed_predicates);
+    w.key("typed_index_pages");
+    w.value(typed_index_pages);
+    w.key("typed_index_bytes");
+    w.value(typed_index_bytes);
+    w.key("degraded_typed_scan");
+    w.value(degraded_typed_scan);
     w.key("wall_seconds");
     w.value(wall_seconds);
     w.endObject();

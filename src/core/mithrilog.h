@@ -45,6 +45,7 @@
 #include "query/query.h"
 #include "storage/journal.h"
 #include "storage/ssd_model.h"
+#include "typed/typed_index.h"
 
 namespace mithril::core {
 
@@ -55,6 +56,14 @@ struct MithriLogConfig {
     accel::AccelConfig accel{};
     /** Consult the inverted index during queries (false = full scan). */
     bool use_index = true;
+    /**
+     * Maintain and consult the typed-field pseudo-indexes (DESIGN.md
+     * §15): IP/MAC/hex-id/timestamp keys extracted at ingest into
+     * per-type posting lists. False disables both extraction and
+     * typed-index pruning; typed queries then run as full scans over
+     * the data pages (the bench_typed_query baseline configuration).
+     */
+    bool use_typed_index = true;
     /**
      * Query planner: skip index traversal when the O(1) entry-counter
      * estimate says the query would touch at least this fraction of
@@ -121,6 +130,17 @@ struct QueryBreakdown {
     uint64_t pages_dropped = 0;
     /** Device read retries charged during this query (fault plans). */
     uint64_t read_retries = 0;
+    /** Typed predicates evaluated in this run (ip:/id:/mac:/time:). */
+    uint64_t typed_predicates = 0;
+    /** Typed posting pages traversed in-storage for this run. */
+    uint64_t typed_index_pages = 0;
+    /** Bytes of typed posting pages read — the index side of the
+     *  typed-tier byte attribution (vs. bytes_scanned of data). */
+    uint64_t typed_index_bytes = 0;
+    /** Typed posting-list damage was unrecoverable; the query fell
+     *  back to a typed full scan over every data page rather than
+     *  trusting an incomplete typed candidate set. */
+    bool degraded_typed_scan = false;
     /** Host-side measured time for the whole run (both domains kept,
      *  per the repo's measured-vs-modeled discipline). */
     double wall_seconds = 0.0;
@@ -133,6 +153,10 @@ struct QueryBreakdown {
 struct QueryResult {
     uint64_t matched_lines = 0;
     std::vector<accel::KeptLine> lines;       ///< when accel.keep_lines
+    /** Global (store-local) ingest line numbers parallel to `lines`;
+     *  filled by the typed query tier, where match identity must be
+     *  byte-comparable against a host oracle. Empty otherwise. */
+    std::vector<uint64_t> line_numbers;
     std::vector<uint64_t> matched_per_query;  ///< batched execution
 
     uint64_t pages_scanned = 0;
@@ -151,6 +175,8 @@ struct QueryResult {
     bool degraded_index_scan = false;
     /** Accelerator fault forced the host software scan. */
     bool degraded_software_scan = false;
+    /** Typed posting-list damage forced a typed full scan. */
+    bool degraded_typed_scan = false;
     /** Unreadable pages dropped after exhausting device retries. */
     uint64_t pages_dropped = 0;
     double useful_ratio = 0.0;   ///< tokenized-datapath utilization
@@ -283,7 +309,18 @@ class MithriLog
     [[nodiscard]] Status run(std::string_view query_text,
                              QueryResult *out);
 
-    /** Runs a batch concurrently on one accelerator pass (Section 4). */
+    /**
+     * Runs a batch concurrently on one accelerator pass (Section 4).
+     *
+     * Batches carrying typed predicates (ip:/id:/mac:/time:) take the
+     * incident-response tier (DESIGN.md §15): typed posting lists are
+     * intersected in-storage — alongside the keyword index — to prune
+     * the candidate pages, which then cross PCIe to the host matcher.
+     * The filter pipelines hash whole tokens and cannot compare CIDR
+     * or time ranges, so the typed tier's offload is the pruning; the
+     * match set is exact (host-evaluated) and byte-identical to a full
+     * scan, with line numbers reported in QueryResult::line_numbers.
+     */
     [[nodiscard]] Status runBatch(std::span<const query::Query> queries,
                                   QueryResult *out);
 
@@ -391,6 +428,7 @@ class MithriLog
 
     storage::SsdModel &ssd() { return ssd_; }
     index::InvertedIndex &index() { return *index_; }
+    typed::TypedIndex &typedIndex() { return *typed_index_; }
     accel::Accelerator &accelerator() { return accel_; }
     const MithriLogConfig &config() const { return config_; }
 
@@ -422,13 +460,16 @@ class MithriLog
      * plan's retry budget. Pages still unreadable are dropped and
      * counted (`out->pages_dropped`), never passed on corrupt.
      * @p storage owns faulted copies; @p views index into it (or
-     * zero-copy into the store on the unfaulted path).
+     * zero-copy into the store on the unfaulted path). @p staged_ids,
+     * when non-null, receives the page id of each surviving view in
+     * order (the typed tier numbers lines per source page).
      */
     Status stagePages(std::span<const storage::PageId> pages,
                       storage::Link link,
                       std::vector<compress::ByteView> *views,
                       std::vector<compress::Bytes> *storage,
-                      QueryResult *out);
+                      QueryResult *out,
+                      std::vector<storage::PageId> *staged_ids = nullptr);
 
     /** Streams @p pages through the accelerator and fills @p out.
      *  Degrades to hostScanViews when the filter pipeline faults. */
@@ -445,6 +486,24 @@ class MithriLog
     /** Software fallback for non-offloadable queries. */
     Status softwareScan(std::span<const query::Query> queries,
                         QueryResult *out);
+
+    /**
+     * The incident-response tier (DESIGN.md §15): typed + keyword
+     * index pruning in-storage, then an exact host-side evaluation of
+     * the full batch over the pruned pages. Owns the whole query
+     * lifecycle (span, wall clock, finishQuery). Degrades to
+     * typedScanPages over every data page when typed posting lists
+     * lost integrity or config_.use_typed_index is off.
+     */
+    Status runTyped(std::span<const query::Query> queries,
+                    QueryResult *out);
+
+    /** Stages @p pages to the host (external link) and evaluates the
+     *  batch exactly — keyword terms and typed predicates — filling
+     *  match counts, kept lines, and global line numbers. */
+    Status typedScanPages(std::span<const storage::PageId> pages,
+                          std::span<const query::Query> queries,
+                          QueryResult *out);
 
     /** True when the entry-counter estimate says index traversal
      *  cannot prune enough to pay for itself. */
@@ -507,6 +566,8 @@ class MithriLog
         obs::Counter *false_positive_pages = nullptr;
         obs::Counter *degraded_index_scans = nullptr;
         obs::Counter *degraded_software_scans = nullptr;
+        obs::Counter *typed_queries = nullptr;
+        obs::Counter *degraded_typed_scans = nullptr;
         obs::Counter *crc_failed_pages = nullptr;
         obs::Counter *pages_dropped = nullptr;
         obs::Counter *ssd_read_retries = nullptr;
@@ -521,6 +582,10 @@ class MithriLog
     storage::SsdModel ssd_;
     storage::Journal journal_;
     std::unique_ptr<index::InvertedIndex> index_;
+    /** Typed-field pseudo-indexes (DESIGN.md §15). Always constructed:
+     *  its page directory numbers lines for the typed tier even when
+     *  use_typed_index is off (extraction is then skipped). */
+    std::unique_ptr<typed::TypedIndex> typed_index_;
     accel::Accelerator accel_;
 
     compress::LzahPageEncoder encoder_;

@@ -1,0 +1,85 @@
+#include "loggen/incident.h"
+
+#include "common/text.h"
+#include "loggen/log_generator.h"
+
+namespace mithril::loggen {
+
+std::string
+generateIncident(const IncidentSpec &spec, IncidentGroundTruth *truth)
+{
+    // Background: the Spirit2-like dataset (syslog headers), reseeded
+    // per scenario so distinct seeds give distinct traffic.
+    DatasetSpec base = datasetByName("Spirit2");
+    base.seed = base.seed ^ (spec.seed * 0x9e3779b97f4a7c15ull);
+    LogGenerator gen(base);
+
+    *truth = IncidentGroundTruth{};
+    std::string out;
+    out.reserve(spec.background_bytes + 512);
+    uint64_t line_no = 0;
+    uint64_t epoch = 1117838570ull + spec.seed % 997;
+    while (out.size() < spec.background_bytes) {
+        uint64_t pos = spec.incident_every != 0
+                           ? line_no % spec.incident_every
+                           : 1;
+        if (pos < spec.burst_len) {
+            // Planted evidence, rotating through the punctuation-
+            // adjacent forms the typed extractors must dig out of real
+            // log syntax (DESIGN.md §15 satellite forms). Bursts keep
+            // the evidence temporally clustered, as real attacks are.
+            epoch += 1 + line_no % 5;
+            std::string line;
+            switch (pos % 4) {
+              case 0:
+                // Plain token form.
+                line = strprintf(
+                    "- %llu sn0007 sshd[3921]: Failed password for "
+                    "root from %s port %llu ssh2",
+                    static_cast<unsigned long long>(epoch),
+                    spec.attacker_ip.c_str(),
+                    static_cast<unsigned long long>(
+                        40000 + line_no % 20000));
+                truth->attacker_lines.push_back(line_no);
+                break;
+              case 1:
+                // key=value with a trailing comma.
+                line = strprintf(
+                    "- %llu sn0007 fw: DROP src=%s, dst=10.0.0.5 "
+                    "proto=tcp flags=SYN",
+                    static_cast<unsigned long long>(epoch),
+                    spec.attacker_ip.c_str());
+                truth->attacker_lines.push_back(line_no);
+                break;
+              case 2:
+                // Bracketed hex session id plus the address.
+                line = strprintf(
+                    "- %llu sn0007 auth: session [%s] opened for root "
+                    "from %s",
+                    static_cast<unsigned long long>(epoch),
+                    spec.session_id.c_str(), spec.attacker_ip.c_str());
+                truth->attacker_lines.push_back(line_no);
+                truth->session_lines.push_back(line_no);
+                break;
+              default:
+                // The CIDR sibling: matches subnet queries only.
+                line = strprintf(
+                    "- %llu sn0007 sshd[3921]: Accepted password for "
+                    "jsmith from %s port 22 ssh2",
+                    static_cast<unsigned long long>(epoch),
+                    spec.decoy_ip.c_str());
+                truth->decoy_lines.push_back(line_no);
+                break;
+            }
+            out += line;
+        } else {
+            out += gen.line();
+        }
+        out += '\n';
+        ++line_no;
+    }
+    truth->total_lines = line_no;
+    return out;
+}
+
+} // namespace mithril::loggen

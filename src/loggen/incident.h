@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Incident-response workload: a deterministic synthetic log with a
+ * seeded security incident planted into background HPC traffic.
+ *
+ * The scenario drives the typed query tier (DESIGN.md §15): an
+ * attacker address and a session hex id recur across the log in the
+ * punctuation-adjacent forms real logs use (`src=1.2.3.4,`,
+ * `[deadbeef...]`), with a CIDR-sibling decoy host to separate
+ * exact-address from subnet queries. Planted lines use TEST-NET
+ * addresses (RFC 5737), which the background generator's `10.x` pool
+ * can never emit, so the ground truth is exact by construction.
+ */
+#ifndef MITHRIL_LOGGEN_INCIDENT_H
+#define MITHRIL_LOGGEN_INCIDENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mithril::loggen {
+
+/** Parameters of one incident scenario (all defaults deterministic). */
+struct IncidentSpec {
+    uint64_t seed = 42;
+    /** Approximate size of the generated text. */
+    uint64_t background_bytes = 1ull << 20;
+    /** Period of the attack bursts, in lines. Evidence clusters the
+     *  way real incidents do: `burst_len` consecutive planted lines
+     *  every `incident_every` lines, so the postings concentrate on a
+     *  few device pages instead of smearing across all of them. */
+    uint64_t incident_every = 487;
+    /** Consecutive planted lines per burst (rotating forms). */
+    uint64_t burst_len = 6;
+    /** The attacker host; queried as ip:<addr> and ip:<subnet>/28. */
+    std::string attacker_ip = "192.0.2.77";
+    /** Same /28 as the attacker, different host: inside subnet
+     *  queries, outside exact-address queries. */
+    std::string decoy_ip = "192.0.2.78";
+    /** The hijacked session; appears bracketed as [<id>]. */
+    std::string session_id = "f00dfeed8badc0de";
+};
+
+/** 0-based line numbers of the planted evidence. */
+struct IncidentGroundTruth {
+    /** Lines carrying attacker_ip (any form). */
+    std::vector<uint64_t> attacker_lines;
+    /** Lines carrying session_id. */
+    std::vector<uint64_t> session_lines;
+    /** Lines carrying decoy_ip. */
+    std::vector<uint64_t> decoy_lines;
+    uint64_t total_lines = 0;
+};
+
+/**
+ * Generates the newline-terminated scenario text. Same (spec) always
+ * produces identical bytes and ground truth.
+ */
+std::string generateIncident(const IncidentSpec &spec,
+                             IncidentGroundTruth *truth);
+
+} // namespace mithril::loggen
+
+#endif // MITHRIL_LOGGEN_INCIDENT_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/text.h"
+#include "typed/extract.h"
 
 namespace mithril::query {
 
@@ -24,9 +25,15 @@ SoftwareMatcher::SoftwareMatcher(const Query &q)
     size_t total_words = 0;
     std::vector<std::unordered_map<std::string_view, uint32_t>> slot_of(
         sets.size());
+    set_typed_.assign(sets.size(), {});
     for (size_t i = 0; i < sets.size(); ++i) {
         uint32_t next_slot = 0;
         for (const Term &t : sets[i].terms) {
+            if (t.isTyped()) {
+                set_typed_[i].push_back(t.typed);
+                any_typed_ = true;
+                continue;
+            }
             if (!t.negated && !slot_of[i].count(t.token)) {
                 slot_of[i][t.token] = next_slot++;
             }
@@ -46,6 +53,9 @@ SoftwareMatcher::SoftwareMatcher(const Query &q)
 
     for (size_t i = 0; i < sets.size(); ++i) {
         for (const Term &t : sets[i].terms) {
+            if (t.isTyped()) {
+                continue; // handled via set_typed_, no token to probe
+            }
             // Key views must reference the pinned storage.
             auto it = std::find(token_storage_.begin(),
                                 token_storage_.end(), t.token);
@@ -83,6 +93,7 @@ SoftwareMatcher::matches(std::string_view line) const
         return true;
     });
 
+    bool keys_ready = false;
     for (size_t i = 0; i < violated_.size(); ++i) {
         if (violated_[i]) {
             continue;
@@ -90,6 +101,31 @@ SoftwareMatcher::matches(std::string_view line) const
         bool all = true;
         for (size_t w = 0; w < set_words_[i]; ++w) {
             if (found_[set_offset_[i] + w] != needed_[set_offset_[i] + w]) {
+                all = false;
+                break;
+            }
+        }
+        if (!all) {
+            continue;
+        }
+        // Keyword side satisfied; the set's typed predicates must also
+        // hold. Keys are extracted at most once per line, on demand.
+        for (const typed::Predicate &pred : set_typed_[i]) {
+            if (!keys_ready) {
+                keys_scratch_.clear();
+                typed::extractLine(line, [&](const typed::TypedKey &k) {
+                    keys_scratch_.push_back(k);
+                });
+                keys_ready = true;
+            }
+            bool hit = false;
+            for (const typed::TypedKey &key : keys_scratch_) {
+                if (pred.matchesKey(key)) {
+                    hit = true;
+                    break;
+                }
+            }
+            if (!hit) {
                 all = false;
                 break;
             }

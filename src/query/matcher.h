@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "query/query.h"
+#include "typed/predicate.h"
+#include "typed/typed_key.h"
 
 namespace mithril::query {
 
@@ -61,10 +63,18 @@ class SoftwareMatcher
     std::vector<uint64_t> needed_;
     std::vector<uint64_t> set_positive_needed_;  // positive term count
 
+    // Per-set typed predicates (DESIGN.md §15): a set matches only if
+    // every one of its predicates is satisfied by some key the
+    // extractor registry finds in the line. Keyword machinery above
+    // never sees typed terms (they carry no token).
+    std::vector<std::vector<typed::Predicate>> set_typed_;
+    bool any_typed_ = false;
+
     // Scratch reused across matches (sized once; matcher is not
     // thread-safe by design — clone per thread).
     mutable std::vector<uint64_t> found_;
     mutable std::vector<uint8_t> violated_;
+    mutable std::vector<typed::TypedKey> keys_scratch_;
 };
 
 } // namespace mithril::query

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/text.h"
+#include "typed/predicate.h"
 
 namespace mithril::query {
 
@@ -18,6 +19,10 @@ struct Token {
     TokKind kind;
     std::string text;
     size_t pos;
+    /** Quoted words are always keyword tokens; only unquoted words are
+     *  eligible to become typed predicates ("ip:..." vs ip:10.0.0.1).
+     */
+    bool quoted = false;
 };
 
 class Lexer
@@ -54,7 +59,7 @@ class Lexer
                 out->push_back({TokKind::kWord,
                                 std::string(input_.substr(i + 1,
                                                           end - i - 1)),
-                                i});
+                                i, /*quoted=*/true});
                 i = end + 1;
             } else {
                 size_t start = i;
@@ -95,18 +100,20 @@ class Lexer
 
 struct Expr {
     enum Kind { kLeaf, kAnd, kOr, kNot } kind;
-    std::string token;  // kLeaf
+    std::string token;    // kLeaf
+    bool quoted = false;  // kLeaf: came from a quoted string
     std::vector<std::unique_ptr<Expr>> children;
 };
 
 using ExprPtr = std::unique_ptr<Expr>;
 
 ExprPtr
-makeLeaf(std::string token)
+makeLeaf(std::string token, bool quoted)
 {
     auto e = std::make_unique<Expr>();
     e->kind = Expr::kLeaf;
     e->token = std::move(token);
+    e->quoted = quoted;
     return e;
 }
 
@@ -217,7 +224,10 @@ class Parser
                 return Status::invalidArgument(strprintf(
                     "empty token at offset %zu", tok.pos));
             }
-            *out = makeLeaf(advance().text);
+            {
+                const Token &word = advance();
+                *out = makeLeaf(word.text, word.quoted);
+            }
             return Status::ok();
           }
           default:
@@ -244,7 +254,22 @@ toDnf(const Expr &e, bool negate, std::vector<IntersectionSet> *out)
     switch (e.kind) {
       case Expr::kLeaf: {
         IntersectionSet s;
-        s.terms.push_back({e.token, negate});
+        Term term;
+        if (!e.quoted && typed::isTypedWord(e.token)) {
+            // Unquoted `ip:` / `id:` / `mac:` / `time:` words are typed
+            // predicates; quote them to search for the literal token.
+            MITHRIL_RETURN_IF_ERROR(
+                typed::parsePredicate(e.token, &term.typed));
+            if (negate) {
+                return Status::invalidArgument(
+                    "typed predicate '" + term.typed.text +
+                    "' cannot be negated");
+            }
+        } else {
+            term.token = e.token;
+            term.negated = negate;
+        }
+        s.terms.push_back(std::move(term));
         out->push_back(std::move(s));
         return Status::ok();
       }

@@ -22,7 +22,7 @@ Query::allOf(std::span<const std::string> tokens)
 {
     IntersectionSet set;
     for (const std::string &t : tokens) {
-        set.terms.push_back({t, false});
+        set.terms.push_back({t, false, {}});
     }
     return Query({std::move(set)});
 }
@@ -32,7 +32,7 @@ Query::anyOf(std::span<const std::string> tokens)
 {
     std::vector<IntersectionSet> sets;
     for (const std::string &t : tokens) {
-        sets.push_back({{{t, false}}});
+        sets.push_back({{{t, false, {}}}});
     }
     return Query(std::move(sets));
 }
@@ -63,10 +63,32 @@ Query::distinctTokens() const
     std::set<std::string> seen;
     for (const IntersectionSet &s : sets_) {
         for (const Term &t : s.terms) {
-            seen.insert(t.token);
+            if (!t.isTyped()) {
+                seen.insert(t.token);
+            }
         }
     }
     return {seen.begin(), seen.end()};
+}
+
+bool
+Query::hasTypedPredicates() const
+{
+    return typedPredicateCount() > 0;
+}
+
+size_t
+Query::typedPredicateCount() const
+{
+    size_t n = 0;
+    for (const IntersectionSet &s : sets_) {
+        for (const Term &t : s.terms) {
+            if (t.isTyped()) {
+                ++n;
+            }
+        }
+    }
+    return n;
 }
 
 Status
@@ -80,7 +102,21 @@ Query::validate(bool allow_pure_negative) const
             return Status::invalidArgument("empty intersection set");
         }
         std::set<std::string_view> positive, negative;
+        bool has_typed_positive = false;
         for (const Term &t : s.terms) {
+            if (t.isTyped()) {
+                if (!t.token.empty()) {
+                    return Status::invalidArgument(
+                        "term is both keyword and typed predicate");
+                }
+                if (t.negated) {
+                    return Status::invalidArgument(
+                        "typed predicate '" + t.typed.text +
+                        "' cannot be negated");
+                }
+                has_typed_positive = true;
+                continue;
+            }
             if (t.token.empty()) {
                 return Status::invalidArgument("empty token in query");
             }
@@ -93,7 +129,8 @@ Query::validate(bool allow_pure_negative) const
                     "' both required and forbidden in one set");
             }
         }
-        if (!allow_pure_negative && positive.empty()) {
+        if (!allow_pure_negative && positive.empty()
+            && !has_typed_positive) {
             return Status::unsupported(
                 "intersection set with no positive terms");
         }
@@ -118,9 +155,15 @@ Query::toString() const
             if (s.terms[j].negated) {
                 out += '!';
             }
-            out += '"';
-            out += s.terms[j].token;
-            out += '"';
+            if (s.terms[j].isTyped()) {
+                // Canonical predicate text; unquoted so it re-parses
+                // as a typed word rather than a keyword.
+                out += s.terms[j].typed.text;
+            } else {
+                out += '"';
+                out += s.terms[j].token;
+                out += '"';
+            }
         }
         out += ')';
     }

@@ -25,15 +25,26 @@
 #include <vector>
 
 #include "common/status.h"
+#include "typed/predicate.h"
 
 namespace mithril::query {
 
-/** One token occurrence in an intersection set. */
+/**
+ * One term in an intersection set: either a keyword token or a typed
+ * predicate (`ip:10.0.0.0/8`, `id:deadbeef01`, `time:[t0,t1]` —
+ * DESIGN.md §15). Exactly one of the two is populated: a keyword term
+ * has a non-empty token and an inactive predicate; a typed term has an
+ * empty token and an active predicate. Typed terms cannot be negated.
+ */
 struct Term {
     std::string token;
     bool negated = false;
+    typed::Predicate typed;
 
     bool operator==(const Term &) const = default;
+
+    /** True when this term is a typed predicate, not a keyword. */
+    bool isTyped() const { return typed.active(); }
 };
 
 /** Conjunction of terms: all positives present, no negatives present. */
@@ -73,17 +84,27 @@ class Query
     /** Total number of terms across all intersection sets. */
     size_t termCount() const;
 
-    /** Distinct token texts used anywhere in the query. */
+    /** Distinct keyword token texts used anywhere in the query
+     *  (typed-predicate terms carry no token and are skipped). */
     std::vector<std::string> distinctTokens() const;
+
+    /** True when any intersection set carries a typed predicate. */
+    bool hasTypedPredicates() const;
+
+    /** Total typed-predicate terms across all intersection sets. */
+    size_t typedPredicateCount() const;
 
     /**
      * Structural validation:
      *  - at least one intersection set, none empty;
      *  - no intersection set both requires and forbids the same token;
+     *  - every term is exactly keyword or typed; typed terms are never
+     *    negated (a negated range cannot be pruned by posting lists);
      *  - every intersection set has at least one positive term (a line
      *    satisfying only negatives cannot be represented by the
      *    hardware's exact-bitmap-match rule; such sets are legal in the
-     *    software matcher but flagged here so callers can decide).
+     *    software matcher but flagged here so callers can decide). A
+     *    typed predicate counts as a positive term.
      *
      * @param allow_pure_negative permit sets with no positive terms.
      */

@@ -13,22 +13,34 @@ namespace {
 
 /** Query rotation: template tokens the line generator emits, in
  *  shapes that exercise the compiled path, conjunction, disjunction,
- *  and a guaranteed miss. */
+ *  a guaranteed miss, and the typed incident-response tier
+ *  (DESIGN.md §15): subnet, typed-and-keyword, and hex-id lookups
+ *  against the addresses makeLine() plants. */
 constexpr std::string_view kQueries[] = {
     "tmpl3",
     "payload & tmpl1",
     "tmpl7 | tmpl11",
     "payload & seqzero",
+    "ip:10.0.0.0/16",
+    "tmpl5 & ip:10.0.128.0/17",
+    "id:feedc0debaadf00d",
 };
 
 /** One synthetic line: a template token the queries can hit, a unique
- *  sequence token, and enough filler to keep pages turning over. */
+ *  sequence token, typed fields for the incident-tier queries (a
+ *  source address cycling through 10.0/16, a hex session id on every
+ *  16th line), and filler to keep pages turning over. */
 std::string
 makeLine(Rng *rng, uint64_t seq)
 {
     uint64_t tmpl = rng->skewedBelow(16);
     std::string line = "soak tmpl" + std::to_string(tmpl) +
                        " payload seq" + std::to_string(seq);
+    line += " src=10.0." + std::to_string((seq >> 8) & 0xff) + "." +
+            std::to_string(seq & 0xff);
+    if (seq % 16 == 0) {
+        line += " sid=feedc0debaadf00d";
+    }
     line += " filler abcdefgh ijklmnop qrstuvwx";
     return line;
 }

@@ -515,6 +515,11 @@ LogService::mergeResults(std::vector<core::QueryResult> &shard_results,
         out->lines.insert(out->lines.end(),
                           std::make_move_iterator(r.lines.begin()),
                           std::make_move_iterator(r.lines.end()));
+        // Typed-tier line numbers stay shard-local (each shard numbers
+        // its own ingest stream); shard order keeps them deterministic.
+        out->line_numbers.insert(out->line_numbers.end(),
+                                 r.line_numbers.begin(),
+                                 r.line_numbers.end());
         if (out->matched_per_query.size() < r.matched_per_query.size()) {
             out->matched_per_query.resize(r.matched_per_query.size());
         }
@@ -559,6 +564,11 @@ LogService::mergeResults(std::vector<core::QueryResult> &shard_results,
             b.degraded_index_scan || sb.degraded_index_scan;
         b.degraded_software_scan =
             b.degraded_software_scan || sb.degraded_software_scan;
+        b.typed_predicates += sb.typed_predicates;
+        b.typed_index_pages += sb.typed_index_pages;
+        b.typed_index_bytes += sb.typed_index_bytes;
+        b.degraded_typed_scan =
+            b.degraded_typed_scan || sb.degraded_typed_scan;
     }
     metrics_->gauge("svc.shard_imbalance_pct")
         .set(out->shardImbalancePct());

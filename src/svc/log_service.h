@@ -115,6 +115,9 @@ struct ServiceQueryResult {
     /** Kept lines, concatenated in shard order (shard-local order
      *  within); byte-identical across worker counts. */
     std::vector<accel::KeptLine> lines;
+    /** Typed-tier shard-local line numbers, parallel to `lines` when
+     *  the batch carried typed predicates (empty otherwise). */
+    std::vector<uint64_t> line_numbers;
     std::vector<uint64_t> matched_per_query;
 
     uint64_t pages_scanned = 0;

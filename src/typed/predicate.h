@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Typed query predicates (DESIGN.md §15).
+ *
+ * A Predicate is an inclusive range [lo, hi] over the order-preserving
+ * key encoding of one TypedKind, carried inside a query Term next to
+ * the keyword machinery. The textual grammar (parsed from unquoted
+ * query words):
+ *
+ *   ip:10.1.2.3          exact IPv4        ip:10.0.0.0/8    CIDR block
+ *   ip:2001:db8::1       exact IPv6        ip:2001:db8::/32 CIDR block
+ *   mac:aa:bb:cc:dd:ee:ff  exact MAC (also `-` separated)
+ *   id:deadbeef01        exact hex id (>= 8 nibbles, 0x optional)
+ *   time:[t0,t1]         inclusive window; bounds are epoch seconds or
+ *                        RFC 3339 timestamps
+ *
+ * Because the key encodings are big-endian, every one of these is a
+ * contiguous byte range, so the posting-list directory resolves them
+ * with one sorted-map range scan. lineMatches() is the scan-side dual:
+ * it runs the same extractor registry over the raw line, which is what
+ * keeps the typed-index path and the degraded full-scan path
+ * byte-identical.
+ */
+#ifndef MITHRIL_TYPED_PREDICATE_H
+#define MITHRIL_TYPED_PREDICATE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "typed/typed_key.h"
+
+namespace mithril::typed {
+
+/** One typed predicate: an inclusive encoded-key range of one kind. */
+struct Predicate {
+    TypedKind kind = TypedKind::kNone;
+    std::vector<uint8_t> lo;  ///< inclusive lower key bound
+    std::vector<uint8_t> hi;  ///< inclusive upper key bound
+    std::string text;         ///< canonical form, re-parseable
+
+    bool operator==(const Predicate &) const = default;
+
+    /** An inactive predicate (kNone) matches nothing and is the
+     *  "no typed predicate on this term" state. */
+    bool active() const { return kind != TypedKind::kNone; }
+
+    /** True when @p key falls inside [lo, hi] (kind must match). */
+    bool matchesKey(const TypedKey &key) const;
+};
+
+/** True when @p word carries a typed-predicate prefix (`ip:`, `id:`,
+ *  `mac:`, `time:`) — i.e. parsePredicate should be consulted. */
+bool isTypedWord(std::string_view word);
+
+/**
+ * Parses one typed-predicate word into @p out.
+ * @retval kInvalidArgument malformed value after a recognized prefix.
+ */
+Status parsePredicate(std::string_view word, Predicate *out);
+
+/** Scan-side evaluation: extractor registry over @p line, true when
+ *  any extracted key satisfies @p pred. */
+bool lineMatches(std::string_view line, const Predicate &pred);
+
+} // namespace mithril::typed
+
+#endif // MITHRIL_TYPED_PREDICATE_H

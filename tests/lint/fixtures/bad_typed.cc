@@ -1,0 +1,24 @@
+// Known-bad fixture: ad-hoc typed-field parsing outside src/typed/.
+// Ingest extraction and query predicates must share the one audited
+// parser set, or the typed tier's exactness argument breaks.
+#include <arpa/inet.h>
+
+unsigned
+lookupHost(const char *s)
+{
+    in_addr a{};
+    inet_aton(s, &a);     // line 10: typed-extractor (libc parser)
+    return inet_addr(s);  // line 11: typed-extractor (libc parser)
+}
+
+bool
+extractIpField(const char *s,  // line 15: typed-extractor (bespoke)
+               unsigned *out);
+
+unsigned
+viaSubsystem(const char *s)
+{
+    unsigned v = 0;
+    (void)typed::extractIpField(s, &v);  // qualified: sanctioned route
+    return v;
+}

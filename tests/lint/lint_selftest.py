@@ -160,6 +160,14 @@ expect("bad_latency.cc:18" not in out,
 expect("bad_latency.cc:19" not in out,
        "StageTimer setSimDuration() is not flagged")
 
+rc, out = run_lint("bad_typed.cc")
+expect(rc == 1, "bad_typed.cc exits 1")
+expect_finding(out, "bad_typed.cc", 10, "typed-extractor")
+expect_finding(out, "bad_typed.cc", 11, "typed-extractor")
+expect_finding(out, "bad_typed.cc", 15, "typed-extractor")
+expect("bad_typed.cc:22" not in out,
+       "typed::-qualified extraction is the sanctioned route")
+
 rc, out = run_lint("bad_guard.h")
 expect(rc == 1, "bad_guard.h exits 1")
 expect_finding(out, "bad_guard.h", 2, "header-guard")

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Typed-predicate grammar and range-semantics tests (DESIGN.md §15),
+ * including the CIDR containment oracle: the encoded [lo, hi] range
+ * must agree with direct bitmask arithmetic on every sampled address.
+ */
+#include "typed/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mithril::typed {
+namespace {
+
+TEST(PredicateTest, TypedWordDetection)
+{
+    EXPECT_TRUE(isTypedWord("ip:10.0.0.1"));
+    EXPECT_TRUE(isTypedWord("id:deadbeef01"));
+    EXPECT_TRUE(isTypedWord("mac:aa:bb:cc:dd:ee:ff"));
+    EXPECT_TRUE(isTypedWord("time:[0,1]"));
+    EXPECT_FALSE(isTypedWord("error"));
+    EXPECT_FALSE(isTypedWord("shipped:yes"));
+}
+
+TEST(PredicateTest, ExactIp4IsDegenerateRange)
+{
+    Predicate p;
+    ASSERT_TRUE(parsePredicate("ip:10.1.2.3", &p).isOk());
+    EXPECT_EQ(p.kind, TypedKind::kIp4);
+    EXPECT_EQ(p.lo, p.hi);
+    EXPECT_TRUE(p.matchesKey(ip4Key({10, 1, 2, 3})));
+    EXPECT_FALSE(p.matchesKey(ip4Key({10, 1, 2, 4})));
+    // A same-bytes key of another kind never matches.
+    EXPECT_FALSE(p.matchesKey(timestampKey(0x0a010203)));
+}
+
+TEST(PredicateTest, CidrContainmentOracle)
+{
+    Predicate p;
+    ASSERT_TRUE(parsePredicate("ip:10.1.128.0/18", &p).isOk());
+    const uint32_t net = (10u << 24) | (1u << 16) | (128u << 8);
+    const uint32_t mask = 0xFFFFFFFFu << (32 - 18);
+    auto oracle = [&](uint32_t addr) { return (addr & mask) == net; };
+    auto key = [](uint32_t addr) {
+        return ip4Key({static_cast<uint8_t>(addr >> 24),
+                       static_cast<uint8_t>(addr >> 16),
+                       static_cast<uint8_t>(addr >> 8),
+                       static_cast<uint8_t>(addr)});
+    };
+    // The exact block edges.
+    EXPECT_TRUE(p.matchesKey(key(net)));
+    EXPECT_TRUE(p.matchesKey(key(net | ~mask)));
+    EXPECT_FALSE(p.matchesKey(key(net - 1)));
+    EXPECT_FALSE(p.matchesKey(key((net | ~mask) + 1)));
+    // Random sample across the whole address space.
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        uint32_t addr = static_cast<uint32_t>(rng.next());
+        EXPECT_EQ(p.matchesKey(key(addr)), oracle(addr)) << addr;
+    }
+    // Dense sample around the block boundaries.
+    for (uint32_t d = 0; d < 64; ++d) {
+        EXPECT_EQ(p.matchesKey(key(net + d)), oracle(net + d));
+        EXPECT_EQ(p.matchesKey(key(net - 32 + d)),
+                  oracle(net - 32 + d));
+        EXPECT_EQ(p.matchesKey(key((net | ~mask) - 32 + d)),
+                  oracle((net | ~mask) - 32 + d));
+    }
+}
+
+TEST(PredicateTest, CidrEdgePrefixes)
+{
+    Predicate p;
+    // /32: exactly one address.
+    ASSERT_TRUE(parsePredicate("ip:10.0.0.7/32", &p).isOk());
+    EXPECT_TRUE(p.matchesKey(ip4Key({10, 0, 0, 7})));
+    EXPECT_FALSE(p.matchesKey(ip4Key({10, 0, 0, 6})));
+    EXPECT_FALSE(p.matchesKey(ip4Key({10, 0, 0, 8})));
+    // /0: every address.
+    ASSERT_TRUE(parsePredicate("ip:0.0.0.0/0", &p).isOk());
+    EXPECT_TRUE(p.matchesKey(ip4Key({0, 0, 0, 0})));
+    EXPECT_TRUE(p.matchesKey(ip4Key({255, 255, 255, 255})));
+}
+
+TEST(PredicateTest, Ip6Cidr)
+{
+    Predicate p;
+    ASSERT_TRUE(parsePredicate("ip:2001:db8::/32", &p).isOk());
+    EXPECT_EQ(p.kind, TypedKind::kIp6);
+    std::array<uint8_t, 16> inside{};
+    ASSERT_TRUE(parseIp6("2001:db8:ffff::1", &inside));
+    std::array<uint8_t, 16> outside{};
+    ASSERT_TRUE(parseIp6("2001:db9::1", &outside));
+    EXPECT_TRUE(p.matchesKey(ip6Key(inside)));
+    EXPECT_FALSE(p.matchesKey(ip6Key(outside)));
+}
+
+TEST(PredicateTest, TimeWindow)
+{
+    Predicate p;
+    ASSERT_TRUE(parsePredicate("time:[100,200]", &p).isOk());
+    EXPECT_EQ(p.kind, TypedKind::kTimestamp);
+    EXPECT_FALSE(p.matchesKey(timestampKey(99)));
+    EXPECT_TRUE(p.matchesKey(timestampKey(100)));   // inclusive lo
+    EXPECT_TRUE(p.matchesKey(timestampKey(200)));   // inclusive hi
+    EXPECT_FALSE(p.matchesKey(timestampKey(201)));
+
+    // RFC 3339 bounds parse to the same window as their epochs.
+    Predicate rfc;
+    ASSERT_TRUE(parsePredicate(
+        "time:[2026-08-09T00:00:00Z,2026-08-09T23:59:59Z]", &rfc)
+            .isOk());
+    uint64_t day =
+        static_cast<uint64_t>(daysFromCivil(2026, 8, 9)) * 86400;
+    EXPECT_TRUE(rfc.matchesKey(timestampKey(day)));
+    EXPECT_TRUE(rfc.matchesKey(timestampKey(day + 86399)));
+    EXPECT_FALSE(rfc.matchesKey(timestampKey(day - 1)));
+    EXPECT_FALSE(rfc.matchesKey(timestampKey(day + 86400)));
+}
+
+TEST(PredicateTest, MalformedValuesRejected)
+{
+    Predicate p;
+    EXPECT_FALSE(parsePredicate("ip:10.0.0.256", &p).isOk());
+    EXPECT_FALSE(parsePredicate("ip:10.0.0.0/33", &p).isOk());
+    EXPECT_FALSE(parsePredicate("ip:", &p).isOk());
+    EXPECT_FALSE(parsePredicate("id:short", &p).isOk());
+    EXPECT_FALSE(parsePredicate("time:[200,100]", &p).isOk());  // t0>t1
+    EXPECT_FALSE(parsePredicate("time:[1,2", &p).isOk());
+    EXPECT_FALSE(parsePredicate("mac:aa:bb", &p).isOk());
+}
+
+TEST(PredicateTest, LineMatchesUsesExtractors)
+{
+    Predicate p;
+    ASSERT_TRUE(parsePredicate("ip:10.1.2.0/24", &p).isOk());
+    EXPECT_TRUE(lineMatches("fw: DROP src=10.1.2.3, proto=tcp", p));
+    EXPECT_FALSE(lineMatches("fw: DROP src=10.1.3.3, proto=tcp", p));
+    EXPECT_FALSE(lineMatches("nothing typed here", p));
+}
+
+} // namespace
+} // namespace mithril::typed

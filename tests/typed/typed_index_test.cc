@@ -1,0 +1,196 @@
+/**
+ * @file
+ * TypedIndex posting-list tests: pending/flushed lookup equivalence,
+ * the sealed-page directory, CRC-framed page round-trips through the
+ * shared SsdModel, serialize/deserialize persistence, and corruption
+ * surfacing as integrity_lost (DESIGN.md §15).
+ */
+#include "typed/typed_index.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/ssd_model.h"
+#include "typed/predicate.h"
+
+namespace mithril::typed {
+namespace {
+
+Predicate
+mustParse(std::string_view word)
+{
+    Predicate p;
+    Status st = parsePredicate(word, &p);
+    EXPECT_TRUE(st.isOk()) << st.toString();
+    return p;
+}
+
+/** Lines 0..n-1: every 3rd mentions 10.0.0.1, every 5th 10.0.0.2,
+ *  every 7th the hex id. */
+void
+fillIndex(TypedIndex *index, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string line = "line " + std::to_string(i);
+        if (i % 3 == 0) {
+            line += " src=10.0.0.1,";
+        }
+        if (i % 5 == 0) {
+            line += " peer 10.0.0.2";
+        }
+        if (i % 7 == 0) {
+            line += " [feedc0defeedbeef]";
+        }
+        index->addLine(line, i);
+    }
+}
+
+std::vector<uint64_t>
+expectedLines(uint64_t n, uint64_t step)
+{
+    std::vector<uint64_t> lines;
+    for (uint64_t i = 0; i < n; i += step) {
+        lines.push_back(i);
+    }
+    return lines;
+}
+
+TEST(TypedIndexTest, PendingLookupBeforeFlush)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    fillIndex(&index, 100);
+    LookupResult r = index.lookup(mustParse("ip:10.0.0.1"));
+    EXPECT_EQ(r.lines, expectedLines(100, 3));
+    EXPECT_EQ(r.pages_read, 0u);  // nothing flushed yet
+    EXPECT_FALSE(r.integrity_lost);
+}
+
+TEST(TypedIndexTest, FlushedLookupReadsPostingPages)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    fillIndex(&index, 1000);
+    index.flush();
+    LookupResult r = index.lookup(mustParse("ip:10.0.0.1"));
+    EXPECT_EQ(r.lines, expectedLines(1000, 3));
+    EXPECT_GT(r.pages_read, 0u);
+    EXPECT_GT(r.bytes_read, 0u);
+    EXPECT_FALSE(r.integrity_lost);
+
+    // Postings added after a flush land in the pending tail and merge
+    // with the flushed pages.
+    index.addLine("late src=10.0.0.1,", 1002);
+    LookupResult merged = index.lookup(mustParse("ip:10.0.0.1"));
+    std::vector<uint64_t> expected = expectedLines(1000, 3);
+    expected.push_back(1002);
+    EXPECT_EQ(merged.lines, expected);
+}
+
+TEST(TypedIndexTest, RangePredicateSpansKeys)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    fillIndex(&index, 105);
+    index.flush();
+    // The /30 block {10.0.0.0..3} covers both planted addresses.
+    LookupResult r = index.lookup(mustParse("ip:10.0.0.0/30"));
+    std::vector<uint64_t> expected;
+    for (uint64_t i = 0; i < 105; ++i) {
+        if (i % 3 == 0 || i % 5 == 0) {
+            expected.push_back(i);
+        }
+    }
+    EXPECT_EQ(r.lines, expected);  // union, ascending, deduped
+}
+
+TEST(TypedIndexTest, HexIdLookup)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    fillIndex(&index, 100);
+    index.flush();
+    LookupResult r = index.lookup(mustParse("id:feedc0defeedbeef"));
+    EXPECT_EQ(r.lines, expectedLines(100, 7));
+}
+
+TEST(TypedIndexTest, PageDirectoryMapsLinesToPages)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    // Three sealed pages of 40 lines each.
+    storage::PageId p0 = ssd.allocate();
+    storage::PageId p1 = ssd.allocate();
+    storage::PageId p2 = ssd.allocate();
+    index.notePage(p0, 0, 40);
+    index.notePage(p1, 40, 40);
+    index.notePage(p2, 80, 40);
+
+    std::vector<uint64_t> lines = {3, 17, 39};  // all in page 0
+    EXPECT_EQ(index.pagesForLines(lines),
+              std::vector<storage::PageId>{p0});
+    lines = {39, 40, 100};  // pages 0, 1, 2
+    EXPECT_EQ(index.pagesForLines(lines),
+              (std::vector<storage::PageId>{p0, p1, p2}));
+    lines = {41, 42, 43};  // duplicates collapse
+    EXPECT_EQ(index.pagesForLines(lines),
+              std::vector<storage::PageId>{p1});
+}
+
+TEST(TypedIndexTest, SerializeDeserializeRoundTrip)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    fillIndex(&index, 500);
+    storage::PageId data_page = ssd.allocate();
+    index.notePage(data_page, 0, 500);
+    index.flush();
+    LookupResult before = index.lookup(mustParse("ip:10.0.0.1"));
+
+    std::vector<uint8_t> blob;
+    index.serialize(&blob);
+
+    // A fresh directory over the same device must answer identically.
+    TypedIndex restored(&ssd);
+    ASSERT_TRUE(restored.deserialize(blob).isOk());
+    EXPECT_EQ(restored.keyCount(), index.keyCount());
+    LookupResult after = restored.lookup(mustParse("ip:10.0.0.1"));
+    EXPECT_EQ(after.lines, before.lines);
+    EXPECT_EQ(restored.pageDirectory().size(), 1u);
+    EXPECT_EQ(restored.pageDirectory()[0].page, data_page);
+
+    // A corrupt blob reports kCorruptData, never crashes.
+    std::vector<uint8_t> bad(blob.begin(),
+                             blob.begin() + blob.size() / 2);
+    TypedIndex victim(&ssd);
+    EXPECT_EQ(victim.deserialize(bad).code(),
+              StatusCode::kCorruptData);
+}
+
+TEST(TypedIndexTest, CorruptPostingPageReportsIntegrityLost)
+{
+    storage::SsdModel ssd;
+    TypedIndex index(&ssd);
+    fillIndex(&index, 2000);
+    index.flush();
+    LookupResult clean = index.lookup(mustParse("ip:10.0.0.1"));
+    ASSERT_FALSE(clean.integrity_lost);
+    ASSERT_GT(clean.pages_read, 0u);
+
+    // Smash every device page the posting lists could live on; the
+    // damage is persistent (no fault plan), so retries cannot help and
+    // the lookup must degrade loudly, not return silently short lists.
+    for (storage::PageId id = 0; id < ssd.store().pageCount(); ++id) {
+        auto page = ssd.store().mutablePage(id);
+        for (size_t i = 0; i < 32; ++i) {
+            page[i] ^= 0x5a;
+        }
+    }
+    LookupResult damaged = index.lookup(mustParse("ip:10.0.0.1"));
+    EXPECT_TRUE(damaged.integrity_lost);
+}
+
+} // namespace
+} // namespace mithril::typed

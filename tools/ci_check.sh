@@ -24,12 +24,16 @@
 #   8. soak SLO smoke    a short deterministic open-loop soak run whose
 #      soak_slo record must repeat byte-identically and pass its
 #      end-to-end p99 gate
-#   9. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
+#   9. typed-query smoke bench_typed_query — the incident scenario's
+#      typed_query records must repeat byte-identically, carry the
+#      schema keys, and show the typed tier reading fewer device bytes
+#      than the full scan for byte-identical match sets
+#  10. thread safety     tools/run_tsa.sh — Clang -Wthread-safety over
 #      src/, plus its fixture selftest (skipped where clang++ is not
 #      installed)
-#  10. domain lint       tools/mithril_lint.py (and its self-test)
-#  11. clang-tidy        tools/run_tidy.sh (skipped if not installed)
-#  12. ubsan build+test  full tree under -fsanitize=undefined
+#  11. domain lint       tools/mithril_lint.py (and its self-test)
+#  12. clang-tidy        tools/run_tidy.sh (skipped if not installed)
+#  13. ubsan build+test  full tree under -fsanitize=undefined
 #      (skipped with --fast)
 #
 # This is the command ROADMAP's tier-1 verify can grow into: a tree
@@ -102,6 +106,24 @@ build-werror/bench/json_check "$SOAK_DIR/metrics.json" \
 build-werror/bench/json_check "$SOAK_DIR/records_a.json" \
     soak_slo ingest_e2e_p99_ps slo_pass
 echo "soak SLO smoke: deterministic, schema-clean, SLO pass"
+
+step "typed-query smoke (bench_typed_query, deterministic)"
+TYPED_DIR="build-werror/typed_ci"
+mkdir -p "$TYPED_DIR"
+build-werror/bench/bench_typed_query \
+    --json-out="$TYPED_DIR/records_a.json" \
+    --metrics-out="$TYPED_DIR/metrics.json" > /dev/null
+build-werror/bench/bench_typed_query \
+    --json-out="$TYPED_DIR/records_b.json" > /dev/null
+cmp "$TYPED_DIR/records_a.json" "$TYPED_DIR/records_b.json" \
+    || { echo "typed records differ across identical runs"; exit 1; }
+build-werror/bench/json_check "$TYPED_DIR/metrics.json" \
+    typed.postings typed.pages_written typed.pages_read \
+    typed.lookups core.typed_queries
+build-werror/bench/json_check "$TYPED_DIR/records_a.json" \
+    typed_query matched_lines typed_index_bytes \
+    typed_device_bytes full_scan_device_bytes byte_reduction
+echo "typed-query smoke: deterministic, schema-clean, bytes reduced"
 
 step "thread-safety analysis (tools/run_tsa.sh)"
 if tools/run_tsa.sh; then

@@ -24,10 +24,10 @@ mkdir -p "$WORK"
 "$CLI" generate Spirit2 2 "$WORK/fm.log" > /dev/null
 "$CLI" ingest "$WORK/fm.log" "$WORK/fm.img" > /dev/null
 
-# run_query <name> <plan-spec-or-empty>  -> prints the match count
+# run_query <name> <plan-spec-or-empty> [query]  -> prints match count
 run_query() {
-    local name="$1" plan="$2"
-    local args=("query" "$WORK/fm.img" "$QUERY"
+    local name="$1" plan="$2" q="${3:-$QUERY}"
+    local args=("query" "$WORK/fm.img" "$q"
                 "--metrics-out=$WORK/$name.json")
     if [[ -n "$plan" ]]; then
         args+=("--fault-plan=$plan")
@@ -80,6 +80,36 @@ sys.exit(0 if sys.argv[2] in snap["counters"] else 1)
     done
 done
 
+# Typed-predicate tier (DESIGN.md §15): the same clean-equal contract
+# for an incident-response query riding the typed posting lists. The
+# generator's pool is 10.x addresses, so the /8 block is guaranteed to
+# match; corrupted posting pages must degrade to the exact typed scan,
+# never return silently short results.
+TQUERY="ip:10.0.0.0/8 & error"
+tclean=$(run_query tclean "" "$TQUERY")
+tcorruption=$(run_query tcorruption "seed=3,ber=1e-6,garble=0.002" \
+                        "$TQUERY")
+tmixed=$(run_query tmixed \
+                   "seed=7,ber=1e-6,ecc=0.002,timeout=0.01,garble=0.001" \
+                   "$TQUERY")
+echo "typed matches: clean=$tclean corruption=$tcorruption" \
+     "mixed=$tmixed"
+if [[ "$tclean" -eq 0 ]]; then
+    echo "FAIL: typed query matched nothing on the clean image"
+    fail=1
+fi
+for name in tcorruption tmixed; do
+    got=$(eval echo "\$$name")
+    if [[ "$got" != "$tclean" ]]; then
+        echo "FAIL: typed $name returned $got matches, clean=$tclean"
+        fail=1
+    fi
+done
+if [[ $(counter tclean core.typed_queries) -eq 0 ]]; then
+    echo "FAIL: typed query did not route through the typed tier"
+    fail=1
+fi
+
 # Injection must actually have happened somewhere in the matrix.
 injected=$(( $(counter timeout fault.timeouts) \
            + $(counter corruption fault.bits_flipped) \
@@ -98,4 +128,5 @@ fi
 if [[ "$fail" -ne 0 ]]; then
     exit 1
 fi
-echo "fault matrix OK ($clean matches under every plan)"
+echo "fault matrix OK ($clean keyword / $tclean typed matches under" \
+     "every plan)"

@@ -59,6 +59,12 @@ repo-specific invariants no generic tool knows about:
                      writeSuperblock); any other write could publish a
                      half-built snapshot or tear the ping-pong
                      superblock's atomic epoch bump.
+  typed-extractor    typed-field parsing (addresses, MACs, hex ids,
+                     timestamps) lives in src/typed/ so ingest-time
+                     extraction and query-time predicates normalize
+                     byte-identically (DESIGN.md §15); no libc inet_*
+                     or bespoke parseIp*/extractMac*-style helpers
+                     anywhere else.
   adhoc-latency      datapath latency samples must go through the
                      obs::Histogram / span APIs (StageLatency,
                      StageTimer, setSimDuration); feeding elapsed()/
@@ -101,6 +107,7 @@ ALLOW = {
         "src/common/stats.cc",
         "src/storage/ssd_model.",
         "src/index/inverted_index.",
+        "src/typed/typed_index.",
         "src/obs/",
         "tests/common/stats_test.cc",
         "tests/obs/",
@@ -119,6 +126,9 @@ ALLOW = {
     # The histogram layer itself is where durations legitimately meet
     # record(); its tests feed synthetic durations on purpose.
     "adhoc-latency": ("src/obs/", "tests/obs/"),
+    # The typed subsystem is the audited home of field parsing; its
+    # tests exercise the parsers directly.
+    "typed-extractor": ("src/typed/", "tests/typed/"),
 }
 
 RULE_HINTS = {
@@ -160,6 +170,11 @@ RULE_HINTS = {
     "adhoc-latency": "record latency through obs::StageLatency/"
                      "StageTimer (obs/histogram.h) so the sample lands "
                      "in a quantile histogram, not a scalar",
+    "typed-extractor": "parse addresses/hex ids/timestamps through "
+                       "the typed subsystem (typed/typed_key.h, "
+                       "typed/extract.h) so ingest and query "
+                       "normalize identically; no inet_* or ad-hoc "
+                       "parseIp/extractMac helpers outside src/typed/",
     "header-guard": "guard must be MITHRIL_<PATH>_H (path relative to "
                     "src/, or to the repo root outside src/)",
     "include-order": "own header first in a .cc; no \"../\" paths; "
@@ -554,6 +569,31 @@ def check_checkpoint_epoch(relpath, code):
                "checkpoint protocol's publishers")
 
 
+# ---------------------------------------------------------------------------
+# typed-extractor: typed-field parsing stays inside src/typed/ so the
+# extraction run at ingest and the predicate parsing run at query time
+# are the same audited code — the typed tier's exactness argument
+# (DESIGN.md §15) is "same pure function both sides", which a second
+# parser silently breaks. Flags the libc address parsers and bespoke
+# parse/extract helpers named after typed fields; calls qualified with
+# a namespace (typed::parseIp4) are the sanctioned route and do not
+# match.
+
+_TYPED_EXTRACT_RE = re.compile(
+    r"\binet_(?:pton|ntop|aton|ntoa|addr|network)\s*\(|"
+    r"\bgetaddrinfo\s*\(|"
+    r"(?<!::)\b(?:parse|extract)"
+    r"(?:Ip[46v]?|Mac|Hex|Timestamp|Rfc3339|Syslog|Cidr|Addr)"
+    r"\w*\s*\(")
+
+
+def check_typed_extractor(relpath, code):
+    for i, line in enumerate(code, start=1):
+        if _TYPED_EXTRACT_RE.search(line):
+            yield (i, "typed-extractor",
+                   "ad-hoc typed-field parsing outside src/typed/")
+
+
 # A scalar-metric mutation (`add(`/`set(`/`record(`; the histogram
 # layer's own verbs recordWallNs/recordSim/setSimDuration deliberately
 # do not match) on a line that also computes a duration — elapsed(),
@@ -721,6 +761,7 @@ SIMPLE_RULES = (
     check_atomics_discipline,
     check_generation_bump,
     check_checkpoint_epoch,
+    check_typed_extractor,
     check_adhoc_latency,
     check_header_guard,
     check_include_order,
@@ -742,6 +783,7 @@ RULE_OF_CHECK = {
     check_atomics_discipline: "atomics-discipline",
     check_generation_bump: "generation-bump",
     check_checkpoint_epoch: "checkpoint-epoch",
+    check_typed_extractor: "typed-extractor",
     check_adhoc_latency: "adhoc-latency",
     check_header_guard: "header-guard",
     check_include_order: "include-order",
